@@ -1,0 +1,171 @@
+// E9: micro-benchmarks of the coding substrate - GF kernels, Reed-Solomon,
+// product-matrix MBR/MSR encode / decode / helper / repair throughput.
+//
+// These are the only google-benchmark binaries; the system benches (E1-E8)
+// print paper-formula-vs-measured tables instead.
+#include <benchmark/benchmark.h>
+
+#include "codes/pm_mbr.h"
+#include "codes/pm_msr.h"
+#include "codes/rs.h"
+#include "codes/striped.h"
+#include "common/rng.h"
+#include "gf/gf256.h"
+
+namespace {
+
+using namespace lds;
+
+void BM_GfAxpy(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes x = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  Bytes y = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    gf::axpy(y, 0x53, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GfAxpy)->Arg(1024)->Arg(64 * 1024);
+
+void BM_GfDot(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes a = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes b = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf::dot(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GfDot)->Arg(1024)->Arg(64 * 1024);
+
+void BM_RsEncode(benchmark::State& state) {
+  const std::size_t n = 14, k = 10;
+  codes::StripedCode code(std::make_shared<codes::RsRegenerating>(n, k));
+  Rng rng(3);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode_value(value));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RsEncode)->Arg(4096)->Arg(64 * 1024);
+
+void BM_RsDecode(benchmark::State& state) {
+  const std::size_t n = 14, k = 10;
+  codes::StripedCode code(std::make_shared<codes::RsRegenerating>(n, k));
+  Rng rng(4);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto elems = code.encode_value(value);
+  std::vector<codes::IndexedBytes> input;
+  for (std::size_t i = 0; i < k; ++i) {
+    input.emplace_back(static_cast<int>(i + 3), elems[i + 3]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode_value(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RsDecode)->Arg(4096)->Arg(64 * 1024);
+
+void BM_PmMbrEncode(benchmark::State& state) {
+  // The paper's back-end configuration shape: k = d (symmetric layers).
+  const std::size_t n = 20, k = 8, d = 8;
+  codes::StripedCode code(std::make_shared<codes::PmMbrCode>(n, k, d));
+  Rng rng(5);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode_value(value));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PmMbrEncode)->Arg(4096)->Arg(64 * 1024);
+
+void BM_PmMbrDecode(benchmark::State& state) {
+  const std::size_t n = 20, k = 8, d = 8;
+  codes::StripedCode code(std::make_shared<codes::PmMbrCode>(n, k, d));
+  Rng rng(6);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto elems = code.encode_value(value);
+  std::vector<codes::IndexedBytes> input;
+  for (std::size_t i = 0; i < k; ++i) {
+    input.emplace_back(static_cast<int>(i), elems[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode_value(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PmMbrDecode)->Arg(4096)->Arg(64 * 1024);
+
+void BM_PmMbrHelper(benchmark::State& state) {
+  const std::size_t n = 20, k = 8, d = 8;
+  codes::StripedCode code(std::make_shared<codes::PmMbrCode>(n, k, d));
+  Rng rng(7);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes elem = code.encode_element(value, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.helper_data(12, elem, 0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elem.size()));
+}
+BENCHMARK(BM_PmMbrHelper)->Arg(4096)->Arg(64 * 1024);
+
+void BM_PmMbrRepair(benchmark::State& state) {
+  const std::size_t n = 20, k = 8, d = 8;
+  codes::StripedCode code(std::make_shared<codes::PmMbrCode>(n, k, d));
+  Rng rng(8);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto elems = code.encode_value(value);
+  std::vector<codes::IndexedBytes> helpers;
+  for (std::size_t h = 1; h <= d; ++h) {
+    helpers.emplace_back(static_cast<int>(h),
+                         code.helper_data(static_cast<int>(h), elems[h], 0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.repair_element(0, helpers));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PmMbrRepair)->Arg(4096)->Arg(64 * 1024);
+
+void BM_PmMsrEncode(benchmark::State& state) {
+  const std::size_t n = 14, k = 5;  // d = 8
+  codes::StripedCode code(std::make_shared<codes::PmMsrCode>(n, k));
+  Rng rng(9);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode_value(value));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PmMsrEncode)->Arg(4096)->Arg(64 * 1024);
+
+void BM_PmMsrDecode(benchmark::State& state) {
+  const std::size_t n = 14, k = 5;
+  codes::StripedCode code(std::make_shared<codes::PmMsrCode>(n, k));
+  Rng rng(10);
+  const Bytes value = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto elems = code.encode_value(value);
+  std::vector<codes::IndexedBytes> input;
+  for (std::size_t i = 0; i < k; ++i) {
+    input.emplace_back(static_cast<int>(i + 1), elems[i + 1]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode_value(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PmMsrDecode)->Arg(4096);
+
+}  // namespace

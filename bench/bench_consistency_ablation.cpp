@@ -1,0 +1,86 @@
+// E11 (extension ablation) - what each design lever buys on the read path.
+//
+// Three configurations of the same deployment, quiescent (delta = 0) reads:
+//   atomic        - the paper's LDS (three-phase read, MBR regeneration);
+//   regular       - Section-VI consistency ablation: no put-tag phase;
+//   proxy-cache   - Section-I cache mode: committed value kept in L1.
+//
+// Reported per configuration: read latency (tau1 units), read communication
+// cost split into the cheap client<->L1 links vs the expensive L1<->L2
+// links, and the steady-state L1 storage the configuration pays for it.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+int main() {
+  using namespace lds;
+  using namespace lds::bench;
+
+  const std::size_t n = 20;
+  const double mu = 10.0;
+  std::printf("E11 (ablation): read-path design levers, n1=n2=%zu "
+              "(k=d=%zu), mu=%.0f\n\n",
+              n, fig6_regime(n).k(), mu);
+  print_header({"config", "latency", "cost.cl-L1", "cost.L1-L2", "L1.bytes"});
+
+  struct Config {
+    const char* name;
+    bool regular;
+    bool cache;
+  };
+  const Config configs[] = {
+      {"atomic", false, false},
+      {"regular", true, false},
+      {"proxy-cache", false, true},
+  };
+
+  for (const auto& cfg : configs) {
+    LdsCluster::Options opt;
+    opt.cfg = fig6_regime(n);
+    opt.cfg.proxy_cache = cfg.cache;
+    opt.read_consistency = cfg.regular ? core::ReadConsistency::Regular
+                                       : core::ReadConsistency::Atomic;
+    opt.writers = 1;
+    opt.readers = 1;
+    opt.tau1 = 1.0;
+    opt.tau0 = 1.0;
+    opt.tau2 = mu;
+    LdsCluster cluster(opt);
+    Rng rng(5);
+    const std::size_t value_size = fair_value_size(opt.cfg);
+
+    cluster.write_sync(0, 0, rng.bytes(value_size));
+    cluster.settle();
+
+    const auto before_cl = cluster.net().costs().by_link(
+        net::LinkClass::ClientL1);
+    const auto before_l2 = cluster.net().costs().by_link(net::LinkClass::L1L2);
+    const double t0 = cluster.sim().now();
+    cluster.read_sync(0, 0);
+    const double latency = cluster.sim().now() - t0;
+    const auto after_cl = cluster.net().costs().by_link(
+        net::LinkClass::ClientL1);
+    const auto after_l2 = cluster.net().costs().by_link(net::LinkClass::L1L2);
+
+    print_cell(cfg.name);
+    print_cell(latency);
+    print_cell(static_cast<double>(after_cl.data_bytes -
+                                   before_cl.data_bytes) /
+               static_cast<double>(value_size));
+    print_cell(static_cast<double>(after_l2.data_bytes -
+                                   before_l2.data_bytes) /
+               static_cast<double>(value_size));
+    print_cell(static_cast<double>(cluster.meter().l1_bytes()) /
+               static_cast<double>(value_size));
+    std::printf("\n");
+  }
+
+  std::printf("\nexpected shape: regular shaves 2 tau1 of latency off "
+              "atomic at identical cost; proxy-cache eliminates the 2 tau2 "
+              "round trip and all L1-L2 read traffic, but moves ~n1 |v| "
+              "over client-L1 links and pays n1 |v| of edge storage per "
+              "object.  The paper's default (atomic, no cache) minimizes "
+              "edge storage; the levers trade it for latency.\n");
+  return 0;
+}

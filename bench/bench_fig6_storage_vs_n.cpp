@@ -1,0 +1,94 @@
+// E6 - Fig. 6 of the paper: L1 and L2 storage cost as a function of the
+// number of objects N.
+//
+// Part 1 reproduces the figure exactly at the paper's parameters
+// (n1 = n2 = 100, k = d = 80, tau2 = 10 tau1, theta = 100) from the
+// Lemma V.5 bounds - the same closed forms the paper plotted.
+// Part 2 validates the shape in simulation at laptop scale
+// (n1 = n2 = 20, k = d = 16): permanent storage grows Theta(N) while the
+// temporary peak is set by the write concurrency, not by N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lds/workload.h"
+
+int main() {
+  using namespace lds;
+  using namespace lds::bench;
+
+  // ---- Part 1: the paper's exact parameters. --------------------------------
+  {
+    const std::size_t n1 = 100, n2 = 100, k = 80;
+    const double mu = 10.0, theta = 100.0;
+    std::printf("E6 part 1: Fig. 6 reproduction (analytic), n1=n2=100, "
+                "k=d=80, mu=10, theta=100\n\n");
+    print_header({"N", "L1.cost", "L2.cost", "total", "L2.share"});
+    for (double N : {1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6}) {
+      const double l1 = core::analysis::l1_storage_bound(theta, n1, mu);
+      const double l2 = core::analysis::l2_storage_multi(
+          static_cast<std::size_t>(N), n2, k);
+      print_cell(N);
+      print_cell(l1);
+      print_cell(l2);
+      print_cell(l1 + l2);
+      print_cell(l2 / (l1 + l2));
+      std::printf("\n");
+    }
+    std::printf("\nL2 storage / object = %.3f |v| "
+                "(replication in L2 would cost %zu |v| per object)\n\n",
+                core::analysis::l2_storage_multi(1, n2, k),
+                n2);
+  }
+
+  // ---- Part 2: simulated validation at laptop scale. ------------------------
+  {
+    const std::size_t n = 20;
+    std::printf("E6 part 2: simulated shape check, n1=n2=%zu, k=d=%zu, "
+                "mu=5, 4 saturating writers\n\n",
+                n, fig6_regime(n).k());
+    print_header({"N", "L1.peak/|v|", "L2.final/|v|", "L2/N"});
+    for (std::size_t num_objects : {4, 16, 64, 256}) {
+      LdsCluster::Options opt;
+      opt.cfg = fig6_regime(n);
+      // Give v0 the same size as written values so that every one of the N
+      // objects contributes a full-size coded footprint to L2, as in the
+      // paper's model where all N unit-size objects are stored permanently.
+      opt.cfg.initial_value = Bytes(fair_value_size(opt.cfg), 0x42);
+      opt.writers = 4;
+      opt.readers = 1;
+      opt.tau2 = 5.0;
+      LdsCluster cluster(opt);
+
+      core::WorkloadOptions wopt;
+      wopt.num_objects = num_objects;
+      wopt.duration = 150.0;
+      wopt.writers = 4;
+      wopt.readers = 0;
+      wopt.value_size = fair_value_size(opt.cfg);
+      wopt.seed = num_objects;
+      run_workload(cluster, wopt);
+
+      // Touch every object once so its v0 (or a written value) is resident
+      // in L2, as in the paper where all N objects are stored permanently.
+      for (ObjectId obj = 0; obj < num_objects; ++obj) {
+        cluster.read_sync(0, obj);
+      }
+      cluster.settle();
+
+      const double value = static_cast<double>(wopt.value_size);
+      const double l1_peak =
+          static_cast<double>(cluster.meter().l1_peak_bytes()) / value;
+      const double l2 =
+          static_cast<double>(cluster.meter().l2_bytes()) / value;
+      print_cell(num_objects);
+      print_cell(l1_peak);
+      print_cell(l2);
+      print_cell(l2 / static_cast<double>(num_objects));
+      std::printf("\n");
+    }
+    std::printf("\nexpected shape (as in Fig. 6): L2 grows linearly in N "
+                "(constant L2/N ~ 2 n2/(k+1)); the L1 peak is set by write "
+                "concurrency and does not scale with N.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E10 (extension) - the Section-VI open question, answered empirically:
+// "it will be interesting to find out the probabilistic guarantees that can
+// be obtained if we use RLNCs instead of the codes in [25]".
+//
+// Monte-Carlo estimate of the probability that an RLNC-coded MBR-point
+// system (functional repair, GF(256)) remains fully decodable - every
+// k-subset of nodes spans the message - after a chain of R random repairs.
+// Each row aggregates many independent trials with different seeds.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "codes/rlnc.h"
+#include "common/rng.h"
+
+int main() {
+  using namespace lds;
+  using namespace lds::bench;
+
+  std::printf("E10 (extension): RLNC functional-repair feasibility, "
+              "GF(256), MBR point\n");
+  std::printf("P[every k-subset decodes after R random repairs], "
+              "100 trials per row\n\n");
+  print_header({"n", "k", "d", "repairs", "P(decodable)"});
+
+  struct Config {
+    std::size_t n, k, d;
+  };
+  const Config configs[] = {{5, 2, 3}, {6, 3, 4}, {8, 4, 5}};
+  const int kTrials = 100;
+
+  for (const auto& cfg : configs) {
+    for (int repairs : {0, 4, 16, 64}) {
+      int ok = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(trial) * 7919 + repairs + cfg.n;
+        codes::RlncMbrSystem sys(cfg.n, cfg.k, cfg.d, seed);
+        Rng rng(seed + 1);
+        const Bytes msg = rng.bytes(sys.file_size());
+        sys.init_from_message(msg);
+        Rng pick(seed + 2);
+        for (int r = 0; r < repairs; ++r) {
+          const int victim =
+              static_cast<int>(pick.uniform_int(0, static_cast<int>(cfg.n) - 1));
+          std::vector<int> helpers;
+          // Random d-subset of the other nodes.
+          std::vector<int> others;
+          for (int i = 0; i < static_cast<int>(cfg.n); ++i) {
+            if (i != victim) others.push_back(i);
+          }
+          std::shuffle(others.begin(), others.end(), pick.engine());
+          helpers.assign(others.begin(),
+                         others.begin() + static_cast<long>(cfg.d));
+          sys.repair(victim, helpers);
+        }
+        if (sys.all_k_subsets_decode()) ++ok;
+      }
+      print_cell(cfg.n);
+      print_cell(cfg.k);
+      print_cell(cfg.d);
+      print_cell(static_cast<std::size_t>(repairs));
+      print_cell(static_cast<double>(ok) / kTrials);
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nexpected shape: over GF(256) the failure probability per "
+              "random matrix event is O(1/q) = O(2^-8); decodability stays "
+              "at or very near 1.0 even after 64 functional repairs - "
+              "supporting the paper's conjecture that RLNCs give near-"
+              "optimal probabilistic guarantees.  The integration caveat "
+              "(coordinates change, so coefficient vectors must ship with "
+              "coded elements and the fixed C1 restriction no longer "
+              "applies) is discussed in DESIGN.md.\n");
+  return 0;
+}

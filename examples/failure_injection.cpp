@@ -1,0 +1,67 @@
+// Failure injection: crash the maximum tolerated number of servers in both
+// layers (f1 < n1/2 edge, f2 < n2/3 back-end) in the middle of operations
+// and show that every surviving client operation still completes and the
+// execution stays atomic (Theorems IV.8 and IV.9).
+#include <cstdio>
+
+#include "common/rng.h"
+#include "lds/cluster.h"
+
+int main() {
+  using namespace lds;
+  using namespace lds::core;
+
+  LdsCluster::Options opt;
+  opt.cfg.n1 = 9;
+  opt.cfg.f1 = 3;  // k = 3: up to 3 of 9 edge servers may crash
+  opt.cfg.n2 = 10;
+  opt.cfg.f2 = 3;  // d = 4: up to 3 of 10 back-end servers may crash
+  opt.writers = 2;
+  opt.readers = 2;
+  opt.latency = LdsCluster::LatencyKind::Uniform;  // jittered delays
+  opt.seed = 99;
+  LdsCluster cluster(opt);
+  Rng rng(99);
+
+  std::printf("failure-injection example: n1=%zu f1=%zu | n2=%zu f2=%zu\n",
+              opt.cfg.n1, opt.cfg.f1, opt.cfg.n2, opt.cfg.f2);
+
+  // Interleave client operations...
+  cluster.write_at(0.0, 0, 0, rng.bytes(300));
+  cluster.write_at(0.4, 1, 0, rng.bytes(300));
+  cluster.read_at(0.8, 0, 0);
+  cluster.read_at(6.0, 1, 0);
+
+  // ...and crash f1 edge servers and f2 back-end servers mid-flight.
+  cluster.sim().at(0.6, [&] {
+    std::printf("t=0.6: crashing L1 servers 0, 1, 2\n");
+    cluster.crash_l1(0);
+    cluster.crash_l1(1);
+    cluster.crash_l1(2);
+  });
+  cluster.sim().at(5.0, [&] {
+    std::printf("t=5.0: crashing L2 servers 7, 8, 9\n");
+    cluster.crash_l2(7);
+    cluster.crash_l2(8);
+    cluster.crash_l2(9);
+  });
+
+  cluster.settle();
+
+  // A post-crash write/read pair must also succeed.
+  const Tag t = cluster.write_sync(0, 0, rng.bytes(300));
+  auto [rt, rv] = cluster.read_sync(1, 0);
+  std::printf("post-crash write tag=%s, read tag=%s (%zu B)\n",
+              t.to_string().c_str(), rt.to_string().c_str(), rv.size());
+
+  const std::size_t done = cluster.history().completed();
+  const std::size_t total = cluster.history().ops().size();
+  std::printf("client operations completed: %zu / %zu\n", done, total);
+
+  const auto verdict = cluster.history().check_atomicity({});
+  std::printf("atomicity check: %s\n",
+              verdict.ok ? "OK" : verdict.violation.c_str());
+  const bool live = cluster.history().all_complete();
+  std::printf("liveness check: %s\n", live ? "OK" : "INCOMPLETE OPS");
+  return (verdict.ok && live) ? 0 : 1;
+}

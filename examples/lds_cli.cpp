@@ -1,0 +1,196 @@
+// lds_cli: drive an arbitrary LDS deployment from the command line.
+//
+//   build/examples/lds_cli [flags]
+//
+// Flags (all optional):
+//   --n1 N --f1 F --n2 N --f2 F     layer sizes / fault tolerances
+//   --writers W --readers R        client pool (default 2 / 2)
+//   --objects K                    number of objects (default 4)
+//   --duration T                   workload window in tau1 units (default 60)
+//   --value-size B                 bytes per written value (default 256)
+//   --tau0 X --tau1 X --tau2 X     link delays (default 1 / 1 / 10)
+//   --latency fixed|uniform|exp    latency model (default uniform)
+//   --backend mbr|rs|replication   L2 code (default mbr)
+//   --regular                      regular (non-atomic) reads
+//   --proxy-cache                  keep committed values cached in L1
+//   --seed S                       RNG seed (default 1)
+//   --trace N                      print the last N message deliveries
+//
+// Runs a closed-loop workload, then prints operation stats, cost breakdown,
+// storage gauges and the consistency verdict.  Exit code 0 iff the run was
+// live and consistent.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "lds/stats.h"
+#include "lds/workload.h"
+#include "net/trace.h"
+
+namespace {
+
+using namespace lds;
+using namespace lds::core;
+
+struct CliOptions {
+  LdsCluster::Options cluster;
+  WorkloadOptions workload;
+  std::size_t trace_tail = 0;
+  bool regular = false;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "lds_cli: %s\n(see the header of examples/lds_cli.cpp "
+                       "for the flag list)\n", msg.c_str());
+  std::exit(2);
+}
+
+long need_num(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+  char* end = nullptr;
+  const long v = std::strtol(argv[++i], &end, 10);
+  if (end == nullptr || *end != '\0') {
+    usage_error(std::string("bad number: ") + argv[i]);
+  }
+  return v;
+}
+
+double need_real(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+  char* end = nullptr;
+  const double v = std::strtod(argv[++i], &end);
+  if (end == nullptr || *end != '\0') {
+    usage_error(std::string("bad number: ") + argv[i]);
+  }
+  return v;
+}
+
+const char* need_str(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+  return argv[++i];
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  opt.cluster.cfg.n1 = 6;
+  opt.cluster.cfg.f1 = 1;
+  opt.cluster.cfg.n2 = 8;
+  opt.cluster.cfg.f2 = 2;
+  opt.cluster.writers = 2;
+  opt.cluster.readers = 2;
+  opt.cluster.tau2 = 10.0;
+  opt.cluster.latency = LdsCluster::LatencyKind::Uniform;
+  opt.workload.num_objects = 4;
+  opt.workload.duration = 60.0;
+  opt.workload.value_size = 256;
+  opt.workload.readers = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--n1")) opt.cluster.cfg.n1 = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--f1")) opt.cluster.cfg.f1 = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--n2")) opt.cluster.cfg.n2 = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--f2")) opt.cluster.cfg.f2 = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--writers")) opt.cluster.writers = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--readers")) opt.cluster.readers = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--objects")) opt.workload.num_objects = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--duration")) opt.workload.duration = need_real(argc, argv, i);
+    else if (!std::strcmp(a, "--value-size")) opt.workload.value_size = static_cast<std::size_t>(need_num(argc, argv, i));
+    else if (!std::strcmp(a, "--tau0")) opt.cluster.tau0 = need_real(argc, argv, i);
+    else if (!std::strcmp(a, "--tau1")) opt.cluster.tau1 = need_real(argc, argv, i);
+    else if (!std::strcmp(a, "--tau2")) opt.cluster.tau2 = need_real(argc, argv, i);
+    else if (!std::strcmp(a, "--seed")) {
+      opt.cluster.seed = static_cast<std::uint64_t>(need_num(argc, argv, i));
+      opt.workload.seed = opt.cluster.seed + 1;
+    } else if (!std::strcmp(a, "--trace")) {
+      opt.trace_tail = static_cast<std::size_t>(need_num(argc, argv, i));
+    } else if (!std::strcmp(a, "--regular")) {
+      opt.regular = true;
+      opt.cluster.read_consistency = ReadConsistency::Regular;
+    } else if (!std::strcmp(a, "--proxy-cache")) {
+      opt.cluster.cfg.proxy_cache = true;
+    } else if (!std::strcmp(a, "--latency")) {
+      const std::string kind = need_str(argc, argv, i);
+      if (kind == "fixed") opt.cluster.latency = LdsCluster::LatencyKind::Fixed;
+      else if (kind == "uniform") opt.cluster.latency = LdsCluster::LatencyKind::Uniform;
+      else if (kind == "exp") opt.cluster.latency = LdsCluster::LatencyKind::Exponential;
+      else usage_error("unknown latency model: " + kind);
+    } else if (!std::strcmp(a, "--backend")) {
+      const std::string kind = need_str(argc, argv, i);
+      if (kind == "mbr") opt.cluster.cfg.backend = codes::BackendKind::PmMbr;
+      else if (kind == "rs") opt.cluster.cfg.backend = codes::BackendKind::Rs;
+      else if (kind == "replication") opt.cluster.cfg.backend = codes::BackendKind::Replication;
+      else usage_error("unknown backend: " + kind);
+    } else {
+      usage_error(std::string("unknown flag: ") + a);
+    }
+  }
+  opt.workload.writers = opt.cluster.writers;
+  opt.workload.readers = opt.cluster.readers;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt = parse(argc, argv);
+  opt.cluster.cfg.validate();
+
+  LdsCluster cluster(opt.cluster);
+  std::unique_ptr<net::Trace> trace;
+  if (opt.trace_tail > 0) {
+    trace = std::make_unique<net::Trace>(cluster.net(), opt.trace_tail);
+  }
+
+  std::printf("lds_cli: n1=%zu f1=%zu (k=%zu) | n2=%zu f2=%zu (d=%zu) | "
+              "backend=%s | %zu writers, %zu readers, %zu objects\n",
+              opt.cluster.cfg.n1, opt.cluster.cfg.f1, opt.cluster.cfg.k(),
+              opt.cluster.cfg.n2, opt.cluster.cfg.f2, opt.cluster.cfg.d(),
+              codes::backend_name(opt.cluster.cfg.backend),
+              opt.cluster.writers, opt.cluster.readers,
+              opt.workload.num_objects);
+
+  const auto stats = run_workload(cluster, opt.workload);
+
+  std::printf("\noperations: %zu writes, %zu reads over %.1f tau1 "
+              "(%.2f writes/tau1)\n",
+              stats.writes_completed, stats.reads_completed, stats.span,
+              stats.writes_per_tau1);
+
+  std::printf("\n%s", format_latency_report(cluster.history()).c_str());
+
+  const auto& costs = cluster.net().costs();
+  std::printf("network: %llu messages, %llu data bytes, %llu meta bytes\n",
+              static_cast<unsigned long long>(costs.total().messages),
+              static_cast<unsigned long long>(costs.total().data_bytes),
+              static_cast<unsigned long long>(costs.total().meta_bytes));
+  for (int c = 0; c < net::kNumLinkClasses; ++c) {
+    const auto link = static_cast<net::LinkClass>(c);
+    const auto& bucket = costs.by_link(link);
+    if (bucket.messages == 0) continue;
+    std::printf("  %-10s %10llu msgs %14llu data B\n",
+                net::link_class_name(link),
+                static_cast<unsigned long long>(bucket.messages),
+                static_cast<unsigned long long>(bucket.data_bytes));
+  }
+  std::printf("storage: L1 now=%llu peak=%llu | L2 now=%llu bytes\n",
+              static_cast<unsigned long long>(cluster.meter().l1_bytes()),
+              static_cast<unsigned long long>(cluster.meter().l1_peak_bytes()),
+              static_cast<unsigned long long>(cluster.meter().l2_bytes()));
+
+  if (trace != nullptr) {
+    std::printf("\nlast %zu message deliveries:\n%s", trace->entries().size(),
+                trace->format().c_str());
+  }
+
+  const bool live = cluster.history().all_complete();
+  const auto verdict =
+      opt.regular
+          ? cluster.history().check_regularity(opt.cluster.cfg.initial_value)
+          : cluster.history().check_atomicity(opt.cluster.cfg.initial_value);
+  std::printf("\nliveness: %s | %s: %s\n", live ? "OK" : "INCOMPLETE OPS",
+              opt.regular ? "regularity" : "atomicity",
+              verdict.ok ? "OK" : verdict.violation.c_str());
+  return (live && verdict.ok) ? 0 : 1;
+}

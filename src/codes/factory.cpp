@@ -1,0 +1,32 @@
+#include "codes/factory.h"
+
+#include "codes/pm_mbr.h"
+#include "codes/replication.h"
+#include "codes/rs.h"
+
+namespace lds::codes {
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::PmMbr: return "pm-mbr";
+    case BackendKind::Rs: return "rs";
+    case BackendKind::Replication: return "replication";
+  }
+  return "?";
+}
+
+StripedCode make_backend(BackendKind kind, std::size_t n, std::size_t k,
+                         std::size_t d) {
+  switch (kind) {
+    case BackendKind::PmMbr:
+      return StripedCode(std::make_shared<PmMbrCode>(n, k, d));
+    case BackendKind::Rs:
+      return StripedCode(std::make_shared<RsRegenerating>(n, k));
+    case BackendKind::Replication:
+      return StripedCode(std::make_shared<ReplicationCode>(n));
+  }
+  LDS_REQUIRE(false, "make_backend: unknown kind");
+  return StripedCode(nullptr);  // unreachable
+}
+
+}  // namespace lds::codes

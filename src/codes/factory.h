@@ -1,0 +1,25 @@
+// Back-end code selection for the LDS cluster and the ablation benches.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codes/striped.h"
+
+namespace lds::codes {
+
+enum class BackendKind {
+  PmMbr,        ///< the paper's choice: product-matrix MBR, beta = 1
+  Rs,           ///< Remark 1 ablation: RS / MSR-storage-point, fetch-k-decode
+  Replication,  ///< Remark 2 ablation: n full copies
+};
+
+const char* backend_name(BackendKind kind);
+
+/// Build a striped regenerating backend over n elements.
+/// k and d are the code parameters of the LDS deployment (ignored where the
+/// kind does not use them: replication ignores both, RS ignores d).
+StripedCode make_backend(BackendKind kind, std::size_t n, std::size_t k,
+                         std::size_t d);
+
+}  // namespace lds::codes

@@ -1,0 +1,79 @@
+// Product-matrix minimum-storage-regenerating (MSR) code, d = 2k - 2.
+//
+// Companion construction from Rashmi-Shah-Kumar (the paper's reference [25]),
+// used here only for the MBR-vs-MSR ablations of Remarks 1 and 2: at the MSR
+// point alpha = B/k is minimal but repair bandwidth is larger, so the LDS
+// read cost cannot drop to Theta(1).
+//
+// Parameters (per stripe): alpha = k - 1, beta = 1, d = 2k - 2 = 2 alpha,
+// B = k alpha = alpha (alpha + 1).
+//
+// Construction.  M = [S1; S2] stacks two alpha x alpha symmetric matrices
+// holding the B message symbols.  Psi = [Phi  Lambda Phi] where Phi is an
+// n x alpha Vandermonde block on points x_i and Lambda = diag(x_i^alpha);
+// then row i of Psi is the plain Vandermonde row (1, x_i, ..., x_i^{d-1}), so
+// any d rows are invertible.  Node i stores
+//     element_i = psi_i^t M = phi_i^t S1 + lambda_i phi_i^t S2.
+//
+// Repair of node f: helper j sends <element_j, phi_f> (depends only on f's
+// index).  From d helpers, Psi_rep (M phi_f) = h yields S1 phi_f and
+// S2 phi_f; by symmetry element_f = (S1 phi_f)^t + lambda_f (S2 phi_f)^t.
+//
+// Decoding from any k elements: with P = Y Phi_DC^t, entry (i, j) equals
+// A_ij + lambda_i B_ij where A = Phi S1 Phi^t and B = Phi S2 Phi^t restricted
+// to the k chosen rows; A and B are symmetric, so the off-diagonal pairs
+// (P_ij, P_ji) separate A_ij and B_ij because the lambdas are distinct.  Each
+// row of off-diagonal values then yields S2 phi_i (resp. S1 phi_i) through an
+// (alpha x alpha) Vandermonde solve, and alpha such rows give S2 (resp. S1).
+//
+// Field constraint: the lambdas must be distinct, i.e. the map x -> x^alpha
+// must be injective on the chosen points; with generator powers this holds
+// iff n <= 255 / gcd(alpha, 255).  The constructor enforces it.
+#pragma once
+
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "matrix/matrix.h"
+
+namespace lds::codes {
+
+class PmMsrCode final : public RegeneratingCode {
+ public:
+  /// Requires k >= 2, d = 2k - 2, d <= n - 1, n <= 255, and distinct lambdas
+  /// (see the field constraint above).
+  PmMsrCode(std::size_t n, std::size_t k);
+
+  std::size_t n() const override { return n_; }
+  std::size_t k() const override { return k_; }
+  std::size_t d() const override { return 2 * k_ - 2; }
+  std::size_t alpha() const override { return k_ - 1; }
+  std::size_t beta() const override { return 1; }
+  std::size_t file_size() const override { return k_ * (k_ - 1); }
+
+  std::vector<Bytes> encode(std::span<const std::uint8_t> stripe)
+      const override;
+  Bytes encode_one(std::span<const std::uint8_t> stripe,
+                   int index) const override;
+  std::optional<Bytes> decode(
+      std::span<const IndexedBytes> elements) const override;
+
+  Bytes helper_data(int helper_index,
+                    std::span<const std::uint8_t> helper_element,
+                    int target_index) const override;
+  std::optional<Bytes> repair(
+      int target_index, std::span<const IndexedBytes> helpers) const override;
+
+ private:
+  /// Split one stripe into the two symmetric message matrices S1, S2.
+  void message_matrices(std::span<const std::uint8_t> stripe,
+                        math::Matrix& s1, math::Matrix& s2) const;
+
+  std::size_t n_;
+  std::size_t k_;
+  math::Matrix phi_;                  // n x alpha Vandermonde block
+  math::Matrix psi_;                  // n x d = [Phi | Lambda Phi]
+  std::vector<gf::Elem> lambda_;      // lambda_i = x_i^alpha, all distinct
+};
+
+}  // namespace lds::codes

@@ -1,0 +1,40 @@
+// Replication presented through the code interfaces: n full copies, k = 1.
+//
+// Per stripe: B = 1 symbol, alpha = 1, every element is the stripe itself.
+// Used by the replication baselines (ABD) and by the Remark-2 storage
+// comparison (replicated L2 would cost n2 per object instead of Theta(1)).
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace lds::codes {
+
+class ReplicationCode final : public RegeneratingCode {
+ public:
+  explicit ReplicationCode(std::size_t n);
+
+  std::size_t n() const override { return n_; }
+  std::size_t k() const override { return 1; }
+  std::size_t d() const override { return 1; }
+  std::size_t alpha() const override { return 1; }
+  std::size_t beta() const override { return 1; }
+  std::size_t file_size() const override { return 1; }
+
+  std::vector<Bytes> encode(std::span<const std::uint8_t> stripe)
+      const override;
+  Bytes encode_one(std::span<const std::uint8_t> stripe,
+                   int index) const override;
+  std::optional<Bytes> decode(
+      std::span<const IndexedBytes> elements) const override;
+
+  Bytes helper_data(int helper_index,
+                    std::span<const std::uint8_t> helper_element,
+                    int target_index) const override;
+  std::optional<Bytes> repair(
+      int target_index, std::span<const IndexedBytes> helpers) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace lds::codes

@@ -1,0 +1,178 @@
+#include "codes/rlnc.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/assert.h"
+
+namespace lds::codes {
+
+RlncMbrSystem::RlncMbrSystem(std::size_t n, std::size_t k, std::size_t d,
+                             std::uint64_t seed)
+    : n_(n), k_(k), d_(d), rng_(seed) {
+  LDS_REQUIRE(k >= 1 && k <= d && d <= n - 1,
+              "RlncMbrSystem: need 1 <= k <= d <= n-1");
+  nodes_.resize(n_);
+}
+
+std::vector<std::uint8_t> RlncMbrSystem::random_vector(std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng_.uniform_int(0, 255));
+  return v;
+}
+
+void RlncMbrSystem::init_from_message(
+    std::span<const std::uint8_t> message) {
+  LDS_REQUIRE(message.size() == file_size(),
+              "RlncMbrSystem: message must be B symbols");
+  message_.assign(message.begin(), message.end());
+  const std::size_t b = file_size();
+  for (auto& node : nodes_) {
+    node.coeffs = math::Matrix(alpha(), b);
+    node.symbols.assign(alpha(), 0);
+    for (std::size_t r = 0; r < alpha(); ++r) {
+      const auto coeff = random_vector(b);
+      std::copy(coeff.begin(), coeff.end(), node.coeffs.row(r).begin());
+      node.symbols[r] = gf::dot(coeff, message);
+    }
+  }
+}
+
+void RlncMbrSystem::repair(int node, std::span<const int> helpers) {
+  LDS_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < n_,
+              "RlncMbrSystem::repair: node out of range");
+  LDS_REQUIRE(helpers.size() == d_,
+              "RlncMbrSystem::repair: need exactly d helpers");
+  const std::size_t b = file_size();
+
+  // Each helper sends beta = 1 fresh random combination of its alpha stored
+  // symbols: coefficients over the message space follow by linearity.
+  math::Matrix recv_coeffs(d_, b);
+  Bytes recv_symbols(d_, 0);
+  for (std::size_t h = 0; h < d_; ++h) {
+    const int hid = helpers[h];
+    LDS_REQUIRE(hid >= 0 && static_cast<std::size_t>(hid) < n_ &&
+                    hid != node,
+                "RlncMbrSystem::repair: bad helper id");
+    for (std::size_t j = h + 1; j < helpers.size(); ++j) {
+      LDS_REQUIRE(helpers[j] != hid,
+                  "RlncMbrSystem::repair: duplicate helper");
+    }
+    const NodeState& helper = nodes_[static_cast<std::size_t>(hid)];
+    LDS_CHECK(helper.coeffs.rows() == alpha(),
+              "RlncMbrSystem: helper not initialized");
+    const auto mix = random_vector(alpha());
+    // Coefficient row: mix^T * helper.coeffs; payload: <mix, symbols>.
+    const auto row = helper.coeffs.lmul_vec(mix);
+    std::copy(row.begin(), row.end(), recv_coeffs.row(h).begin());
+    recv_symbols[h] = gf::dot(mix, helper.symbols);
+  }
+
+  // The replacement re-combines the d received packets into alpha = d
+  // stored symbols (fresh random mixing keeps stored state homogeneous).
+  NodeState& target = nodes_[static_cast<std::size_t>(node)];
+  target.coeffs = math::Matrix(alpha(), b);
+  target.symbols.assign(alpha(), 0);
+  for (std::size_t r = 0; r < alpha(); ++r) {
+    const auto mix = random_vector(d_);
+    const auto row = recv_coeffs.lmul_vec(mix);
+    std::copy(row.begin(), row.end(), target.coeffs.row(r).begin());
+    target.symbols[r] = gf::dot(mix, recv_symbols);
+  }
+}
+
+std::size_t RlncMbrSystem::rank_of(std::span<const int> nodes) const {
+  const std::size_t b = file_size();
+  math::Matrix stacked(nodes.size() * alpha(), b);
+  std::size_t r = 0;
+  for (int id : nodes) {
+    LDS_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < n_,
+                "RlncMbrSystem::rank_of: node out of range");
+    const NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    LDS_CHECK(st.coeffs.rows() == alpha(), "RlncMbrSystem: uninitialized");
+    for (std::size_t i = 0; i < alpha(); ++i) {
+      auto dst = stacked.row(r++);
+      auto src = st.coeffs.row(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return stacked.rank();
+}
+
+std::optional<Bytes> RlncMbrSystem::decode(
+    std::span<const int> nodes) const {
+  const std::size_t b = file_size();
+  const std::size_t rows = nodes.size() * alpha();
+  if (rows < b) return std::nullopt;
+
+  // Stack coefficients and payloads, then Gauss-Jordan the augmented
+  // system; success iff rank reaches B.
+  math::Matrix a(rows, b);
+  Bytes y(rows, 0);
+  std::size_t r = 0;
+  for (int id : nodes) {
+    const NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    for (std::size_t i = 0; i < alpha(); ++i) {
+      auto src = st.coeffs.row(i);
+      std::copy(src.begin(), src.end(), a.row(r).begin());
+      y[r] = st.symbols[i];
+      ++r;
+    }
+  }
+
+  // Forward elimination with partial pivoting over the rectangular system.
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < b && rank < rows; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows) return std::nullopt;  // rank deficiency
+    if (pivot != rank) {
+      for (std::size_t j = 0; j < b; ++j) {
+        std::swap(a.at(pivot, j), a.at(rank, j));
+      }
+      std::swap(y[pivot], y[rank]);
+    }
+    const gf::Elem inv = gf::inv(a.at(rank, col));
+    gf::scale(a.row(rank), inv);
+    y[rank] = gf::mul(y[rank], inv);
+    for (std::size_t rr = 0; rr < rows; ++rr) {
+      if (rr == rank) continue;
+      const gf::Elem f = a.at(rr, col);
+      if (f != 0) {
+        gf::axpy(a.row(rr), f, a.row(rank));
+        y[rr] = gf::add(y[rr], gf::mul(f, y[rank]));
+      }
+    }
+    ++rank;
+  }
+  if (rank < b) return std::nullopt;
+
+  Bytes message(b, 0);
+  // After full reduction, row i of the eliminated system corresponds to
+  // unit vector e_{col(i)}; because we eliminated columns in order, row i
+  // solves symbol i.
+  for (std::size_t i = 0; i < b; ++i) message[i] = y[i];
+  return message;
+}
+
+bool RlncMbrSystem::all_k_subsets_decode() const {
+  std::vector<int> subset(k_);
+  bool ok = true;
+  std::function<void(std::size_t, std::size_t)> rec =
+      [&](std::size_t start, std::size_t depth) {
+        if (!ok) return;
+        if (depth == k_) {
+          auto decoded = decode(subset);
+          if (!decoded || *decoded != message_) ok = false;
+          return;
+        }
+        for (std::size_t i = start; i <= n_ - (k_ - depth); ++i) {
+          subset[depth] = static_cast<int>(i);
+          rec(i + 1, depth + 1);
+        }
+      };
+  rec(0, 0);
+  return ok;
+}
+
+}  // namespace lds::codes

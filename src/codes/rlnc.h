@@ -1,0 +1,91 @@
+// Random Linear Network Coding (RLNC) regenerating storage - the paper's
+// Section-VI open question, explored empirically.
+//
+// The paper (Section VI / reference [16]) asks: "it is also of interest to
+// study feasibility of other codes from the class of regenerating codes
+// (like RLNCs) in the back-end layer ... it will be interesting to find out
+// the probabilistic guarantees that can be obtained if we use RLNCs instead
+// of the codes in [25]."
+//
+// This module models an RLNC-coded storage system at the MBR point
+// (alpha = d beta symbols per node, file size B = k(2d-k+1)/2 at beta = 1)
+// with *functional* repair: a replacement node stores d fresh random
+// combinations of the helpers' stored symbols, not the coordinates it held
+// before.  Consequences explored by the tests and `bench_rlnc_feasibility`:
+//
+//  * decoding any k nodes succeeds iff their stacked k*alpha x B
+//    coefficient matrix has rank B - a probabilistic guarantee that decays
+//    (slowly, over GF(256)) as repairs accumulate;
+//  * helpers need NO index information at all (they send random
+//    combinations), which is weaker than the paper's helper-needs-only-
+//    failed-index requirement - but the repaired node's coordinates change,
+//    so the LDS reader-side decode through the fixed restriction C1 no
+//    longer applies: coefficients must travel with the data.  This is
+//    exactly the integration obstacle the paper's question hints at; see
+//    DESIGN.md.
+//
+// The class tracks coefficients explicitly so ranks and decode success are
+// exact, not sampled.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "matrix/matrix.h"
+
+namespace lds::codes {
+
+class RlncMbrSystem {
+ public:
+  /// MBR-point parameters: 1 <= k <= d <= n - 1.  `seed` drives every
+  /// random coefficient choice (repairs are reproducible).
+  RlncMbrSystem(std::size_t n, std::size_t k, std::size_t d,
+                std::uint64_t seed = 1);
+
+  std::size_t n() const { return n_; }
+  std::size_t k() const { return k_; }
+  std::size_t d() const { return d_; }
+  std::size_t alpha() const { return d_; }
+  std::size_t file_size() const { return k_ * (2 * d_ - k_ + 1) / 2; }
+
+  /// (Re-)initialize every node with alpha fresh random combinations of the
+  /// B-symbol message.
+  void init_from_message(std::span<const std::uint8_t> message);
+
+  /// Functional repair of `node` from `helpers` (exactly d distinct ids,
+  /// none equal to node): each helper ships beta = 1 fresh random
+  /// combination of its alpha stored symbols; the replacement node stores
+  /// random re-combinations bringing it back to alpha symbols.
+  void repair(int node, std::span<const int> helpers);
+
+  /// Rank of the stacked coefficient matrix of the given nodes (<= B).
+  std::size_t rank_of(std::span<const int> nodes) const;
+
+  /// Decode the message from the given nodes; nullopt if their combined
+  /// coefficients do not span the message space.
+  std::optional<Bytes> decode(std::span<const int> nodes) const;
+
+  /// True iff *every* k-subset of nodes decodes.  Exponential in n choose
+  /// k; intended for small n in tests and the feasibility bench.
+  bool all_k_subsets_decode() const;
+
+ private:
+  struct NodeState {
+    math::Matrix coeffs;  // alpha x B
+    Bytes symbols;        // alpha payload symbols
+  };
+
+  std::vector<std::uint8_t> random_vector(std::size_t len);
+
+  std::size_t n_;
+  std::size_t k_;
+  std::size_t d_;
+  Rng rng_;
+  Bytes message_;  // retained for test oracles
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace lds::codes

@@ -1,0 +1,159 @@
+#include "codes/striped.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace lds::codes {
+
+namespace {
+constexpr std::size_t kHeader = 8;
+
+std::uint64_t read_len(const Bytes& framed) {
+  std::uint64_t len = 0;
+  for (std::size_t i = 0; i < kHeader; ++i) {
+    len |= static_cast<std::uint64_t>(framed[i]) << (8 * i);
+  }
+  return len;
+}
+}  // namespace
+
+StripedCode::StripedCode(std::shared_ptr<const RegeneratingCode> code)
+    : code_(std::move(code)) {
+  LDS_REQUIRE(code_ != nullptr, "StripedCode: null code");
+}
+
+Bytes StripedCode::frame(const Bytes& value) const {
+  const std::size_t b = code_->file_size();
+  Bytes framed(kHeader);
+  const std::uint64_t len = value.size();
+  for (std::size_t i = 0; i < kHeader; ++i) {
+    framed[i] = static_cast<std::uint8_t>((len >> (8 * i)) & 0xff);
+  }
+  framed.insert(framed.end(), value.begin(), value.end());
+  const std::size_t rem = framed.size() % b;
+  if (rem != 0) framed.resize(framed.size() + (b - rem), 0);
+  return framed;
+}
+
+std::size_t StripedCode::stripes(std::size_t value_size) const {
+  const std::size_t b = code_->file_size();
+  return (value_size + kHeader + b - 1) / b;
+}
+
+std::size_t StripedCode::element_size(std::size_t value_size) const {
+  return stripes(value_size) * code_->alpha();
+}
+
+std::size_t StripedCode::helper_size(std::size_t value_size) const {
+  return stripes(value_size) * code_->beta();
+}
+
+std::vector<Bytes> StripedCode::encode_value(const Bytes& value) const {
+  const Bytes framed = frame(value);
+  const std::size_t b = code_->file_size();
+  const std::size_t m = framed.size() / b;
+  const std::size_t a = code_->alpha();
+  std::vector<Bytes> out(code_->n());
+  for (auto& e : out) e.resize(m * a);
+  for (std::size_t s = 0; s < m; ++s) {
+    auto elems = code_->encode({framed.data() + s * b, b});
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      LDS_CHECK(elems[i].size() == a, "StripedCode: element stripe size");
+      std::memcpy(out[i].data() + s * a, elems[i].data(), a);
+    }
+  }
+  return out;
+}
+
+Bytes StripedCode::encode_element(const Bytes& value, int index) const {
+  const Bytes framed = frame(value);
+  const std::size_t b = code_->file_size();
+  const std::size_t m = framed.size() / b;
+  const std::size_t a = code_->alpha();
+  Bytes out(m * a);
+  for (std::size_t s = 0; s < m; ++s) {
+    const Bytes e = code_->encode_one({framed.data() + s * b, b}, index);
+    LDS_CHECK(e.size() == a, "StripedCode: element stripe size");
+    std::memcpy(out.data() + s * a, e.data(), a);
+  }
+  return out;
+}
+
+std::optional<Bytes> StripedCode::decode_value(
+    std::span<const IndexedBytes> elements) const {
+  if (elements.empty()) return std::nullopt;
+  const std::size_t a = code_->alpha();
+  const std::size_t elem_len = elements.front().second.size();
+  if (elem_len == 0 || elem_len % a != 0) return std::nullopt;
+  const std::size_t m = elem_len / a;
+  const std::size_t b = code_->file_size();
+
+  Bytes framed(m * b);
+  std::vector<IndexedBytes> per_stripe;
+  for (std::size_t s = 0; s < m; ++s) {
+    per_stripe.clear();
+    for (const auto& [i, payload] : elements) {
+      if (payload.size() != elem_len) continue;  // inconsistent stripe count
+      per_stripe.emplace_back(
+          i, Bytes(payload.begin() + static_cast<long>(s * a),
+                   payload.begin() + static_cast<long>((s + 1) * a)));
+    }
+    auto stripe = code_->decode(per_stripe);
+    if (!stripe) return std::nullopt;
+    LDS_CHECK(stripe->size() == b, "StripedCode: decoded stripe size");
+    std::memcpy(framed.data() + s * b, stripe->data(), b);
+  }
+
+  if (framed.size() < kHeader) return std::nullopt;
+  const std::uint64_t len = read_len(framed);
+  if (len > framed.size() - kHeader) return std::nullopt;
+  return Bytes(framed.begin() + kHeader,
+               framed.begin() + kHeader + static_cast<long>(len));
+}
+
+Bytes StripedCode::helper_data(int helper_index, const Bytes& element,
+                               int target_index) const {
+  const std::size_t a = code_->alpha();
+  LDS_REQUIRE(!element.empty() && element.size() % a == 0,
+              "StripedCode::helper_data: bad element length");
+  const std::size_t m = element.size() / a;
+  const std::size_t be = code_->beta();
+  Bytes out(m * be);
+  for (std::size_t s = 0; s < m; ++s) {
+    const Bytes h = code_->helper_data(
+        helper_index, {element.data() + s * a, a}, target_index);
+    LDS_CHECK(h.size() == be, "StripedCode: helper stripe size");
+    std::memcpy(out.data() + s * be, h.data(), be);
+  }
+  return out;
+}
+
+std::optional<Bytes> StripedCode::repair_element(
+    int target_index, std::span<const IndexedBytes> helpers) const {
+  if (helpers.empty()) return std::nullopt;
+  const std::size_t be = code_->beta();
+  const std::size_t h_len = helpers.front().second.size();
+  if (h_len == 0 || h_len % be != 0) return std::nullopt;
+  const std::size_t m = h_len / be;
+  const std::size_t a = code_->alpha();
+
+  Bytes out(m * a);
+  std::vector<IndexedBytes> per_stripe;
+  for (std::size_t s = 0; s < m; ++s) {
+    per_stripe.clear();
+    for (const auto& [i, payload] : helpers) {
+      if (payload.size() != h_len) continue;
+      per_stripe.emplace_back(
+          i, Bytes(payload.begin() + static_cast<long>(s * be),
+                   payload.begin() + static_cast<long>((s + 1) * be)));
+    }
+    auto elem = code_->repair(target_index, per_stripe);
+    if (!elem) return std::nullopt;
+    LDS_CHECK(elem->size() == a, "StripedCode: repaired stripe size");
+    std::memcpy(out.data() + s * a, elem->data(), a);
+  }
+  return out;
+}
+
+}  // namespace lds::codes

@@ -1,0 +1,60 @@
+// Striping codec: lifts a per-stripe (B-symbol) code to arbitrary byte values.
+//
+// The paper treats the object value v as a single file of B symbols; real
+// values are arbitrary byte strings, so we prepend an 8-byte little-endian
+// length header, zero-pad to a multiple of B, and run the code independently
+// per stripe.  A node's coded element for a value is the concatenation of its
+// per-stripe elements (stripe-major), and likewise for helper data; all sizes
+// are therefore value-size * alpha/B and value-size * beta/B up to padding,
+// matching the normalized cost accounting of Section II-d.
+#pragma once
+
+#include <memory>
+
+#include "codes/erasure_code.h"
+
+namespace lds::codes {
+
+class StripedCode {
+ public:
+  explicit StripedCode(std::shared_ptr<const RegeneratingCode> code);
+
+  const RegeneratingCode& code() const { return *code_; }
+
+  std::size_t n() const { return code_->n(); }
+  std::size_t k() const { return code_->k(); }
+  std::size_t d() const { return code_->d(); }
+
+  /// Number of stripes used for a value of `value_size` bytes.
+  std::size_t stripes(std::size_t value_size) const;
+  /// Bytes stored per element for a value of `value_size` bytes.
+  std::size_t element_size(std::size_t value_size) const;
+  /// Bytes of helper data per helper for a value of `value_size` bytes.
+  std::size_t helper_size(std::size_t value_size) const;
+
+  /// Encode a full value into all n elements.
+  std::vector<Bytes> encode_value(const Bytes& value) const;
+
+  /// Encode only element `index`.
+  Bytes encode_element(const Bytes& value, int index) const;
+
+  /// Decode the original value from >= k elements with distinct indices.
+  /// All elements must have equal length (same stripe count).
+  std::optional<Bytes> decode_value(
+      std::span<const IndexedBytes> elements) const;
+
+  /// Helper data for repairing `target_index`, computed from one element.
+  Bytes helper_data(int helper_index, const Bytes& element,
+                    int target_index) const;
+
+  /// Repair a full element from exactly d helper payloads.
+  std::optional<Bytes> repair_element(
+      int target_index, std::span<const IndexedBytes> helpers) const;
+
+ private:
+  Bytes frame(const Bytes& value) const;  // header + pad to stripe multiple
+
+  std::shared_ptr<const RegeneratingCode> code_;
+};
+
+}  // namespace lds::codes

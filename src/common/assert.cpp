@@ -1,0 +1,14 @@
+#include "common/assert.h"
+
+namespace lds::detail {
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const char* msg) {
+  std::fprintf(stderr, "[lds] %s violated: %s\n  at %s:%d\n  %s\n", kind, expr,
+               file, line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lds::detail

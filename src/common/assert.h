@@ -1,0 +1,33 @@
+// Contract checking used throughout the library.
+//
+// LDS_REQUIRE  - precondition on public API; always on.
+// LDS_CHECK    - internal invariant; always on (the simulator is the test
+//                oracle, silent corruption would invalidate experiments).
+// Violations print the failing expression and abort; tests exercise the
+// failure paths with EXPECT_DEATH where meaningful.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lds::detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const char* msg);
+}  // namespace lds::detail
+
+#define LDS_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::lds::detail::contract_failure("precondition", #expr, __FILE__,      \
+                                      __LINE__, msg);                       \
+    }                                                                       \
+  } while (0)
+
+#define LDS_CHECK(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::lds::detail::contract_failure("invariant", #expr, __FILE__,         \
+                                      __LINE__, msg);                       \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,67 @@
+#include "common/format.h"
+
+#include <cstdio>
+
+namespace lds {
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::Writer: return "writer";
+    case Role::Reader: return "reader";
+    case Role::ServerL1: return "L1";
+    case Role::ServerL2: return "L2";
+    case Role::Other: return "other";
+  }
+  return "?";
+}
+
+std::string Tag::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "(%llu,%d)",
+                static_cast<unsigned long long>(z), static_cast<int>(w));
+  return buf;
+}
+
+std::string node_name(Role role, NodeId id) {
+  char buf[32];
+  switch (role) {
+    case Role::Writer: std::snprintf(buf, sizeof buf, "w%d", id); break;
+    case Role::Reader: std::snprintf(buf, sizeof buf, "r%d", id); break;
+    case Role::ServerL1: std::snprintf(buf, sizeof buf, "s1:%d", id); break;
+    case Role::ServerL2: std::snprintf(buf, sizeof buf, "s2:%d", id); break;
+    default: std::snprintf(buf, sizeof buf, "p%d", id); break;
+  }
+  return buf;
+}
+
+std::string bytes_preview(const Bytes& b, std::size_t max_shown) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  const std::size_t shown = b.size() < max_shown ? b.size() : max_shown;
+  for (std::size_t i = 0; i < shown; ++i) {
+    out.push_back(kHex[b[i] >> 4]);
+    out.push_back(kHex[b[i] & 0xf]);
+  }
+  if (b.size() > shown) out += "..";
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, " (%zu B)", b.size());
+  return out + suffix;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace lds

@@ -1,0 +1,21 @@
+// Tiny formatting helpers for human-readable traces, bench tables and tests.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace lds {
+
+/// "w3", "r7", "s1:4", "s2:12" style process names given role and id.
+std::string node_name(Role role, NodeId id);
+
+/// Hex preview of a byte string: "a1b2c3.. (128 B)".
+std::string bytes_preview(const Bytes& b, std::size_t max_shown = 8);
+
+/// Fixed-width table cell helpers used by the bench binaries.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace lds

@@ -1,0 +1,54 @@
+// Seeded deterministic randomness.  Every stochastic component (latency
+// models, workload generators, random schedules in tests) draws from an
+// lds::Rng so that executions are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace lds {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5d5d5d5d5d5d5d5dull) : eng_(seed) {}
+
+  std::uint64_t next_u64() { return eng_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    LDS_REQUIRE(lo <= hi, "uniform_int: empty range");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    LDS_REQUIRE(lo <= hi, "uniform_real: empty range");
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  double exponential(double mean) {
+    LDS_REQUIRE(mean > 0, "exponential: mean must be positive");
+    return std::exponential_distribution<double>(1.0 / mean)(eng_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(eng_);
+  }
+
+  /// A random byte string of the given length (used as object values).
+  Bytes bytes(std::size_t len) {
+    Bytes out(len);
+    for (auto& b : out) b = static_cast<std::uint8_t>(uniform_int(0, 255));
+    return out;
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace lds

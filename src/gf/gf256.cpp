@@ -1,0 +1,74 @@
+#include "gf/gf256.h"
+
+namespace lds::gf {
+
+namespace detail {
+
+Tables::Tables() {
+  // Generator 2 (the element "x") is primitive for the polynomial
+  // x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+  constexpr unsigned kPoly = 0x11D;
+  unsigned x = 1;
+  for (int i = 0; i < kGroupOrder; ++i) {
+    exp[i] = static_cast<Elem>(x);
+    log[x] = static_cast<std::uint16_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (int i = kGroupOrder; i < 512; ++i) exp[i] = exp[i - kGroupOrder];
+  log[0] = 0;  // sentinel, never read on the hot path (guarded by a==0)
+}
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+Elem pow(Elem a, std::uint64_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const std::uint64_t le = (static_cast<std::uint64_t>(t.log[a]) * e) %
+                           static_cast<std::uint64_t>(kGroupOrder);
+  return t.exp[le];
+}
+
+void axpy(std::span<Elem> y, Elem a, std::span<const Elem> x) {
+  LDS_REQUIRE(y.size() == x.size(), "gf256::axpy: size mismatch");
+  if (a == 0) return;
+  const auto& t = detail::tables();
+  const std::uint16_t la = t.log[a];
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const Elem xi = x[i];
+    if (xi != 0) y[i] ^= t.exp[la + t.log[xi]];
+  }
+}
+
+Elem dot(std::span<const Elem> a, std::span<const Elem> b) {
+  LDS_REQUIRE(a.size() == b.size(), "gf256::dot: size mismatch");
+  Elem acc = 0;
+  const auto& t = detail::tables();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != 0 && b[i] != 0) acc ^= t.exp[t.log[a[i]] + t.log[b[i]]];
+  }
+  return acc;
+}
+
+void scale(std::span<Elem> x, Elem a) {
+  if (a == 1) return;
+  if (a == 0) {
+    for (auto& v : x) v = 0;
+    return;
+  }
+  const auto& t = detail::tables();
+  const std::uint16_t la = t.log[a];
+  for (auto& v : x) {
+    if (v != 0) v = t.exp[la + t.log[v]];
+  }
+}
+
+Elem generator() { return 2; }
+
+}  // namespace lds::gf

@@ -1,0 +1,74 @@
+// Arithmetic in GF(2^8), the symbol field of every code in this library.
+//
+// The paper assumes symbols are drawn from a finite field F_q (Section II-c).
+// We fix q = 256 so that one symbol is one byte: values, coded elements and
+// helper data are then plain byte strings, and field-size constraints
+// (distinct evaluation points for the Vandermonde encoding matrices) allow
+// systems with up to n1 + n2 = 255 servers, comfortably covering the paper's
+// largest configuration (n1 = n2 = 100, Fig. 6).
+//
+// Implementation: the classic log/antilog tables over the AES polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), built once at static initialisation.
+// Vector kernels (axpy / dot / scale) are the hot path of encode, decode and
+// repair; they specialise the per-scalar multiply through the log table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/assert.h"
+
+namespace lds::gf {
+
+using Elem = std::uint8_t;
+
+/// Order of the multiplicative group.
+inline constexpr int kGroupOrder = 255;
+
+namespace detail {
+struct Tables {
+  Elem exp[512];   // exp[i] = g^i, doubled so exp[log a + log b] needs no mod
+  std::uint16_t log[256];  // log[0] unused sentinel
+  Tables();
+};
+const Tables& tables();
+}  // namespace detail
+
+inline Elem add(Elem a, Elem b) { return a ^ b; }
+inline Elem sub(Elem a, Elem b) { return a ^ b; }
+
+inline Elem mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+inline Elem inv(Elem a) {
+  LDS_REQUIRE(a != 0, "gf256: inverse of zero");
+  const auto& t = detail::tables();
+  return t.exp[kGroupOrder - t.log[a]];
+}
+
+inline Elem div(Elem a, Elem b) {
+  LDS_REQUIRE(b != 0, "gf256: division by zero");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp[t.log[a] + kGroupOrder - t.log[b]];
+}
+
+/// a^e with e >= 0 (e is reduced mod 255 for a != 0).
+Elem pow(Elem a, std::uint64_t e);
+
+/// y[i] += a * x[i].  The workhorse of matrix multiply and code kernels.
+void axpy(std::span<Elem> y, Elem a, std::span<const Elem> x);
+
+/// Inner product sum_i a[i] * b[i].
+Elem dot(std::span<const Elem> a, std::span<const Elem> b);
+
+/// x[i] *= a.
+void scale(std::span<Elem> x, Elem a);
+
+/// The generator element used by the tables (2 for polynomial 0x11D).
+Elem generator();
+
+}  // namespace lds::gf

@@ -1,0 +1,68 @@
+#include "lds/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lds::core::analysis {
+
+double mbr_beta_frac(std::size_t k, std::size_t d) {
+  return 2.0 / (static_cast<double>(k) * (2.0 * static_cast<double>(d) -
+                                          static_cast<double>(k) + 1.0));
+}
+
+double mbr_alpha_frac(std::size_t k, std::size_t d) {
+  return static_cast<double>(d) * mbr_beta_frac(k, d);
+}
+
+double write_cost(std::size_t n1, std::size_t n2, std::size_t k,
+                  std::size_t d) {
+  return static_cast<double>(n1) +
+         static_cast<double>(n1) * static_cast<double>(n2) *
+             mbr_alpha_frac(k, d);
+}
+
+double read_cost(std::size_t n1, std::size_t n2, std::size_t k, std::size_t d,
+                 bool delta_positive) {
+  const double base = static_cast<double>(n1) *
+                      (1.0 + static_cast<double>(n2) / static_cast<double>(d)) *
+                      mbr_alpha_frac(k, d);
+  return base + (delta_positive ? static_cast<double>(n1) : 0.0);
+}
+
+double l2_storage_per_object(std::size_t n2, std::size_t k, std::size_t d) {
+  return static_cast<double>(n2) * mbr_alpha_frac(k, d);
+}
+
+double msr_storage_per_object(std::size_t n2, std::size_t k) {
+  return static_cast<double>(n2) / static_cast<double>(k);
+}
+
+double rs_read_cost(std::size_t n1, std::size_t k, bool delta_positive) {
+  return static_cast<double>(n1) * (1.0 + 1.0 / static_cast<double>(k)) +
+         (delta_positive ? static_cast<double>(n1) : 0.0);
+}
+
+double write_latency_bound(double tau1, double tau0) {
+  return 4.0 * tau1 + 2.0 * tau0;
+}
+
+double extended_write_latency_bound(double tau1, double tau0, double tau2) {
+  return std::max(3.0 * tau1 + 2.0 * tau0 + 2.0 * tau2,
+                  4.0 * tau1 + 2.0 * tau0);
+}
+
+double read_latency_bound(double tau1, double tau0, double tau2) {
+  return std::max(6.0 * tau1 + 2.0 * tau2, 6.0 * tau1 + 2.0 * tau0 + tau2);
+}
+
+double l1_storage_bound(double theta, std::size_t n1, double mu) {
+  return std::ceil(5.0 + 2.0 * mu) * theta * static_cast<double>(n1);
+}
+
+double l2_storage_multi(std::size_t num_objects, std::size_t n2,
+                        std::size_t k) {
+  return 2.0 * static_cast<double>(num_objects) * static_cast<double>(n2) /
+         (static_cast<double>(k) + 1.0);
+}
+
+}  // namespace lds::core::analysis

@@ -1,0 +1,58 @@
+// Closed-form performance formulas from Section V of the paper.
+//
+// Every bench binary prints these next to the measured quantity so that the
+// paper-vs-measured comparison is explicit.  All costs are normalized by the
+// value size |v| = 1, exactly as in the paper.
+#pragma once
+
+#include <cstddef>
+
+namespace lds::core::analysis {
+
+/// beta / |v| for the MBR code: file size B = k(2d-k+1)/2 symbols, beta = 1.
+double mbr_beta_frac(std::size_t k, std::size_t d);
+
+/// alpha / |v| for the MBR code: alpha = d beta.
+double mbr_alpha_frac(std::size_t k, std::size_t d);
+
+/// Lemma V.2: write cost  n1 + n1 n2 2d / (k (2d - k + 1))  = Theta(n1).
+double write_cost(std::size_t n1, std::size_t n2, std::size_t k,
+                  std::size_t d);
+
+/// Lemma V.2: read cost  n1 (1 + n2/d) 2d/(k(2d-k+1)) + n1 I(delta > 0).
+double read_cost(std::size_t n1, std::size_t n2, std::size_t k, std::size_t d,
+                 bool delta_positive);
+
+/// Lemma V.3: single-object permanent storage  2 d n2 / (k (2d - k + 1)).
+double l2_storage_per_object(std::size_t n2, std::size_t k, std::size_t d);
+
+/// Remark 2: MSR-point (or RS) storage cost n2 / k per object.
+double msr_storage_per_object(std::size_t n2, std::size_t k);
+
+/// Remark 1 ablation: read cost with an RS back-end - each of the n1 servers
+/// pulls k elements of size 1/k, then ships its regenerated element (1/k) to
+/// the reader:  n1 (1 + 1/k) + n1 I(delta > 0)  = Omega(n1) even at delta=0.
+double rs_read_cost(std::size_t n1, std::size_t k, bool delta_positive);
+
+/// Lemma V.4: write completes within 4 tau1 + 2 tau0.
+double write_latency_bound(double tau1, double tau0);
+
+/// Lemma V.4: the extended write completes within
+/// max(3 tau1 + 2 tau0 + 2 tau2, 4 tau1 + 2 tau0).
+double extended_write_latency_bound(double tau1, double tau0, double tau2);
+
+/// Lemma V.4: read completes within max(6 tau1 + 2 tau2,
+/// 6 tau1 + 2 tau0 + tau2).  (The appendix derivation gives this form; the
+/// main-text statement has a typo'd 5 tau1 term - see EXPERIMENTS.md.)
+double read_latency_bound(double tau1, double tau0, double tau2);
+
+/// Lemma V.5: worst-case L1 (temporary) storage bound ceil(5 + 2 mu) theta n1
+/// for the symmetric system (n1 = n2, f1 = f2, tau0 = tau1, mu = tau2/tau1).
+double l1_storage_bound(double theta, std::size_t n1, double mu);
+
+/// Lemma V.5: total L2 (permanent) storage 2 N n2 / (k + 1) for the
+/// symmetric system (where d = k).
+double l2_storage_multi(std::size_t num_objects, std::size_t n2,
+                        std::size_t k);
+
+}  // namespace lds::core::analysis

@@ -1,0 +1,100 @@
+#include "lds/cluster.h"
+
+namespace lds::core {
+
+namespace {
+std::unique_ptr<net::LatencyModel> make_latency(const LdsCluster::Options& o) {
+  switch (o.latency) {
+    case LdsCluster::LatencyKind::Fixed:
+      return std::make_unique<net::FixedLatency>(o.tau1, o.tau0, o.tau2);
+    case LdsCluster::LatencyKind::Uniform:
+      return std::make_unique<net::UniformLatency>(o.tau1, o.tau0, o.tau2,
+                                                   o.uniform_lo_frac);
+    case LdsCluster::LatencyKind::Exponential:
+      return std::make_unique<net::ExponentialLatency>(o.tau1, o.tau0,
+                                                       o.tau2);
+  }
+  LDS_REQUIRE(false, "LdsCluster: unknown latency kind");
+  return nullptr;
+}
+}  // namespace
+
+LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
+  opt_.cfg.validate();
+  LDS_REQUIRE(opt_.writers >= 1 && opt_.writers < 9999,
+              "LdsCluster: writer count out of range");
+  net_ = std::make_unique<net::Network>(sim_, make_latency(opt_), opt_.seed);
+
+  ctx_ = LdsContext::make(opt_.cfg);
+  ctx_->meter = &meter_;
+  for (std::size_t j = 0; j < opt_.cfg.n1; ++j) {
+    ctx_->l1_ids.push_back(kL1IdBase + static_cast<NodeId>(j));
+  }
+  for (std::size_t i = 0; i < opt_.cfg.n2; ++i) {
+    ctx_->l2_ids.push_back(kL2IdBase + static_cast<NodeId>(i));
+  }
+
+  for (std::size_t j = 0; j < opt_.cfg.n1; ++j) {
+    l1_.push_back(std::make_unique<ServerL1>(*net_, ctx_, j));
+  }
+  for (std::size_t i = 0; i < opt_.cfg.n2; ++i) {
+    l2_.push_back(std::make_unique<ServerL2>(*net_, ctx_, i));
+  }
+  for (std::size_t w = 0; w < opt_.writers; ++w) {
+    writers_.push_back(std::make_unique<Writer>(
+        *net_, ctx_, static_cast<NodeId>(1 + w), &history_));
+  }
+  for (std::size_t r = 0; r < opt_.readers; ++r) {
+    readers_.push_back(std::make_unique<Reader>(
+        *net_, ctx_, kReaderIdBase + static_cast<NodeId>(r), &history_,
+        opt_.read_consistency));
+  }
+}
+
+void LdsCluster::write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
+                          Bytes value, Writer::Callback cb) {
+  Writer* w = writers_.at(writer_idx).get();
+  sim_.at(t, [w, obj, value = std::move(value), cb = std::move(cb)]() mutable {
+    w->write(obj, std::move(value), std::move(cb));
+  });
+}
+
+void LdsCluster::read_at(net::SimTime t, std::size_t reader_idx, ObjectId obj,
+                         Reader::Callback cb) {
+  Reader* r = readers_.at(reader_idx).get();
+  sim_.at(t, [r, obj, cb = std::move(cb)]() mutable {
+    r->read(obj, std::move(cb));
+  });
+}
+
+Tag LdsCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
+  bool done = false;
+  Tag tag;
+  writers_.at(writer_idx)
+      ->write(obj, std::move(value), [&](Tag t) {
+        done = true;
+        tag = t;
+      });
+  while (!done && sim_.step()) {
+  }
+  LDS_REQUIRE(done, "write_sync: simulation drained before write completed");
+  return tag;
+}
+
+std::pair<Tag, Bytes> LdsCluster::read_sync(std::size_t reader_idx,
+                                            ObjectId obj) {
+  bool done = false;
+  Tag tag;
+  Bytes value;
+  readers_.at(reader_idx)->read(obj, [&](Tag t, Bytes v) {
+    done = true;
+    tag = t;
+    value = std::move(v);
+  });
+  while (!done && sim_.step()) {
+  }
+  LDS_REQUIRE(done, "read_sync: simulation drained before read completed");
+  return {tag, std::move(value)};
+}
+
+}  // namespace lds::core

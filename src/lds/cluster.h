@@ -1,0 +1,110 @@
+// LdsCluster: one simulated LDS deployment wired end to end.
+//
+// Owns the simulator, the network, both server layers, a pool of writer and
+// reader clients, the operation history and the storage meter.  This is the
+// primary entry point of the library: examples, tests and benches build a
+// cluster, schedule operations (synchronously or at chosen simulation times)
+// and then inspect history, costs and storage.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lds/context.h"
+#include "lds/reader.h"
+#include "lds/server_l1.h"
+#include "lds/server_l2.h"
+#include "lds/writer.h"
+#include "net/network.h"
+
+namespace lds::core {
+
+class LdsCluster {
+ public:
+  enum class LatencyKind { Fixed, Uniform, Exponential };
+
+  struct Options {
+    LdsConfig cfg;
+    std::size_t writers = 1;
+    std::size_t readers = 1;
+    /// Link delays (see latency.h); the simulation time unit is tau1.
+    double tau1 = 1.0;
+    double tau0 = 1.0;
+    double tau2 = 10.0;
+    LatencyKind latency = LatencyKind::Fixed;
+    /// For Uniform: lower bound as a fraction of the class delay.
+    double uniform_lo_frac = 0.1;
+    std::uint64_t seed = 1;
+    /// Consistency level of this cluster's readers (Atomic = the paper's
+    /// LDS; Regular = the Section-VI extension without put-tag).
+    ReadConsistency read_consistency = ReadConsistency::Atomic;
+  };
+
+  explicit LdsCluster(Options opt);
+
+  net::Simulator& sim() { return sim_; }
+  net::Network& net() { return *net_; }
+  History& history() { return history_; }
+  StorageMeter& meter() { return meter_; }
+  const LdsContext& ctx() const { return *ctx_; }
+  std::shared_ptr<const LdsContext> ctx_ptr() const { return ctx_; }
+  const Options& options() const { return opt_; }
+
+  Writer& writer(std::size_t i) { return *writers_.at(i); }
+  Reader& reader(std::size_t i) { return *readers_.at(i); }
+  ServerL1& l1(std::size_t j) { return *l1_.at(j); }
+  ServerL2& l2(std::size_t i) { return *l2_.at(i); }
+  std::size_t num_writers() const { return writers_.size(); }
+  std::size_t num_readers() const { return readers_.size(); }
+
+  void crash_l1(std::size_t j) { l1_.at(j)->crash(); }
+  void crash_l2(std::size_t i) { l2_.at(i)->crash(); }
+
+  /// Repair extension (paper, Section VI future work): replace L2 server i
+  /// with a fresh, empty process under the same id.  Call
+  /// l2(i).repair_object(obj, ...) afterwards to regenerate its contents
+  /// from the surviving peers.
+  void replace_l2(std::size_t i) {
+    l2_.at(i).reset();  // detach the crashed instance first (id reuse)
+    l2_.at(i) = std::make_unique<ServerL2>(*net_, ctx_, i);
+  }
+
+  /// Schedule an operation invocation at simulation time t (>= now).
+  void write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
+                Bytes value, Writer::Callback cb = {});
+  void read_at(net::SimTime t, std::size_t reader_idx, ObjectId obj,
+               Reader::Callback cb = {});
+
+  /// Invoke a write now and run the simulation until it completes.
+  /// Returns the tag it wrote.  Aborts if the simulation drains first.
+  Tag write_sync(std::size_t writer_idx, ObjectId obj, Bytes value);
+
+  /// Invoke a read now and run the simulation until it completes.
+  std::pair<Tag, Bytes> read_sync(std::size_t reader_idx, ObjectId obj);
+
+  /// Run until no events remain; returns events executed.
+  std::size_t settle(std::size_t max_events = SIZE_MAX) {
+    return sim_.run(max_events);
+  }
+
+ private:
+  Options opt_;
+  net::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::shared_ptr<LdsContext> ctx_;
+  History history_;
+  StorageMeter meter_;
+  std::vector<std::unique_ptr<ServerL1>> l1_;
+  std::vector<std::unique_ptr<ServerL2>> l2_;
+  std::vector<std::unique_ptr<Writer>> writers_;
+  std::vector<std::unique_ptr<Reader>> readers_;
+};
+
+/// Node-id layout used by LdsCluster (stable, documented for tests):
+/// writers get 1..W, readers 10000+i, L1 servers 20000+j, L2 30000+i.
+inline constexpr NodeId kReaderIdBase = 10000;
+inline constexpr NodeId kL1IdBase = 20000;
+inline constexpr NodeId kL2IdBase = 30000;
+
+}  // namespace lds::core

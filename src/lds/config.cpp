@@ -1,0 +1,28 @@
+#include "lds/config.h"
+
+#include "common/assert.h"
+
+namespace lds::core {
+
+void LdsConfig::validate() const {
+  LDS_REQUIRE(n1 >= 1 && n2 >= 1, "LdsConfig: need servers in both layers");
+  LDS_REQUIRE(2 * f1 < n1, "LdsConfig: need f1 < n1/2");
+  LDS_REQUIRE(3 * f2 < n2, "LdsConfig: need f2 < n2/3");
+  LDS_REQUIRE(k() >= 1, "LdsConfig: k = n1 - 2 f1 must be >= 1");
+  LDS_REQUIRE(d() >= k(), "LdsConfig: need d >= k (MBR code requires it)");
+  LDS_REQUIRE(n() <= 255, "LdsConfig: GF(256) bound n1 + n2 <= 255");
+}
+
+LdsConfig LdsConfig::symmetric(std::size_t n, std::size_t f,
+                               Bytes initial_value) {
+  LdsConfig cfg;
+  cfg.n1 = n;
+  cfg.n2 = n;
+  cfg.f1 = f;
+  cfg.f2 = f;
+  cfg.initial_value = std::move(initial_value);
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace lds::core

@@ -1,0 +1,58 @@
+// Deployment parameters of one LDS instance.
+//
+// Paper, Section II: layers L1 and L2 with n1 and n2 servers tolerate
+// f1 < n1/2 and f2 < n2/3 crash failures; the regenerating code parameters
+// are tied to the layout by  n1 = 2 f1 + k  and  n2 = 2 f2 + d.
+#pragma once
+
+#include <cstddef>
+
+#include "codes/factory.h"
+#include "common/types.h"
+
+namespace lds::core {
+
+struct LdsConfig {
+  std::size_t n1 = 0;  ///< servers in the edge layer L1
+  std::size_t f1 = 0;  ///< crash tolerance in L1 (f1 < n1/2)
+  std::size_t n2 = 0;  ///< servers in the back-end layer L2
+  std::size_t f2 = 0;  ///< crash tolerance in L2 (f2 < n2/3)
+
+  /// Back-end code.  PmMbr is the paper's algorithm; Rs and Replication are
+  /// the Remark 1 / Remark 2 ablations.
+  codes::BackendKind backend = codes::BackendKind::PmMbr;
+
+  /// The distinguished initial value v0 (paper: v0 in V).  L2 servers start
+  /// with (t0, c0) where c0 is their coded element of v0.
+  Bytes initial_value{};
+
+  /// Proxy-cache extension (paper, Section I: "our architecture also
+  /// permits the edge layer to be configured as a proxy cache layer for
+  /// objects that are frequently read").  When set, an L1 server keeps the
+  /// value of its committed tag in the list after the internal write-to-L2
+  /// completes (instead of garbage-collecting it), so quiescent reads are
+  /// served from the edge in 6 tau1 without touching L2.  The trade-off:
+  /// per-object L1 storage becomes 1 x |v| per server instead of ~0, and a
+  /// cache-served read moves n1 x |v| over the cheap client<->L1 links
+  /// instead of Theta(1) x |v| over the expensive L1<->L2 links.
+  bool proxy_cache = false;
+
+  std::size_t k() const { return n1 - 2 * f1; }
+  std::size_t d() const { return n2 - 2 * f2; }
+  std::size_t n() const { return n1 + n2; }
+
+  /// Quorum sizes used by the protocol.
+  std::size_t l1_quorum() const { return f1 + k(); }          // = n1 - f1
+  std::size_t l2_quorum() const { return n2 - f2; }           // = f2 + d
+
+  /// Aborts (LDS_REQUIRE) if the parameters violate the paper's constraints
+  /// or the GF(256) field bound.
+  void validate() const;
+
+  /// A balanced configuration: n1 = n2 = n, f1 = f2 = f (requires k = d >= 1,
+  /// i.e. f < n/3 on both layers as the paper's Section V-1 symmetry case).
+  static LdsConfig symmetric(std::size_t n, std::size_t f,
+                             Bytes initial_value = {});
+};
+
+}  // namespace lds::core

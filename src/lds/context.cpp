@@ -1,0 +1,21 @@
+#include "lds/context.h"
+
+namespace lds::core {
+
+const Bytes& LdsContext::initial_element(int code_index) const {
+  if (initial_elements_.empty()) {
+    initial_elements_ = code.encode_value(cfg.initial_value);
+  }
+  return initial_elements_.at(static_cast<std::size_t>(code_index));
+}
+
+const std::vector<Bytes>& LdsContext::encoded_elements(
+    ObjectId obj, Tag t, const Bytes& value) const {
+  const CacheKey key{obj, t};
+  auto it = encode_cache_.find(key);
+  if (it != encode_cache_.end()) return it->second;
+  if (encode_cache_.size() > 256) encode_cache_.clear();  // bound memory
+  return encode_cache_.emplace(key, code.encode_value(value)).first->second;
+}
+
+}  // namespace lds::core

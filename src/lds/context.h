@@ -1,0 +1,78 @@
+// Shared immutable wiring of one LDS deployment: configuration, the striped
+// regenerating code, and the node-id layout of both layers.
+//
+// Code-coordinate convention (paper, Section II-c): the code C has
+// n = n1 + n2 coordinates; coordinate j in [0, n1) belongs to L1 server j
+// (C1 = those rows), coordinate n1 + i belongs to L2 server i (C2).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "codes/striped.h"
+#include "common/types.h"
+#include "lds/config.h"
+#include "lds/history.h"
+#include "lds/storage_meter.h"
+
+namespace lds::core {
+
+struct LdsContext {
+  LdsConfig cfg;
+  codes::StripedCode code;
+  std::vector<NodeId> l1_ids;  ///< index j -> node id of L1 server j
+  std::vector<NodeId> l2_ids;  ///< index i -> node id of L2 server i
+
+  /// Optional instrumentation (may be null).
+  StorageMeter* meter = nullptr;
+
+  LdsContext(LdsConfig c, codes::StripedCode striped)
+      : cfg(std::move(c)), code(std::move(striped)) {
+    cfg.validate();
+  }
+
+  /// Convenience factory: build the backend from cfg.backend.
+  static std::shared_ptr<LdsContext> make(LdsConfig cfg) {
+    auto code =
+        codes::make_backend(cfg.backend, cfg.n(), cfg.k(), cfg.d());
+    return std::make_shared<LdsContext>(std::move(cfg), std::move(code));
+  }
+
+  /// The fixed relay set S_{f1+1} of the broadcast primitive: the first
+  /// f1 + 1 servers of L1 (any fixed set works; see [17]).
+  std::size_t relay_set_size() const { return cfg.f1 + 1; }
+
+  /// Number of helper responses an L1 server waits for before attempting
+  /// regeneration: n2 - f2 = f2 + d (Fig. 2 line 45).
+  std::size_t regen_wait() const { return cfg.l2_quorum(); }
+
+  /// Coded element of the initial value v0 at one code coordinate
+  /// (memoized: every L2 server starts from the same encoding of v0).
+  const Bytes& initial_element(int code_index) const;
+
+  /// All n coded elements of `value` under (obj, t), memoized.  Encoding is
+  /// a pure function of the value, and tags are unique per write, so every
+  /// L1 server offloading the same committed write computes identical
+  /// elements; the cache removes the redundant O(n1) re-encodings from
+  /// simulation wall-clock time without changing any accounted cost.
+  const std::vector<Bytes>& encoded_elements(ObjectId obj, Tag t,
+                                             const Bytes& value) const;
+
+ private:
+  struct CacheKey {
+    ObjectId obj;
+    Tag tag;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return TagHash()(k.tag) ^ (static_cast<std::size_t>(k.obj) * 0x9e3779b9u);
+    }
+  };
+  mutable std::vector<Bytes> initial_elements_;  // lazily filled, size n
+  mutable std::unordered_map<CacheKey, std::vector<Bytes>, CacheKeyHash>
+      encode_cache_;
+};
+
+}  // namespace lds::core

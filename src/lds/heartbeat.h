@@ -1,0 +1,35 @@
+// Heartbeat payloads shared by the repair manager (sender) and the L2
+// servers (responders).  A deliberately separate micro-protocol: the LDS
+// automata of Figs. 1-3 stay exactly the paper's, and heartbeats are pure
+// meta-data in the cost accounting.
+#pragma once
+
+#include "net/network.h"
+
+namespace lds::core {
+
+class HeartbeatPing final : public net::Payload {
+ public:
+  explicit HeartbeatPing(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq() const { return seq_; }
+  std::uint64_t data_bytes() const override { return 0; }
+  std::uint64_t meta_bytes() const override { return 16; }
+  const char* type_name() const override { return "HEARTBEAT-PING"; }
+
+ private:
+  std::uint64_t seq_;
+};
+
+class HeartbeatPong final : public net::Payload {
+ public:
+  explicit HeartbeatPong(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq() const { return seq_; }
+  std::uint64_t data_bytes() const override { return 0; }
+  std::uint64_t meta_bytes() const override { return 16; }
+  const char* type_name() const override { return "HEARTBEAT-PONG"; }
+
+ private:
+  std::uint64_t seq_;
+};
+
+}  // namespace lds::core

@@ -1,0 +1,222 @@
+#include "lds/history.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/assert.h"
+#include "common/format.h"
+
+namespace lds::core {
+
+std::size_t History::on_invoke(OpId id, OpKind kind, ObjectId obj,
+                               NodeId client, net::SimTime t) {
+  OpRecord rec;
+  rec.id = id;
+  rec.kind = kind;
+  rec.obj = obj;
+  rec.client = client;
+  rec.invoked = t;
+  ops_.push_back(std::move(rec));
+  return ops_.size() - 1;
+}
+
+void History::on_response(std::size_t index, net::SimTime t, Tag tag,
+                          Bytes value) {
+  LDS_REQUIRE(index < ops_.size(), "History::on_response: bad index");
+  OpRecord& rec = ops_[index];
+  LDS_CHECK(!rec.complete, "History::on_response: duplicate response");
+  rec.responded = t;
+  rec.complete = true;
+  rec.tag = tag;
+  rec.value = std::move(value);
+}
+
+void History::set_payload(std::size_t index, Tag tag, Bytes value) {
+  LDS_REQUIRE(index < ops_.size(), "History::set_payload: bad index");
+  ops_[index].tag = tag;
+  ops_[index].value = std::move(value);
+}
+
+std::size_t History::completed() const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [](const OpRecord& r) { return r.complete; }));
+}
+
+std::size_t History::incomplete() const { return ops_.size() - completed(); }
+
+std::vector<OpRecord> History::completed_ops(ObjectId obj) const {
+  std::vector<OpRecord> out;
+  for (const auto& r : ops_) {
+    if (r.complete && r.obj == obj) out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+
+History::CheckResult fail(const std::string& msg) {
+  return {false, msg};
+}
+
+History::CheckResult check_object(ObjectId obj,
+                                  const std::vector<OpRecord>& all,
+                                  const Bytes& v0) {
+  // Gather this object's ops; writes contribute their (tag, value) even when
+  // incomplete (set_payload), completed ops additionally constrain ordering.
+  std::map<Tag, const OpRecord*> write_of_tag;
+  std::vector<const OpRecord*> done;
+  for (const auto& r : all) {
+    if (r.obj != obj) continue;
+    if (r.kind == OpKind::Write && (r.complete || r.tag != Tag{})) {
+      auto [it, inserted] = write_of_tag.emplace(r.tag, &r);
+      if (!inserted) {
+        return fail("two writes share tag " + r.tag.to_string());
+      }
+    }
+    if (r.complete) done.push_back(&r);
+  }
+
+  // P3: every read returns the value of the write with its tag (or v0 at t0).
+  for (const OpRecord* r : done) {
+    if (r->kind != OpKind::Read) continue;
+    if (r->tag == kTag0) {
+      if (r->value != v0) {
+        return fail("read returned tag t0 but not the initial value v0");
+      }
+      continue;
+    }
+    auto it = write_of_tag.find(r->tag);
+    if (it == write_of_tag.end()) {
+      return fail("read returned tag " + r->tag.to_string() +
+                  " written by no known write");
+    }
+    if (it->second->value != r->value) {
+      return fail("read of tag " + r->tag.to_string() +
+                  " returned a different value than was written");
+    }
+  }
+
+  // P1/P2 real-time order: sweep invocations in time order; maintain the max
+  // tag among operations that responded strictly earlier.
+  std::vector<const OpRecord*> by_invoke = done;
+  std::sort(by_invoke.begin(), by_invoke.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->invoked < b->invoked;
+            });
+  std::vector<const OpRecord*> by_response = done;
+  std::sort(by_response.begin(), by_response.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->responded < b->responded;
+            });
+
+  std::size_t ri = 0;
+  Tag max_done_tag = kTag0;
+  bool any_done = false;
+  for (const OpRecord* op : by_invoke) {
+    while (ri < by_response.size() &&
+           by_response[ri]->responded < op->invoked) {
+      if (!any_done || by_response[ri]->tag > max_done_tag) {
+        max_done_tag = by_response[ri]->tag;
+      }
+      any_done = true;
+      ++ri;
+    }
+    if (!any_done) continue;
+    if (op->kind == OpKind::Write) {
+      if (!(op->tag > max_done_tag)) {
+        return fail("write tag " + op->tag.to_string() +
+                    " not above preceding completed op tag " +
+                    max_done_tag.to_string());
+      }
+    } else {
+      if (op->tag < max_done_tag) {
+        return fail("read tag " + op->tag.to_string() +
+                    " below preceding completed op tag " +
+                    max_done_tag.to_string());
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+namespace {
+
+History::CheckResult check_object_regular(ObjectId obj,
+                                          const std::vector<OpRecord>& all,
+                                          const Bytes& v0) {
+  std::map<Tag, const OpRecord*> write_of_tag;
+  std::vector<const OpRecord*> reads;
+  std::vector<const OpRecord*> writes_done;
+  for (const auto& r : all) {
+    if (r.obj != obj) continue;
+    if (r.kind == OpKind::Write && (r.complete || r.tag != Tag{})) {
+      auto [it, inserted] = write_of_tag.emplace(r.tag, &r);
+      if (!inserted) return fail("two writes share tag " + r.tag.to_string());
+      if (r.complete) writes_done.push_back(&r);
+    } else if (r.kind == OpKind::Read && r.complete) {
+      reads.push_back(&r);
+    }
+  }
+
+  for (const OpRecord* r : reads) {
+    // Value legitimacy: written by some write (possibly concurrent or
+    // incomplete) or the initial value.
+    if (r->tag == kTag0) {
+      if (r->value != v0) return fail("read of t0 returned non-v0 value");
+    } else {
+      auto it = write_of_tag.find(r->tag);
+      if (it == write_of_tag.end()) {
+        return fail("read returned tag " + r->tag.to_string() +
+                    " written by no known write");
+      }
+      if (it->second->value != r->value) {
+        return fail("read of tag " + r->tag.to_string() +
+                    " returned a different value than was written");
+      }
+    }
+    // Freshness: at least the newest write completed before invocation.
+    for (const OpRecord* w : writes_done) {
+      if (w->responded < r->invoked && r->tag < w->tag) {
+        return fail("read returned tag " + r->tag.to_string() +
+                    " older than preceding completed write " +
+                    w->tag.to_string());
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+History::CheckResult History::check_regularity(const Bytes& v0) const {
+  std::set<ObjectId> objects;
+  for (const auto& r : ops_) objects.insert(r.obj);
+  for (ObjectId obj : objects) {
+    auto res = check_object_regular(obj, ops_, v0);
+    if (!res.ok) {
+      res.violation = "object " + std::to_string(obj) + ": " + res.violation;
+      return res;
+    }
+  }
+  return {};
+}
+
+History::CheckResult History::check_atomicity(const Bytes& v0) const {
+  std::set<ObjectId> objects;
+  for (const auto& r : ops_) objects.insert(r.obj);
+  for (ObjectId obj : objects) {
+    auto res = check_object(obj, ops_, v0);
+    if (!res.ok) {
+      res.violation =
+          "object " + std::to_string(obj) + ": " + res.violation;
+      return res;
+    }
+  }
+  return {};
+}
+
+}  // namespace lds::core

@@ -1,0 +1,87 @@
+// Operation history recording and the atomicity checker.
+//
+// The paper proves atomicity (Theorem IV.9) through the sufficient condition
+// of [Lynch 96, Lemma 13.16], instantiated with the partial order
+// "pi < phi iff tag(pi) < tag(phi), or tags equal and pi is the write".
+// For a *recorded finite execution* the three properties P1-P3 reduce to
+// checkable facts about (invocation time, response time, tag, value):
+//
+//   W-uniq : distinct write operations have distinct tags.
+//   P1/P2  : if op1's response precedes op2's invocation then
+//              tag(op2) >  tag(op1) when op2 is a write,
+//              tag(op2) >= tag(op1) when op2 is a read;
+//            and a read that precedes a write never has the write's tag.
+//   P3     : a read's value equals the unique write's value with the same
+//            tag, or v0 if its tag is t0.
+//
+// check() verifies these in O(n log n) and reports the first violation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/sim.h"
+
+namespace lds::core {
+
+enum class OpKind : std::uint8_t { Write, Read };
+
+struct OpRecord {
+  OpId id = kNoOp;
+  OpKind kind = OpKind::Write;
+  ObjectId obj = 0;
+  NodeId client = kNoNode;
+  net::SimTime invoked = 0;
+  net::SimTime responded = 0;
+  bool complete = false;
+  Tag tag;      ///< tag(pi): write tag, or tag whose value the read returned
+  Bytes value;  ///< value written / value returned
+};
+
+class History {
+ public:
+  /// Record an invocation; returns the index used by on_response.
+  std::size_t on_invoke(OpId id, OpKind kind, ObjectId obj, NodeId client,
+                        net::SimTime t);
+  void on_response(std::size_t index, net::SimTime t, Tag tag, Bytes value);
+
+  /// Record a write's chosen (tag, value) at put-data time, before it is
+  /// known whether the write will complete.  Needed for P3: a read may
+  /// legitimately return the value of a write that never completed (e.g. the
+  /// writer crashed after the value reached the servers).
+  void set_payload(std::size_t index, Tag tag, Bytes value);
+
+  const std::vector<OpRecord>& ops() const { return ops_; }
+
+  std::size_t completed() const;
+  std::size_t incomplete() const;
+
+  /// All completed operations for one object.
+  std::vector<OpRecord> completed_ops(ObjectId obj) const;
+
+  struct CheckResult {
+    bool ok = true;
+    std::string violation;  ///< empty when ok
+  };
+
+  /// Verify atomicity per object over completed operations.  `v0` is the
+  /// initial value expected from reads that return t0.
+  CheckResult check_atomicity(const Bytes& v0) const;
+
+  /// Verify *regularity* (the Section-VI consistency extension): every read
+  /// returns a genuinely-written value whose tag is at least the tag of any
+  /// write that completed before the read was invoked.  Unlike atomicity,
+  /// reads need not be mutually monotone.
+  CheckResult check_regularity(const Bytes& v0) const;
+
+  /// True iff every invoked operation completed (liveness of the recorded
+  /// clients; call after running the simulation to quiescence).
+  bool all_complete() const { return incomplete() == 0; }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace lds::core

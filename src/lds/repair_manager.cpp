@@ -1,0 +1,90 @@
+#include "lds/repair_manager.h"
+
+namespace lds::core {
+
+RepairManager::RepairManager(net::Network& net,
+                             std::shared_ptr<const LdsContext> ctx,
+                             Options opt, ReplaceFn replace)
+    : Node(net, opt.node_id, Role::Other),
+      ctx_(std::move(ctx)),
+      opt_(opt),
+      replace_(std::move(replace)) {
+  LDS_REQUIRE(opt_.heartbeat_period > 0 && opt_.suspect_after > 0,
+              "RepairManager: timings must be positive");
+  LDS_REQUIRE(replace_ != nullptr, "RepairManager: null replace hook");
+}
+
+void RepairManager::start() {
+  if (running_) return;
+  running_ = true;
+  const net::SimTime now = net_.sim().now();
+  for (std::size_t i = 0; i < ctx_->l2_ids.size(); ++i) last_seen_[i] = now;
+  tick();
+}
+
+void RepairManager::tick() {
+  if (!running_ || crashed()) return;
+  const net::SimTime now = net_.sim().now();
+
+  // Suspect servers that have been silent too long.
+  for (std::size_t i = 0; i < ctx_->l2_ids.size(); ++i) {
+    if (suspected_.contains(i)) continue;
+    if (now - last_seen_[i] > opt_.suspect_after) suspect(i);
+  }
+
+  // Ping everyone (crashed destinations silently drop).
+  ++seq_;
+  for (std::size_t i = 0; i < ctx_->l2_ids.size(); ++i) {
+    if (suspected_.contains(i)) continue;
+    send(ctx_->l2_ids[i], std::make_shared<HeartbeatPing>(seq_));
+  }
+
+  net_.sim().after(opt_.heartbeat_period, [this] { tick(); });
+}
+
+void RepairManager::suspect(std::size_t l2_index) {
+  suspected_.insert(l2_index);
+  // Ask the environment for a fresh replacement process (exactly once),
+  // then regenerate every tracked object on it, one at a time (sequential
+  // repair keeps the helper load on the surviving servers bounded).
+  ServerL2& fresh = replace_(l2_index);
+  std::vector<ObjectId> remaining(objects_.begin(), objects_.end());
+  repair_next_object(l2_index, &fresh, std::move(remaining));
+}
+
+void RepairManager::repair_next_object(std::size_t l2_index,
+                                       ServerL2* server,
+                                       std::vector<ObjectId> remaining) {
+  if (remaining.empty()) {
+    // Replacement fully restored: resume heartbeat coverage.
+    suspected_.erase(l2_index);
+    last_seen_[l2_index] = net_.sim().now();
+    return;
+  }
+  const ObjectId obj = remaining.back();
+  remaining.pop_back();
+  ++repairs_started_;
+  server->repair_object(
+      obj, [this, l2_index, server, remaining = std::move(remaining)](
+               std::optional<Tag> tag) mutable {
+        if (tag.has_value()) {
+          ++repairs_completed_;
+        } else {
+          ++repairs_failed_;
+        }
+        repair_next_object(l2_index, server, std::move(remaining));
+      });
+}
+
+void RepairManager::on_message(NodeId from, const net::MessagePtr& msg) {
+  const auto* pong = dynamic_cast<const HeartbeatPong*>(msg.get());
+  if (pong == nullptr) return;  // ignore anything else
+  for (std::size_t i = 0; i < ctx_->l2_ids.size(); ++i) {
+    if (ctx_->l2_ids[i] == from) {
+      last_seen_[i] = net_.sim().now();
+      return;
+    }
+  }
+}
+
+}  // namespace lds::core

@@ -1,0 +1,90 @@
+// Automated back-end repair: failure detection + repair orchestration.
+//
+// The paper's Section-VI future work asks for repair of erasure-coded L2
+// servers; ServerL2::repair_object gives the mechanism, this module adds
+// the policy layer a deployment needs:
+//
+//   * a heartbeat-based failure detector for L2 servers (sound under the
+//     bounded-latency model of Section V-A: a server is suspected only
+//     after `suspect_after` time units without a heartbeat response, so
+//     with fixed delays <= tau2 a timeout > 2 tau2 + period never falsely
+//     suspects an alive server);
+//   * an orchestrator that, upon suspicion, asks the host environment to
+//     replace the server (LdsCluster::replace_l2) and then drives
+//     repair_object for every registered object on the replacement,
+//     re-trying objects whose repair round reports failure.
+//
+// The manager is itself a node on the simulated network, so its messages
+// ride the same channels and cost accounting as everything else (heartbeats
+// are pure meta-data).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "lds/context.h"
+#include "lds/heartbeat.h"
+#include "lds/messages.h"
+#include "lds/server_l2.h"
+#include "net/network.h"
+
+namespace lds::core {
+
+class RepairManager final : public net::Node {
+ public:
+  struct Options {
+    double heartbeat_period = 5.0;  ///< ping interval (tau1 units)
+    double suspect_after = 25.0;    ///< silence before declaring a crash
+    NodeId node_id = 40000;
+  };
+
+  /// `replace` is the environment hook that swaps in a fresh server process
+  /// for L2 index i and returns a reference to it (LdsCluster::replace_l2 +
+  /// l2(i)).  `objects` is the set of objects whose contents the
+  /// replacement must regenerate.
+  using ReplaceFn = std::function<ServerL2&(std::size_t l2_index)>;
+
+  RepairManager(net::Network& net, std::shared_ptr<const LdsContext> ctx,
+                Options opt, ReplaceFn replace);
+
+  /// Register an object for repair coverage (typically every object the
+  /// deployment serves).
+  void track_object(ObjectId obj) { objects_.insert(obj); }
+
+  /// Start the heartbeat loop.
+  void start();
+  void stop() { running_ = false; }
+
+  void on_message(NodeId from, const net::MessagePtr& msg) override;
+
+  // ---- introspection --------------------------------------------------------
+  std::size_t suspected_count() const { return suspected_.size(); }
+  bool is_suspected(std::size_t l2_index) const {
+    return suspected_.contains(l2_index);
+  }
+  std::size_t repairs_started() const { return repairs_started_; }
+  std::size_t repairs_completed() const { return repairs_completed_; }
+  std::size_t repairs_failed() const { return repairs_failed_; }
+
+ private:
+  void tick();
+  void suspect(std::size_t l2_index);
+  void repair_next_object(std::size_t l2_index, ServerL2* server,
+                          std::vector<ObjectId> remaining);
+
+  std::shared_ptr<const LdsContext> ctx_;
+  Options opt_;
+  ReplaceFn replace_;
+  bool running_ = false;
+  std::uint64_t seq_ = 0;
+  std::set<ObjectId> objects_;
+  std::unordered_map<std::size_t, net::SimTime> last_seen_;  // by L2 index
+  std::set<std::size_t> suspected_;
+  std::size_t repairs_started_ = 0;
+  std::size_t repairs_completed_ = 0;
+  std::size_t repairs_failed_ = 0;
+};
+
+}  // namespace lds::core

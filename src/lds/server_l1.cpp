@@ -1,0 +1,395 @@
+#include "lds/server_l1.h"
+
+#include <algorithm>
+
+namespace lds::core {
+
+ServerL1::ServerL1(net::Network& net, std::shared_ptr<const LdsContext> ctx,
+                   std::size_t index)
+    : Node(net, ctx->l1_ids.at(index), Role::ServerL1),
+      ctx_(std::move(ctx)),
+      index_(index) {}
+
+ServerL1::ObjectState& ServerL1::object(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    ObjectState st;
+    st.list.emplace(kTag0, std::nullopt);  // L initially {(t0, bot)}
+    st.tc = kTag0;
+    st.initialized = true;
+    it = objects_.emplace(obj, std::move(st)).first;
+  }
+  return it->second;
+}
+
+// ---- introspection ----------------------------------------------------------
+
+Tag ServerL1::committed_tag(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it == objects_.end() ? kTag0 : it->second.tc;
+}
+
+std::vector<Tag> ServerL1::list_tags(ObjectId obj) const {
+  std::vector<Tag> out;
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return {kTag0};
+  for (const auto& [t, v] : it->second.list) out.push_back(t);
+  return out;
+}
+
+bool ServerL1::has_value(ObjectId obj, Tag t) const {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return false;
+  auto lit = it->second.list.find(t);
+  return lit != it->second.list.end() && lit->second.has_value();
+}
+
+std::size_t ServerL1::registered_readers(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it == objects_.end() ? 0 : it->second.gamma.size();
+}
+
+// ---- list mutation with storage accounting ----------------------------------
+
+void ServerL1::list_put(ObjectState& st, Tag t, std::optional<Bytes> v) {
+  auto it = st.list.find(t);
+  if (it != st.list.end()) {
+    const std::uint64_t old_bytes =
+        it->second.has_value() ? it->second->size() : 0;
+    const std::uint64_t new_bytes = v.has_value() ? v->size() : 0;
+    it->second = std::move(v);
+    value_bytes_ += new_bytes;
+    value_bytes_ -= old_bytes;
+    if (ctx_->meter) {
+      ctx_->meter->add_l1(new_bytes);
+      ctx_->meter->sub_l1(old_bytes);
+    }
+    return;
+  }
+  const std::uint64_t new_bytes = v.has_value() ? v->size() : 0;
+  st.list.emplace(t, std::move(v));
+  value_bytes_ += new_bytes;
+  if (ctx_->meter && new_bytes) ctx_->meter->add_l1(new_bytes);
+}
+
+void ServerL1::list_blank(ObjectState& st, Tag t) {
+  auto it = st.list.find(t);
+  if (it == st.list.end() || !it->second.has_value()) return;
+  const std::uint64_t old_bytes = it->second->size();
+  it->second.reset();
+  value_bytes_ -= old_bytes;
+  if (ctx_->meter) ctx_->meter->sub_l1(old_bytes);
+}
+
+// ---- dispatch ----------------------------------------------------------------
+
+void ServerL1::on_message(NodeId from, const net::MessagePtr& msg) {
+  const auto* m = dynamic_cast<const LdsMessage*>(msg.get());
+  LDS_CHECK(m != nullptr, "ServerL1: non-LDS message");
+  const ObjectId obj = m->obj();
+  const OpId op = m->op();
+
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, QueryTag>) {
+          get_tag_resp(obj, op, from);
+        } else if constexpr (std::is_same_v<T, PutData>) {
+          put_data_resp(obj, op, from, body);
+        } else if constexpr (std::is_same_v<T, CommitTag>) {
+          // Broadcast primitive: consume each instance exactly once; relay
+          // servers forward to all of L1 on first receipt, before consuming.
+          if (seen_bcasts_.contains(body.bcast_id)) return;
+          seen_bcasts_.insert(body.bcast_id);
+          if (index_ < ctx_->relay_set_size()) {
+            for (NodeId peer : ctx_->l1_ids) {
+              send(peer, LdsMessage::make(obj, op, body));
+            }
+          }
+          broadcast_resp(obj, op, body);
+        } else if constexpr (std::is_same_v<T, AckCodeElem>) {
+          write_to_l2_complete(obj, body);
+        } else if constexpr (std::is_same_v<T, QueryCommTag>) {
+          get_committed_tag_resp(obj, op, from);
+        } else if constexpr (std::is_same_v<T, QueryData>) {
+          get_data_resp(obj, op, from, body);
+        } else if constexpr (std::is_same_v<T, SendHelperElem>) {
+          regenerate_complete(obj, op, body, from);
+        } else if constexpr (std::is_same_v<T, PutTag>) {
+          put_tag_resp(obj, op, from, body);
+        } else if constexpr (std::is_same_v<T, UnregisterReader>) {
+          ObjectState& st = object(obj);
+          st.gamma.erase(std::remove_if(st.gamma.begin(), st.gamma.end(),
+                                        [&](const GammaEntry& g) {
+                                          return g.reader == from &&
+                                                 g.op == op;
+                                        }),
+                         st.gamma.end());
+        } else {
+          LDS_CHECK(false, "ServerL1: unexpected message type");
+        }
+      },
+      m->body());
+}
+
+// ---- Fig. 2 actions -----------------------------------------------------------
+
+void ServerL1::get_tag_resp(ObjectId obj, OpId op, NodeId writer) {
+  // Fig. 2 line 3: reply with max{t : (t, *) in L} (bot entries count -
+  // they witness tags of garbage-collected or offloaded writes).
+  ObjectState& st = object(obj);
+  LDS_CHECK(!st.list.empty(), "ServerL1: empty list");
+  send(writer, LdsMessage::make(obj, op, TagResp{st.list.rbegin()->first}));
+}
+
+void ServerL1::put_data_resp(ObjectId obj, OpId op, NodeId writer,
+                             const PutData& m) {
+  ObjectState& st = object(obj);
+  // Fig. 2 line 6: broadcast COMMIT-TAG before anything else.
+  bcast_commit(obj, op, m.tag);
+  st.tag_op.emplace(m.tag, op);
+  if (m.tag > st.tc) {
+    list_put(st, m.tag, m.value);
+    // The ACK is deferred to broadcast-resp (>= f1+k COMMIT-TAGs).
+  } else {
+    // An older (possibly garbage-collected) tag: ACK immediately.
+    if (!st.acked.contains(m.tag)) {
+      st.acked.insert(m.tag);
+      send(writer, LdsMessage::make(obj, op, WriteAck{m.tag}));
+    }
+  }
+}
+
+void ServerL1::bcast_commit(ObjectId obj, OpId op, Tag tag) {
+  const std::uint64_t bcast_id =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id())) << 32) |
+      bcast_seq_++;
+  const std::size_t relays = ctx_->relay_set_size();
+  for (std::size_t j = 0; j < relays; ++j) {
+    send(ctx_->l1_ids[j], LdsMessage::make(obj, op, CommitTag{tag, bcast_id}));
+  }
+}
+
+void ServerL1::broadcast_resp(ObjectId obj, OpId op, const CommitTag& m) {
+  ObjectState& st = object(obj);
+  const std::size_t count = ++st.commit_counter[m.tag];
+  // Fig. 2 line 13: requires the tag key in L *and* a quorum of COMMIT-TAGs.
+  if (!st.list.contains(m.tag) || count < ctx_->cfg.l1_quorum()) return;
+  if (!st.acked.contains(m.tag)) {
+    st.acked.insert(m.tag);
+    // "send ACK to writer w of tag tin": the writer id is the tag's w field.
+    send(m.tag.w, LdsMessage::make(obj, op, WriteAck{m.tag}));
+  }
+  if (m.tag > st.tc) commit_tag(obj, op, m.tag);
+}
+
+void ServerL1::commit_tag(ObjectId obj, OpId op, Tag t) {
+  // Fig. 2 lines 15-19 (also reached from put-tag-resp when the value is in
+  // the list): update tc, serve registered readers, garbage-collect older
+  // values, offload to L2.
+  ObjectState& st = object(obj);
+  st.tc = t;
+  auto it = st.list.find(t);
+  LDS_CHECK(it != st.list.end(), "commit_tag: tag not in list");
+  if (!it->second.has_value()) {
+    // The value was already offloaded and garbage-collected by an earlier
+    // commit path; nothing to serve or offload.
+    garbage_collect(obj);
+    return;
+  }
+  const Bytes value = *it->second;  // copy: serving + GC may mutate the list
+  serve_registered(obj, t, value);
+  garbage_collect(obj);
+  // Attribute the internal write-to-L2 to the originating write operation
+  // (Section II-d: write cost includes internal write-to-L2 costs).
+  OpId write_op = op;
+  if (auto oit = st.tag_op.find(t); oit != st.tag_op.end()) {
+    write_op = oit->second;
+  }
+  write_to_l2(obj, write_op, t, value);
+}
+
+void ServerL1::serve_registered(ObjectId obj, Tag t, const Bytes& value) {
+  ObjectState& st = object(obj);
+  auto it = st.gamma.begin();
+  while (it != st.gamma.end()) {
+    if (t >= it->treq) {
+      send(it->reader,
+           LdsMessage::make(obj, it->op, DataRespValue{t, value}));
+      it = st.gamma.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServerL1::garbage_collect(ObjectId obj) {
+  ObjectState& st = object(obj);
+  for (auto& [t, v] : st.list) {
+    if (t < st.tc && v.has_value()) list_blank(st, t);
+  }
+}
+
+void ServerL1::write_to_l2(ObjectId obj, OpId op, Tag tag,
+                           const Bytes& value) {
+  // Fig. 2 lines 20-23: encode with C2 and send each coordinate to its L2
+  // server.  The element for L2 server i is coordinate n1 + i of C.
+  const auto& elems = ctx_->encoded_elements(obj, tag, value);
+  const std::size_t n1 = ctx_->cfg.n1;
+  for (std::size_t i = 0; i < ctx_->cfg.n2; ++i) {
+    send(ctx_->l2_ids[i],
+         LdsMessage::make(obj, op, WriteCodeElem{tag, elems[n1 + i]}));
+  }
+}
+
+void ServerL1::write_to_l2_complete(ObjectId obj, const AckCodeElem& m) {
+  // Fig. 2 lines 24-27: after n2 - f2 ACKs the offload is durable in L2;
+  // garbage-collect the temporary copy.  Proxy-cache extension: keep the
+  // value if it is still the committed (newest) one, so reads are served
+  // from the edge without an L2 round trip.
+  ObjectState& st = object(obj);
+  const std::size_t count = ++st.write_counter[m.tag];
+  if (count != ctx_->cfg.l2_quorum()) return;
+  if (ctx_->cfg.proxy_cache && m.tag == st.tc) return;
+  list_blank(st, m.tag);
+}
+
+void ServerL1::get_committed_tag_resp(ObjectId obj, OpId op, NodeId reader) {
+  send(reader, LdsMessage::make(obj, op, CommTagResp{object(obj).tc}));
+}
+
+void ServerL1::get_data_resp(ObjectId obj, OpId op, NodeId reader,
+                             const QueryData& m) {
+  ObjectState& st = object(obj);
+  // Fig. 2 lines 30-38.
+  if (auto it = st.list.find(m.treq);
+      it != st.list.end() && it->second.has_value()) {
+    send(reader, LdsMessage::make(obj, op, DataRespValue{m.treq, *it->second}));
+    return;
+  }
+  if (st.tc > m.treq) {
+    if (auto it = st.list.find(st.tc);
+        it != st.list.end() && it->second.has_value()) {
+      send(reader,
+           LdsMessage::make(obj, op, DataRespValue{st.tc, *it->second}));
+      return;
+    }
+  }
+  st.gamma.push_back(GammaEntry{reader, op, m.treq});
+  regenerate_from_l2(obj, op, reader, m.treq);
+}
+
+void ServerL1::regenerate_from_l2(ObjectId obj, OpId op, NodeId reader,
+                                  Tag treq) {
+  ObjectState& st = object(obj);
+  LDS_CHECK(!st.regen.contains(op), "regenerate_from_l2: duplicate read op");
+  st.regen.emplace(op, Regen{reader, treq, 0, {}});
+  for (NodeId l2 : ctx_->l2_ids) {
+    send(l2, LdsMessage::make(
+                 obj, op, QueryCodeElem{static_cast<int>(index_)}));
+  }
+}
+
+void ServerL1::regenerate_complete(ObjectId obj, OpId op,
+                                   const SendHelperElem& m, NodeId from) {
+  ObjectState& st = object(obj);
+  auto it = st.regen.find(op);
+  if (it == st.regen.end()) return;  // late helper after regeneration ended
+  Regen& rg = it->second;
+  // Map the sender to its L2 index (= code coordinate - n1).
+  int l2_index = -1;
+  for (std::size_t i = 0; i < ctx_->l2_ids.size(); ++i) {
+    if (ctx_->l2_ids[i] == from) {
+      l2_index = static_cast<int>(i);
+      break;
+    }
+  }
+  LDS_CHECK(l2_index >= 0, "regenerate_complete: helper not an L2 server");
+  rg.helpers.push_back(Regen::Helper{m.tag, l2_index, m.helper});
+  if (++rg.responses < ctx_->regen_wait()) return;
+
+  // Fig. 2 lines 45-51: attempt to regenerate the highest tag with >= d
+  // helper responses on a common tag; K[r] is cleared either way.
+  const Regen done = std::move(rg);
+  st.regen.erase(it);
+
+  // Has this reader's registration survived (i.e. was it not already served
+  // via a commit)?  If it was served, the server stays silent.
+  const bool registered =
+      std::any_of(st.gamma.begin(), st.gamma.end(), [&](const GammaEntry& g) {
+        return g.reader == done.reader && g.op == op;
+      });
+  if (!registered) return;
+
+  std::map<Tag, std::vector<codes::IndexedBytes>> by_tag;
+  for (const auto& h : done.helpers) {
+    by_tag[h.tag].emplace_back(static_cast<int>(ctx_->cfg.n1) + h.l2_index,
+                               h.payload);
+  }
+  const std::size_t need = ctx_->code.d();
+  Tag regen_tag = kTag0;
+  std::optional<Bytes> element;
+  for (auto rit = by_tag.rbegin(); rit != by_tag.rend(); ++rit) {
+    if (rit->second.size() < need) continue;
+    element = ctx_->code.repair_element(static_cast<int>(index_), rit->second);
+    if (element) {
+      regen_tag = rit->first;
+      break;
+    }
+  }
+
+  if (element && regen_tag >= done.treq) {
+    send(done.reader,
+         LdsMessage::make(obj, op,
+                          DataRespCoded{regen_tag, static_cast<int>(index_),
+                                        std::move(*element)}));
+  } else {
+    send(done.reader, LdsMessage::make(obj, op, DataRespNack{}));
+  }
+  // Per the paper, the reader remains registered: a later commit may still
+  // serve it with a (tag, value) pair.
+}
+
+void ServerL1::put_tag_resp(ObjectId obj, OpId op, NodeId reader,
+                            const PutTag& m) {
+  ObjectState& st = object(obj);
+  // Fig. 2 line 53: unregister gamma' = (r, treq) for this read operation.
+  st.gamma.erase(
+      std::remove_if(st.gamma.begin(), st.gamma.end(),
+                     [&](const GammaEntry& g) {
+                       return g.reader == reader && g.op == op;
+                     }),
+      st.gamma.end());
+
+  if (m.tag > st.tc) {
+    if (auto it = st.list.find(m.tag);
+        it != st.list.end() && it->second.has_value()) {
+      // The put-tag acts as a proxy for the commitCounter event of
+      // broadcast-resp: commit, serve, garbage-collect and offload.
+      commit_tag(obj, op, m.tag);
+    } else {
+      // Fig. 2 lines 62-65: first sighting of this tag; record it as
+      // committed-but-valueless, serve whoever the best remaining value can
+      // serve, then garbage-collect.
+      st.tc = m.tag;
+      list_put(st, m.tag, std::nullopt);
+      Tag tbar = kTag0;
+      const Bytes* vbar = nullptr;
+      for (auto lit = st.list.rbegin(); lit != st.list.rend(); ++lit) {
+        if (lit->first < st.tc && lit->second.has_value()) {
+          tbar = lit->first;
+          vbar = &*lit->second;
+          break;
+        }
+      }
+      if (vbar != nullptr) {
+        const Bytes value = *vbar;  // copy: serving mutates gamma, GC the list
+        serve_registered(obj, tbar, value);
+      }
+      garbage_collect(obj);
+    }
+  }
+  send(reader, LdsMessage::make(obj, op, PutTagAck{}));
+}
+
+}  // namespace lds::core

@@ -1,0 +1,132 @@
+// The L1 (edge) server automaton: all nine actions of Fig. 2 of the paper.
+//
+// Per-object state (the paper describes a single object; a multi-object
+// deployment runs independent instances, which we realize as per-ObjectId
+// state on the same node):
+//
+//   L   - the temporary list of (tag, value-or-bot) pairs, initially
+//         {(t0, bot)};
+//   Gamma - registered outstanding readers (reader, read-op, treq);
+//   tc  - the committed tag, initially t0;
+//   commitCounter / writeCounter / readCounter - per-tag and per-read
+//         counters backing the broadcast-resp, write-to-L2-complete and
+//         regenerate-from-L2-complete actions;
+//   K   - helper-data accumulator for in-flight regenerations, keyed by the
+//         read operation id.
+//
+// The broadcast primitive (Section III, from [17]) is folded into this node:
+// on the *first* receipt of a COMMIT-TAG instance, a server belonging to the
+// fixed relay set S_{f1+1} forwards it to all of L1 before consuming it;
+// every server consumes each instance exactly once (dedup by bcast_id).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lds/context.h"
+#include "lds/messages.h"
+#include "net/network.h"
+
+namespace lds::core {
+
+class ServerL1 final : public net::Node {
+ public:
+  /// `index` is this server's position in L1 (== its code coordinate).
+  ServerL1(net::Network& net, std::shared_ptr<const LdsContext> ctx,
+           std::size_t index);
+
+  std::size_t index() const { return index_; }
+
+  void on_message(NodeId from, const net::MessagePtr& msg) override;
+
+  // ---- introspection for tests and the storage meter -----------------------
+
+  /// Committed tag tc of one object (t0 if the object was never touched).
+  Tag committed_tag(ObjectId obj) const;
+  /// Tags present in the list L (keys; values may be bot).
+  std::vector<Tag> list_tags(ObjectId obj) const;
+  /// True iff the list holds an actual value for `t`.
+  bool has_value(ObjectId obj, Tag t) const;
+  /// Number of registered readers of one object.
+  std::size_t registered_readers(ObjectId obj) const;
+  /// Total bytes of values currently held for all objects (temporary cost).
+  std::uint64_t stored_value_bytes() const { return value_bytes_; }
+
+ private:
+  struct GammaEntry {
+    NodeId reader = kNoNode;
+    OpId op = kNoOp;
+    Tag treq;
+  };
+
+  struct Regen {
+    NodeId reader = kNoNode;
+    Tag treq;
+    std::size_t responses = 0;
+    // (tag, helper payload, helper's L2 index) triples received so far.
+    struct Helper {
+      Tag tag;
+      int l2_index;
+      Bytes payload;
+    };
+    std::vector<Helper> helpers;
+  };
+
+  struct ObjectState {
+    // L: ordered map tag -> optional value; nullopt encodes bot.
+    std::map<Tag, std::optional<Bytes>> list;
+    Tag tc = kTag0;
+    std::vector<GammaEntry> gamma;
+    std::map<Tag, std::size_t> commit_counter;
+    std::set<Tag> acked;             // writer-ACK sent for these tags
+    std::map<Tag, OpId> tag_op;      // originating write op per tag
+    std::map<Tag, std::size_t> write_counter;  // ACK-CODE-ELEM counts
+    std::unordered_map<OpId, Regen> regen;     // K, keyed by read op
+    bool initialized = false;
+  };
+
+  ObjectState& object(ObjectId obj);
+
+  // Fig. 2 actions.
+  void get_tag_resp(ObjectId obj, OpId op, NodeId writer);
+  void put_data_resp(ObjectId obj, OpId op, NodeId writer, const PutData& m);
+  void broadcast_resp(ObjectId obj, OpId op, const CommitTag& m);
+  void write_to_l2(ObjectId obj, OpId op, Tag tag, const Bytes& value);
+  void write_to_l2_complete(ObjectId obj, const AckCodeElem& m);
+  void get_committed_tag_resp(ObjectId obj, OpId op, NodeId reader);
+  void get_data_resp(ObjectId obj, OpId op, NodeId reader, const QueryData& m);
+  void regenerate_from_l2(ObjectId obj, OpId op, NodeId reader, Tag treq);
+  void regenerate_complete(ObjectId obj, OpId op, const SendHelperElem& m,
+                           NodeId from);
+  void put_tag_resp(ObjectId obj, OpId op, NodeId reader, const PutTag& m);
+
+  // Shared commit machinery: advance tc to `t`, serve registered readers
+  // whose treq <= tc with (t_served, value), garbage-collect tags < tc, and
+  // optionally launch write-to-L2.  Used by broadcast-resp and put-tag-resp.
+  void commit_tag(ObjectId obj, OpId op, Tag t);
+
+  /// Serve and unregister every gamma entry with treq <= t (value known).
+  void serve_registered(ObjectId obj, Tag t, const Bytes& value);
+
+  /// Replace (t', v) with (t', bot) for every t' < tc (Fig. 2 lines 18, 65).
+  void garbage_collect(ObjectId obj);
+
+  // List mutation helpers that keep the storage gauge consistent.
+  void list_put(ObjectState& st, Tag t, std::optional<Bytes> v);
+  void list_blank(ObjectState& st, Tag t);
+
+  void bcast_commit(ObjectId obj, OpId op, Tag tag);
+
+  std::shared_ptr<const LdsContext> ctx_;
+  std::size_t index_;
+  std::unordered_map<ObjectId, ObjectState> objects_;
+  std::unordered_set<std::uint64_t> seen_bcasts_;
+  std::uint32_t bcast_seq_ = 0;
+  std::uint64_t value_bytes_ = 0;
+};
+
+}  // namespace lds::core

@@ -1,0 +1,61 @@
+#include "lds/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace lds::core {
+
+namespace {
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+LatencyStats latency_stats(const History& history, OpKind kind) {
+  std::vector<double> lat;
+  for (const auto& op : history.ops()) {
+    if (!op.complete || op.kind != kind) continue;
+    lat.push_back(op.responded - op.invoked);
+  }
+  LatencyStats s;
+  s.count = lat.size();
+  if (lat.empty()) return s;
+  std::sort(lat.begin(), lat.end());
+  double sum = 0;
+  for (double v : lat) sum += v;
+  s.mean = sum / static_cast<double>(lat.size());
+  s.p50 = percentile(lat, 0.50);
+  s.p90 = percentile(lat, 0.90);
+  s.p99 = percentile(lat, 0.99);
+  s.min = lat.front();
+  s.max = lat.back();
+  return s;
+}
+
+std::string format_latency_report(const History& history) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-8s %7s %8s %8s %8s %8s %8s %8s\n", "kind",
+                "count", "mean", "p50", "p90", "p99", "min", "max");
+  out += buf;
+  const struct {
+    OpKind kind;
+    const char* name;
+  } kinds[] = {{OpKind::Write, "write"}, {OpKind::Read, "read"}};
+  for (const auto& [kind, name] : kinds) {
+    const LatencyStats s = latency_stats(history, kind);
+    std::snprintf(buf, sizeof buf,
+                  "%-8s %7zu %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n", name,
+                  s.count, s.mean, s.p50, s.p90, s.p99, s.min, s.max);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lds::core

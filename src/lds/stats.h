@@ -1,0 +1,29 @@
+// Operation statistics computed from a recorded History: latency
+// percentiles per operation kind and a formatted report.  Used by the CLI
+// driver and by tests that check the Lemma V.4 bounds across whole
+// workloads rather than single operations.
+#pragma once
+
+#include <string>
+
+#include "lds/history.h"
+
+namespace lds::core {
+
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Latency distribution of completed operations of one kind (all objects).
+LatencyStats latency_stats(const History& history, OpKind kind);
+
+/// Two-row human-readable report (writes / reads).
+std::string format_latency_report(const History& history);
+
+}  // namespace lds::core

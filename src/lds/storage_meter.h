@@ -1,0 +1,52 @@
+// Storage-cost gauges (paper, Section II-d: storage cost is the worst-case
+// total data stored; L1 holdings are "temporary", L2 holdings "permanent";
+// meta-data such as tags is ignored).
+//
+// Servers report every addition/removal of value bytes (L1 lists) and coded
+// element bytes (L2 stores); the meter keeps running totals and the peak,
+// which is what Lemmas V.3 and V.5 bound.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace lds::core {
+
+class StorageMeter {
+ public:
+  void add_l1(std::uint64_t bytes) {
+    l1_ += bytes;
+    if (l1_ > l1_peak_) l1_peak_ = l1_;
+  }
+  void sub_l1(std::uint64_t bytes) {
+    LDS_CHECK(l1_ >= bytes, "StorageMeter: L1 underflow");
+    l1_ -= bytes;
+  }
+  void add_l2(std::uint64_t bytes) {
+    l2_ += bytes;
+    if (l2_ > l2_peak_) l2_peak_ = l2_;
+  }
+  void sub_l2(std::uint64_t bytes) {
+    LDS_CHECK(l2_ >= bytes, "StorageMeter: L2 underflow");
+    l2_ -= bytes;
+  }
+
+  std::uint64_t l1_bytes() const { return l1_; }
+  std::uint64_t l2_bytes() const { return l2_; }
+  std::uint64_t l1_peak_bytes() const { return l1_peak_; }
+  std::uint64_t l2_peak_bytes() const { return l2_peak_; }
+
+  void reset_peaks() {
+    l1_peak_ = l1_;
+    l2_peak_ = l2_;
+  }
+
+ private:
+  std::uint64_t l1_ = 0;
+  std::uint64_t l2_ = 0;
+  std::uint64_t l1_peak_ = 0;
+  std::uint64_t l2_peak_ = 0;
+};
+
+}  // namespace lds::core

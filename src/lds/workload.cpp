@@ -1,0 +1,87 @@
+#include "lds/workload.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace lds::core {
+
+namespace {
+
+struct WorkloadState {
+  WorkloadOptions opt;
+  Rng rng;
+  double t_end = 0;
+  std::size_t writes = 0;
+  std::size_t reads = 0;
+
+  explicit WorkloadState(const WorkloadOptions& o)
+      : opt(o), rng(o.seed) {}
+
+  ObjectId pick_object() {
+    return static_cast<ObjectId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(opt.num_objects) - 1));
+  }
+  double think(double mean) {
+    return mean <= 0 ? 0.0 : rng.exponential(mean);
+  }
+};
+
+void writer_loop(LdsCluster& cluster, std::shared_ptr<WorkloadState> st,
+                 std::size_t w);
+void reader_loop(LdsCluster& cluster, std::shared_ptr<WorkloadState> st,
+                 std::size_t r);
+
+void writer_loop(LdsCluster& cluster, std::shared_ptr<WorkloadState> st,
+                 std::size_t w) {
+  if (cluster.sim().now() >= st->t_end) return;
+  cluster.writer(w).write(
+      st->pick_object(), st->rng.bytes(st->opt.value_size),
+      [&cluster, st, w](Tag) {
+        ++st->writes;
+        const double gap = st->think(st->opt.write_think_mean);
+        cluster.sim().after(gap > 0 ? gap : 1e-9,
+                            [&cluster, st, w] { writer_loop(cluster, st, w); });
+      });
+}
+
+void reader_loop(LdsCluster& cluster, std::shared_ptr<WorkloadState> st,
+                 std::size_t r) {
+  if (cluster.sim().now() >= st->t_end) return;
+  cluster.reader(r).read(
+      st->pick_object(), [&cluster, st, r](Tag, Bytes) {
+        ++st->reads;
+        const double gap = st->think(st->opt.read_think_mean);
+        cluster.sim().after(gap > 0 ? gap : 1e-9,
+                            [&cluster, st, r] { reader_loop(cluster, st, r); });
+      });
+}
+
+}  // namespace
+
+WorkloadStats run_workload(LdsCluster& cluster, const WorkloadOptions& opt) {
+  auto st = std::make_shared<WorkloadState>(opt);
+  const double t0 = cluster.sim().now();
+  st->t_end = t0 + opt.duration;
+
+  const std::size_t writers = std::min(opt.writers, cluster.num_writers());
+  const std::size_t readers = std::min(opt.readers, cluster.num_readers());
+  for (std::size_t w = 0; w < writers; ++w) writer_loop(cluster, st, w);
+  for (std::size_t r = 0; r < readers; ++r) reader_loop(cluster, st, r);
+
+  cluster.settle();
+
+  WorkloadStats stats;
+  stats.writes_completed = st->writes;
+  stats.reads_completed = st->reads;
+  stats.span = cluster.sim().now() - t0;
+  stats.writes_per_tau1 =
+      stats.span > 0
+          ? static_cast<double>(st->writes) / stats.span *
+                cluster.options().tau1
+          : 0.0;
+  return stats;
+}
+
+}  // namespace lds::core

@@ -1,0 +1,47 @@
+// Multi-object workload generator (paper, Section V-A.1).
+//
+// Drives a cluster's writer/reader pool as well-formed closed-loop clients:
+// each client issues one operation at a time on a randomly selected object,
+// waits for it to complete, thinks for an exponentially distributed gap, and
+// repeats until the configured end time.  The concurrency parameter theta of
+// Lemma V.5 (concurrent extended writes per tau1) is then governed by the
+// number of writers and their think-time/latency ratio, which the caller can
+// read back from WorkloadStats.
+#pragma once
+
+#include <cstddef>
+
+#include "lds/cluster.h"
+
+namespace lds::core {
+
+struct WorkloadOptions {
+  std::size_t num_objects = 1;
+  /// Operations are issued from the current simulation time until now+duration
+  /// (in simulation time units = tau1); in-flight operations then finish.
+  double duration = 100.0;
+  /// Mean exponential think time between a client's operations (0 = back to
+  /// back).
+  double write_think_mean = 0.0;
+  double read_think_mean = 0.0;
+  /// Use all writers / readers of the cluster?  Counts are capped by the
+  /// cluster's pools.
+  std::size_t writers = SIZE_MAX;
+  std::size_t readers = 0;
+  std::size_t value_size = 100;
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadStats {
+  std::size_t writes_completed = 0;
+  std::size_t reads_completed = 0;
+  double span = 0;  ///< simulated time from start to quiescence
+  /// Measured theta: completed writes * extended-write-duration-bound /
+  /// span / tau1 is left to the caller; this reports raw rate writes/tau1.
+  double writes_per_tau1 = 0;
+};
+
+/// Runs the workload to quiescence (all issued operations complete).
+WorkloadStats run_workload(LdsCluster& cluster, const WorkloadOptions& opt);
+
+}  // namespace lds::core

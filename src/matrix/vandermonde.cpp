@@ -1,0 +1,34 @@
+#include "matrix/vandermonde.h"
+
+namespace lds::math {
+
+std::vector<gf::Elem> default_eval_points(std::size_t n) {
+  LDS_REQUIRE(n <= 255,
+              "GF(256) supports at most 255 distinct nonzero eval points");
+  std::vector<gf::Elem> xs(n);
+  gf::Elem x = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = x;
+    x = gf::mul(x, gf::generator());
+  }
+  return xs;
+}
+
+Matrix vandermonde(std::span<const gf::Elem> xs, std::size_t m) {
+  Matrix out(xs.size(), m);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    gf::Elem p = 1;
+    for (std::size_t j = 0; j < m; ++j) {
+      out.at(i, j) = p;
+      p = gf::mul(p, xs[i]);
+    }
+  }
+  return out;
+}
+
+Matrix vandermonde(std::size_t n, std::size_t m) {
+  const auto xs = default_eval_points(n);
+  return vandermonde(xs, m);
+}
+
+}  // namespace lds::math

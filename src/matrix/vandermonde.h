@@ -1,0 +1,26 @@
+// Vandermonde matrix builders.
+//
+// Both the product-matrix codes and the Reed-Solomon baseline use
+// Vandermonde encoding matrices: with distinct nonzero evaluation points
+// x_1..x_n, any m rows of the n x m matrix [x_i^j] are linearly independent,
+// which is exactly the "any k of Phi / any d of Psi invertible" requirement
+// of Rashmi-Shah-Kumar (the paper's reference [25]).
+#pragma once
+
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace lds::math {
+
+/// The first n distinct nonzero evaluation points g^0, g^1, ... (g = field
+/// generator).  Requires n <= 255.
+std::vector<gf::Elem> default_eval_points(std::size_t n);
+
+/// n x m Vandermonde matrix with row i = (1, x_i, x_i^2, ..., x_i^{m-1}).
+Matrix vandermonde(std::span<const gf::Elem> xs, std::size_t m);
+
+/// Convenience: vandermonde(default_eval_points(n), m).
+Matrix vandermonde(std::size_t n, std::size_t m);
+
+}  // namespace lds::math

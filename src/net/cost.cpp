@@ -1,0 +1,23 @@
+#include "net/cost.h"
+
+namespace lds::net {
+
+void CostTracker::record(LinkClass link, OpId op, std::uint64_t data_bytes,
+                         std::uint64_t meta_bytes) {
+  total_.add(data_bytes, meta_bytes);
+  by_link_[static_cast<std::size_t>(link)].add(data_bytes, meta_bytes);
+  if (op != kNoOp) by_op_[op].add(data_bytes, meta_bytes);
+}
+
+CostBucket CostTracker::by_op(OpId op) const {
+  auto it = by_op_.find(op);
+  return it == by_op_.end() ? CostBucket{} : it->second;
+}
+
+void CostTracker::reset() {
+  total_ = {};
+  by_link_.fill({});
+  by_op_.clear();
+}
+
+}  // namespace lds::net

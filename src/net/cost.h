@@ -1,0 +1,63 @@
+// Communication-cost accounting.
+//
+// Section II-d of the paper: "The communication cost associated with a read
+// or write operation is the (worst-case) size of the total data that gets
+// transmitted in the messages sent as part of the operation. ... Costs
+// contributed by meta-data (tags, counters, etc.) are ignored ... costs are
+// normalized by the size of v."
+//
+// We therefore account *at send time* (not delivery), split every payload
+// into data bytes vs meta bytes, and attribute bytes to the client operation
+// whose OpId the message carries (internal write-to-L2 messages carry the
+// originating write's OpId, matching the paper's convention that write cost
+// includes the internal write-to-L2 cost).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "net/latency.h"
+
+namespace lds::net {
+
+struct CostBucket {
+  std::uint64_t messages = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t meta_bytes = 0;
+
+  void add(std::uint64_t data, std::uint64_t meta) {
+    ++messages;
+    data_bytes += data;
+    meta_bytes += meta;
+  }
+  CostBucket& operator+=(const CostBucket& o) {
+    messages += o.messages;
+    data_bytes += o.data_bytes;
+    meta_bytes += o.meta_bytes;
+    return *this;
+  }
+};
+
+class CostTracker {
+ public:
+  void record(LinkClass link, OpId op, std::uint64_t data_bytes,
+              std::uint64_t meta_bytes);
+
+  const CostBucket& total() const { return total_; }
+  const CostBucket& by_link(LinkClass c) const {
+    return by_link_[static_cast<std::size_t>(c)];
+  }
+  /// Bytes attributed to one operation (zero bucket if unknown).
+  CostBucket by_op(OpId op) const;
+
+  void reset();
+
+ private:
+  CostBucket total_;
+  std::array<CostBucket, kNumLinkClasses> by_link_{};
+  std::unordered_map<OpId, CostBucket> by_op_;
+};
+
+}  // namespace lds::net

@@ -1,0 +1,60 @@
+#include "net/latency.h"
+
+namespace lds::net {
+
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::ClientL1: return "client-L1";
+    case LinkClass::L1L1: return "L1-L1";
+    case LinkClass::L1L2: return "L1-L2";
+    case LinkClass::Other: return "other";
+  }
+  return "?";
+}
+
+LinkClass classify_link(Role from, Role to) {
+  const auto is_client = [](Role r) {
+    return r == Role::Writer || r == Role::Reader;
+  };
+  if ((is_client(from) && to == Role::ServerL1) ||
+      (from == Role::ServerL1 && is_client(to))) {
+    return LinkClass::ClientL1;
+  }
+  if (from == Role::ServerL1 && to == Role::ServerL1) return LinkClass::L1L1;
+  if ((from == Role::ServerL1 && to == Role::ServerL2) ||
+      (from == Role::ServerL2 && to == Role::ServerL1)) {
+    return LinkClass::L1L2;
+  }
+  return LinkClass::Other;
+}
+
+namespace {
+SimTime pick(LinkClass c, SimTime t1, SimTime t0, SimTime t2) {
+  switch (c) {
+    case LinkClass::ClientL1: return t1;
+    case LinkClass::L1L1: return t0;
+    case LinkClass::L1L2: return t2;
+    case LinkClass::Other: return t2;  // conservative
+  }
+  return t2;
+}
+}  // namespace
+
+SimTime FixedLatency::sample(LinkClass c, Rng&) {
+  return pick(c, tau1_, tau0_, tau2_);
+}
+
+SimTime UniformLatency::sample(LinkClass c, Rng& rng) {
+  const SimTime tau = pick(c, tau1_, tau0_, tau2_);
+  return rng.uniform_real(lo_ * tau, tau);
+}
+
+SimTime ExponentialLatency::sample(LinkClass c, Rng& rng) {
+  const SimTime mean = pick(c, mean1_, mean0_, mean2_);
+  // Exponential can return ~0; clamp to a tiny positive delay so an event is
+  // always strictly in the future.
+  const SimTime d = rng.exponential(mean);
+  return d > 1e-9 ? d : 1e-9;
+}
+
+}  // namespace lds::net

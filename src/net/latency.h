@@ -1,0 +1,91 @@
+// Link latency models.
+//
+// The paper's bounded-latency analysis (Section V-A) distinguishes three
+// link classes with delay upper bounds:
+//   tau1: client <-> L1 server,
+//   tau0: L1 server <-> L1 server,
+//   tau2: L1 server <-> L2 server (typically the slowest; mu = tau2/tau1).
+// Links never drop messages (reliable channels); the model only chooses
+// *when* a message arrives.  For liveness/atomicity stress tests we sample
+// delays from unbounded-ish distributions to approximate asynchrony; for the
+// latency benches (Lemma V.4) we use the deterministic upper bounds so that
+// measured completion times can be compared against the paper's formulas.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/sim.h"
+
+namespace lds::net {
+
+/// Classification of a (from, to) role pair.
+enum class LinkClass : std::uint8_t {
+  ClientL1,  // writer/reader <-> L1
+  L1L1,      // within the edge layer (broadcast primitive relays)
+  L1L2,      // edge <-> back-end (internal operations)
+  Other,     // anything else (client<->L2 never happens in LDS)
+};
+inline constexpr int kNumLinkClasses = 4;
+
+const char* link_class_name(LinkClass c);
+
+LinkClass classify_link(Role from, Role to);
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// Delay for a message on a link of class `c`.  Must be > 0.
+  virtual SimTime sample(LinkClass c, Rng& rng) = 0;
+};
+
+/// Deterministic delays: exactly tau1 / tau0 / tau2 per class.  This realizes
+/// the *worst case* of the bounded-latency model, which is what Lemma V.4's
+/// bounds are stated against.
+class FixedLatency final : public LatencyModel {
+ public:
+  FixedLatency(SimTime tau1, SimTime tau0, SimTime tau2)
+      : tau1_(tau1), tau0_(tau0), tau2_(tau2) {
+    LDS_REQUIRE(tau1 > 0 && tau0 > 0 && tau2 > 0,
+                "FixedLatency: delays must be positive");
+  }
+  SimTime sample(LinkClass c, Rng& rng) override;
+
+ private:
+  SimTime tau1_, tau0_, tau2_;
+};
+
+/// Uniform delays in [lo * tau, tau] per class: bounded latency with jitter.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime tau1, SimTime tau0, SimTime tau2, double lo_frac)
+      : tau1_(tau1), tau0_(tau0), tau2_(tau2), lo_(lo_frac) {
+    LDS_REQUIRE(tau1 > 0 && tau0 > 0 && tau2 > 0, "UniformLatency: delays");
+    LDS_REQUIRE(lo_frac > 0 && lo_frac <= 1, "UniformLatency: lo_frac in (0,1]");
+  }
+  SimTime sample(LinkClass c, Rng& rng) override;
+
+ private:
+  SimTime tau1_, tau0_, tau2_;
+  double lo_;
+};
+
+/// Exponential delays with per-class means: a heavy-tailed approximation of
+/// asynchrony used by the correctness stress tests (no finite upper bound on
+/// any fixed quantile's support, so message reorderings are adversarial-ish
+/// across seeds).
+class ExponentialLatency final : public LatencyModel {
+ public:
+  ExponentialLatency(SimTime mean1, SimTime mean0, SimTime mean2)
+      : mean1_(mean1), mean0_(mean0), mean2_(mean2) {
+    LDS_REQUIRE(mean1 > 0 && mean0 > 0 && mean2 > 0,
+                "ExponentialLatency: means must be positive");
+  }
+  SimTime sample(LinkClass c, Rng& rng) override;
+
+ private:
+  SimTime mean1_, mean0_, mean2_;
+};
+
+}  // namespace lds::net

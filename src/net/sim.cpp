@@ -1,0 +1,41 @@
+#include "net/sim.h"
+
+#include <utility>
+
+namespace lds::net {
+
+void Simulator::at(SimTime t, Fn fn) {
+  LDS_REQUIRE(t >= now_, "Simulator::at: cannot schedule in the past");
+  LDS_REQUIRE(fn != nullptr, "Simulator::at: null event");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately afterwards.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime t_end) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t_end) {
+    step();
+    ++n;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace lds::net

@@ -1,0 +1,72 @@
+// Discrete-event simulator.
+//
+// The paper's model of computation is an asynchronous message-passing system
+// with reliable point-to-point channels (Section II-a).  A discrete-event
+// simulation realizes that model exactly: every message delivery and every
+// timer is an event; an execution is the sequence of events ordered by
+// (time, insertion order), which makes runs deterministic for a fixed seed.
+// Asynchrony is modelled by randomized per-message latencies (see latency.h);
+// an adversary is approximated by exploring many seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lds::net {
+
+/// Simulated time.  Unit-free; the latency models define the scale (we use
+/// "1.0 == tau1" in most benches).
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Fn = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now).
+  void at(SimTime t, Fn fn);
+
+  /// Schedule `fn` to run `delay` time units from now.
+  void after(SimTime delay, Fn fn) { at(now_ + delay, std::move(fn)); }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Run the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run events with time <= t_end (or until drained); advances now() to
+  /// t_end if the queue drains earlier.  Returns events executed.
+  std::size_t run_until(SimTime t_end);
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace lds::net

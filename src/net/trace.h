@@ -1,0 +1,71 @@
+// Protocol tracing: a bounded, queryable record of message deliveries.
+//
+// Attaches to a Network through the delivery-observer hook and keeps the
+// last `capacity` deliveries as structured entries (time, endpoints, type,
+// sizes).  Used by debugging sessions, the CLI driver (--trace) and tests
+// that assert on protocol-level behaviour (e.g. "no WRITE-CODE-ELEM before
+// the commit quorum").  Formatting is human-readable one-line-per-event.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace lds::net {
+
+struct TraceEntry {
+  SimTime time = 0;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::string type;
+  OpId op = kNoOp;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t meta_bytes = 0;
+};
+
+class Trace {
+ public:
+  /// Attach to `net` (replaces any previously set delivery observer).
+  /// The trace must outlive the network or be detach()ed first.
+  Trace(Network& net, std::size_t capacity = 4096);
+  ~Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Stop observing (idempotent).
+  void detach();
+
+  /// Filter by message type name; empty = record everything.
+  void set_type_filter(std::vector<std::string> types);
+
+  const std::deque<TraceEntry>& entries() const { return entries_; }
+  std::size_t total_recorded() const { return total_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Entries of one message type, oldest first.
+  std::vector<TraceEntry> by_type(const std::string& type) const;
+
+  /// Count of recorded entries of one type.
+  std::size_t count(const std::string& type) const;
+
+  /// One line per entry: "[   12.000] s20001 -> r10000  DATA-RESP-VALUE
+  /// op=... 120B+32B".
+  std::string format() const;
+  static std::string format_entry(const TraceEntry& e);
+
+ private:
+  void record(NodeId from, NodeId to, const Payload& payload);
+
+  Network* net_;
+  std::size_t capacity_;
+  std::vector<std::string> filter_;
+  std::deque<TraceEntry> entries_;
+  std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace lds::net

@@ -1,0 +1,124 @@
+// The ABD replication baseline: correctness (it feeds the E8 comparison, so
+// its numbers must come from a sound implementation) and cost sanity.
+#include <gtest/gtest.h>
+
+#include "baselines/abd.h"
+#include "common/rng.h"
+
+namespace lds::baselines {
+namespace {
+
+AbdCluster::Options small() {
+  AbdCluster::Options opt;
+  opt.n = 5;
+  opt.f = 2;
+  opt.initial_value = Bytes{7};
+  return opt;
+}
+
+TEST(Abd, WriteReadRoundTrip) {
+  AbdCluster c(small());
+  Rng rng(1);
+  const Bytes v = rng.bytes(40);
+  const Tag wt = c.write_sync(0, 0, v);
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_EQ(rv, v);
+  EXPECT_TRUE(c.history().check_atomicity(Bytes{7}).ok);
+}
+
+TEST(Abd, InitialRead) {
+  AbdCluster c(small());
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, kTag0);
+  EXPECT_EQ(rv, (Bytes{7}));
+}
+
+TEST(Abd, ToleratesMinorityCrashes) {
+  AbdCluster c(small());
+  Rng rng(2);
+  c.crash_server(0);
+  c.crash_server(3);
+  const Tag wt = c.write_sync(0, 0, rng.bytes(30));
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_TRUE(c.history().all_complete());
+}
+
+TEST(Abd, SequentialTagsGrow) {
+  AbdCluster c(small());
+  Rng rng(3);
+  Tag prev = kTag0;
+  for (int i = 0; i < 4; ++i) {
+    const Tag t = c.write_sync(0, 0, rng.bytes(16));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Abd, RandomizedConcurrencyStaysAtomic) {
+  for (int seed = 0; seed < 10; ++seed) {
+    AbdCluster::Options opt = small();
+    opt.writers = 2;
+    opt.readers = 2;
+    opt.exponential_latency = true;
+    opt.seed = static_cast<std::uint64_t>(seed) + 1;
+    AbdCluster c(opt);
+    Rng rng(static_cast<std::uint64_t>(seed) + 100);
+
+    for (std::size_t w = 0; w < 2; ++w) {
+      const double at = rng.uniform_real(0.0, 2.0);
+      c.sim().at(at, [&c, w, &rng] {
+        c.writer(w).write(0, Bytes{static_cast<std::uint8_t>(w)},
+                          [&c, w](Tag) {
+                            c.writer(w).write(
+                                0, Bytes{static_cast<std::uint8_t>(w + 10)});
+                          });
+      });
+    }
+    for (std::size_t r = 0; r < 2; ++r) {
+      const double at = rng.uniform_real(0.0, 4.0);
+      c.sim().at(at, [&c, r] {
+        c.reader(r).read(0, [&c, r](Tag, Bytes) { c.reader(r).read(0); });
+      });
+    }
+    c.sim().run();
+    EXPECT_TRUE(c.history().all_complete()) << "seed " << seed;
+    const auto verdict = c.history().check_atomicity(Bytes{7});
+    EXPECT_TRUE(verdict.ok) << verdict.violation << " seed " << seed;
+  }
+}
+
+TEST(Abd, CostProfile) {
+  // Write ~ n |v| (update phase), read ~ 2n |v| (query responses carry the
+  // value from all n, write-back to all n) - the baseline columns of E8.
+  AbdCluster::Options opt = small();
+  AbdCluster c(opt);
+  Rng rng(4);
+  const std::size_t value_size = 10000;
+  c.write_sync(0, 0, rng.bytes(value_size));
+  const OpId write_op = make_op_id(1, 1);
+  const OpId read_op = make_op_id(10000, 1);
+  c.read_sync(0, 0);
+  c.sim().run();
+
+  const double write_cost =
+      static_cast<double>(c.net().costs().by_op(write_op).data_bytes) /
+      static_cast<double>(value_size);
+  const double read_cost =
+      static_cast<double>(c.net().costs().by_op(read_op).data_bytes) /
+      static_cast<double>(value_size);
+  EXPECT_DOUBLE_EQ(write_cost, 5.0);
+  EXPECT_DOUBLE_EQ(read_cost, 10.0);
+  // Storage: n replicas.
+  EXPECT_EQ(c.storage_bytes(), 5u * value_size);
+}
+
+TEST(Abd, WellFormednessEnforced) {
+  AbdCluster c(small());
+  c.writer(0).write(0, Bytes{1});
+  EXPECT_DEATH(c.writer(0).write(0, Bytes{2}), "one operation at a time");
+}
+
+}  // namespace
+}  // namespace lds::baselines

@@ -1,0 +1,127 @@
+// The Section-V closed forms: spot values, asymptotic shapes and the
+// cross-formula identities the paper states.
+#include <gtest/gtest.h>
+
+#include "lds/analysis.h"
+#include "lds/config.h"
+
+namespace lds::core::analysis {
+namespace {
+
+TEST(Analysis, MbrFractions) {
+  // k = d = 80 (Fig. 6): beta = 2/(80 * 81), alpha = d beta = 2/81.
+  EXPECT_DOUBLE_EQ(mbr_beta_frac(80, 80), 2.0 / (80.0 * 81.0));
+  EXPECT_DOUBLE_EQ(mbr_alpha_frac(80, 80), 2.0 / 81.0);
+  // alpha = d * beta always.
+  for (std::size_t k = 1; k <= 12; ++k) {
+    for (std::size_t d = k; d <= 16; ++d) {
+      EXPECT_DOUBLE_EQ(mbr_alpha_frac(k, d),
+                       static_cast<double>(d) * mbr_beta_frac(k, d));
+    }
+  }
+}
+
+TEST(Analysis, WriteCostSpotValues) {
+  // Lemma V.2: n1 + n1 n2 2d/(k(2d-k+1)).
+  EXPECT_DOUBLE_EQ(write_cost(6, 8, 4, 4), 6.0 + 6.0 * 8.0 * 8.0 / (4 * 5.0));
+  // Theta(n1): doubling n (with the same proportions) roughly doubles cost.
+  const double c1 = write_cost(50, 50, 40, 40);
+  const double c2 = write_cost(100, 100, 80, 80);
+  EXPECT_NEAR(c2 / c1, 2.0, 0.05);
+}
+
+TEST(Analysis, ReadCostSpotValuesAndDeltaJump) {
+  const double base = read_cost(10, 10, 8, 8, false);
+  EXPECT_NEAR(base, 10.0 * 2.25 * 2.0 * 8.0 / (8.0 * 9.0), 1e-12);
+  EXPECT_DOUBLE_EQ(read_cost(10, 10, 8, 8, true), base + 10.0);
+  // Theta(1): growing n leaves the contention-free cost bounded.
+  EXPECT_LT(read_cost(200, 200, 160, 160, false), 6.0);
+  EXPECT_GT(read_cost(200, 200, 160, 160, true), 200.0);
+}
+
+TEST(Analysis, StorageCostMatchesPaperExample) {
+  // Fig. 6 commentary: L2 cost per object < 3 at n2 = 100, k = d = 80;
+  // replication would cost 100.
+  const double per_object = l2_storage_per_object(100, 80, 80);
+  EXPECT_NEAR(per_object, 2.469, 0.001);
+  EXPECT_LT(per_object, 3.0);
+}
+
+TEST(Analysis, MbrAtMostTwiceMsrStorage) {
+  // Remark 2 for a range of (k, d).
+  for (std::size_t k = 1; k <= 20; ++k) {
+    for (std::size_t d = k; d <= 24; ++d) {
+      const double mbr = l2_storage_per_object(30, k, d);
+      const double msr = msr_storage_per_object(30, k);
+      EXPECT_GE(mbr, msr);
+      EXPECT_LE(mbr, 2.0 * msr + 1e-9);
+    }
+  }
+}
+
+TEST(Analysis, RsReadCostIsOmegaN1) {
+  EXPECT_GT(rs_read_cost(100, 80, false), 100.0);
+  EXPECT_GT(rs_read_cost(100, 80, true), 200.0);
+}
+
+TEST(Analysis, LatencyBounds) {
+  EXPECT_DOUBLE_EQ(write_latency_bound(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(extended_write_latency_bound(1, 1, 10), 25.0);
+  // At tiny tau2, the write-path term dominates the extended write.
+  EXPECT_DOUBLE_EQ(extended_write_latency_bound(1, 1, 0.1), 6.0);
+  EXPECT_DOUBLE_EQ(read_latency_bound(1, 1, 10), 26.0);
+  // At small tau2 the two maxima cross over.
+  EXPECT_DOUBLE_EQ(read_latency_bound(1, 1, 1), 9.0);
+}
+
+TEST(Analysis, Fig6Crossover) {
+  // With theta = 100, mu = 10, n1 = 100: L1 bound is 250k; the L2 cost
+  // passes it near N ~ 101k objects - the crossover visible in Fig. 6.
+  const double l1 = l1_storage_bound(100, 100, 10);
+  EXPECT_DOUBLE_EQ(l1, 250000.0);
+  EXPECT_LT(l2_storage_multi(100000, 100, 80), l1 + 1e4);
+  EXPECT_GT(l2_storage_multi(110000, 100, 80), l1);
+}
+
+TEST(Config, ValidationRules) {
+  LdsConfig good;
+  good.n1 = 6;
+  good.f1 = 1;
+  good.n2 = 8;
+  good.f2 = 2;
+  good.validate();  // no abort
+  EXPECT_EQ(good.k(), 4u);
+  EXPECT_EQ(good.d(), 4u);
+  EXPECT_EQ(good.l1_quorum(), 5u);
+  EXPECT_EQ(good.l2_quorum(), 6u);
+
+  LdsConfig bad_f1 = good;
+  bad_f1.f1 = 3;  // f1 < n1/2 fails
+  EXPECT_DEATH(bad_f1.validate(), "f1 < n1/2");
+
+  LdsConfig bad_f2 = good;
+  bad_f2.f2 = 3;  // f2 < n2/3 fails (3*3 !< 8)
+  EXPECT_DEATH(bad_f2.validate(), "f2 < n2/3");
+
+  LdsConfig bad_kd = good;
+  bad_kd.n1 = 10;
+  bad_kd.f1 = 1;  // k = 8 > d = 4
+  EXPECT_DEATH(bad_kd.validate(), "d >= k");
+
+  LdsConfig bad_field = good;
+  bad_field.n1 = 200;
+  bad_field.f1 = 40;   // k = 120
+  bad_field.n2 = 130;  // n = 330 > 255
+  bad_field.f2 = 5;
+  EXPECT_DEATH(bad_field.validate(), "GF");
+}
+
+TEST(Config, SymmetricFactory) {
+  const LdsConfig cfg = LdsConfig::symmetric(100, 10);
+  EXPECT_EQ(cfg.k(), 80u);
+  EXPECT_EQ(cfg.d(), 80u);
+  EXPECT_EQ(cfg.n(), 200u);
+}
+
+}  // namespace
+}  // namespace lds::core::analysis

@@ -1,0 +1,136 @@
+// CAS (Coded Atomic Storage, reference [6]) baseline: correctness,
+// fault-tolerance at the (n - k) / 2 bound, cost profile, and the
+// unbounded-history storage growth that motivates LDS's two-layer design.
+#include <gtest/gtest.h>
+
+#include "baselines/cas.h"
+#include "common/rng.h"
+
+namespace lds::baselines {
+namespace {
+
+CasCluster::Options small() {
+  CasCluster::Options opt;
+  opt.n = 9;
+  opt.k = 5;  // q = 7, f = 2
+  opt.initial_value = Bytes{1, 2};
+  return opt;
+}
+
+TEST(Cas, QuorumArithmetic) {
+  auto ctx = make_cas_context(9, 5, {});
+  EXPECT_EQ(ctx->quorum(), 7u);
+  EXPECT_EQ(ctx->max_failures(), 2u);
+  // Any two quorums intersect in >= k servers.
+  EXPECT_GE(2 * ctx->quorum(), ctx->n + ctx->k);
+}
+
+TEST(Cas, WriteReadRoundTrip) {
+  CasCluster c(small());
+  Rng rng(1);
+  const Bytes v = rng.bytes(100);
+  const Tag wt = c.write_sync(0, 0, v);
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_EQ(rv, v);
+  EXPECT_TRUE(c.history().check_atomicity(Bytes{1, 2}).ok);
+}
+
+TEST(Cas, InitialRead) {
+  CasCluster c(small());
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, kTag0);
+  EXPECT_EQ(rv, (Bytes{1, 2}));
+}
+
+TEST(Cas, ToleratesMaxCrashes) {
+  CasCluster c(small());
+  Rng rng(2);
+  c.crash_server(1);
+  c.crash_server(6);
+  const Tag wt = c.write_sync(0, 0, rng.bytes(64));
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_TRUE(c.history().all_complete());
+  EXPECT_TRUE(c.history().check_atomicity(Bytes{1, 2}).ok);
+}
+
+TEST(Cas, RandomizedConcurrencyStaysAtomic) {
+  for (int seed = 0; seed < 10; ++seed) {
+    CasCluster::Options opt = small();
+    opt.writers = 2;
+    opt.readers = 2;
+    opt.exponential_latency = true;
+    opt.seed = static_cast<std::uint64_t>(seed) + 3;
+    CasCluster c(opt);
+    Rng rng(static_cast<std::uint64_t>(seed) + 50);
+
+    for (std::size_t w = 0; w < 2; ++w) {
+      c.sim().at(rng.uniform_real(0.0, 2.0), [&c, w] {
+        c.writer(w).write(0, Bytes{static_cast<std::uint8_t>(w), 9},
+                          [&c, w](Tag) {
+                            c.writer(w).write(
+                                0,
+                                Bytes{static_cast<std::uint8_t>(w + 4), 8});
+                          });
+      });
+    }
+    for (std::size_t r = 0; r < 2; ++r) {
+      c.sim().at(rng.uniform_real(0.0, 5.0), [&c, r] {
+        c.reader(r).read(0, [&c, r](Tag, Bytes) { c.reader(r).read(0); });
+      });
+    }
+    c.sim().run();
+    EXPECT_TRUE(c.history().all_complete()) << "seed " << seed;
+    const auto verdict = c.history().check_atomicity(Bytes{1, 2});
+    EXPECT_TRUE(verdict.ok) << verdict.violation << " seed " << seed;
+  }
+}
+
+TEST(Cas, CostProfile) {
+  // Write: n elements of ~|v|/k  =>  ~ n/k |v|.  Read: finalize responses
+  // return up to n elements  =>  ~ n/k |v| as well.  Both beat replication
+  // but the *storage* grows with history (next test).
+  CasCluster c(small());
+  Rng rng(3);
+  const std::size_t value_size = 10000;
+  c.write_sync(0, 0, rng.bytes(value_size));
+  const OpId write_op = make_op_id(1, 1);
+  const OpId read_op = make_op_id(10000, 1);
+  c.read_sync(0, 0);
+  c.sim().run();
+
+  const double write_cost =
+      static_cast<double>(c.net().costs().by_op(write_op).data_bytes) /
+      static_cast<double>(value_size);
+  const double read_cost =
+      static_cast<double>(c.net().costs().by_op(read_op).data_bytes) /
+      static_cast<double>(value_size);
+  EXPECT_NEAR(write_cost, 9.0 / 5.0, 0.05);
+  EXPECT_LE(read_cost, 9.0 / 5.0 + 0.05);
+}
+
+TEST(Cas, StorageGrowsWithHistory) {
+  // Plain CAS never garbage-collects pre-written versions: after m writes
+  // every server holds m + 1 elements.  (This is exactly the cost LDS's
+  // layered design avoids: its L2 holds one version, Lemma V.3.)
+  CasCluster c(small());
+  Rng rng(4);
+  const std::size_t value_size = 500;
+  const std::uint64_t baseline = c.storage_bytes();
+  for (int m = 1; m <= 4; ++m) {
+    c.write_sync(0, 0, rng.bytes(value_size));
+    c.sim().run();
+    EXPECT_EQ(c.server(0).versions(0), static_cast<std::size_t>(m) + 1);
+  }
+  EXPECT_GT(c.storage_bytes(), baseline + 4 * 9 * (value_size / 5));
+}
+
+TEST(Cas, WellFormednessEnforced) {
+  CasCluster c(small());
+  c.writer(0).write(0, Bytes{1});
+  EXPECT_DEATH(c.writer(0).write(0, Bytes{2}), "one operation at a time");
+}
+
+}  // namespace
+}  // namespace lds::baselines

@@ -1,0 +1,116 @@
+// Common substrate: tags, op ids, RNG, formatting, cost-tracker basics.
+#include <gtest/gtest.h>
+
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/cost.h"
+
+namespace lds {
+namespace {
+
+TEST(Tags, TotalOrderIsLexicographic) {
+  // Paper, Section III: t2 > t1 iff t2.z > t1.z, or equal z and t2.w > t1.w.
+  EXPECT_LT((Tag{1, 5}), (Tag{2, 1}));
+  EXPECT_LT((Tag{2, 1}), (Tag{2, 5}));
+  EXPECT_EQ((Tag{3, 3}), (Tag{3, 3}));
+  EXPECT_GT((Tag{3, 3}), kTag0);
+  // Totality on a few samples.
+  const Tag a{1, 2}, b{1, 3};
+  EXPECT_TRUE(a < b || b < a || a == b);
+}
+
+TEST(Tags, HashDistinguishesComponents) {
+  TagHash h;
+  EXPECT_NE(h(Tag{1, 2}), h(Tag{2, 1}));
+  EXPECT_EQ(h(Tag{7, 7}), h(Tag{7, 7}));
+}
+
+TEST(OpIds, PackAndUnpack) {
+  const OpId op = make_op_id(1234, 77);
+  EXPECT_EQ(op_client(op), 1234);
+  EXPECT_EQ(op_seq(op), 77u);
+  EXPECT_NE(op, kNoOp);
+  // Negative-looking node ids survive the round trip.
+  const OpId op2 = make_op_id(40000, 1);
+  EXPECT_EQ(op_client(op2), 40000);
+}
+
+TEST(Rngs, DeterministicAndRanged) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double d = r.uniform_real(0.5, 2.0);
+    EXPECT_GE(d, 0.5);
+    EXPECT_LT(d, 2.0);
+    EXPECT_GT(r.exponential(1.0), 0.0);
+  }
+  EXPECT_EQ(r.bytes(17).size(), 17u);
+}
+
+TEST(Format, NodeNamesAndPadding) {
+  EXPECT_EQ(node_name(Role::Writer, 3), "w3");
+  EXPECT_EQ(node_name(Role::Reader, 7), "r7");
+  EXPECT_EQ(node_name(Role::ServerL1, 4), "s1:4");
+  EXPECT_EQ(node_name(Role::ServerL2, 12), "s2:12");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+TEST(Format, BytesPreview) {
+  const Bytes b{0xde, 0xad, 0xbe, 0xef};
+  const std::string s = bytes_preview(b);
+  EXPECT_NE(s.find("deadbeef"), std::string::npos);
+  EXPECT_NE(s.find("(4 B)"), std::string::npos);
+  const std::string truncated = bytes_preview(Bytes(100, 0xff), 2);
+  EXPECT_NE(truncated.find(".."), std::string::npos);
+  EXPECT_NE(truncated.find("(100 B)"), std::string::npos);
+}
+
+TEST(Format, TagToString) {
+  EXPECT_EQ((Tag{12, 3}).to_string(), "(12,3)");
+}
+
+TEST(CostTracker, ResetClearsEverything) {
+  net::CostTracker t;
+  t.record(net::LinkClass::ClientL1, make_op_id(1, 1), 100, 10);
+  t.record(net::LinkClass::L1L2, make_op_id(1, 1), 50, 5);
+  EXPECT_EQ(t.total().data_bytes, 150u);
+  EXPECT_EQ(t.by_op(make_op_id(1, 1)).messages, 2u);
+  t.reset();
+  EXPECT_EQ(t.total().messages, 0u);
+  EXPECT_EQ(t.total().data_bytes, 0u);
+  EXPECT_EQ(t.by_op(make_op_id(1, 1)).messages, 0u);
+  EXPECT_EQ(t.by_link(net::LinkClass::ClientL1).data_bytes, 0u);
+}
+
+TEST(CostTracker, BucketAccumulation) {
+  net::CostBucket a;
+  a.add(10, 1);
+  a.add(20, 2);
+  net::CostBucket b;
+  b.add(5, 1);
+  a += b;
+  EXPECT_EQ(a.messages, 3u);
+  EXPECT_EQ(a.data_bytes, 35u);
+  EXPECT_EQ(a.meta_bytes, 4u);
+}
+
+TEST(RoleNames, AllCovered) {
+  EXPECT_STREQ(role_name(Role::Writer), "writer");
+  EXPECT_STREQ(role_name(Role::Reader), "reader");
+  EXPECT_STREQ(role_name(Role::ServerL1), "L1");
+  EXPECT_STREQ(role_name(Role::ServerL2), "L2");
+  EXPECT_STREQ(role_name(Role::Other), "other");
+}
+
+}  // namespace
+}  // namespace lds

@@ -1,0 +1,151 @@
+// GF(2^8) field axioms and kernel tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/gf256.h"
+
+namespace lds::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0, 0), 0);
+  EXPECT_EQ(add(0x55, 0xAA), 0xFF);
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(add(static_cast<Elem>(a), static_cast<Elem>(a)), 0)
+        << "characteristic 2: a + a = 0";
+  }
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<Elem>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<Elem>(a)), a);
+    EXPECT_EQ(mul(static_cast<Elem>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<Elem>(a)), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(mul(static_cast<Elem>(a), static_cast<Elem>(b)),
+                mul(static_cast<Elem>(b), static_cast<Elem>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MulAssociative) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Elem a = static_cast<Elem>(rng.uniform_int(0, 255));
+    const Elem b = static_cast<Elem>(rng.uniform_int(0, 255));
+    const Elem c = static_cast<Elem>(rng.uniform_int(0, 255));
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, Distributive) {
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Elem a = static_cast<Elem>(rng.uniform_int(0, 255));
+    const Elem b = static_cast<Elem>(rng.uniform_int(0, 255));
+    const Elem c = static_cast<Elem>(rng.uniform_int(0, 255));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const Elem e = static_cast<Elem>(a);
+    EXPECT_EQ(mul(e, inv(e)), 1) << "a = " << a;
+    EXPECT_EQ(inv(inv(e)), e);
+  }
+}
+
+TEST(Gf256, DivisionDefinition) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 5) {
+      const Elem q = div(static_cast<Elem>(a), static_cast<Elem>(b));
+      EXPECT_EQ(mul(q, static_cast<Elem>(b)), a);
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 11) {
+    Elem acc = 1;
+    for (std::uint64_t e = 0; e < 300; ++e) {
+      EXPECT_EQ(pow(static_cast<Elem>(a), e), acc)
+          << "a=" << a << " e=" << e;
+      acc = mul(acc, static_cast<Elem>(a));
+    }
+  }
+}
+
+TEST(Gf256, PowZeroBase) {
+  EXPECT_EQ(pow(0, 0), 1);  // convention x^0 = 1
+  EXPECT_EQ(pow(0, 5), 0);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // g^i for i in [0, 255) must enumerate all 255 nonzero elements.
+  std::vector<bool> seen(256, false);
+  Elem x = 1;
+  for (int i = 0; i < kGroupOrder; ++i) {
+    EXPECT_FALSE(seen[x]) << "generator order < 255 at i=" << i;
+    seen[x] = true;
+    x = mul(x, generator());
+  }
+  EXPECT_EQ(x, 1) << "g^255 must wrap to 1";
+}
+
+TEST(Gf256, AxpyMatchesScalarLoop) {
+  Rng rng(13);
+  Bytes x = rng.bytes(257);
+  Bytes y = rng.bytes(257);
+  for (int a : {0, 1, 2, 97, 255}) {
+    Bytes expect = y;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      expect[i] = add(expect[i], mul(static_cast<Elem>(a), x[i]));
+    }
+    Bytes got = y;
+    axpy(got, static_cast<Elem>(a), x);
+    EXPECT_EQ(got, expect) << "a = " << a;
+  }
+}
+
+TEST(Gf256, DotMatchesScalarLoop) {
+  Rng rng(17);
+  const Bytes a = rng.bytes(100);
+  const Bytes b = rng.bytes(100);
+  Elem expect = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect = add(expect, mul(a[i], b[i]));
+  }
+  EXPECT_EQ(dot(a, b), expect);
+}
+
+TEST(Gf256, ScaleMatchesScalarLoop) {
+  Rng rng(19);
+  const Bytes x = rng.bytes(64);
+  for (int a : {0, 1, 3, 128, 255}) {
+    Bytes expect(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      expect[i] = mul(static_cast<Elem>(a), x[i]);
+    }
+    Bytes got = x;
+    scale(got, static_cast<Elem>(a));
+    EXPECT_EQ(got, expect) << "a = " << a;
+  }
+}
+
+TEST(Gf256Death, InverseOfZeroAborts) {
+  EXPECT_DEATH(inv(0), "inverse of zero");
+}
+
+TEST(Gf256Death, DivisionByZeroAborts) {
+  EXPECT_DEATH(div(3, 0), "division by zero");
+}
+
+}  // namespace
+}  // namespace lds::gf

@@ -1,0 +1,158 @@
+// The atomicity checker itself: it must accept legal histories and reject
+// each class of violation (so that the protocol tests' "atomic" verdicts
+// mean something).
+#include <gtest/gtest.h>
+
+#include "lds/history.h"
+
+namespace lds::core {
+namespace {
+
+const Bytes kV0{};
+
+Bytes val(std::uint8_t b) { return Bytes{b}; }
+
+TEST(History, SequentialWritesAndReadsAreAtomic) {
+  History h;
+  auto w1 = h.on_invoke(1, OpKind::Write, 0, 1, 0.0);
+  h.set_payload(w1, Tag{1, 1}, val(1));
+  h.on_response(w1, 1.0, Tag{1, 1}, val(1));
+
+  auto r1 = h.on_invoke(2, OpKind::Read, 0, 9, 2.0);
+  h.on_response(r1, 3.0, Tag{1, 1}, val(1));
+
+  auto w2 = h.on_invoke(3, OpKind::Write, 0, 1, 4.0);
+  h.set_payload(w2, Tag{2, 1}, val(2));
+  h.on_response(w2, 5.0, Tag{2, 1}, val(2));
+
+  auto r2 = h.on_invoke(4, OpKind::Read, 0, 9, 6.0);
+  h.on_response(r2, 7.0, Tag{2, 1}, val(2));
+
+  EXPECT_TRUE(h.check_atomicity(kV0).ok);
+  EXPECT_TRUE(h.all_complete());
+}
+
+TEST(History, InitialReadReturnsV0) {
+  History h;
+  auto r = h.on_invoke(1, OpKind::Read, 0, 9, 0.0);
+  h.on_response(r, 1.0, kTag0, kV0);
+  EXPECT_TRUE(h.check_atomicity(kV0).ok);
+}
+
+TEST(History, InitialReadWrongValueRejected) {
+  History h;
+  auto r = h.on_invoke(1, OpKind::Read, 0, 9, 0.0);
+  h.on_response(r, 1.0, kTag0, val(7));
+  auto res = h.check_atomicity(kV0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("initial value"), std::string::npos);
+}
+
+TEST(History, StaleReadAfterWriteRejected) {
+  History h;
+  auto w = h.on_invoke(1, OpKind::Write, 0, 1, 0.0);
+  h.set_payload(w, Tag{1, 1}, val(1));
+  h.on_response(w, 1.0, Tag{1, 1}, val(1));
+  // Read invoked after the write completed but returning t0: stale.
+  auto r = h.on_invoke(2, OpKind::Read, 0, 9, 2.0);
+  h.on_response(r, 3.0, kTag0, kV0);
+  EXPECT_FALSE(h.check_atomicity(kV0).ok);
+}
+
+TEST(History, ReadOfUnknownTagRejected) {
+  History h;
+  auto r = h.on_invoke(1, OpKind::Read, 0, 9, 0.0);
+  h.on_response(r, 1.0, Tag{5, 3}, val(9));
+  auto res = h.check_atomicity(kV0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("no known write"), std::string::npos);
+}
+
+TEST(History, ReadOfWrongValueRejected) {
+  History h;
+  auto w = h.on_invoke(1, OpKind::Write, 0, 1, 0.0);
+  h.set_payload(w, Tag{1, 1}, val(1));
+  h.on_response(w, 1.0, Tag{1, 1}, val(1));
+  auto r = h.on_invoke(2, OpKind::Read, 0, 9, 2.0);
+  h.on_response(r, 3.0, Tag{1, 1}, val(2));
+  EXPECT_FALSE(h.check_atomicity(kV0).ok);
+}
+
+TEST(History, DuplicateWriteTagsRejected) {
+  History h;
+  for (int i = 0; i < 2; ++i) {
+    auto w = h.on_invoke(static_cast<OpId>(i + 1), OpKind::Write, 0, 1,
+                         i * 2.0);
+    h.set_payload(w, Tag{1, 1}, val(1));
+    h.on_response(w, i * 2.0 + 1.0, Tag{1, 1}, val(1));
+  }
+  auto res = h.check_atomicity(kV0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("share tag"), std::string::npos);
+}
+
+TEST(History, WriteMustExceedPrecedingTags) {
+  History h;
+  auto w1 = h.on_invoke(1, OpKind::Write, 0, 1, 0.0);
+  h.set_payload(w1, Tag{2, 1}, val(2));
+  h.on_response(w1, 1.0, Tag{2, 1}, val(2));
+  // Later write with a smaller tag: real-time order violated.
+  auto w2 = h.on_invoke(2, OpKind::Write, 0, 2, 2.0);
+  h.set_payload(w2, Tag{1, 2}, val(1));
+  h.on_response(w2, 3.0, Tag{1, 2}, val(1));
+  EXPECT_FALSE(h.check_atomicity(kV0).ok);
+}
+
+TEST(History, ConcurrentOpsAreUnconstrained) {
+  History h;
+  // Two overlapping writes may order either way.
+  auto w1 = h.on_invoke(1, OpKind::Write, 0, 1, 0.0);
+  h.set_payload(w1, Tag{2, 1}, val(2));
+  auto w2 = h.on_invoke(2, OpKind::Write, 0, 2, 0.5);
+  h.set_payload(w2, Tag{1, 2}, val(1));
+  h.on_response(w1, 10.0, Tag{2, 1}, val(2));
+  h.on_response(w2, 10.5, Tag{1, 2}, val(1));
+  EXPECT_TRUE(h.check_atomicity(kV0).ok);
+}
+
+TEST(History, ReadMayReturnIncompleteWriteValue) {
+  History h;
+  // Writer crashed mid-write (no response), but its value was exposed.
+  auto w = h.on_invoke(1, OpKind::Write, 0, 1, 0.0);
+  h.set_payload(w, Tag{1, 1}, val(1));
+  auto r = h.on_invoke(2, OpKind::Read, 0, 9, 5.0);
+  h.on_response(r, 6.0, Tag{1, 1}, val(1));
+  EXPECT_TRUE(h.check_atomicity(kV0).ok);
+  EXPECT_EQ(h.incomplete(), 1u);
+  EXPECT_FALSE(h.all_complete());
+}
+
+TEST(History, ObjectsCheckedIndependently) {
+  History h;
+  auto w = h.on_invoke(1, OpKind::Write, /*obj=*/1, 1, 0.0);
+  h.set_payload(w, Tag{1, 1}, val(1));
+  h.on_response(w, 1.0, Tag{1, 1}, val(1));
+  // Object 2 read at t0 is fine even though object 1 has a newer write.
+  auto r = h.on_invoke(2, OpKind::Read, /*obj=*/2, 9, 2.0);
+  h.on_response(r, 3.0, kTag0, kV0);
+  EXPECT_TRUE(h.check_atomicity(kV0).ok);
+}
+
+TEST(History, MonotoneReadsEnforced) {
+  History h;
+  auto w = h.on_invoke(1, OpKind::Write, 0, 1, 0.0);
+  h.set_payload(w, Tag{3, 1}, val(3));
+  h.on_response(w, 1.0, Tag{3, 1}, val(3));
+  auto w2 = h.on_invoke(2, OpKind::Write, 0, 1, 1.5);
+  h.set_payload(w2, Tag{4, 1}, val(4));
+  h.on_response(w2, 2.5, Tag{4, 1}, val(4));
+  auto r1 = h.on_invoke(3, OpKind::Read, 0, 9, 3.0);
+  h.on_response(r1, 4.0, Tag{4, 1}, val(4));
+  // A later read regressing to tag 3 violates atomicity.
+  auto r2 = h.on_invoke(4, OpKind::Read, 0, 9, 5.0);
+  h.on_response(r2, 6.0, Tag{3, 1}, val(3));
+  EXPECT_FALSE(h.check_atomicity(kV0).ok);
+}
+
+}  // namespace
+}  // namespace lds::core

@@ -1,0 +1,121 @@
+// LDS end-to-end with the alternative back-ends of the ablation studies:
+// the RS (fetch-k-and-decode) back-end of Remark 1 and the replicated
+// back-end of Remark 2.  The client protocol is untouched - that is the
+// modularity claim of the paper's introduction - so liveness and atomicity
+// must hold unchanged; only the cost profile moves.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lds/analysis.h"
+#include "lds/cluster.h"
+
+namespace lds::core {
+namespace {
+
+class BackendTest : public ::testing::TestWithParam<codes::BackendKind> {
+ protected:
+  LdsCluster::Options options() const {
+    LdsCluster::Options opt;
+    opt.cfg.n1 = 6;
+    opt.cfg.f1 = 1;  // k = 4
+    opt.cfg.n2 = 8;
+    opt.cfg.f2 = 2;  // d = 4
+    opt.cfg.backend = GetParam();
+    opt.cfg.initial_value = Bytes{1, 2, 3};
+    opt.writers = 2;
+    opt.readers = 2;
+    return opt;
+  }
+};
+
+TEST_P(BackendTest, WriteReadRoundTripThroughL2) {
+  LdsCluster c(options());
+  Rng rng(3);
+  const Bytes v = rng.bytes(150);
+  const Tag wt = c.write_sync(0, 0, v);
+  c.settle();  // force the read to regenerate from L2
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_EQ(rv, v);
+  EXPECT_TRUE(c.history().check_atomicity(options().cfg.initial_value).ok);
+}
+
+TEST_P(BackendTest, InitialValueReadableFromL2) {
+  LdsCluster c(options());
+  auto [rt, rv] = c.read_sync(1, 7);
+  EXPECT_EQ(rt, kTag0);
+  EXPECT_EQ(rv, (Bytes{1, 2, 3}));
+}
+
+TEST_P(BackendTest, SurvivesMaxCrashes) {
+  LdsCluster c(options());
+  Rng rng(4);
+  c.crash_l1(2);
+  c.crash_l2(0);
+  c.crash_l2(5);
+  const Bytes v = rng.bytes(90);
+  const Tag wt = c.write_sync(0, 0, v);
+  c.settle();
+  auto [rt, rv] = c.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_EQ(rv, v);
+  EXPECT_TRUE(c.history().all_complete());
+  EXPECT_TRUE(c.history().check_atomicity(options().cfg.initial_value).ok);
+}
+
+TEST_P(BackendTest, ConcurrentWritersStayAtomic) {
+  LdsCluster c(options());
+  Rng rng(5);
+  c.write_at(0.0, 0, 0, rng.bytes(50));
+  c.write_at(0.2, 1, 0, rng.bytes(50));
+  c.read_at(0.9, 0, 0);
+  c.read_at(1.1, 1, 0);
+  c.settle();
+  EXPECT_TRUE(c.history().all_complete());
+  EXPECT_TRUE(c.history().check_atomicity(options().cfg.initial_value).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BackendTest,
+                         ::testing::Values(codes::BackendKind::PmMbr,
+                                           codes::BackendKind::Rs,
+                                           codes::BackendKind::Replication),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case codes::BackendKind::PmMbr: return "PmMbr";
+                             case codes::BackendKind::Rs: return "Rs";
+                             case codes::BackendKind::Replication:
+                               return "Replication";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(BackendCost, RsReadCostGrowsWithN1WhileMbrStaysFlat) {
+  // The quantitative content of Remark 1 at test scale.
+  double mbr_cost = 0, rs_cost = 0;
+  for (auto kind : {codes::BackendKind::PmMbr, codes::BackendKind::Rs}) {
+    LdsCluster::Options opt;
+    opt.cfg = LdsConfig::symmetric(20, 2);  // k = d = 16
+    opt.cfg.backend = kind;
+    LdsCluster c(opt);
+    Rng rng(6);
+    const std::size_t value_size = 13600;  // 100 stripes of B = 136
+    c.write_sync(0, 0, rng.bytes(value_size));
+    c.settle();
+    const OpId read_op = make_op_id(kReaderIdBase, 1);
+    c.read_sync(0, 0);
+    const double cost =
+        static_cast<double>(c.net().costs().by_op(read_op).data_bytes) /
+        static_cast<double>(value_size);
+    if (kind == codes::BackendKind::PmMbr) {
+      mbr_cost = cost;
+    } else {
+      rs_cost = cost;
+    }
+  }
+  // MBR: ~ n1 (1 + n2/d) alpha = ~5.3; RS: >= n1 = 20.
+  EXPECT_LT(mbr_cost, 7.0);
+  EXPECT_GT(rs_cost, 15.0);
+}
+
+}  // namespace
+}  // namespace lds::core

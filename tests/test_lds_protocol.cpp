@@ -1,0 +1,225 @@
+// White-box protocol tests of the L1/L2 server automata: broadcast-primitive
+// semantics, registered-reader service, garbage collection triggers, the
+// put-tag proxy-commit paths, regeneration failure handling and internal-
+// operation consistency (Lemma IV.4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "lds/cluster.h"
+#include "lds/messages.h"
+
+namespace lds::core {
+namespace {
+
+LdsCluster::Options base_options() {
+  LdsCluster::Options opt;
+  opt.cfg.n1 = 6;
+  opt.cfg.f1 = 1;  // k = 4, l1_quorum = 5
+  opt.cfg.n2 = 8;
+  opt.cfg.f2 = 2;  // d = 4, l2_quorum = 6
+  opt.writers = 2;
+  opt.readers = 2;
+  opt.tau1 = 1.0;
+  opt.tau0 = 1.0;
+  opt.tau2 = 4.0;
+  return opt;
+}
+
+TEST(Protocol, BroadcastConsumedExactlyOncePerServer) {
+  // Count COMMIT-TAG deliveries vs distinct broadcast consumptions: each of
+  // the n1 servers broadcasts once per PUT-DATA, every server must act on
+  // each instance exactly once even though relays produce duplicates.
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(1);
+
+  std::map<std::uint64_t, int> deliveries;  // bcast_id -> count
+  c.net().set_delivery_observer(
+      [&](NodeId, NodeId, const net::Payload& p) {
+        const auto* m = dynamic_cast<const LdsMessage*>(&p);
+        if (m == nullptr) return;
+        if (const auto* ct = std::get_if<CommitTag>(&m->body())) {
+          ++deliveries[ct->bcast_id];
+        }
+      });
+  c.write_sync(0, 0, rng.bytes(20));
+  c.settle();
+
+  // n1 broadcast instances (one per server that received PUT-DATA).
+  EXPECT_EQ(deliveries.size(), opt.cfg.n1);
+  for (const auto& [id, count] : deliveries) {
+    // Each instance is delivered to the f1+1 relays plus n1 forwards per
+    // relay; every server sees >= 1 copy and at most (f1+1) + 1 copies.
+    EXPECT_GE(count, static_cast<int>(opt.cfg.n1));
+    EXPECT_LE(count,
+              static_cast<int>((opt.cfg.f1 + 1) * opt.cfg.n1 + opt.cfg.f1 + 1));
+  }
+
+  // Consumption exactly once: commitCounter-driven effects fired once per
+  // server; indirectly visible as every server having committed the tag.
+  for (std::size_t j = 0; j < opt.cfg.n1; ++j) {
+    EXPECT_EQ(c.l1(j).committed_tag(0), (Tag{1, 1}));
+  }
+}
+
+TEST(Protocol, RegisteredReaderServedByLaterCommit) {
+  // A reader that finds no value and no regenerable tag gets registered in
+  // Gamma; when the concurrent write commits, the server serves the reader
+  // from the broadcast-resp action (Fig. 2 line 17).
+  auto opt = base_options();
+  opt.tau2 = 50.0;  // L2 is very slow: regeneration cannot finish first
+  LdsCluster c(opt);
+  Rng rng(2);
+
+  const Bytes v = rng.bytes(64);
+  bool read_done = false;
+  Tag read_tag;
+  // Start the write and the read together; the read's get-data arrives
+  // while the write is uncommitted, forcing registration.
+  c.write_at(0.0, 0, 0, v);
+  c.read_at(0.0, 0, 0);
+
+  c.sim().run_until(20.0);  // well before any L2 round trip (2*50)
+  const auto ops = c.history().completed_ops(0);
+  for (const auto& op : ops) {
+    if (op.kind == OpKind::Read) {
+      read_done = true;
+      read_tag = op.tag;
+    }
+  }
+  EXPECT_TRUE(read_done)
+      << "read should be served from L1 temporary storage without waiting "
+         "for the slow L2 round trip";
+  EXPECT_EQ(read_tag, (Tag{1, 1}));
+  c.settle();
+  EXPECT_TRUE(c.history().check_atomicity({}).ok);
+}
+
+TEST(Protocol, WriterAckRequiresCommitQuorum) {
+  // A server that adds (t, v) to its list must not ACK until it has seen
+  // f1 + k COMMIT-TAG broadcasts (Fig. 2 line 13).  With all L1->L1 links
+  // stalled... we cannot stall reliable links, but we can check the timing:
+  // the earliest possible ACK is 2 tau1 + 2 tau0 after the write started
+  // (get-tag round trip is 2 tau1; put-data tau1; broadcast 2 tau0; ack
+  // tau1) => write duration exactly 4 tau1 + 2 tau0 under fixed delays.
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(3);
+  const double t0 = c.sim().now();
+  c.write_sync(0, 0, rng.bytes(16));
+  EXPECT_DOUBLE_EQ(c.sim().now() - t0, 4 * opt.tau1 + 2 * opt.tau0);
+}
+
+TEST(Protocol, StaleWriteTagAckedImmediately) {
+  // A PUT-DATA whose tag is already below the server's committed tag is
+  // ACKed without being stored (Fig. 2 lines 9-10).  Construct it by
+  // letting writer 2 obtain a tag, then having writer 1 write twice before
+  // writer 2's put-data lands.  Simpler deterministic variant: replay of an
+  // old tag cannot resurrect old state - after two writes, no server's list
+  // holds a value for tag (1, w1).
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(4);
+  const Tag t1 = c.write_sync(0, 0, rng.bytes(16));
+  const Tag t2 = c.write_sync(1, 0, rng.bytes(16));
+  EXPECT_GT(t2, t1);
+  c.settle();
+  for (std::size_t j = 0; j < opt.cfg.n1; ++j) {
+    EXPECT_FALSE(c.l1(j).has_value(0, t1));
+    EXPECT_GE(c.l1(j).committed_tag(0), t2);
+  }
+}
+
+TEST(Protocol, GarbageCollectionBlanksOldTagsButKeepsKeys) {
+  // Fig. 2 lines 18, 27: values below tc are blanked but the tag keys stay
+  // (they witness history for get-tag).
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(5);
+  const Tag t1 = c.write_sync(0, 0, rng.bytes(16));
+  const Tag t2 = c.write_sync(0, 0, rng.bytes(16));
+  c.settle();
+  for (std::size_t j = 0; j < opt.cfg.n1; ++j) {
+    const auto tags = c.l1(j).list_tags(0);
+    EXPECT_NE(std::find(tags.begin(), tags.end(), t1), tags.end());
+    EXPECT_NE(std::find(tags.begin(), tags.end(), t2), tags.end());
+    EXPECT_FALSE(c.l1(j).has_value(0, t1));
+    EXPECT_FALSE(c.l1(j).has_value(0, t2));  // offloaded to L2 and GC'd
+  }
+}
+
+TEST(Protocol, L2StoresExactlyOneTagPerObject) {
+  // Fig. 3: an L2 server keeps a single (tag, element) pair and only moves
+  // it forward.
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(6);
+  const Tag t1 = c.write_sync(0, 0, rng.bytes(40));
+  c.settle();
+  const Tag t2 = c.write_sync(1, 0, rng.bytes(40));
+  c.settle();
+  EXPECT_GT(t2, t1);
+  for (std::size_t i = 0; i < opt.cfg.n2; ++i) {
+    EXPECT_EQ(c.l2(i).stored_tag(0), t2);
+  }
+}
+
+TEST(Protocol, InternalReadSeesCompletedInternalWrite) {
+  // Lemma IV.4 at the system level: once a write settles (write-to-L2
+  // completed by some server), any regeneration returns a tag >= that
+  // write's tag - the read cannot travel back in time.
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(7);
+  const Tag t1 = c.write_sync(0, 0, rng.bytes(64));
+  c.settle();
+  for (int round = 0; round < 3; ++round) {
+    auto [rt, rv] = c.read_sync(round % 2, 0);
+    EXPECT_GE(rt, t1);
+  }
+  EXPECT_TRUE(c.history().check_atomicity({}).ok);
+}
+
+TEST(Protocol, ReaderUnregisteredAfterPutTag) {
+  // Fig. 2 line 53: the put-tag phase removes the reader's registration.
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(8);
+  c.write_sync(0, 0, rng.bytes(32));
+  c.settle();
+  c.read_sync(0, 0);
+  c.settle();
+  for (std::size_t j = 0; j < opt.cfg.n1; ++j) {
+    EXPECT_EQ(c.l1(j).registered_readers(0), 0u)
+        << "server " << j << " leaked a Gamma registration";
+  }
+}
+
+TEST(Protocol, ReadCostExcludesMetaData) {
+  // Section II-d: meta-data (tags, counters) must not pollute the
+  // normalized costs; check that a read's data bytes are entirely
+  // explainable by value/element/helper payloads.
+  auto opt = base_options();
+  LdsCluster c(opt);
+  Rng rng(9);
+  const std::size_t value_size = 3000;
+  c.write_sync(0, 0, rng.bytes(value_size));
+  c.settle();
+  const OpId read_op = make_op_id(kReaderIdBase, 1);
+  c.read_sync(0, 0);
+  const auto bucket = c.net().costs().by_op(read_op);
+  EXPECT_GT(bucket.meta_bytes, 0u);
+  // Regeneration: n1 * n2 helpers + n1 coded elements; every byte of data
+  // is a multiple of the helper/element sizes (no tag bytes leaked in).
+  const std::size_t helper = c.ctx().code.helper_size(value_size);
+  const std::size_t elem =
+      c.ctx().code.element_size(value_size);
+  EXPECT_EQ(bucket.data_bytes % helper, 0u)
+      << "helper=" << helper << " elem=" << elem;
+}
+
+}  // namespace
+}  // namespace lds::core

@@ -1,0 +1,326 @@
+// Randomized correctness stress: many seeds x configurations x crash
+// patterns under heavy-tailed (exponential) latencies.  Every execution must
+// (a) complete all operations of non-crashed clients - Theorem IV.8 - and
+// (b) pass the atomicity checker - Theorem IV.9.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "lds/cluster.h"
+#include "lds/messages.h"
+
+namespace lds::core {
+namespace {
+
+struct StressConfig {
+  std::size_t n1, f1, n2, f2;
+  std::size_t writers, readers;
+  std::size_t ops_per_client;
+  bool crash_servers;
+  std::size_t value_size;
+};
+
+class LdsStressTest
+    : public ::testing::TestWithParam<std::tuple<StressConfig, int>> {};
+
+void run_stress(const StressConfig& sc, int seed) {
+  LdsCluster::Options opt;
+  opt.cfg.n1 = sc.n1;
+  opt.cfg.f1 = sc.f1;
+  opt.cfg.n2 = sc.n2;
+  opt.cfg.f2 = sc.f2;
+  opt.cfg.initial_value = Bytes{0xAB};
+  opt.writers = sc.writers;
+  opt.readers = sc.readers;
+  opt.latency = LdsCluster::LatencyKind::Exponential;
+  opt.tau1 = 1.0;
+  opt.tau0 = 1.0;
+  opt.tau2 = 3.0;
+  opt.seed = static_cast<std::uint64_t>(seed) * 977 + 13;
+  LdsCluster cluster(opt);
+  Rng rng(static_cast<std::uint64_t>(seed) + 5000);
+
+  // Closed-loop clients: each issues ops back to back with random gaps.
+  struct Driver {
+    std::size_t remaining;
+  };
+  auto writers = std::make_shared<std::vector<Driver>>(
+      sc.writers, Driver{sc.ops_per_client});
+  auto readers = std::make_shared<std::vector<Driver>>(
+      sc.readers, Driver{sc.ops_per_client});
+  auto rng_ptr = std::make_shared<Rng>(rng.next_u64());
+
+  std::function<void(std::size_t)> write_next = [&cluster, writers, rng_ptr,
+                                                 sc,
+                                                 &write_next](std::size_t w) {
+    if ((*writers)[w].remaining == 0) return;
+    --(*writers)[w].remaining;
+    cluster.writer(w).write(
+        0, rng_ptr->bytes(sc.value_size), [&cluster, writers, rng_ptr, sc, w,
+                                           &write_next](Tag) {
+          cluster.sim().after(rng_ptr->exponential(1.0) + 1e-6,
+                              [w, &write_next] { write_next(w); });
+        });
+  };
+  std::function<void(std::size_t)> read_next = [&cluster, readers, rng_ptr,
+                                                &read_next](std::size_t r) {
+    if ((*readers)[r].remaining == 0) return;
+    --(*readers)[r].remaining;
+    cluster.reader(r).read(0, [&cluster, readers, rng_ptr, r,
+                               &read_next](Tag, Bytes) {
+      cluster.sim().after(rng_ptr->exponential(1.0) + 1e-6,
+                          [r, &read_next] { read_next(r); });
+    });
+  };
+
+  for (std::size_t w = 0; w < sc.writers; ++w) {
+    const double start = rng.uniform_real(0.0, 3.0);
+    cluster.sim().at(start, [w, &write_next] { write_next(w); });
+  }
+  for (std::size_t r = 0; r < sc.readers; ++r) {
+    const double start = rng.uniform_real(0.0, 6.0);
+    cluster.sim().at(start, [r, &read_next] { read_next(r); });
+  }
+
+  if (sc.crash_servers) {
+    // Crash exactly f1 L1 servers and f2 L2 servers at random times inside
+    // the busy window; which servers crash is also randomized.
+    std::vector<std::size_t> l1_idx(sc.n1);
+    std::vector<std::size_t> l2_idx(sc.n2);
+    for (std::size_t i = 0; i < sc.n1; ++i) l1_idx[i] = i;
+    for (std::size_t i = 0; i < sc.n2; ++i) l2_idx[i] = i;
+    std::shuffle(l1_idx.begin(), l1_idx.end(), rng.engine());
+    std::shuffle(l2_idx.begin(), l2_idx.end(), rng.engine());
+    for (std::size_t i = 0; i < sc.f1; ++i) {
+      const std::size_t victim = l1_idx[i];
+      cluster.sim().at(rng.uniform_real(0.5, 20.0),
+                       [&cluster, victim] { cluster.crash_l1(victim); });
+    }
+    for (std::size_t i = 0; i < sc.f2; ++i) {
+      const std::size_t victim = l2_idx[i];
+      cluster.sim().at(rng.uniform_real(0.5, 20.0),
+                       [&cluster, victim] { cluster.crash_l2(victim); });
+    }
+  }
+
+  cluster.settle();
+
+  EXPECT_TRUE(cluster.history().all_complete())
+      << "liveness violated: " << cluster.history().incomplete()
+      << " incomplete ops (seed " << seed << ")";
+  const auto verdict =
+      cluster.history().check_atomicity(opt.cfg.initial_value);
+  EXPECT_TRUE(verdict.ok) << verdict.violation << " (seed " << seed << ")";
+}
+
+TEST_P(LdsStressTest, LivenessAndAtomicity) {
+  const auto& [sc, seed] = GetParam();
+  run_stress(sc, seed);
+}
+
+constexpr StressConfig kSmall{/*n1=*/5, /*f1=*/1, /*n2=*/7,  /*f2=*/2,
+                              /*writers=*/2, /*readers=*/2,
+                              /*ops=*/4, /*crash=*/false, /*value=*/40};
+constexpr StressConfig kSmallCrash{5, 1, 7, 2, 2, 2, 4, true, 40};
+constexpr StressConfig kMedium{8, 2, 9, 2, 3, 3, 3, false, 120};
+constexpr StressConfig kMediumCrash{8, 2, 9, 2, 3, 3, 3, true, 120};
+constexpr StressConfig kWide{11, 5, 10, 3, 2, 4, 3, true, 64};
+
+INSTANTIATE_TEST_SUITE_P(
+    Small, LdsStressTest,
+    ::testing::Combine(::testing::Values(kSmall),
+                       ::testing::Range(0, 20)));
+INSTANTIATE_TEST_SUITE_P(
+    SmallCrash, LdsStressTest,
+    ::testing::Combine(::testing::Values(kSmallCrash),
+                       ::testing::Range(0, 20)));
+INSTANTIATE_TEST_SUITE_P(
+    Medium, LdsStressTest,
+    ::testing::Combine(::testing::Values(kMedium),
+                       ::testing::Range(100, 114)));
+INSTANTIATE_TEST_SUITE_P(
+    MediumCrash, LdsStressTest,
+    ::testing::Combine(::testing::Values(kMediumCrash),
+                       ::testing::Range(200, 214)));
+INSTANTIATE_TEST_SUITE_P(
+    WideQuorumCrash, LdsStressTest,
+    ::testing::Combine(::testing::Values(kWide),
+                       ::testing::Range(300, 310)));
+
+// ---- multi-object stress -------------------------------------------------------
+
+TEST(LdsMultiObjectStress, ManyObjectsWithCrashesStayAtomic) {
+  for (int seed = 0; seed < 6; ++seed) {
+    LdsCluster::Options opt;
+    opt.cfg.n1 = 6;
+    opt.cfg.f1 = 1;
+    opt.cfg.n2 = 8;
+    opt.cfg.f2 = 2;
+    opt.cfg.initial_value = Bytes{1};
+    opt.writers = 3;
+    opt.readers = 3;
+    opt.latency = LdsCluster::LatencyKind::Exponential;
+    opt.seed = static_cast<std::uint64_t>(seed) * 131 + 7;
+    LdsCluster c(opt);
+    Rng rng(static_cast<std::uint64_t>(seed) + 900);
+
+    // Each client walks its own schedule over 5 objects; operations are
+    // chained through callbacks so every client stays well-formed.
+    auto chain_writes = std::make_shared<std::function<void(std::size_t, int)>>();
+    *chain_writes = [&c, &rng, chain_writes](std::size_t w, int left) {
+      if (left == 0) return;
+      const ObjectId obj = static_cast<ObjectId>((w + left) % 5);
+      c.writer(w).write(obj, Bytes{static_cast<std::uint8_t>(w * 16 + left)},
+                        [&c, chain_writes, w, left](Tag) {
+                          (*chain_writes)(w, left - 1);
+                        });
+    };
+    auto chain_reads = std::make_shared<std::function<void(std::size_t, int)>>();
+    *chain_reads = [&c, chain_reads](std::size_t r, int left) {
+      if (left == 0) return;
+      const ObjectId obj = static_cast<ObjectId>((r + left) % 5);
+      c.reader(r).read(obj, [&c, chain_reads, r, left](Tag, Bytes) {
+        (*chain_reads)(r, left - 1);
+      });
+    };
+    for (std::size_t w = 0; w < 3; ++w) {
+      c.sim().at(rng.uniform_real(0.0, 2.0),
+                 [chain_writes, w] { (*chain_writes)(w, 3); });
+    }
+    for (std::size_t r = 0; r < 3; ++r) {
+      c.sim().at(rng.uniform_real(0.0, 4.0),
+                 [chain_reads, r] { (*chain_reads)(r, 3); });
+    }
+    c.sim().at(rng.uniform_real(1.0, 10.0), [&c] { c.crash_l1(2); });
+    c.sim().at(rng.uniform_real(1.0, 10.0), [&c] { c.crash_l2(5); });
+    c.sim().at(rng.uniform_real(1.0, 10.0), [&c] { c.crash_l2(1); });
+    c.settle();
+
+    EXPECT_TRUE(c.history().all_complete()) << "seed " << seed;
+    const auto verdict = c.history().check_atomicity(Bytes{1});
+    EXPECT_TRUE(verdict.ok) << verdict.violation << " seed " << seed;
+  }
+}
+
+// ---- adversarial crash points ------------------------------------------------
+
+TEST(LdsAdversarial, WriterCrashMidOperationLeavesSystemUsable) {
+  // The writer crashes right when its first PUT-DATA lands; its value may or
+  // may not become visible, but the system must stay live and atomic.
+  LdsCluster::Options opt;
+  opt.cfg.n1 = 6;
+  opt.cfg.f1 = 1;
+  opt.cfg.n2 = 8;
+  opt.cfg.f2 = 2;
+  opt.writers = 2;
+  opt.readers = 1;
+  opt.latency = LdsCluster::LatencyKind::Uniform;
+  opt.seed = 5;
+  LdsCluster cluster(opt);
+  Rng rng(5);
+
+  bool crashed = false;
+  cluster.net().set_delivery_observer(
+      [&](NodeId from, NodeId, const net::Payload& p) {
+        if (crashed) return;
+        const auto* m = dynamic_cast<const LdsMessage*>(&p);
+        if (m != nullptr && std::holds_alternative<PutData>(m->body())) {
+          cluster.net().crash(from);  // kill the writer mid-put-data
+          crashed = true;
+        }
+      });
+  cluster.writer(0).write(0, rng.bytes(50));
+  cluster.settle();
+  EXPECT_TRUE(crashed);
+  cluster.net().set_delivery_observer(nullptr);
+
+  // A second writer and a reader proceed normally.
+  const Tag t2 = cluster.write_sync(1, 0, rng.bytes(50));
+  auto [rt, rv] = cluster.read_sync(0, 0);
+  EXPECT_GE(rt, t2);
+  EXPECT_TRUE(cluster.history().check_atomicity({}).ok);
+}
+
+TEST(LdsAdversarial, ServerCrashDuringWriteToL2LeavesMixedTagsReadable) {
+  // Crash an L1 server right after its first WRITE-CODE-ELEM lands, so L2
+  // may briefly hold mixed tags; reads must still regenerate (other L1
+  // servers also offload the same tag - the n1-fold redundancy of
+  // write-to-L2) and stay atomic.
+  LdsCluster::Options opt;
+  opt.cfg.n1 = 6;
+  opt.cfg.f1 = 1;
+  opt.cfg.n2 = 8;
+  opt.cfg.f2 = 2;
+  opt.writers = 1;
+  opt.readers = 1;
+  opt.seed = 11;
+  LdsCluster cluster(opt);
+  Rng rng(11);
+
+  bool crashed = false;
+  cluster.net().set_delivery_observer(
+      [&](NodeId from, NodeId, const net::Payload& p) {
+        if (crashed) return;
+        const auto* m = dynamic_cast<const LdsMessage*>(&p);
+        if (m != nullptr &&
+            std::holds_alternative<WriteCodeElem>(m->body())) {
+          cluster.net().crash(from);
+          crashed = true;
+        }
+      });
+  const Bytes v = rng.bytes(80);
+  const Tag wt = cluster.write_sync(0, 0, v);
+  cluster.settle();
+  EXPECT_TRUE(crashed);
+  cluster.net().set_delivery_observer(nullptr);
+
+  auto [rt, rv] = cluster.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_EQ(rv, v);
+  EXPECT_TRUE(cluster.history().all_complete());
+  EXPECT_TRUE(cluster.history().check_atomicity({}).ok);
+}
+
+TEST(LdsAdversarial, PartialPutDataStillAtomic) {
+  // Crash f1 L1 servers exactly when the PUT-DATA reaches them: the
+  // remaining servers still assemble an f1+k commit quorum via the broadcast
+  // primitive and the write completes.
+  LdsCluster::Options opt;
+  opt.cfg.n1 = 7;
+  opt.cfg.f1 = 2;  // k = 3
+  opt.cfg.n2 = 9;
+  opt.cfg.f2 = 2;
+  opt.writers = 1;
+  opt.readers = 1;
+  opt.seed = 21;
+  LdsCluster cluster(opt);
+  Rng rng(21);
+
+  int crashes_left = 2;
+  cluster.net().set_delivery_observer(
+      [&](NodeId, NodeId to, const net::Payload& p) {
+        if (crashes_left == 0) return;
+        const auto* m = dynamic_cast<const LdsMessage*>(&p);
+        if (m != nullptr && std::holds_alternative<PutData>(m->body())) {
+          cluster.net().crash(to);  // server dies as the data arrives
+          --crashes_left;
+        }
+      });
+  const Bytes v = rng.bytes(60);
+  const Tag wt = cluster.write_sync(0, 0, v);
+  cluster.net().set_delivery_observer(nullptr);
+  EXPECT_EQ(crashes_left, 0);
+
+  auto [rt, rv] = cluster.read_sync(0, 0);
+  EXPECT_EQ(rt, wt);
+  EXPECT_EQ(rv, v);
+  EXPECT_TRUE(cluster.history().check_atomicity({}).ok);
+}
+
+}  // namespace
+}  // namespace lds::core

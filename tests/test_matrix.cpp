@@ -1,0 +1,193 @@
+// Matrix algebra over GF(2^8): inversion, rank, solving, Vandermonde
+// properties (the "any k rows invertible" fact every code here relies on).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <tuple>
+
+#include "common/rng.h"
+#include "matrix/matrix.h"
+#include "matrix/vandermonde.h"
+
+namespace lds::math {
+namespace {
+
+Matrix random_matrix(Rng& rng, std::size_t r, std::size_t c) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m.at(i, j) = static_cast<gf::Elem>(rng.uniform_int(0, 255));
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  Rng rng(1);
+  const Matrix a = random_matrix(rng, 7, 7);
+  const Matrix i = Matrix::identity(7);
+  EXPECT_EQ(a.mul(i), a);
+  EXPECT_EQ(i.mul(a), a);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(2);
+  const Matrix a = random_matrix(rng, 5, 9);
+  EXPECT_EQ(a.transpose().transpose(), a);
+}
+
+TEST(Matrix, MulAgainstHandComputed) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  // GF(256) arithmetic: entry(0,0) = 1*5 ^ 2*7 = 5 ^ 14 = 11, etc.
+  Matrix expect(2, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      expect.at(i, j) = gf::add(gf::mul(a.at(i, 0), b.at(0, j)),
+                                gf::mul(a.at(i, 1), b.at(1, j)));
+    }
+  }
+  EXPECT_EQ(a.mul(b), expect);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  Rng rng(3);
+  for (std::size_t n : {1u, 2u, 3u, 8u, 17u}) {
+    // Random matrices over GF(256) are invertible w.h.p.; retry until one is.
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      const Matrix a = random_matrix(rng, n, n);
+      auto inv = a.inverse();
+      if (!inv) continue;
+      EXPECT_EQ(a.mul(*inv), Matrix::identity(n)) << "n = " << n;
+      EXPECT_EQ(inv->mul(a), Matrix::identity(n));
+      break;
+    }
+  }
+}
+
+TEST(Matrix, SingularHasNoInverse) {
+  Matrix a(3, 3);  // zero matrix
+  EXPECT_FALSE(a.inverse().has_value());
+
+  Matrix b{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}};  // row2 = 2 * row1 in GF? no -
+  // in GF(2^8), 2*row1 means scaling by 2: (2,4,6); identical row content.
+  EXPECT_FALSE(b.inverse().has_value());
+}
+
+TEST(Matrix, RankBasics) {
+  EXPECT_EQ(Matrix::identity(5).rank(), 5u);
+  EXPECT_EQ(Matrix(4, 4).rank(), 0u);
+  Matrix m{{1, 2, 3}, {2, 4, 6}};  // second row = 2 * first
+  EXPECT_EQ(m.rank(), 1u);
+}
+
+TEST(Matrix, RankOfProductBounded) {
+  Rng rng(4);
+  const Matrix a = random_matrix(rng, 6, 3);
+  const Matrix b = random_matrix(rng, 3, 6);
+  EXPECT_LE(a.mul(b).rank(), 3u);
+}
+
+TEST(Matrix, SolveMatchesMultiplication) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix a = random_matrix(rng, 6, 6);
+    if (a.rank() < 6) continue;
+    const Bytes x = rng.bytes(6);
+    const auto b = a.mul_vec(x);
+    auto solved = a.solve(b);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(Bytes(solved->begin(), solved->end()), x);
+  }
+}
+
+TEST(Matrix, SolveMatrixMatchesMultiplication) {
+  Rng rng(6);
+  const Matrix a = random_matrix(rng, 5, 5);
+  ASSERT_EQ(a.rank(), 5u) << "unlucky seed";
+  const Matrix x = random_matrix(rng, 5, 3);
+  const Matrix b = a.mul(x);
+  auto solved = a.solve_matrix(b);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ(*solved, x);
+}
+
+TEST(Matrix, LmulVecIsTransposeMul) {
+  Rng rng(7);
+  const Matrix a = random_matrix(rng, 4, 6);
+  const Bytes v = rng.bytes(4);
+  const auto left = a.lmul_vec(v);
+  const auto via_transpose = a.transpose().mul_vec(v);
+  EXPECT_EQ(left, via_transpose);
+}
+
+TEST(Matrix, SelectRowsAndSliceCols) {
+  Matrix a{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}};
+  const std::vector<int> rows{2, 0};
+  const Matrix sel = a.select_rows(rows);
+  EXPECT_EQ(sel, (Matrix{{9, 10, 11, 12}, {1, 2, 3, 4}}));
+  EXPECT_EQ(a.slice_cols(1, 2), (Matrix{{2, 3}, {6, 7}, {10, 11}}));
+}
+
+TEST(Matrix, PasteBlocks) {
+  Matrix m(3, 3);
+  m.paste(Matrix{{1, 2}, {3, 4}}, 1, 1);
+  EXPECT_EQ(m.at(1, 1), 1);
+  EXPECT_EQ(m.at(2, 2), 4);
+  EXPECT_EQ(m.at(0, 0), 0);
+}
+
+TEST(Matrix, IsSymmetric) {
+  EXPECT_TRUE((Matrix{{1, 2}, {2, 3}}).is_symmetric());
+  EXPECT_FALSE((Matrix{{1, 2}, {3, 4}}).is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+// ---- Vandermonde properties -------------------------------------------------
+
+TEST(Vandermonde, EvalPointsDistinctNonzero) {
+  const auto xs = default_eval_points(255);
+  std::vector<bool> seen(256, false);
+  for (auto x : xs) {
+    EXPECT_NE(x, 0);
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+  }
+}
+
+TEST(Vandermonde, TooManyPointsAborts) {
+  EXPECT_DEATH(default_eval_points(256), "255");
+}
+
+class VandermondeSubmatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// Any m rows of an n x m Vandermonde matrix with distinct points are
+// linearly independent - the foundation of every code in this library.
+TEST_P(VandermondeSubmatrixTest, AllRowSubsetsInvertible) {
+  const auto [n, m] = GetParam();
+  const Matrix v = vandermonde(static_cast<std::size_t>(n),
+                               static_cast<std::size_t>(m));
+  // Enumerate all m-subsets when feasible; n and m are small by design.
+  std::vector<int> subset(static_cast<std::size_t>(m));
+  std::function<void(int, int)> rec = [&](int start, int depth) {
+    if (depth == m) {
+      const Matrix sub = v.select_rows(subset);
+      EXPECT_EQ(sub.rank(), static_cast<std::size_t>(m));
+      return;
+    }
+    for (int i = start; i <= n - (m - depth); ++i) {
+      subset[static_cast<std::size_t>(depth)] = i;
+      rec(i + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Small, VandermondeSubmatrixTest,
+                         ::testing::Values(std::tuple{5, 2}, std::tuple{6, 3},
+                                           std::tuple{7, 4}, std::tuple{8, 2},
+                                           std::tuple{9, 5}));
+
+}  // namespace
+}  // namespace lds::math

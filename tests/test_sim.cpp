@@ -1,0 +1,83 @@
+// Discrete-event simulator: ordering, determinism, run_until semantics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "net/sim.h"
+
+namespace lds::net {
+namespace {
+
+TEST(Sim, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Sim, FifoAmongEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Sim, EventsMayScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.after(1.0, chain);
+  };
+  sim.after(1.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Sim, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(3.5, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Sim, RunUntilAdvancesClockWhenDrained) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Sim, RunWithEventBudget) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.at(i, [&] { ++fired; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimDeath, PastSchedulingAborts) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.at(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace lds::net

@@ -1,0 +1,120 @@
+// Striping codec: arbitrary byte values through per-stripe codes.
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "codes/pm_mbr.h"
+#include "common/rng.h"
+
+namespace lds::codes {
+namespace {
+
+StripedCode mbr(std::size_t n, std::size_t k, std::size_t d) {
+  return StripedCode(std::make_shared<PmMbrCode>(n, k, d));
+}
+
+class StripedSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StripedSizeTest, EncodeDecodeRoundTrip) {
+  const std::size_t value_size = GetParam();
+  StripedCode code = mbr(7, 3, 4);
+  Rng rng(value_size + 1);
+  const Bytes value = rng.bytes(value_size);
+  const auto elems = code.encode_value(value);
+  ASSERT_EQ(elems.size(), 7u);
+
+  std::vector<IndexedBytes> input{{1, elems[1]}, {3, elems[3]}, {6, elems[6]}};
+  auto decoded = code.decode_value(input);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StripedSizeTest,
+                         ::testing::Values(0, 1, 7, 8, 9, 100, 1024, 4096));
+
+TEST(Striped, EncodeElementMatchesEncodeValue) {
+  StripedCode code = mbr(6, 2, 4);
+  Rng rng(5);
+  const Bytes value = rng.bytes(333);
+  const auto elems = code.encode_value(value);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(code.encode_element(value, i),
+              elems[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Striped, RepairedElementDecodesWithOthers) {
+  StripedCode code = mbr(7, 3, 4);
+  Rng rng(6);
+  const Bytes value = rng.bytes(500);
+  const auto elems = code.encode_value(value);
+
+  // Repair element 2 from helpers {3,4,5,6}.
+  std::vector<IndexedBytes> helpers;
+  for (int h = 3; h <= 6; ++h) {
+    helpers.emplace_back(
+        h, code.helper_data(h, elems[static_cast<std::size_t>(h)], 2));
+  }
+  auto repaired = code.repair_element(2, helpers);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(*repaired, elems[2]);
+
+  std::vector<IndexedBytes> input{{0, elems[0]}, {2, *repaired},
+                                  {5, elems[5]}};
+  auto decoded = code.decode_value(input);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, value);
+}
+
+TEST(Striped, SizeAccountors) {
+  StripedCode code = mbr(7, 3, 4);  // B = 9 symbols, alpha = 4, beta = 1
+  const std::size_t value_size = 100;  // + 8B header = 108 -> 12 stripes
+  EXPECT_EQ(code.stripes(value_size), 12u);
+  EXPECT_EQ(code.element_size(value_size), 12u * 4u);
+  EXPECT_EQ(code.helper_size(value_size), 12u);
+
+  Rng rng(7);
+  const Bytes value = rng.bytes(value_size);
+  const auto elems = code.encode_value(value);
+  EXPECT_EQ(elems[0].size(), code.element_size(value_size));
+  EXPECT_EQ(code.helper_data(1, elems[1], 0).size(),
+            code.helper_size(value_size));
+}
+
+TEST(Striped, DecodeRejectsShortInput) {
+  StripedCode code = mbr(6, 3, 4);
+  Rng rng(8);
+  const Bytes value = rng.bytes(64);
+  const auto elems = code.encode_value(value);
+  std::vector<IndexedBytes> input{{0, elems[0]}, {1, elems[1]}};
+  EXPECT_FALSE(code.decode_value(input).has_value());
+  EXPECT_FALSE(code.decode_value({}).has_value());
+}
+
+TEST(Striped, FactoryKinds) {
+  for (auto kind : {BackendKind::PmMbr, BackendKind::Rs,
+                    BackendKind::Replication}) {
+    StripedCode code = make_backend(kind, 8, 3, 4);
+    Rng rng(static_cast<std::uint64_t>(kind) + 10);
+    const Bytes value = rng.bytes(97);
+    const auto elems = code.encode_value(value);
+    ASSERT_EQ(elems.size(), 8u) << backend_name(kind);
+    std::vector<IndexedBytes> input;
+    for (std::size_t i = 0; i < code.k(); ++i) {
+      input.emplace_back(static_cast<int>(i + 2), elems[i + 2]);
+    }
+    auto decoded = code.decode_value(input);
+    ASSERT_TRUE(decoded.has_value()) << backend_name(kind);
+    EXPECT_EQ(*decoded, value) << backend_name(kind);
+  }
+}
+
+TEST(Striped, ReplicationElementIsValueSized) {
+  StripedCode code = make_backend(BackendKind::Replication, 5, 1, 1);
+  Rng rng(11);
+  const Bytes value = rng.bytes(64);
+  // Replication stores the (framed) value at every node: 64 + 8 header.
+  EXPECT_EQ(code.element_size(value.size()), 72u);
+}
+
+}  // namespace
+}  // namespace lds::codes

@@ -1,0 +1,123 @@
+// Protocol trace: recording, filtering, capacity, and protocol-level
+// assertions made through it (e.g. no write-to-L2 before the commit quorum).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lds/cluster.h"
+#include "net/trace.h"
+
+namespace lds::net {
+namespace {
+
+core::LdsCluster::Options small_options() {
+  core::LdsCluster::Options opt;
+  opt.cfg.n1 = 6;
+  opt.cfg.f1 = 1;
+  opt.cfg.n2 = 8;
+  opt.cfg.f2 = 2;
+  opt.writers = 1;
+  opt.readers = 1;
+  return opt;
+}
+
+TEST(Trace, RecordsWholeWriteConversation) {
+  core::LdsCluster c(small_options());
+  Trace trace(c.net());
+  Rng rng(1);
+  c.write_sync(0, 0, rng.bytes(40));
+  c.settle();
+
+  // One QUERY-TAG and one PUT-DATA per L1 server.
+  EXPECT_EQ(trace.count("QUERY-TAG"), 6u);
+  EXPECT_EQ(trace.count("TAG-RESP"), 6u);
+  EXPECT_EQ(trace.count("PUT-DATA"), 6u);
+  // Every L1 server offloads to every L2 server.
+  EXPECT_EQ(trace.count("WRITE-CODE-ELEM"), 6u * 8u);
+  EXPECT_EQ(trace.count("ACK-CODE-ELEM"), 6u * 8u);
+  EXPECT_GE(trace.count("WRITE-ACK"), 5u);  // f1 + k acks suffice
+}
+
+TEST(Trace, TimeOrderAndFormatting) {
+  core::LdsCluster c(small_options());
+  Trace trace(c.net());
+  Rng rng(2);
+  c.write_sync(0, 0, rng.bytes(16));
+  const auto& entries = trace.entries();
+  ASSERT_FALSE(entries.empty());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i - 1].time, entries[i].time);
+  }
+  const std::string line = Trace::format_entry(entries.front());
+  EXPECT_NE(line.find("QUERY-TAG"), std::string::npos);
+  EXPECT_FALSE(trace.format().empty());
+}
+
+TEST(Trace, TypeFilter) {
+  core::LdsCluster c(small_options());
+  Trace trace(c.net());
+  trace.set_type_filter({"PUT-DATA"});
+  Rng rng(3);
+  c.write_sync(0, 0, rng.bytes(16));
+  c.settle();
+  EXPECT_EQ(trace.count("PUT-DATA"), 6u);
+  EXPECT_EQ(trace.count("QUERY-TAG"), 0u);
+  EXPECT_EQ(trace.entries().size(), trace.total_recorded());
+}
+
+TEST(Trace, CapacityEvictsOldest) {
+  core::LdsCluster c(small_options());
+  Trace trace(c.net(), /*capacity=*/10);
+  Rng rng(4);
+  c.write_sync(0, 0, rng.bytes(16));
+  c.settle();
+  EXPECT_EQ(trace.entries().size(), 10u);
+  EXPECT_GT(trace.dropped(), 0u);
+  EXPECT_EQ(trace.total_recorded(), trace.entries().size() + trace.dropped());
+  EXPECT_NE(trace.format().find("older entries dropped"), std::string::npos);
+}
+
+TEST(Trace, NoOffloadBeforeCommitQuorum) {
+  // Protocol-level assertion through the trace: the first WRITE-CODE-ELEM
+  // must appear only after f1 + k COMMIT-TAG deliveries (the offload is
+  // triggered by the commit, Fig. 2 line 19).
+  core::LdsCluster c(small_options());
+  Trace trace(c.net());
+  Rng rng(5);
+  c.write_sync(0, 0, rng.bytes(16));
+  c.settle();
+
+  const auto offloads = trace.by_type("WRITE-CODE-ELEM");
+  const auto commits = trace.by_type("COMMIT-TAG");
+  ASSERT_FALSE(offloads.empty());
+  ASSERT_FALSE(commits.empty());
+  const double first_offload = offloads.front().time;
+  std::size_t commits_before = 0;
+  for (const auto& e : commits) {
+    if (e.time <= first_offload) ++commits_before;
+  }
+  EXPECT_GE(commits_before, c.ctx().cfg.l1_quorum());
+}
+
+TEST(Trace, DetachStopsRecording) {
+  core::LdsCluster c(small_options());
+  Trace trace(c.net());
+  Rng rng(6);
+  c.write_sync(0, 0, rng.bytes(16));
+  const std::size_t before = trace.total_recorded();
+  trace.detach();
+  c.write_sync(0, 0, rng.bytes(16));
+  EXPECT_EQ(trace.total_recorded(), before);
+}
+
+TEST(Trace, ClearResets) {
+  core::LdsCluster c(small_options());
+  Trace trace(c.net());
+  Rng rng(7);
+  c.write_sync(0, 0, rng.bytes(16));
+  trace.clear();
+  EXPECT_TRUE(trace.entries().empty());
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace lds::net
