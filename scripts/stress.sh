@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Multi-seed stress soak: keeps launching lds_stress runs with fresh seeds
+# across all three backends until the time budget is spent.  Any violation
+# aborts the soak with the failing command line (seed included) so the run
+# reproduces verbatim.
+#
+#   scripts/stress.sh                 # ~30s soak with defaults
+#   SOAK_SECONDS=300 scripts/stress.sh
+#   STRESS_BIN=out/lds_stress scripts/stress.sh --threads 16 --ops 8000
+#
+# Extra arguments are forwarded to every lds_stress invocation.
+set -euo pipefail
+
+STRESS_BIN=${STRESS_BIN:-build/lds_stress}
+SOAK_SECONDS=${SOAK_SECONDS:-30}
+
+if [[ ! -x "$STRESS_BIN" ]]; then
+  echo "error: $STRESS_BIN not found or not executable." >&2
+  echo "build it first:  cmake -B build -S . && cmake --build build -j --target lds_stress" >&2
+  exit 2
+fi
+
+backends=(lds abd cas)
+deadline=$((SECONDS + SOAK_SECONDS))
+round=0
+runs=0
+
+echo "soak: ${SOAK_SECONDS}s budget, binary=$STRESS_BIN, extra args: $*"
+while ((SECONDS < deadline)); do
+  round=$((round + 1))
+  for backend in "${backends[@]}"; do
+    ((SECONDS < deadline)) || break
+    seed=$((RANDOM * 32768 + RANDOM + round))
+    cmd=("$STRESS_BIN" --backend "$backend" --threads 4 --ops 2000
+         --crash-rate 0.05 --seed "$seed" "$@")
+    # LDS also soaks the repair-churn path on alternating rounds.
+    if [[ "$backend" == lds && $((round % 2)) -eq 0 ]]; then
+      cmd+=(--repair-rate 0.5 --crash-rate 0.1)
+    fi
+    if ! "${cmd[@]}" > /dev/null; then
+      echo "VIOLATION — reproduce with:" >&2
+      echo "  ${cmd[*]}" >&2
+      exit 1
+    fi
+    runs=$((runs + 1))
+  done
+done
+
+echo "soak passed: $runs runs across ${backends[*]} in ${SECONDS}s, 0 violations"

@@ -51,4 +51,22 @@ class Rng {
   std::mt19937_64 eng_;
 };
 
+/// SplitMix64 finalizer: a bijective avalanche mix.  Used to derive
+/// well-separated child seeds from (master seed, stream index) pairs so that
+/// every thread/shard of a stress run has an independent stream that is still
+/// a pure function of the one master seed printed at startup.
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Non-deterministic seed for "--seed 0 = pick one" flows.  Callers must
+/// print the chosen value so the run reproduces.
+inline std::uint64_t entropy_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
 }  // namespace lds

@@ -1,0 +1,535 @@
+#include "harness/stress.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "baselines/abd.h"
+#include "baselines/cas.h"
+#include "common/rng.h"
+#include "lds/cluster.h"
+
+namespace lds::harness {
+
+using core::History;
+using core::OpKind;
+using core::OpRecord;
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::Lds: return "lds";
+    case Backend::Abd: return "abd";
+    case Backend::Cas: return "cas";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "lds") return Backend::Lds;
+  if (name == "abd") return Backend::Abd;
+  if (name == "cas") return Backend::Cas;
+  return std::nullopt;
+}
+
+// ---- SharedState -----------------------------------------------------------
+
+void SharedState::report(ShardReport r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reports_.at(r.shard) = std::move(r);
+}
+
+// ---- independent freshness verifier ----------------------------------------
+
+History::CheckResult verify_read_freshness(const History& h) {
+  std::unordered_map<ObjectId, std::vector<OpRecord>> by_obj;
+  for (const auto& op : h.ops()) {
+    if (op.complete) by_obj[op.obj].push_back(op);
+  }
+  for (auto& [obj, ops] : by_obj) {
+    for (const auto& r : ops) {
+      if (r.kind != OpKind::Read) continue;
+      Tag floor = kTag0;
+      for (const auto& o : ops) {
+        if (o.responded >= r.invoked) continue;  // not strictly before
+        // Writes and prior reads both raise the freshness floor: atomicity
+        // makes every completed operation's tag visible to later ops.
+        floor = std::max(floor, o.tag);
+      }
+      if (r.tag < floor) {
+        return {false, "stale read: op " + std::to_string(r.id) + " on obj " +
+                           std::to_string(obj) + " returned tag " +
+                           r.tag.to_string() + " < freshness floor " +
+                           floor.to_string()};
+      }
+      for (const auto& w : ops) {
+        if (w.kind == OpKind::Write && r.responded < w.invoked &&
+            r.tag == w.tag) {
+          return {false, "read " + std::to_string(r.id) +
+                             " returned the tag of a write invoked after it"};
+        }
+      }
+    }
+  }
+  return {true, {}};
+}
+
+// ---- per-shard execution ----------------------------------------------------
+
+namespace {
+
+/// Uniform closure over the three backends: issue an operation on a given
+/// client index, or try to crash / repair a server.  The concrete cluster is
+/// kept alive through `keepalive`.
+struct ShardEnv {
+  net::Simulator* sim = nullptr;
+  History* history = nullptr;
+  std::function<void(std::size_t, ObjectId, Bytes, std::function<void()>)>
+      write;
+  std::function<void(std::size_t, ObjectId, std::function<void()>)> read;
+  /// Injects one server crash if the failure budget allows; returns whether
+  /// a crash was scheduled.
+  std::function<bool(Rng&)> try_crash;
+  std::size_t* repairs = nullptr;
+  std::shared_ptr<void> keepalive;
+};
+
+/// Crash/repair bookkeeping for one LDS shard.  A server occupies a failure
+/// budget slot from the moment it is crashed until its replacement finishes
+/// regenerating every object (under-repair servers answer with stale state,
+/// so they must count against f2 like crashed ones).
+struct LdsFaultState {
+  std::vector<bool> l1_down;
+  std::vector<bool> l2_busy;
+  std::size_t l1_down_count = 0;
+  std::size_t l2_busy_count = 0;
+  std::size_t repairs_done = 0;
+  /// Repair orchestration closures; stored here (capturing this object by
+  /// raw pointer) so they can re-enter themselves without shared_ptr cycles.
+  std::function<void(std::size_t)> repair_server;
+  std::function<void(std::size_t, ObjectId)> repair_chain;
+};
+
+ShardEnv make_lds_env(const StressOptions& opt, std::uint64_t shard_seed) {
+  core::LdsCluster::Options copt;
+  copt.cfg.n1 = opt.n1;
+  copt.cfg.f1 = opt.f1;
+  copt.cfg.n2 = opt.n2;
+  copt.cfg.f2 = opt.f2;
+  copt.cfg.initial_value = Bytes{};
+  copt.writers = opt.writers;
+  copt.readers = opt.readers;
+  copt.latency = opt.exponential_latency
+                     ? core::LdsCluster::LatencyKind::Exponential
+                     : core::LdsCluster::LatencyKind::Fixed;
+  copt.tau1 = opt.tau1;
+  copt.tau0 = opt.tau0;
+  copt.tau2 = opt.tau2;
+  copt.seed = mix_seed(shard_seed, 1);
+  auto cluster = std::make_shared<core::LdsCluster>(copt);
+  auto faults = std::make_shared<LdsFaultState>();
+  faults->l1_down.assign(opt.n1, false);
+  faults->l2_busy.assign(opt.n2, false);
+
+  ShardEnv env;
+  env.sim = &cluster->sim();
+  env.history = &cluster->history();
+  env.repairs = &faults->repairs_done;
+  env.write = [cluster](std::size_t w, ObjectId obj, Bytes v,
+                        std::function<void()> done) {
+    cluster->writer(w).write(obj, std::move(v),
+                             [done = std::move(done)](Tag) { done(); });
+  };
+  env.read = [cluster](std::size_t r, ObjectId obj,
+                       std::function<void()> done) {
+    cluster->reader(r).read(
+        obj, [done = std::move(done)](Tag, Bytes) { done(); });
+  };
+
+  // Repair churn: replace the crashed server, then regenerate each object in
+  // sequence; the budget slot frees only once every object converged.  The
+  // closures live in *faults and capture it raw, so no shared_ptr cycles.
+  LdsFaultState* fp = faults.get();
+  faults->repair_chain = [cluster, fp, opt](std::size_t victim, ObjectId obj) {
+    if (obj >= opt.objects) {  // all objects regenerated: slot freed
+      fp->l2_busy[victim] = false;
+      --fp->l2_busy_count;
+      ++fp->repairs_done;
+      return;
+    }
+    cluster->l2(victim).repair_object(
+        obj, [cluster, fp, victim, obj](std::optional<Tag> t) {
+          if (t.has_value()) {
+            fp->repair_chain(victim, obj + 1);
+          } else {
+            // All rounds raced with concurrent write-to-L2 traffic; retry
+            // this object after a backoff.  The slot stays occupied.
+            cluster->sim().after(
+                5.0, [fp, victim, obj] { fp->repair_chain(victim, obj); });
+          }
+        });
+  };
+  faults->repair_server = [cluster, fp](std::size_t victim) {
+    cluster->replace_l2(victim);
+    fp->repair_chain(victim, 0);
+  };
+
+  env.try_crash = [cluster, faults, opt](Rng& rng) {
+    const bool can_l1 = faults->l1_down_count < opt.f1;
+    const bool can_l2 = faults->l2_busy_count < opt.f2;
+    if (!can_l1 && !can_l2) return false;
+    // Pick a layer with remaining budget, then a random healthy victim.
+    const bool hit_l2 = can_l2 && (!can_l1 || rng.bernoulli(0.5));
+    std::vector<std::size_t> healthy;
+    if (hit_l2) {
+      for (std::size_t i = 0; i < opt.n2; ++i)
+        if (!faults->l2_busy[i]) healthy.push_back(i);
+    } else {
+      for (std::size_t i = 0; i < opt.n1; ++i)
+        if (!faults->l1_down[i]) healthy.push_back(i);
+    }
+    if (healthy.empty()) return false;
+    const std::size_t victim =
+        healthy[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(healthy.size()) - 1))];
+    const double delay = rng.exponential(1.0);
+    const bool repair = hit_l2 && rng.bernoulli(opt.repair_rate);
+    const double repair_delay = delay + 2.0 + rng.exponential(5.0);
+    if (hit_l2) {
+      faults->l2_busy[victim] = true;
+      ++faults->l2_busy_count;
+      cluster->sim().after(delay,
+                           [cluster, victim] { cluster->crash_l2(victim); });
+      if (repair) {
+        LdsFaultState* f = faults.get();
+        cluster->sim().after(repair_delay,
+                             [f, victim] { f->repair_server(victim); });
+      }
+    } else {
+      faults->l1_down[victim] = true;
+      ++faults->l1_down_count;
+      cluster->sim().after(delay,
+                           [cluster, victim] { cluster->crash_l1(victim); });
+    }
+    return true;
+  };
+  env.keepalive = cluster;
+  return env;
+}
+
+template <typename Cluster>
+ShardEnv make_single_layer_env(std::shared_ptr<Cluster> cluster,
+                               std::size_t n, std::size_t budget) {
+  auto down = std::make_shared<std::vector<bool>>(n, false);
+  auto down_count = std::make_shared<std::size_t>(0);
+
+  ShardEnv env;
+  env.sim = &cluster->sim();
+  env.history = &cluster->history();
+  env.write = [cluster](std::size_t w, ObjectId obj, Bytes v,
+                        std::function<void()> done) {
+    cluster->writer(w).write(obj, std::move(v),
+                             [done = std::move(done)](Tag) { done(); });
+  };
+  env.read = [cluster](std::size_t r, ObjectId obj,
+                       std::function<void()> done) {
+    cluster->reader(r).read(
+        obj, [done = std::move(done)](Tag, Bytes) { done(); });
+  };
+  env.try_crash = [cluster, down, down_count, n, budget](Rng& rng) {
+    if (*down_count >= budget) return false;
+    std::vector<std::size_t> healthy;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!(*down)[i]) healthy.push_back(i);
+    if (healthy.empty()) return false;
+    const std::size_t victim =
+        healthy[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(healthy.size()) - 1))];
+    (*down)[victim] = true;
+    ++*down_count;
+    cluster->sim().after(rng.exponential(1.0), [cluster, victim] {
+      cluster->crash_server(victim);
+    });
+    return true;
+  };
+  env.keepalive = cluster;
+  return env;
+}
+
+ShardEnv make_abd_env(const StressOptions& opt, std::uint64_t shard_seed) {
+  baselines::AbdCluster::Options copt;
+  copt.n = opt.n;
+  copt.f = opt.f;
+  copt.writers = opt.writers;
+  copt.readers = opt.readers;
+  copt.initial_value = Bytes{};
+  copt.tau1 = opt.tau1;
+  copt.seed = mix_seed(shard_seed, 1);
+  copt.exponential_latency = opt.exponential_latency;
+  auto cluster = std::make_shared<baselines::AbdCluster>(copt);
+  return make_single_layer_env(std::move(cluster), opt.n, opt.f);
+}
+
+ShardEnv make_cas_env(const StressOptions& opt, std::uint64_t shard_seed) {
+  baselines::CasCluster::Options copt;
+  copt.n = opt.n;
+  copt.k = opt.n - 2 * opt.f;  // f = (n - k) / 2
+  copt.writers = opt.writers;
+  copt.readers = opt.readers;
+  copt.initial_value = Bytes{};
+  copt.tau1 = opt.tau1;
+  copt.seed = mix_seed(shard_seed, 1);
+  copt.exponential_latency = opt.exponential_latency;
+  auto cluster = std::make_shared<baselines::CasCluster>(copt);
+  return make_single_layer_env(std::move(cluster), opt.n, opt.f);
+}
+
+/// db_stress ThreadState: everything one OS thread needs to run its shard.
+struct ThreadState {
+  std::size_t shard = 0;
+  std::uint64_t seed = 0;  ///< per-shard derived seed
+  StressOptions opt;
+};
+
+ShardReport run_shard(const ThreadState& ts) {
+  const StressOptions& opt = ts.opt;
+  ShardReport rep;
+  rep.shard = ts.shard;
+  rep.seed = ts.seed;
+  auto rng = std::make_shared<Rng>(ts.seed);
+
+  ShardEnv env;
+  switch (opt.backend) {
+    case Backend::Lds: env = make_lds_env(opt, ts.seed); break;
+    case Backend::Abd: env = make_abd_env(opt, ts.seed); break;
+    case Backend::Cas: env = make_cas_env(opt, ts.seed); break;
+  }
+
+  // Split this shard's ops into per-client closed-loop budgets.
+  const std::size_t shard_ops =
+      opt.ops / opt.threads + (ts.shard < opt.ops % opt.threads ? 1 : 0);
+  std::size_t reads = static_cast<std::size_t>(
+      static_cast<double>(shard_ops) * opt.read_fraction + 0.5);
+  reads = std::min(reads, shard_ops);
+  const std::size_t writes = shard_ops - reads;
+  auto writes_left = std::make_shared<std::vector<std::size_t>>(opt.writers,
+                                                                std::size_t{0});
+  auto reads_left = std::make_shared<std::vector<std::size_t>>(opt.readers,
+                                                               std::size_t{0});
+  for (std::size_t i = 0; i < writes; ++i) ++(*writes_left)[i % opt.writers];
+  for (std::size_t i = 0; i < reads; ++i) ++(*reads_left)[i % opt.readers];
+
+  // After each completion: roll the crash dice, think, and issue the
+  // client's next op — the closed loop keeps clients well-formed while ops
+  // from different clients overlap freely in simulated time.  All closures
+  // run inside env.sim->run() below, so capturing the stack-local
+  // std::functions by reference is safe (same idiom as tests/test_lds_stress).
+  std::function<void()> on_done;
+  std::function<void(std::size_t)> write_next;
+  std::function<void(std::size_t)> read_next;
+
+  on_done = [rng, &env, &rep, opt]() {
+    if (opt.crash_rate > 0 && rng->bernoulli(opt.crash_rate)) {
+      if (env.try_crash(*rng)) ++rep.crashes;
+    }
+  };
+
+  write_next = [writes_left, rng, &env, &rep, opt, &on_done,
+                &write_next](std::size_t w) {
+    if ((*writes_left)[w] == 0) return;
+    --(*writes_left)[w];
+    const auto obj = static_cast<ObjectId>(
+        rng->uniform_int(0, static_cast<std::int64_t>(opt.objects) - 1));
+    ++rep.writes;
+    env.write(w, obj, rng->bytes(opt.value_size),
+              [&env, rng, &on_done, &write_next, w] {
+                on_done();
+                env.sim->after(rng->exponential(1.0) + 1e-6,
+                               [&write_next, w] { write_next(w); });
+              });
+  };
+  read_next = [reads_left, rng, &env, &rep, opt, &on_done,
+               &read_next](std::size_t r) {
+    if ((*reads_left)[r] == 0) return;
+    --(*reads_left)[r];
+    const auto obj = static_cast<ObjectId>(
+        rng->uniform_int(0, static_cast<std::int64_t>(opt.objects) - 1));
+    ++rep.reads;
+    env.read(r, obj, [&env, rng, &on_done, &read_next, r] {
+      on_done();
+      env.sim->after(rng->exponential(1.0) + 1e-6,
+                     [&read_next, r] { read_next(r); });
+    });
+  };
+
+  for (std::size_t w = 0; w < opt.writers; ++w) {
+    env.sim->at(rng->uniform_real(0.0, 3.0),
+                [&write_next, w] { write_next(w); });
+  }
+  for (std::size_t r = 0; r < opt.readers; ++r) {
+    env.sim->at(rng->uniform_real(0.0, 6.0),
+                [&read_next, r] { read_next(r); });
+  }
+
+  env.sim->run();
+  rep.sim_events = env.sim->events_executed();
+  if (env.repairs != nullptr) rep.repairs = *env.repairs;
+
+  rep.liveness_ok = env.history->all_complete();
+  if (!rep.liveness_ok) {
+    rep.violation = "liveness: " + std::to_string(env.history->incomplete()) +
+                    " ops never completed";
+  }
+  const auto atomic_verdict = env.history->check_atomicity(Bytes{});
+  rep.atomicity_ok = atomic_verdict.ok;
+  if (!atomic_verdict.ok && rep.violation.empty()) {
+    rep.violation = "atomicity: " + atomic_verdict.violation;
+  }
+  const auto fresh_verdict = verify_read_freshness(*env.history);
+  rep.freshness_ok = fresh_verdict.ok;
+  if (!fresh_verdict.ok && rep.violation.empty()) {
+    rep.violation = "freshness: " + fresh_verdict.violation;
+  }
+  return rep;
+}
+
+}  // namespace
+
+// ---- driver -----------------------------------------------------------------
+
+std::size_t StressReport::total_writes() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.writes;
+  return n;
+}
+std::size_t StressReport::total_reads() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.reads;
+  return n;
+}
+std::size_t StressReport::total_crashes() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.crashes;
+  return n;
+}
+std::size_t StressReport::total_repairs() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.repairs;
+  return n;
+}
+std::size_t StressReport::violations() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.ok() ? 0 : 1;
+  return n;
+}
+
+std::optional<std::string> validate_options(const StressOptions& opt) {
+  if (opt.threads == 0 || opt.threads > 1024)
+    return "--threads must be in [1, 1024]";
+  if (opt.writers == 0) return "--writers must be >= 1";
+  if (opt.readers == 0) return "--readers must be >= 1";
+  if (opt.objects == 0) return "--objects must be >= 1";
+  // The negated >=/<= form also rejects NaN.
+  if (!(opt.read_fraction >= 0.0 && opt.read_fraction <= 1.0))
+    return "--read-fraction must be in [0, 1]";
+  if (!(opt.crash_rate >= 0.0 && opt.crash_rate <= 1.0))
+    return "--crash-rate must be in [0, 1]";
+  if (!(opt.repair_rate >= 0.0 && opt.repair_rate <= 1.0))
+    return "--repair-rate must be in [0, 1]";
+  switch (opt.backend) {
+    case Backend::Lds:
+      // LdsConfig::validate()'s constraints, reported instead of aborted.
+      if (opt.n1 < 1 || opt.n2 < 1) return "need n1 >= 1 and n2 >= 1";
+      if (2 * opt.f1 >= opt.n1) return "need f1 < n1/2";
+      if (3 * opt.f2 >= opt.n2) return "need f2 < n2/3";
+      if (opt.n2 - 2 * opt.f2 < opt.n1 - 2 * opt.f1)
+        return "need d = n2 - 2 f2 >= k = n1 - 2 f1 (MBR requires it)";
+      if (opt.n1 + opt.n2 > 255) return "GF(256) bound: n1 + n2 <= 255";
+      break;
+    case Backend::Abd:
+      if (opt.n < 1) return "need n >= 1";
+      if (2 * opt.f >= opt.n) return "ABD tolerates f < n/2";
+      break;
+    case Backend::Cas:
+      if (2 * opt.f >= opt.n || opt.n - 2 * opt.f < 1)
+        return "CAS needs k = n - 2 f >= 1";
+      if (opt.n > 255) return "GF(256) bound: n <= 255";
+      break;
+  }
+  return std::nullopt;
+}
+
+StressReport run_stress(const StressOptions& opt) {
+  StressReport out;
+  out.seed = opt.seed != 0 ? opt.seed : entropy_seed();
+  if (validate_options(opt).has_value()) {
+    return out;  // empty => !ok()
+  }
+
+  SharedState shared(opt.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.threads);
+  for (std::size_t t = 0; t < opt.threads; ++t) {
+    ThreadState ts;
+    ts.shard = t;
+    // Single-thread runs use the master seed as the shard stream directly,
+    // so "--threads 1 --ops <ops/threads> --seed <shard-seed>" replays one
+    // shard of a multi-thread run bit-identically.
+    ts.seed = opt.threads == 1 ? out.seed : mix_seed(out.seed, t);
+    ts.opt = opt;
+    threads.emplace_back([ts = std::move(ts), verbose = opt.verbose,
+                          &shared] {
+      ShardReport rep = run_shard(ts);
+      if (verbose) {
+        std::fprintf(stderr,
+                     "[shard %2zu] seed=%llu w=%zu r=%zu crashes=%zu "
+                     "repairs=%zu events=%llu %s%s%s\n",
+                     rep.shard, static_cast<unsigned long long>(rep.seed),
+                     rep.writes, rep.reads, rep.crashes, rep.repairs,
+                     static_cast<unsigned long long>(rep.sim_events),
+                     rep.ok() ? "OK" : "VIOLATION",
+                     rep.violation.empty() ? "" : ": ",
+                     rep.violation.c_str());
+      }
+      shared.report(std::move(rep));
+    });
+  }
+  for (auto& th : threads) th.join();
+  out.shards = shared.take_reports();
+  return out;
+}
+
+std::string format_report(const StressOptions& opt, const StressReport& rep) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "lds_stress: backend=%s threads=%zu ops=%zu seed=%llu\n",
+                backend_name(opt.backend), opt.threads, opt.ops,
+                static_cast<unsigned long long>(rep.seed));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "%-6s %-20s %8s %8s %8s %8s %10s  %s\n", "shard", "seed",
+                "writes", "reads", "crashes", "repairs", "events", "verdict");
+  out += line;
+  for (const auto& s : rep.shards) {
+    std::snprintf(line, sizeof(line),
+                  "%-6zu %-20llu %8zu %8zu %8zu %8zu %10llu  %s\n", s.shard,
+                  static_cast<unsigned long long>(s.seed), s.writes, s.reads,
+                  s.crashes, s.repairs,
+                  static_cast<unsigned long long>(s.sim_events),
+                  s.ok() ? "ok" : s.violation.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %zu writes, %zu reads, %zu crashes, %zu repairs, "
+                "%zu violation(s) -> %s\n",
+                rep.total_writes(), rep.total_reads(), rep.total_crashes(),
+                rep.total_repairs(), rep.violations(),
+                rep.ok() ? "PASS" : "FAIL");
+  out += line;
+  return out;
+}
+
+}  // namespace lds::harness

@@ -1,0 +1,136 @@
+// db_stress-style concurrent stress harness for the LDS reproduction.
+//
+// RocksDB's db_stress drives a store from many OS threads (ThreadBody), each
+// with its own ThreadState, coordinated through one SharedState, while a
+// fault injector kills components and a verifier checks the database against
+// an in-memory model.  This harness is the same shape adapted to a
+// discrete-event world: each OS thread owns one *shard* — an independent
+// simulated cluster (LDS, ABD or CAS) with its own Simulator, derived RNG
+// stream and operation History — and inside the shard the configured
+// writer/reader mix runs concurrently *in simulated time* while server
+// crashes and repair churn are injected.  Shards never share mutable state,
+// so a run is deterministic for a fixed --seed regardless of OS scheduling,
+// and a failure reproduces from the per-shard seed alone.
+//
+// Every shard's history is checked two ways:
+//   * History::check_atomicity — the paper's Theorem IV.9 conditions
+//     (Lynch's sufficient condition instantiated with the tag order);
+//   * verify_read_freshness — an independent O(ops^2) reference checker:
+//     a read returns a tag no older than the max tag of any write that
+//     completed before the read was invoked, and reads are mutually
+//     monotone.  Disagreement between the two checkers is itself a bug.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lds/history.h"
+
+namespace lds::harness {
+
+enum class Backend { Lds, Abd, Cas };
+
+const char* backend_name(Backend b);
+std::optional<Backend> parse_backend(std::string_view name);
+
+struct StressOptions {
+  Backend backend = Backend::Lds;
+  /// OS threads; each runs one independent shard.
+  std::size_t threads = 4;
+  /// Total client operations across all shards.
+  std::size_t ops = 2000;
+  /// Clients per shard; ops within a shard run concurrently in sim time.
+  std::size_t writers = 2;
+  std::size_t readers = 2;
+  std::size_t objects = 4;
+  std::size_t value_size = 64;
+  /// Fraction of a shard's ops that are reads.
+  double read_fraction = 0.5;
+  /// Per-operation probability of injecting a server crash (bounded by the
+  /// backend's failure budget: f1/f2 for LDS, f for ABD, (n-k)/2 for CAS).
+  double crash_rate = 0.0;
+  /// LDS only: probability that a crashed L2 server is replaced and
+  /// regenerated under load (RepairManager-style churn).  A repaired server
+  /// returns its failure-budget slot, so churny runs keep crashing.
+  double repair_rate = 0.0;
+  /// Heavy-tailed (exponential) message latencies; fixed delays otherwise.
+  bool exponential_latency = true;
+  /// LDS geometry (n1 = 2 f1 + k, n2 = 2 f2 + d).
+  std::size_t n1 = 6, f1 = 1, n2 = 8, f2 = 2;
+  /// ABD / CAS geometry; CAS uses k = n - 2 f.
+  std::size_t n = 9, f = 2;
+  double tau1 = 1.0, tau0 = 1.0, tau2 = 3.0;
+  /// Master seed; 0 means "pick one from entropy" (the CLI always prints
+  /// the effective seed so any run reproduces with --seed).
+  std::uint64_t seed = 0;
+  /// Print one line per shard as it finishes.
+  bool verbose = false;
+};
+
+struct ShardReport {
+  std::size_t shard = 0;
+  std::uint64_t seed = 0;  ///< derived per-shard seed (reproduce solo runs)
+  std::size_t writes = 0;
+  std::size_t reads = 0;
+  std::size_t crashes = 0;
+  std::size_t repairs = 0;
+  std::uint64_t sim_events = 0;
+  bool liveness_ok = false;
+  bool atomicity_ok = false;
+  bool freshness_ok = false;
+  std::string violation;  ///< first violation, empty when ok
+
+  bool ok() const { return liveness_ok && atomicity_ok && freshness_ok; }
+};
+
+struct StressReport {
+  std::uint64_t seed = 0;  ///< effective master seed
+  std::vector<ShardReport> shards;
+
+  std::size_t total_writes() const;
+  std::size_t total_reads() const;
+  std::size_t total_crashes() const;
+  std::size_t total_repairs() const;
+  std::size_t violations() const;
+  bool ok() const { return violations() == 0 && !shards.empty(); }
+};
+
+/// Coordination block shared by all stress threads (db_stress SharedState):
+/// the mutex-guarded per-shard report sink the driver aggregates from.
+class SharedState {
+ public:
+  explicit SharedState(std::size_t num_shards) : reports_(num_shards) {}
+
+  void report(ShardReport r);
+  std::vector<ShardReport> take_reports() { return std::move(reports_); }
+
+ private:
+  std::mutex mu_;
+  std::vector<ShardReport> reports_;
+};
+
+/// Check option sanity (positive counts, rates in [0,1], backend geometry
+/// within the paper's constraints) without touching LDS_REQUIRE-aborting
+/// constructors.  Returns an error message, or nullopt when runnable.
+std::optional<std::string> validate_options(const StressOptions& opt);
+
+/// Run the configured stress: spawns opt.threads OS threads, each driving
+/// one shard to completion, and aggregates the per-shard verdicts.  Invalid
+/// options yield an empty (not-ok) report; CLIs should call
+/// validate_options first for the reason.
+StressReport run_stress(const StressOptions& opt);
+
+/// Independent linearizability reference check over a recorded history (per
+/// object, completed ops): every read's tag is >= the max tag among writes
+/// that completed before the read was invoked, reads that precede a write
+/// never carry its tag, and reads are mutually monotone.
+core::History::CheckResult verify_read_freshness(const core::History& h);
+
+/// One human-readable report table (the CLI output).
+std::string format_report(const StressOptions& opt, const StressReport& rep);
+
+}  // namespace lds::harness

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <ostream>
 
 #include "common/rng.h"
 #include "lds/cluster.h"
@@ -220,6 +222,106 @@ TEST(Protocol, ReadCostExcludesMetaData) {
   EXPECT_EQ(bucket.data_bytes % helper, 0u)
       << "helper=" << helper << " elem=" << elem;
 }
+
+// ---- boundary geometries ----------------------------------------------------
+
+// Edge values of (n1, f1, n2, f2) under the paper's constraints
+// n1 = 2 f1 + k (k >= 1), n2 = 2 f2 + d (d >= k), f1 < n1/2, f2 < n2/3:
+// minimal layers, k = 1 (maximal edge tolerance), f2 = 0 (d = n2, maximal
+// regeneration degree), f1 = 0, and both layers at their tolerance caps.
+struct Geometry {
+  std::size_t n1, f1, n2, f2;
+  friend std::ostream& operator<<(std::ostream& os, const Geometry& g) {
+    return os << "n1=" << g.n1 << " f1=" << g.f1 << " n2=" << g.n2
+              << " f2=" << g.f2;
+  }
+};
+
+class ProtocolBoundary : public ::testing::TestWithParam<Geometry> {
+ protected:
+  LdsCluster::Options options() const {
+    const Geometry& g = GetParam();
+    auto opt = base_options();
+    opt.cfg.n1 = g.n1;
+    opt.cfg.f1 = g.f1;
+    opt.cfg.n2 = g.n2;
+    opt.cfg.f2 = g.f2;
+    return opt;
+  }
+};
+
+TEST_P(ProtocolBoundary, SequentialRoundTripsReturnLatestValue) {
+  auto opt = options();
+  opt.cfg.validate();  // the geometry itself must be legal
+  LdsCluster c(opt);
+  Rng rng(17);
+  Tag last = kTag0;
+  for (int i = 0; i < 3; ++i) {
+    const Bytes v = rng.bytes(48 + 16 * static_cast<std::size_t>(i));
+    const Tag t = c.write_sync(i % 2, 0, v);
+    EXPECT_GT(t, last);
+    last = t;
+    auto [rt, rv] = c.read_sync(i % 2, 0);
+    EXPECT_EQ(rt, t);
+    EXPECT_EQ(rv, v);
+  }
+  c.settle();
+  EXPECT_TRUE(c.history().check_atomicity({}).ok);
+}
+
+TEST_P(ProtocolBoundary, ConcurrentOpsUnderFullCrashBudgetStayAtomic) {
+  auto opt = options();
+  opt.latency = LdsCluster::LatencyKind::Exponential;
+  opt.seed = 23;
+  LdsCluster c(opt);
+  Rng rng(23);
+
+  // Two writers and two readers in closed loops, overlapping in sim time.
+  std::function<void(std::size_t, int)> write_next;
+  std::function<void(std::size_t, int)> read_next;
+  write_next = [&](std::size_t w, int left) {
+    if (left == 0) return;
+    c.writer(w).write(0, rng.bytes(32), [&, w, left](Tag) {
+      c.sim().after(0.5, [&, w, left] { write_next(w, left - 1); });
+    });
+  };
+  read_next = [&](std::size_t r, int left) {
+    if (left == 0) return;
+    c.reader(r).read(0, [&, r, left](Tag, Bytes) {
+      c.sim().after(0.5, [&, r, left] { read_next(r, left - 1); });
+    });
+  };
+  for (std::size_t w = 0; w < opt.writers; ++w) {
+    c.sim().at(rng.uniform_real(0.0, 2.0), [&, w] { write_next(w, 4); });
+  }
+  for (std::size_t r = 0; r < opt.readers; ++r) {
+    c.sim().at(rng.uniform_real(0.0, 4.0), [&, r] { read_next(r, 4); });
+  }
+  // Spend the full failure budget of both layers mid-run.
+  for (std::size_t i = 0; i < opt.cfg.f1; ++i) {
+    c.sim().at(rng.uniform_real(0.5, 10.0), [&, i] { c.crash_l1(i); });
+  }
+  for (std::size_t i = 0; i < opt.cfg.f2; ++i) {
+    c.sim().at(rng.uniform_real(0.5, 10.0), [&, i] { c.crash_l2(i); });
+  }
+  c.settle();
+
+  EXPECT_TRUE(c.history().all_complete())
+      << c.history().incomplete() << " ops incomplete";
+  const auto verdict = c.history().check_atomicity({});
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundaryGeometries, ProtocolBoundary,
+    ::testing::Values(Geometry{1, 0, 1, 0},    // minimal: k = d = 1
+                      Geometry{3, 1, 3, 0},    // k = 1; f2 = 0 => d = n2
+                      Geometry{5, 2, 4, 0},    // max f1 for n1 = 5; d = n2
+                      Geometry{4, 0, 6, 1},    // f1 = 0: k = n1 = 4, d = 4
+                      Geometry{7, 3, 7, 2},    // both layers at the cap
+                      Geometry{2, 0, 8, 2},    // tiny edge, wide back end
+                      Geometry{21, 10, 10, 3}  // k = 1 at scale
+                      ));
 
 }  // namespace
 }  // namespace lds::core

@@ -3,6 +3,9 @@
 // and continued correct service afterwards.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+
 #include "common/rng.h"
 #include "lds/cluster.h"
 #include "lds/repair_manager.h"
@@ -118,6 +121,133 @@ TEST(RepairManager, RepairConcurrentWithWritesConverges) {
   // Converged: the repaired server holds the same tag as its peers.
   EXPECT_EQ(f.cluster->l2(3).stored_tag(0), f.cluster->l2(2).stored_tag(0));
   EXPECT_TRUE(f.cluster->history().all_complete());
+  EXPECT_TRUE(f.cluster->history().check_atomicity({}).ok);
+}
+
+TEST(RepairManager, RepairUnderSustainedWriteLoadTracksCommittedTag) {
+  // Regeneration races a closed-loop writer that keeps advancing the
+  // committed tag for the whole detection + repair window.  The repaired
+  // server must converge to whatever tag is current *when its repair round
+  // finally wins*, not the tag at crash time.
+  Fixture f;
+  Rng rng(7);
+  f.cluster->write_sync(0, 0, rng.bytes(60));
+  f.cluster->settle();
+  const Tag tag_at_crash = f.cluster->l2(5).stored_tag(0);
+  f.manager->track_object(0);
+  f.manager->start();
+
+  std::map<Tag, Bytes> written;  // tag -> value, to check exact repair below
+  std::function<void(int)> write_next;
+  write_next = [&](int left) {
+    if (left == 0) return;
+    const Bytes v = rng.bytes(60);
+    f.cluster->writer(0).write(0, v, [&, v, left](Tag t) {
+      written[t] = v;
+      f.cluster->sim().after(6.0, [&, left] { write_next(left - 1); });
+    });
+  };
+  f.cluster->sim().after(4.0, [&] { f.cluster->crash_l2(5); });
+  f.cluster->sim().after(5.0, [&] { write_next(20); });
+  f.cluster->sim().run_until(900.0);
+  f.manager->stop();
+  f.cluster->settle();
+
+  EXPECT_GE(f.manager->repairs_completed(), 1u);
+  EXPECT_EQ(f.manager->repairs_failed(), 0u);
+  // The committed tag moved well past the crash-time tag...
+  const Tag final_tag = f.cluster->l2(2).stored_tag(0);
+  EXPECT_GT(final_tag, tag_at_crash);
+  // ...and the replacement landed on the final tag with the exact-repair
+  // element: byte-identical to encoding the final value at its coordinate.
+  EXPECT_EQ(f.cluster->l2(5).stored_tag(0), final_tag);
+  ASSERT_TRUE(written.contains(final_tag));
+  EXPECT_EQ(f.cluster->l2(5).stored_element(0),
+            f.cluster->ctx().code.encode_element(written.at(final_tag),
+                                                 f.cluster->l2(5).code_index()));
+  EXPECT_TRUE(f.cluster->history().all_complete());
+  EXPECT_TRUE(f.cluster->history().check_atomicity({}).ok);
+}
+
+TEST(RepairManager, ReadsStayAtomicWhileRepairRacesWrites) {
+  // Readers run concurrently with both the writer churn and the repair; the
+  // whole interleaving must stay atomic and the post-repair read must see
+  // the latest completed write.
+  Fixture f;
+  Rng rng(8);
+  f.cluster->write_sync(0, 0, rng.bytes(90));
+  f.cluster->settle();
+  f.manager->track_object(0);
+  f.manager->start();
+
+  std::function<void(int)> write_next;
+  std::function<void(int)> read_next;
+  write_next = [&](int left) {
+    if (left == 0) return;
+    f.cluster->writer(1).write(0, rng.bytes(90), [&, left](Tag) {
+      f.cluster->sim().after(9.0, [&, left] { write_next(left - 1); });
+    });
+  };
+  read_next = [&](int left) {
+    if (left == 0) return;
+    f.cluster->reader(0).read(0, [&, left](Tag, Bytes) {
+      f.cluster->sim().after(7.0, [&, left] { read_next(left - 1); });
+    });
+  };
+  f.cluster->sim().after(3.0, [&] { f.cluster->crash_l2(1); });
+  f.cluster->sim().after(1.0, [&] { write_next(15); });
+  f.cluster->sim().after(2.0, [&] { read_next(15); });
+  f.cluster->sim().run_until(900.0);
+  f.manager->stop();
+  f.cluster->settle();
+
+  EXPECT_GE(f.manager->repairs_completed(), 1u);
+  // With the budget now spent on two *fresh* crashes, the repaired server
+  // must carry read quorums for the final value.
+  const Tag latest = f.cluster->l2(1).stored_tag(0);
+  f.cluster->crash_l2(6);
+  f.cluster->crash_l2(7);
+  auto [rt, rv] = f.cluster->read_sync(0, 0);
+  EXPECT_GE(rt, latest);
+  EXPECT_TRUE(f.cluster->history().all_complete());
+  EXPECT_TRUE(f.cluster->history().check_atomicity({}).ok);
+}
+
+TEST(RepairManager, MultiObjectRepairUnderLoadConvergesAllObjects) {
+  // Two tracked objects, writes advancing one of them during repair: the
+  // replacement regenerates both, one at the stale tag, one at a fresh tag.
+  Fixture f;
+  Rng rng(9);
+  f.cluster->write_sync(0, 0, rng.bytes(70));
+  f.cluster->write_sync(1, 1, rng.bytes(70));
+  f.cluster->settle();
+  f.manager->track_object(0);
+  f.manager->track_object(1);
+  f.manager->start();
+
+  std::function<void(int)> write_next;
+  write_next = [&](int left) {
+    if (left == 0) return;
+    f.cluster->writer(0).write(1, rng.bytes(70), [&, left](Tag) {
+      f.cluster->sim().after(8.0, [&, left] { write_next(left - 1); });
+    });
+  };
+  f.cluster->sim().after(5.0, [&] { f.cluster->crash_l2(2); });
+  f.cluster->sim().after(6.0, [&] { write_next(12); });
+  f.cluster->sim().run_until(900.0);
+  f.manager->stop();
+  f.cluster->settle();
+
+  EXPECT_EQ(f.manager->repairs_started(), 2u);
+  EXPECT_EQ(f.manager->repairs_completed(), 2u);
+  // Both objects converged to the same tag their healthy peers hold; the
+  // untouched object 0 at its pre-crash tag, object 1 at a written tag.
+  for (ObjectId obj : {ObjectId{0}, ObjectId{1}}) {
+    EXPECT_EQ(f.cluster->l2(2).stored_tag(obj),
+              f.cluster->l2(3).stored_tag(obj))
+        << "object " << obj;
+  }
+  EXPECT_GT(f.cluster->l2(2).stored_tag(1), f.cluster->l2(2).stored_tag(0));
   EXPECT_TRUE(f.cluster->history().check_atomicity({}).ok);
 }
 

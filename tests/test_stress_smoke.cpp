@@ -1,0 +1,186 @@
+// Fast deterministic smoke coverage of the src/harness stress subsystem:
+// every backend passes a small concurrent run, fault/repair injection paths
+// execute, runs reproduce bit-identically from the master seed, and the
+// independent freshness verifier both agrees with the atomicity checker and
+// actually catches planted violations.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "harness/stress.h"
+#include "lds/history.h"
+
+namespace lds::harness {
+namespace {
+
+StressOptions smoke_options(Backend b) {
+  StressOptions opt;
+  opt.backend = b;
+  opt.threads = 4;
+  opt.ops = 240;
+  opt.writers = 2;
+  opt.readers = 2;
+  opt.objects = 3;
+  opt.value_size = 48;
+  opt.seed = 42;
+  return opt;
+}
+
+TEST(StressSmoke, LdsCleanRunPasses) {
+  const auto rep = run_stress(smoke_options(Backend::Lds));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.seed, 42u);
+  EXPECT_EQ(rep.shards.size(), 4u);
+  EXPECT_EQ(rep.total_writes() + rep.total_reads(), 240u);
+}
+
+TEST(StressSmoke, AbdCleanRunPasses) {
+  const auto rep = run_stress(smoke_options(Backend::Abd));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.total_writes() + rep.total_reads(), 240u);
+}
+
+TEST(StressSmoke, CasCleanRunPasses) {
+  const auto rep = run_stress(smoke_options(Backend::Cas));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.total_writes() + rep.total_reads(), 240u);
+}
+
+TEST(StressSmoke, CrashInjectionStaysAtomicOnAllBackends) {
+  for (const Backend b : {Backend::Lds, Backend::Abd, Backend::Cas}) {
+    auto opt = smoke_options(b);
+    opt.crash_rate = 0.1;
+    opt.seed = 7;
+    const auto rep = run_stress(opt);
+    EXPECT_TRUE(rep.ok()) << backend_name(b);
+    EXPECT_GT(rep.total_crashes(), 0u) << backend_name(b);
+  }
+}
+
+TEST(StressSmoke, RepairChurnExecutesAndStaysAtomic) {
+  auto opt = smoke_options(Backend::Lds);
+  opt.ops = 400;
+  opt.crash_rate = 0.15;
+  opt.repair_rate = 1.0;  // every injected L2 crash gets replace+regenerate
+  opt.seed = 11;
+  const auto rep = run_stress(opt);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_GT(rep.total_crashes(), 0u);
+  EXPECT_GT(rep.total_repairs(), 0u);
+}
+
+TEST(StressSmoke, RunsReproduceFromMasterSeed) {
+  auto opt = smoke_options(Backend::Lds);
+  opt.crash_rate = 0.1;
+  opt.seed = 1234;
+  const auto a = run_stress(opt);
+  const auto b = run_stress(opt);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i].seed, b.shards[i].seed);
+    EXPECT_EQ(a.shards[i].writes, b.shards[i].writes);
+    EXPECT_EQ(a.shards[i].reads, b.shards[i].reads);
+    EXPECT_EQ(a.shards[i].crashes, b.shards[i].crashes);
+    EXPECT_EQ(a.shards[i].repairs, b.shards[i].repairs);
+    EXPECT_EQ(a.shards[i].sim_events, b.shards[i].sim_events);
+    EXPECT_EQ(a.shards[i].ok(), b.shards[i].ok());
+  }
+}
+
+TEST(StressSmoke, ShardSeedsAreWellSeparated) {
+  // mix_seed must not map adjacent (seed, stream) pairs to nearby values.
+  const auto s0 = mix_seed(42, 0);
+  const auto s1 = mix_seed(42, 1);
+  const auto s2 = mix_seed(43, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, s2);
+  EXPECT_NE(s1, s2);
+}
+
+// ---- the freshness verifier itself ------------------------------------------
+
+TEST(FreshnessVerifier, CatchesStaleRead) {
+  core::History h;
+  // Write (t=1) completes at time 2; a read invoked at 5 returns tag 0.
+  const auto wi = h.on_invoke(1, core::OpKind::Write, 0, 1, 0.0);
+  h.on_response(wi, 2.0, Tag{1, 1}, Bytes{0xAA});
+  const auto ri = h.on_invoke(2, core::OpKind::Read, 0, 2, 5.0);
+  h.on_response(ri, 6.0, kTag0, Bytes{});
+  EXPECT_FALSE(verify_read_freshness(h).ok);
+  // The built-in atomicity checker agrees.
+  EXPECT_FALSE(h.check_atomicity(Bytes{}).ok);
+}
+
+TEST(FreshnessVerifier, CatchesNonMonotoneReads) {
+  core::History h;
+  const auto w = h.on_invoke(1, core::OpKind::Write, 0, 1, 0.0);
+  h.on_response(w, 1.0, Tag{1, 1}, Bytes{0xAA});
+  // Read A sees the write; read B, invoked after A responded, sees t0.
+  const auto ra = h.on_invoke(2, core::OpKind::Read, 0, 2, 2.0);
+  h.on_response(ra, 3.0, Tag{1, 1}, Bytes{0xAA});
+  const auto rb = h.on_invoke(3, core::OpKind::Read, 0, 3, 4.0);
+  h.on_response(rb, 5.0, kTag0, Bytes{});
+  EXPECT_FALSE(verify_read_freshness(h).ok);
+}
+
+TEST(FreshnessVerifier, CatchesReadFromTheFuture) {
+  core::History h;
+  // Read responds at 1 with tag (1,1); the only write with that tag is
+  // invoked later, at time 3.
+  const auto r = h.on_invoke(1, core::OpKind::Read, 0, 1, 0.0);
+  h.on_response(r, 1.0, Tag{1, 1}, Bytes{0xAA});
+  const auto w = h.on_invoke(2, core::OpKind::Write, 0, 2, 3.0);
+  h.on_response(w, 4.0, Tag{1, 1}, Bytes{0xAA});
+  EXPECT_FALSE(verify_read_freshness(h).ok);
+}
+
+TEST(FreshnessVerifier, AcceptsConcurrentReadOfInFlightWrite) {
+  core::History h;
+  // Write over [0, 10]; read over [2, 4] already returns the new tag.
+  const auto w = h.on_invoke(1, core::OpKind::Write, 0, 1, 0.0);
+  h.on_response(w, 10.0, Tag{1, 1}, Bytes{0xAA});
+  const auto r = h.on_invoke(2, core::OpKind::Read, 0, 2, 2.0);
+  h.on_response(r, 4.0, Tag{1, 1}, Bytes{0xAA});
+  EXPECT_TRUE(verify_read_freshness(h).ok);
+}
+
+TEST(FreshnessVerifier, AcceptsEmptyAndWriteOnlyHistories) {
+  core::History h;
+  EXPECT_TRUE(verify_read_freshness(h).ok);
+  const auto w = h.on_invoke(1, core::OpKind::Write, 0, 1, 0.0);
+  h.on_response(w, 1.0, Tag{1, 1}, Bytes{0xAA});
+  EXPECT_TRUE(verify_read_freshness(h).ok);
+}
+
+TEST(StressSmoke, DegenerateOptionsReportNotOk) {
+  auto opt = smoke_options(Backend::Lds);
+  opt.threads = 0;
+  EXPECT_FALSE(run_stress(opt).ok());
+}
+
+TEST(StressSmoke, ValidateOptionsCatchesBadGeometry) {
+  EXPECT_EQ(validate_options(smoke_options(Backend::Lds)), std::nullopt);
+  auto opt = smoke_options(Backend::Lds);
+  opt.f1 = opt.n1 / 2;  // violates f1 < n1/2
+  EXPECT_TRUE(validate_options(opt).has_value());
+  opt = smoke_options(Backend::Lds);
+  opt.n2 = opt.n1;      // d = n2 - 2 f2 < k with default f2 = 2
+  opt.f2 = 2;
+  opt.n1 = 10;
+  opt.f1 = 1;           // k = 8 > d
+  opt.n2 = 10;
+  EXPECT_TRUE(validate_options(opt).has_value());
+  opt = smoke_options(Backend::Cas);
+  opt.n = 4;
+  opt.f = 2;            // k = 0
+  EXPECT_TRUE(validate_options(opt).has_value());
+  opt = smoke_options(Backend::Abd);
+  opt.f = 5;
+  opt.n = 9;            // f >= n/2
+  EXPECT_TRUE(validate_options(opt).has_value());
+  opt = smoke_options(Backend::Lds);
+  opt.read_fraction = 1.5;
+  EXPECT_TRUE(validate_options(opt).has_value());
+}
+
+}  // namespace
+}  // namespace lds::harness

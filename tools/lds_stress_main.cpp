@@ -1,0 +1,158 @@
+// lds_stress — db_stress-style concurrent stress CLI for the LDS store and
+// its ABD / CAS baselines.  Plain argv parsing, no gflags.
+//
+//   lds_stress --threads 8 --ops 5000 --backend lds --crash-rate 0.05 --seed 42
+//
+// Exit status 0 iff every shard completed all ops and passed both the
+// atomicity checker and the independent freshness verifier.  The effective
+// master seed is always printed; re-run with --seed <value> to reproduce.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/stress.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --backend lds|abd|cas   store under test (default lds)\n"
+      "  --threads N             OS threads, one independent shard each (4)\n"
+      "  --ops N                 total client operations (2000)\n"
+      "  --writers N             writer clients per shard (2)\n"
+      "  --readers N             reader clients per shard (2)\n"
+      "  --objects N             objects per shard (4)\n"
+      "  --value-size N          bytes per written value (64)\n"
+      "  --read-fraction X       fraction of ops that are reads (0.5)\n"
+      "  --crash-rate X          per-op crash-injection probability (0)\n"
+      "  --repair-rate X         lds: P(replace+regenerate | L2 crash) (0)\n"
+      "  --fixed-latency         fixed instead of exponential link delays\n"
+      "  --n1/--f1/--n2/--f2 N   LDS geometry (6/1/8/2)\n"
+      "  --n/--f N               ABD/CAS geometry (9/2; CAS k = n-2f)\n"
+      "  --seed N                master seed; 0 = pick from entropy (0)\n"
+      "  --verbose               per-shard progress lines on stderr\n"
+      "  --help                  this text\n",
+      argv0);
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  if (*s == '-' || *s == '+') return false;  // strtoull would silently wrap
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_size(const char* s, std::size_t* out) {
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t));
+  std::uint64_t v = 0;
+  if (!parse_u64(s, &v)) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lds::harness::StressOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--backend") {
+      const char* v = next();
+      auto b = v ? lds::harness::parse_backend(v)
+                 : std::optional<lds::harness::Backend>{};
+      if (!b) {
+        std::fprintf(stderr, "unknown backend '%s'\n", v ? v : "");
+        return 2;
+      }
+      opt.backend = *b;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.threads);
+    } else if (arg == "--ops") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.ops);
+    } else if (arg == "--writers") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.writers);
+    } else if (arg == "--readers") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.readers);
+    } else if (arg == "--objects") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.objects);
+    } else if (arg == "--value-size") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.value_size);
+    } else if (arg == "--read-fraction") {
+      const char* v = next();
+      ok = v && parse_double(v, &opt.read_fraction);
+    } else if (arg == "--crash-rate") {
+      const char* v = next();
+      ok = v && parse_double(v, &opt.crash_rate);
+    } else if (arg == "--repair-rate") {
+      const char* v = next();
+      ok = v && parse_double(v, &opt.repair_rate);
+    } else if (arg == "--fixed-latency") {
+      opt.exponential_latency = false;
+    } else if (arg == "--n1") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.n1);
+    } else if (arg == "--f1") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.f1);
+    } else if (arg == "--n2") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.n2);
+    } else if (arg == "--f2") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.f2);
+    } else if (arg == "--n") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.n);
+    } else if (arg == "--f") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.f);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      ok = v && parse_u64(v, &opt.seed);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad or missing value for '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (const auto err = lds::harness::validate_options(opt)) {
+    std::fprintf(stderr, "invalid options: %s\n", err->c_str());
+    return 2;
+  }
+  const auto report = lds::harness::run_stress(opt);
+  std::fputs(lds::harness::format_report(opt, report).c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}
