@@ -13,10 +13,11 @@
 #include "bench_util.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "consistency_ablation");
   const std::size_t n = 20;
   const double mu = 10.0;
   std::printf("E11 (ablation): read-path design levers, n1=n2=%zu "
@@ -62,6 +63,13 @@ int main() {
     const auto after_cl = cluster.net().costs().by_link(
         net::LinkClass::ClientL1);
     const auto after_l2 = cluster.net().costs().by_link(net::LinkClass::L1L2);
+
+    json.add(std::string("config=") + cfg.name, "read_latency_tau1",
+             latency);
+    json.add(std::string("config=") + cfg.name, "read_cost_l1l2_normalized",
+             static_cast<double>(after_l2.data_bytes -
+                                 before_l2.data_bytes) /
+                 static_cast<double>(value_size));
 
     print_cell(cfg.name);
     print_cell(latency);

@@ -12,9 +12,11 @@
 #include "bench_util.h"
 #include "lds/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
+
+  JsonReporter json(argc, argv, "fig6_storage_vs_n");
 
   // ---- Part 1: the paper's exact parameters. --------------------------------
   {
@@ -27,6 +29,9 @@ int main() {
       const double l1 = core::analysis::l1_storage_bound(theta, n1, mu);
       const double l2 = core::analysis::l2_storage_multi(
           static_cast<std::size_t>(N), n2, k);
+      json.add("N=" + std::to_string(static_cast<std::size_t>(N)),
+               "total_storage_bound_normalized", l1 + l2);
+
       print_cell(N);
       print_cell(l1);
       print_cell(l2);
@@ -80,6 +85,10 @@ int main() {
           static_cast<double>(cluster.meter().l1_peak_bytes()) / value;
       const double l2 =
           static_cast<double>(cluster.meter().l2_bytes()) / value;
+      json.add("N=" + std::to_string(num_objects),
+               "l2_per_object_normalized",
+               l2 / static_cast<double>(num_objects));
+
       print_cell(num_objects);
       print_cell(l1_peak);
       print_cell(l2);

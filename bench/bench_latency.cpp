@@ -17,10 +17,11 @@
 #include "bench_util.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "latency");
   std::printf("E4: operation latency vs Lemma V.4 bounds "
               "(tau0 = tau1 = 1, sweep mu = tau2/tau1)\n\n");
   print_header({"mu", "write", "w.bound", "extwrite", "ew.bound", "read(d0)",
@@ -61,6 +62,11 @@ int main() {
     const double t_r = cluster.sim().now();
     cluster.read_sync(0, 0);
     const double read_dur = cluster.sim().now() - t_r;
+
+    const std::string params = "mu=" + std::to_string(mu);
+    json.add(params, "write_latency_tau1", write_dur);
+    json.add(params, "extended_write_latency_tau1", ext_dur);
+    json.add(params, "read_latency_tau1", read_dur);
 
     print_cell(mu);
     print_cell(write_dur);

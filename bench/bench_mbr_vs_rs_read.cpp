@@ -14,10 +14,11 @@
 #include "bench_util.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "mbr_vs_rs_read");
   std::printf("E7: contention-free read cost, MBR vs RS back-end "
               "(Remark 1)\n");
   std::printf("regime: n1 = n2 = n, k = d = 0.8 n; cost normalized by "
@@ -51,6 +52,11 @@ int main() {
               : core::analysis::rs_read_cost(opt.cfg.n1, opt.cfg.k(), false);
       ++col;
     }
+
+    json.add("n=" + std::to_string(n) + " backend=mbr",
+             "read_cost_d0_normalized", measured[0]);
+    json.add("n=" + std::to_string(n) + " backend=rs",
+             "read_cost_d0_normalized", measured[1]);
 
     print_cell(n);
     print_cell(formula[0]);

@@ -15,10 +15,11 @@
 #include "bench_util.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "read_cost");
   std::printf("E2: read communication cost (Lemma V.2)\n");
   std::printf("regime: n1 = n2 = n, k = d = 0.8 n, cost normalized by |v|\n\n");
   print_header({"n", "d0.formula", "d0.measured", "d+.worstcase",
@@ -54,6 +55,11 @@ int main() {
     const double f1 = core::analysis::read_cost(opt.cfg.n1, opt.cfg.n2,
                                                 opt.cfg.k(), opt.cfg.d(),
                                                 /*delta>0=*/true);
+
+    json.add("n=" + std::to_string(n), "read_cost_d0_normalized",
+             measured0);
+    json.add("n=" + std::to_string(n), "read_cost_concurrent_normalized",
+             measured1);
 
     print_cell(n);
     print_cell(f0);

@@ -13,10 +13,11 @@
 #include "codes/rlnc.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "rlnc_feasibility");
   std::printf("E10 (extension): RLNC functional-repair feasibility, "
               "GF(256), MBR point\n");
   std::printf("P[every k-subset decodes after R random repairs], "
@@ -56,6 +57,11 @@ int main() {
         }
         if (sys.all_k_subsets_decode()) ++ok;
       }
+      json.add("n=" + std::to_string(cfg.n) + " k=" +
+                   std::to_string(cfg.k) + " d=" + std::to_string(cfg.d) +
+                   " repairs=" + std::to_string(repairs),
+               "p_decodable", static_cast<double>(ok) / kTrials);
+
       print_cell(cfg.n);
       print_cell(cfg.k);
       print_cell(cfg.d);

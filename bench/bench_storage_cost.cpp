@@ -11,10 +11,11 @@
 #include "bench_util.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "storage_cost");
   std::printf("E3: permanent storage cost per object (Lemma V.3, Remark 2)\n");
   std::printf("regime: n1 = n2 = n, k = d = 0.8 n, bytes normalized by "
               "|v|\n\n");
@@ -52,6 +53,10 @@ int main() {
           formula = static_cast<double>(opt.cfg.n2);
           break;
       }
+
+      json.add("n=" + std::to_string(n) + " backend=" +
+                   codes::backend_name(kind),
+               "l2_storage_normalized", measured);
 
       print_cell(n);
       print_cell(codes::backend_name(kind));

@@ -10,10 +10,11 @@
 #include "bench_util.h"
 #include "lds/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "temp_storage");
   const std::size_t n = 20;
   const double mu = 5.0;
   std::printf("E5: temporary storage vs concurrency (Lemma V.5)\n");
@@ -57,6 +58,11 @@ int main() {
     const double theta = stats.writes_per_tau1 * ext_bound;
     const double bound = core::analysis::l1_storage_bound(theta, opt.cfg.n1,
                                                           mu);
+
+    json.add("writers=" + std::to_string(writers), "l1_peak_normalized",
+             peak);
+    json.add("writers=" + std::to_string(writers), "l1_bound_normalized",
+             bound);
 
     print_cell(writers);
     print_cell(theta);

@@ -16,10 +16,11 @@
 #include "bench_util.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "vs_replication");
   std::printf("E8: LDS vs single-layer baselines (ABD replication, CAS "
               "erasure coding)\n");
   std::printf("regime: LDS n1 = n2 = n (k = d = 0.8 n); ABD with n replicas;"
@@ -95,10 +96,21 @@ int main() {
         static_cast<double>(lds_cluster.meter().l2_bytes()) /
         static_cast<double>(value_size);
 
+    const char* json_metrics[3] = {"write_cost_normalized",
+                                   "read_cost_d0_normalized",
+                                   "storage_after_4_writes_normalized"};
     const char* metrics[3] = {"write", "read(d0)", "storage@4w"};
     const double abd_vals[3] = {abd_write, abd_read, abd_storage};
     const double cas_vals[3] = {cas_write, cas_read, cas_storage};
     const double lds_vals[3] = {lds_write, lds_read, lds_storage};
+    const double* all_vals[3] = {abd_vals, cas_vals, lds_vals};
+    const char* systems[3] = {"abd", "cas", "lds"};
+    for (int sys = 0; sys < 3; ++sys) {
+      for (int i = 0; i < 3; ++i) {
+        json.add("n=" + std::to_string(n) + " system=" + systems[sys],
+                 json_metrics[i], all_vals[sys][i]);
+      }
+    }
     for (int i = 0; i < 3; ++i) {
       print_cell(n);
       print_cell(metrics[i]);

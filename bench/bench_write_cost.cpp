@@ -13,10 +13,11 @@
 #include "bench_util.h"
 #include "common/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::bench;
 
+  JsonReporter json(argc, argv, "write_cost");
   std::printf("E1: write communication cost (Lemma V.2)\n");
   std::printf("regime: n1 = n2 = n, f1 = f2 = n/10 (k = d = 0.8 n), "
               "cost normalized by |v|\n\n");
@@ -38,6 +39,9 @@ int main() {
     const double measured = normalized_op_cost(cluster, op, value_size);
     const double formula = core::analysis::write_cost(
         opt.cfg.n1, opt.cfg.n2, opt.cfg.k(), opt.cfg.d());
+
+    json.add("n=" + std::to_string(n), "write_cost_normalized", measured);
+    json.add("n=" + std::to_string(n), "write_cost_formula", formula);
 
     print_cell(n);
     print_cell(opt.cfg.k());

@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
 # Multi-seed stress soak: keeps launching lds_stress runs with fresh seeds
-# across all three backends until the time budget is spent.  Any violation
-# aborts the soak with the failing command line (seed included) so the run
-# reproduces verbatim.
+# across the configured backends until the time budget is spent.  Any
+# violation aborts the soak with the failing command line (seed included) so
+# the run reproduces verbatim.
 #
 #   scripts/stress.sh                 # ~30s soak with defaults
 #   SOAK_SECONDS=300 scripts/stress.sh
+#   BACKENDS="lds store" scripts/stress.sh
+#   STORE_SHARDS=16 BACKENDS=store scripts/stress.sh
 #   STRESS_BIN=out/lds_stress scripts/stress.sh --threads 16 --ops 8000
+#
+# Environment knobs:
+#   STRESS_BIN    lds_stress binary (default build/lds_stress)
+#   SOAK_SECONDS  time budget (default 30)
+#   BACKENDS      space-separated backend list (default "lds abd cas store";
+#                 "store" = the sharded StoreService with write batching and
+#                 heartbeat-driven background repair)
+#   STORE_SHARDS  consistent-hash shards per store service (default 8)
 #
 # Extra arguments are forwarded to every lds_stress invocation.
 set -euo pipefail
 
 STRESS_BIN=${STRESS_BIN:-build/lds_stress}
 SOAK_SECONDS=${SOAK_SECONDS:-30}
+BACKENDS=${BACKENDS:-"lds abd cas store"}
+STORE_SHARDS=${STORE_SHARDS:-8}
 
 if [[ ! -x "$STRESS_BIN" ]]; then
   echo "error: $STRESS_BIN not found or not executable." >&2
@@ -20,23 +32,31 @@ if [[ ! -x "$STRESS_BIN" ]]; then
   exit 2
 fi
 
-backends=(lds abd cas)
+read -r -a backends <<< "$BACKENDS"
 deadline=$((SECONDS + SOAK_SECONDS))
 round=0
 runs=0
 
-echo "soak: ${SOAK_SECONDS}s budget, binary=$STRESS_BIN, extra args: $*"
+echo "soak: ${SOAK_SECONDS}s budget, binary=$STRESS_BIN, backends: ${backends[*]}, extra args: $*"
 while ((SECONDS < deadline)); do
   round=$((round + 1))
   for backend in "${backends[@]}"; do
     ((SECONDS < deadline)) || break
     seed=$((RANDOM * 32768 + RANDOM + round))
     cmd=("$STRESS_BIN" --backend "$backend" --threads 4 --ops 2000
-         --crash-rate 0.05 --seed "$seed" "$@")
-    # LDS also soaks the repair-churn path on alternating rounds.
-    if [[ "$backend" == lds && $((round % 2)) -eq 0 ]]; then
-      cmd+=(--repair-rate 0.5 --crash-rate 0.1)
-    fi
+         --crash-rate 0.05 --seed "$seed")
+    case "$backend" in
+      lds)
+        # Also soak the repair-churn path on alternating rounds.
+        if ((round % 2 == 0)); then
+          cmd+=(--repair-rate 0.5 --crash-rate 0.1)
+        fi
+        ;;
+      store)
+        cmd+=(--shards "$STORE_SHARDS" --ops 1000)
+        ;;
+    esac
+    cmd+=("$@")
     if ! "${cmd[@]}" > /dev/null; then
       echo "VIOLATION — reproduce with:" >&2
       echo "  ${cmd[*]}" >&2

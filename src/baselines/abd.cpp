@@ -199,7 +199,13 @@ AbdCluster::AbdCluster(Options opt) : opt_(opt) {
           : std::unique_ptr<net::LatencyModel>(
                 std::make_unique<net::FixedLatency>(opt_.tau1, opt_.tau1,
                                                     opt_.tau1));
-  net_ = std::make_unique<net::Network>(sim_, std::move(latency), opt_.seed);
+  if (opt_.sim != nullptr) {
+    sim_ = opt_.sim;
+  } else {
+    owned_sim_ = std::make_unique<net::Simulator>();
+    sim_ = owned_sim_.get();
+  }
+  net_ = std::make_unique<net::Network>(*sim_, std::move(latency), opt_.seed);
 
   ctx_ = std::make_shared<AbdContext>();
   ctx_->n = opt_.n;
@@ -229,7 +235,7 @@ Tag AbdCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
     done = true;
     tag = t;
   });
-  while (!done && sim_.step()) {
+  while (!done && sim_->step()) {
   }
   LDS_REQUIRE(done, "AbdCluster::write_sync: drained before completion");
   return tag;
@@ -245,7 +251,7 @@ std::pair<Tag, Bytes> AbdCluster::read_sync(std::size_t reader_idx,
     tag = t;
     value = std::move(v);
   });
-  while (!done && sim_.step()) {
+  while (!done && sim_->step()) {
   }
   LDS_REQUIRE(done, "AbdCluster::read_sync: drained before completion");
   return {tag, std::move(value)};

@@ -155,11 +155,14 @@ class AbdCluster {
     double tau1 = 1.0;
     std::uint64_t seed = 1;
     bool exponential_latency = false;
+    /// Optional external simulator shared with other clusters (see
+    /// LdsCluster::Options::sim); must outlive the cluster.
+    net::Simulator* sim = nullptr;
   };
 
   explicit AbdCluster(Options opt);
 
-  net::Simulator& sim() { return sim_; }
+  net::Simulator& sim() { return *sim_; }
   net::Network& net() { return *net_; }
   History& history() { return history_; }
   const AbdContext& ctx() const { return *ctx_; }
@@ -177,7 +180,8 @@ class AbdCluster {
 
  private:
   Options opt_;
-  net::Simulator sim_;
+  std::unique_ptr<net::Simulator> owned_sim_;
+  net::Simulator* sim_ = nullptr;
   std::unique_ptr<net::Network> net_;
   std::shared_ptr<AbdContext> ctx_;
   History history_;

@@ -266,7 +266,13 @@ CasCluster::CasCluster(Options opt) : opt_(opt) {
           : std::unique_ptr<net::LatencyModel>(
                 std::make_unique<net::FixedLatency>(opt_.tau1, opt_.tau1,
                                                     opt_.tau1));
-  net_ = std::make_unique<net::Network>(sim_, std::move(latency), opt_.seed);
+  if (opt_.sim != nullptr) {
+    sim_ = opt_.sim;
+  } else {
+    owned_sim_ = std::make_unique<net::Simulator>();
+    sim_ = owned_sim_.get();
+  }
+  net_ = std::make_unique<net::Network>(*sim_, std::move(latency), opt_.seed);
 
   ctx_ = make_cas_context(opt_.n, opt_.k, opt_.initial_value);
   for (std::size_t i = 0; i < opt_.n; ++i) {
@@ -293,7 +299,7 @@ Tag CasCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
     done = true;
     tag = t;
   });
-  while (!done && sim_.step()) {
+  while (!done && sim_->step()) {
   }
   LDS_REQUIRE(done, "CasCluster::write_sync: drained before completion");
   return tag;
@@ -309,7 +315,7 @@ std::pair<Tag, Bytes> CasCluster::read_sync(std::size_t reader_idx,
     tag = t;
     value = std::move(v);
   });
-  while (!done && sim_.step()) {
+  while (!done && sim_->step()) {
   }
   LDS_REQUIRE(done, "CasCluster::read_sync: drained before completion");
   return {tag, std::move(value)};

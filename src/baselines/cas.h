@@ -194,11 +194,14 @@ class CasCluster {
     double tau1 = 1.0;
     std::uint64_t seed = 1;
     bool exponential_latency = false;
+    /// Optional external simulator shared with other clusters (see
+    /// LdsCluster::Options::sim); must outlive the cluster.
+    net::Simulator* sim = nullptr;
   };
 
   explicit CasCluster(Options opt);
 
-  net::Simulator& sim() { return sim_; }
+  net::Simulator& sim() { return *sim_; }
   net::Network& net() { return *net_; }
   History& history() { return history_; }
   const CasContext& ctx() const { return *ctx_; }
@@ -215,7 +218,8 @@ class CasCluster {
 
  private:
   Options opt_;
-  net::Simulator sim_;
+  std::unique_ptr<net::Simulator> owned_sim_;
+  net::Simulator* sim_ = nullptr;
   std::unique_ptr<net::Network> net_;
   std::shared_ptr<CasContext> ctx_;
   History history_;

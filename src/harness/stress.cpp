@@ -11,6 +11,7 @@
 #include "baselines/cas.h"
 #include "common/rng.h"
 #include "lds/cluster.h"
+#include "store/store_service.h"
 
 namespace lds::harness {
 
@@ -23,6 +24,7 @@ const char* backend_name(Backend b) {
     case Backend::Lds: return "lds";
     case Backend::Abd: return "abd";
     case Backend::Cas: return "cas";
+    case Backend::Store: return "store";
   }
   return "?";
 }
@@ -31,6 +33,7 @@ std::optional<Backend> parse_backend(std::string_view name) {
   if (name == "lds") return Backend::Lds;
   if (name == "abd") return Backend::Abd;
   if (name == "cas") return Backend::Cas;
+  if (name == "store") return Backend::Store;
   return std::nullopt;
 }
 
@@ -85,7 +88,9 @@ namespace {
 /// kept alive through `keepalive`.
 struct ShardEnv {
   net::Simulator* sim = nullptr;
-  History* history = nullptr;
+  /// One history per verification domain: a single cluster for lds/abd/cas,
+  /// one per store shard for the store backend.
+  std::vector<const History*> histories;
   std::function<void(std::size_t, ObjectId, Bytes, std::function<void()>)>
       write;
   std::function<void(std::size_t, ObjectId, std::function<void()>)> read;
@@ -93,6 +98,14 @@ struct ShardEnv {
   /// a crash was scheduled.
   std::function<bool(Rng&)> try_crash;
   std::size_t* repairs = nullptr;
+  /// Store backend hooks: drain including background repair (instead of a
+  /// plain run-to-empty, which a heartbeat loop never reaches; the argument
+  /// tells the service when the closed loop has no ops left to issue),
+  /// service-level liveness, and report enrichment (repairs, batches,
+  /// coalescing).
+  std::function<void(std::function<bool()>)> quiesce;
+  std::function<std::size_t()> outstanding;
+  std::function<void(ShardReport&)> fill_store_stats;
   std::shared_ptr<void> keepalive;
 };
 
@@ -135,7 +148,7 @@ ShardEnv make_lds_env(const StressOptions& opt, std::uint64_t shard_seed) {
 
   ShardEnv env;
   env.sim = &cluster->sim();
-  env.history = &cluster->history();
+  env.histories.push_back(&cluster->history());
   env.repairs = &faults->repairs_done;
   env.write = [cluster](std::size_t w, ObjectId obj, Bytes v,
                         std::function<void()> done) {
@@ -227,7 +240,7 @@ ShardEnv make_single_layer_env(std::shared_ptr<Cluster> cluster,
 
   ShardEnv env;
   env.sim = &cluster->sim();
-  env.history = &cluster->history();
+  env.histories.push_back(&cluster->history());
   env.write = [cluster](std::size_t w, ObjectId obj, Bytes v,
                         std::function<void()> done) {
     cluster->writer(w).write(obj, std::move(v),
@@ -286,6 +299,69 @@ ShardEnv make_cas_env(const StressOptions& opt, std::uint64_t shard_seed) {
   return make_single_layer_env(std::move(cluster), opt.n, opt.f);
 }
 
+ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
+  store::StoreOptions sopt;
+  sopt.shards = opt.store_shards;
+  sopt.writers_per_shard = opt.writers;
+  sopt.readers_per_shard = opt.readers;
+  sopt.backend.n1 = opt.n1;
+  sopt.backend.f1 = opt.f1;
+  sopt.backend.n2 = opt.n2;
+  sopt.backend.f2 = opt.f2;
+  sopt.batch_window = opt.batch_window;
+  sopt.max_batch = opt.max_batch;
+  sopt.exponential_latency = opt.exponential_latency;
+  sopt.tau1 = opt.tau1;
+  sopt.tau0 = opt.tau0;
+  sopt.tau2 = opt.tau2;
+  sopt.seed = mix_seed(shard_seed, 1);
+  sopt.enable_repair = true;
+  // With exponential (heavy-tailed) heartbeat delays a tight timeout would
+  // fire constantly on alive servers; false suspicions are budget-gated and
+  // safe, but keep them the exception rather than the steady state.
+  sopt.repair.suspect_after =
+      2 * sopt.repair.heartbeat_period + 8 * opt.tau2;
+  auto service = std::make_shared<store::StoreService>(sopt);
+
+  ShardEnv env;
+  env.sim = &service->sim();
+  for (std::size_t s = 0; s < service->num_shards(); ++s) {
+    env.histories.push_back(&service->shard_history(s));
+  }
+  env.write = [service](std::size_t, ObjectId obj, Bytes v,
+                        std::function<void()> done) {
+    service->put("key-" + std::to_string(obj), std::move(v),
+                 [done = std::move(done)](const store::PutResult&) { done(); });
+  };
+  env.read = [service](std::size_t, ObjectId obj,
+                       std::function<void()> done) {
+    service->get("key-" + std::to_string(obj),
+                 [done = std::move(done)](const store::GetResult&) { done(); });
+  };
+  env.try_crash = [service, shards = opt.store_shards](Rng& rng) {
+    // Random starting shard, then first shard with remaining budget.
+    const std::size_t start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(shards) - 1));
+    for (std::size_t i = 0; i < shards; ++i) {
+      if (service->inject_crash((start + i) % shards, rng)) return true;
+    }
+    return false;
+  };
+  env.quiesce = [service](std::function<bool()> drained) {
+    service->quiesce(std::move(drained));
+  };
+  env.outstanding = [service] { return service->outstanding(); };
+  env.fill_store_stats = [service](ShardReport& rep) {
+    rep.repairs = service->repair() != nullptr
+                      ? service->repair()->servers_repaired()
+                      : 0;
+    rep.batches = service->metrics().counter_total("batches");
+    rep.coalesced = service->metrics().counter_total("puts_coalesced");
+  };
+  env.keepalive = service;
+  return env;
+}
+
 /// db_stress ThreadState: everything one OS thread needs to run its shard.
 struct ThreadState {
   std::size_t shard = 0;
@@ -305,6 +381,7 @@ ShardReport run_shard(const ThreadState& ts) {
     case Backend::Lds: env = make_lds_env(opt, ts.seed); break;
     case Backend::Abd: env = make_abd_env(opt, ts.seed); break;
     case Backend::Cas: env = make_cas_env(opt, ts.seed); break;
+    case Backend::Store: env = make_store_env(opt, ts.seed); break;
   }
 
   // Split this shard's ops into per-client closed-loop budgets.
@@ -373,24 +450,61 @@ ShardReport run_shard(const ThreadState& ts) {
                 [&read_next, r] { read_next(r); });
   }
 
-  env.sim->run();
+  // A plain run-to-empty suffices for single-cluster backends; the store's
+  // background repair loop needs its own quiescence protocol, told when the
+  // closed loop has exhausted every client's op budget.
+  if (env.quiesce) {
+    env.quiesce([writes_left, reads_left] {
+      for (const auto n : *writes_left) {
+        if (n != 0) return false;
+      }
+      for (const auto n : *reads_left) {
+        if (n != 0) return false;
+      }
+      return true;
+    });
+  } else {
+    env.sim->run();
+  }
   rep.sim_events = env.sim->events_executed();
   if (env.repairs != nullptr) rep.repairs = *env.repairs;
+  if (env.fill_store_stats) env.fill_store_stats(rep);
 
-  rep.liveness_ok = env.history->all_complete();
-  if (!rep.liveness_ok) {
-    rep.violation = "liveness: " + std::to_string(env.history->incomplete()) +
-                    " ops never completed";
+  // Verify every history (per store shard for the store backend): client
+  // liveness, the paper's atomicity conditions, and the independent
+  // freshness reference checker.
+  rep.liveness_ok = true;
+  rep.atomicity_ok = true;
+  rep.freshness_ok = true;
+  const bool multi = env.histories.size() > 1;
+  for (std::size_t h = 0; h < env.histories.size(); ++h) {
+    const History& history = *env.histories[h];
+    const std::string where =
+        multi ? " (store shard " + std::to_string(h) + ")" : "";
+    if (!history.all_complete() && rep.liveness_ok) {
+      rep.liveness_ok = false;
+      rep.violation = "liveness: " + std::to_string(history.incomplete()) +
+                      " ops never completed" + where;
+    }
+    const auto atomic_verdict = history.check_atomicity(Bytes{});
+    if (!atomic_verdict.ok && rep.atomicity_ok) {
+      rep.atomicity_ok = false;
+      if (rep.violation.empty()) {
+        rep.violation = "atomicity: " + atomic_verdict.violation + where;
+      }
+    }
+    const auto fresh_verdict = verify_read_freshness(history);
+    if (!fresh_verdict.ok && rep.freshness_ok) {
+      rep.freshness_ok = false;
+      if (rep.violation.empty()) {
+        rep.violation = "freshness: " + fresh_verdict.violation + where;
+      }
+    }
   }
-  const auto atomic_verdict = env.history->check_atomicity(Bytes{});
-  rep.atomicity_ok = atomic_verdict.ok;
-  if (!atomic_verdict.ok && rep.violation.empty()) {
-    rep.violation = "atomicity: " + atomic_verdict.violation;
-  }
-  const auto fresh_verdict = verify_read_freshness(*env.history);
-  rep.freshness_ok = fresh_verdict.ok;
-  if (!fresh_verdict.ok && rep.violation.empty()) {
-    rep.violation = "freshness: " + fresh_verdict.violation;
+  if (env.outstanding && env.outstanding() != 0 && rep.liveness_ok) {
+    rep.liveness_ok = false;
+    rep.violation = "liveness: " + std::to_string(env.outstanding()) +
+                    " store ops never called back";
   }
   return rep;
 }
@@ -419,6 +533,16 @@ std::size_t StressReport::total_repairs() const {
   for (const auto& s : shards) n += s.repairs;
   return n;
 }
+std::size_t StressReport::total_batches() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.batches;
+  return n;
+}
+std::size_t StressReport::total_coalesced() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.coalesced;
+  return n;
+}
 std::size_t StressReport::violations() const {
   std::size_t n = 0;
   for (const auto& s : shards) n += s.ok() ? 0 : 1;
@@ -438,7 +562,14 @@ std::optional<std::string> validate_options(const StressOptions& opt) {
     return "--crash-rate must be in [0, 1]";
   if (!(opt.repair_rate >= 0.0 && opt.repair_rate <= 1.0))
     return "--repair-rate must be in [0, 1]";
+  if (opt.backend == Backend::Store) {
+    if (opt.store_shards == 0 || opt.store_shards > 256)
+      return "--shards must be in [1, 256]";
+    if (!(opt.batch_window >= 0.0)) return "--batch-window must be >= 0";
+    if (opt.max_batch == 0) return "--max-batch must be >= 1";
+  }
   switch (opt.backend) {
+    case Backend::Store:  // store shards are LDS clusters
     case Backend::Lds:
       // LdsConfig::validate()'s constraints, reported instead of aborted.
       if (opt.n1 < 1 || opt.n2 < 1) return "need n1 >= 1 and n2 >= 1";
@@ -520,6 +651,14 @@ std::string format_report(const StressOptions& opt, const StressReport& rep) {
                   s.crashes, s.repairs,
                   static_cast<unsigned long long>(s.sim_events),
                   s.ok() ? "ok" : s.violation.c_str());
+    out += line;
+  }
+  if (opt.backend == Backend::Store) {
+    std::snprintf(line, sizeof(line),
+                  "store: %zu shards/service, %zu write batches, "
+                  "%zu puts coalesced\n",
+                  opt.store_shards, rep.total_batches(),
+                  rep.total_coalesced());
     out += line;
   }
   std::snprintf(line, sizeof(line),

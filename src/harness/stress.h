@@ -32,7 +32,7 @@
 
 namespace lds::harness {
 
-enum class Backend { Lds, Abd, Cas };
+enum class Backend { Lds, Abd, Cas, Store };
 
 const char* backend_name(Backend b);
 std::optional<Backend> parse_backend(std::string_view name);
@@ -63,6 +63,14 @@ struct StressOptions {
   std::size_t n1 = 6, f1 = 1, n2 = 8, f2 = 2;
   /// ABD / CAS geometry; CAS uses k = n - 2 f.
   std::size_t n = 9, f = 2;
+  /// Store backend only: every OS thread runs one StoreService with this
+  /// many consistent-hash shards (each an independent LDS cluster on the
+  /// thread's shared simulator), write batching over `batch_window` sim
+  /// units (flushing early at `max_batch` queued puts), and background
+  /// heartbeat-driven repair of crashed L2 servers.
+  std::size_t store_shards = 4;
+  double batch_window = 0.5;
+  std::size_t max_batch = 32;
   double tau1 = 1.0, tau0 = 1.0, tau2 = 3.0;
   /// Master seed; 0 means "pick one from entropy" (the CLI always prints
   /// the effective seed so any run reproduces with --seed).
@@ -78,6 +86,9 @@ struct ShardReport {
   std::size_t reads = 0;
   std::size_t crashes = 0;
   std::size_t repairs = 0;
+  /// Store backend: dispatched write batches / puts absorbed by coalescing.
+  std::size_t batches = 0;
+  std::size_t coalesced = 0;
   std::uint64_t sim_events = 0;
   bool liveness_ok = false;
   bool atomicity_ok = false;
@@ -95,6 +106,8 @@ struct StressReport {
   std::size_t total_reads() const;
   std::size_t total_crashes() const;
   std::size_t total_repairs() const;
+  std::size_t total_batches() const;
+  std::size_t total_coalesced() const;
   std::size_t violations() const;
   bool ok() const { return violations() == 0 && !shards.empty(); }
 };

@@ -23,7 +23,13 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
   opt_.cfg.validate();
   LDS_REQUIRE(opt_.writers >= 1 && opt_.writers < 9999,
               "LdsCluster: writer count out of range");
-  net_ = std::make_unique<net::Network>(sim_, make_latency(opt_), opt_.seed);
+  if (opt_.sim != nullptr) {
+    sim_ = opt_.sim;
+  } else {
+    owned_sim_ = std::make_unique<net::Simulator>();
+    sim_ = owned_sim_.get();
+  }
+  net_ = std::make_unique<net::Network>(*sim_, make_latency(opt_), opt_.seed);
 
   ctx_ = LdsContext::make(opt_.cfg);
   ctx_->meter = &meter_;
@@ -54,7 +60,7 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
 void LdsCluster::write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
                           Bytes value, Writer::Callback cb) {
   Writer* w = writers_.at(writer_idx).get();
-  sim_.at(t, [w, obj, value = std::move(value), cb = std::move(cb)]() mutable {
+  sim_->at(t, [w, obj, value = std::move(value), cb = std::move(cb)]() mutable {
     w->write(obj, std::move(value), std::move(cb));
   });
 }
@@ -62,7 +68,7 @@ void LdsCluster::write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
 void LdsCluster::read_at(net::SimTime t, std::size_t reader_idx, ObjectId obj,
                          Reader::Callback cb) {
   Reader* r = readers_.at(reader_idx).get();
-  sim_.at(t, [r, obj, cb = std::move(cb)]() mutable {
+  sim_->at(t, [r, obj, cb = std::move(cb)]() mutable {
     r->read(obj, std::move(cb));
   });
 }
@@ -75,7 +81,7 @@ Tag LdsCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
         done = true;
         tag = t;
       });
-  while (!done && sim_.step()) {
+  while (!done && sim_->step()) {
   }
   LDS_REQUIRE(done, "write_sync: simulation drained before write completed");
   return tag;
@@ -91,7 +97,7 @@ std::pair<Tag, Bytes> LdsCluster::read_sync(std::size_t reader_idx,
     tag = t;
     value = std::move(v);
   });
-  while (!done && sim_.step()) {
+  while (!done && sim_->step()) {
   }
   LDS_REQUIRE(done, "read_sync: simulation drained before read completed");
   return {tag, std::move(value)};

@@ -39,11 +39,16 @@ class LdsCluster {
     /// Consistency level of this cluster's readers (Atomic = the paper's
     /// LDS; Regular = the Section-VI extension without put-tag).
     ReadConsistency read_consistency = ReadConsistency::Atomic;
+    /// When set, the cluster schedules onto this external simulator instead
+    /// of owning one, so several clusters (e.g. the shards of a
+    /// store::StoreService) share a single simulated time base.  The pointer
+    /// must outlive the cluster.
+    net::Simulator* sim = nullptr;
   };
 
   explicit LdsCluster(Options opt);
 
-  net::Simulator& sim() { return sim_; }
+  net::Simulator& sim() { return *sim_; }
   net::Network& net() { return *net_; }
   History& history() { return history_; }
   StorageMeter& meter() { return meter_; }
@@ -83,14 +88,16 @@ class LdsCluster {
   /// Invoke a read now and run the simulation until it completes.
   std::pair<Tag, Bytes> read_sync(std::size_t reader_idx, ObjectId obj);
 
-  /// Run until no events remain; returns events executed.
+  /// Run until no events remain; returns events executed.  With an external
+  /// simulator this drains the *shared* queue, i.e. every attached cluster.
   std::size_t settle(std::size_t max_events = SIZE_MAX) {
-    return sim_.run(max_events);
+    return sim_->run(max_events);
   }
 
  private:
   Options opt_;
-  net::Simulator sim_;
+  std::unique_ptr<net::Simulator> owned_sim_;
+  net::Simulator* sim_ = nullptr;
   std::unique_ptr<net::Network> net_;
   std::shared_ptr<LdsContext> ctx_;
   History history_;

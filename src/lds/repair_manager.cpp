@@ -44,6 +44,22 @@ void RepairManager::tick() {
 
 void RepairManager::suspect(std::size_t l2_index) {
   suspected_.insert(l2_index);
+  begin_repair(l2_index);
+}
+
+void RepairManager::begin_repair(std::size_t l2_index) {
+  // Deliberately no running_ check: a repair that was already promised
+  // (the server is suspected and excluded from heartbeats) must finish even
+  // across a stop()/start() cycle, or the server would stay suspected with
+  // nobody left to rebuild it.
+  if (crashed()) return;
+  if (opt_.acquire_slot && !opt_.acquire_slot(l2_index)) {
+    // Budget exhausted (or the gate vetoed this victim for now): the server
+    // stays suspected — excluded from heartbeats — and we re-ask later.
+    net_.sim().after(opt_.budget_retry,
+                     [this, l2_index] { begin_repair(l2_index); });
+    return;
+  }
   // Ask the environment for a fresh replacement process (exactly once),
   // then regenerate every tracked object on it, one at a time (sequential
   // repair keeps the helper load on the surviving servers bounded).
@@ -59,20 +75,32 @@ void RepairManager::repair_next_object(std::size_t l2_index,
     // Replacement fully restored: resume heartbeat coverage.
     suspected_.erase(l2_index);
     last_seen_[l2_index] = net_.sim().now();
+    if (opt_.release_slot) opt_.release_slot(l2_index);
+    if (opt_.on_server_repaired) opt_.on_server_repaired(l2_index);
     return;
   }
   const ObjectId obj = remaining.back();
   remaining.pop_back();
   ++repairs_started_;
   server->repair_object(
-      obj, [this, l2_index, server, remaining = std::move(remaining)](
-               std::optional<Tag> tag) mutable {
+      obj, [this, l2_index, server, obj,
+            remaining = std::move(remaining)](std::optional<Tag> tag) mutable {
         if (tag.has_value()) {
           ++repairs_completed_;
-        } else {
-          ++repairs_failed_;
+          repair_next_object(l2_index, server, std::move(remaining));
+          return;
         }
-        repair_next_object(l2_index, server, std::move(remaining));
+        // Every round raced concurrent write-to-L2 traffic; retry this
+        // object after a backoff instead of leaving the replacement without
+        // its data (the server stays suspected, so the failure budget still
+        // accounts for it).
+        ++repairs_failed_;
+        remaining.push_back(obj);
+        net_.sim().after(
+            opt_.object_retry,
+            [this, l2_index, server, remaining = std::move(remaining)]() mutable {
+              repair_next_object(l2_index, server, std::move(remaining));
+            });
       });
 }
 

@@ -38,6 +38,20 @@ class RepairManager final : public net::Node {
     double heartbeat_period = 5.0;  ///< ping interval (tau1 units)
     double suspect_after = 25.0;    ///< silence before declaring a crash
     NodeId node_id = 40000;
+    /// Optional concurrency gate (store::RepairScheduler): consulted with
+    /// the victim's index before the replacement is requested; while it
+    /// returns false the manager re-asks every `budget_retry` time units.
+    /// `release_slot` fires when that server's repair finishes.
+    std::function<bool(std::size_t)> acquire_slot;
+    std::function<void(std::size_t)> release_slot;
+    double budget_retry = 2.0;
+    /// Backoff before re-running a repair round that failed (i.e. raced
+    /// concurrent write-to-L2 traffic); the object is retried rather than
+    /// left unregenerated on the replacement.
+    double object_retry = 5.0;
+    /// Fires once per repaired server, after every tracked object has been
+    /// regenerated on its replacement.
+    std::function<void(std::size_t)> on_server_repaired;
   };
 
   /// `replace` is the environment hook that swaps in a fresh server process
@@ -64,6 +78,7 @@ class RepairManager final : public net::Node {
   bool is_suspected(std::size_t l2_index) const {
     return suspected_.contains(l2_index);
   }
+  /// Object-repair rounds attempted / converged / failed-and-retried.
   std::size_t repairs_started() const { return repairs_started_; }
   std::size_t repairs_completed() const { return repairs_completed_; }
   std::size_t repairs_failed() const { return repairs_failed_; }
@@ -71,6 +86,9 @@ class RepairManager final : public net::Node {
  private:
   void tick();
   void suspect(std::size_t l2_index);
+  /// Claim a budget slot (retrying while the gate refuses), then replace
+  /// the server and regenerate its objects.
+  void begin_repair(std::size_t l2_index);
   void repair_next_object(std::size_t l2_index, ServerL2* server,
                           std::vector<ObjectId> remaining);
 

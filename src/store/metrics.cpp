@@ -1,0 +1,162 @@
+#include "store/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace lds::store {
+
+// ---- Histogram --------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::uint64_t u) {
+  // u >= 1.  Values below 2^kSubBits index their own bucket exactly; larger
+  // values share a major bucket per power of two, subdivided by the top
+  // kSubBits mantissa bits (the HdrHistogram layout).
+  const int e = std::bit_width(u) - 1;  // floor(log2 u)
+  if (e < kSubBits) return static_cast<std::size_t>(u);
+  const std::uint64_t sub = (u >> (e - kSubBits)) & ((1u << kSubBits) - 1);
+  return (static_cast<std::size_t>(e - kSubBits + 1) << kSubBits) |
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_value(std::size_t idx) {
+  // Midpoint of the quantized range the bucket covers, de-quantized.
+  if (idx < (1u << kSubBits)) return static_cast<double>(idx) / 1024.0;
+  const int e = static_cast<int>(idx >> kSubBits) + kSubBits - 1;
+  const std::uint64_t sub = idx & ((1u << kSubBits) - 1);
+  const std::uint64_t lo = (std::uint64_t{1} << e) |
+                           (sub << (e - kSubBits));
+  const std::uint64_t width = std::uint64_t{1} << (e - kSubBits);
+  return (static_cast<double>(lo) + static_cast<double>(width) / 2.0) / 1024.0;
+}
+
+void Histogram::record(double v) {
+  if (!(v >= 0.0)) v = 0.0;  // clamp negatives and NaN
+  if (count_ == 0) {
+    min_ = max_ = v;
+    buckets_.assign(kBuckets, 0);
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  const double scaled = v * 1024.0;
+  const std::uint64_t u =
+      scaled >= 9.0e18 ? std::uint64_t{9'000'000'000'000'000'000}
+                       : static_cast<std::uint64_t>(scaled) + 1;
+  ++buckets_[bucket_index(u)];
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 1.0) return max();
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_value(i), min(), max());
+    }
+  }
+  return max();
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    total += it->second.value();
+  }
+  for (const auto& shard : shard_counters_) {
+    if (auto it = shard.find(name); it != shard.end()) {
+      total += it->second.value();
+    }
+  }
+  return total;
+}
+
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_counters(std::string& out,
+                     const std::map<std::string, Counter>& counters) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, c] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(c.value());
+  }
+  out += '}';
+}
+
+void append_histograms(std::string& out,
+                       const std::map<std::string, Histogram>& histograms) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":" + std::to_string(h.count());
+    out += ",\"min\":";
+    append_num(out, h.min());
+    out += ",\"mean\":";
+    append_num(out, h.mean());
+    out += ",\"p50\":";
+    append_num(out, h.percentile(0.50));
+    out += ",\"p90\":";
+    append_num(out, h.percentile(0.90));
+    out += ",\"p99\":";
+    append_num(out, h.percentile(0.99));
+    out += ",\"max\":";
+    append_num(out, h.max());
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  // Collect the union of counter names for the totals section.
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& [name, c] : counters_) totals[name] += c.value();
+  for (const auto& shard : shard_counters_) {
+    for (const auto& [name, c] : shard) totals[name] += c.value();
+  }
+
+  std::string out = "{\"totals\":{";
+  bool first = true;
+  for (const auto& [name, v] : totals) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(v);
+  }
+  out += "},\"counters\":";
+  append_counters(out, counters_);
+  out += ",\"histograms\":";
+  append_histograms(out, histograms_);
+  out += ",\"shards\":[";
+  for (std::size_t s = 0; s < shard_counters_.size(); ++s) {
+    if (s > 0) out += ',';
+    out += "{\"counters\":";
+    append_counters(out, shard_counters_[s]);
+    out += ",\"histograms\":";
+    append_histograms(out, shard_histograms_[s]);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lds::store

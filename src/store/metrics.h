@@ -1,0 +1,97 @@
+// Metrics for the multi-shard store service: named counters and HDR-style
+// latency histograms, kept per shard plus a global (unsharded) scope, with a
+// JSON snapshot for machine-readable bench/CI output.
+//
+// The design follows the metrics registries of production stores (RocksDB's
+// Statistics, HdrHistogram): a histogram stores counts in logarithmic major
+// buckets subdivided linearly, so it covers many orders of magnitude with
+// bounded memory and ~6% relative quantile error, and recording is O(1).
+//
+// Thread-safety: none.  A registry belongs to one StoreService instance,
+// which is single-threaded by design (the harness runs one service per OS
+// thread); see store_service.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lds::store {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Log-bucketed histogram of non-negative doubles (sim-time latencies,
+/// batch sizes).  Values are quantized to 1/1024 units; each power-of-two
+/// range is split into 16 linear sub-buckets.
+class Histogram {
+ public:
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Approximate quantile (p in [0, 1]) from bucket midpoints; exact min/max
+  /// are returned for p = 0 / p = 1.
+  double percentile(double p) const;
+
+ private:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per power of two
+  static constexpr std::size_t kBuckets = (64 - kSubBits) << kSubBits;
+
+  static std::size_t bucket_index(std::uint64_t u);
+  static double bucket_value(std::size_t idx);
+
+  std::vector<std::uint64_t> buckets_;  // sized lazily on first record
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counters and histograms addressed by name, in one global scope plus one
+/// scope per shard.  Snapshots are deterministic (names sorted) and include
+/// a "totals" section summing every counter name across all scopes.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t num_shards = 0)
+      : shard_counters_(num_shards), shard_histograms_(num_shards) {}
+
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Counter& counter(const std::string& name, std::size_t shard) {
+    return shard_counters_.at(shard)[name];
+  }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Histogram& histogram(const std::string& name, std::size_t shard) {
+    return shard_histograms_.at(shard)[name];
+  }
+
+  std::size_t num_shards() const { return shard_counters_.size(); }
+
+  /// Global value + sum over all shards for one counter name (0 if absent).
+  std::uint64_t counter_total(const std::string& name) const;
+
+  /// Snapshot as one JSON object:
+  ///   {"totals":{...}, "counters":{...},
+  ///    "histograms":{name:{count,min,mean,p50,p90,p99,max}},
+  ///    "shards":[{"counters":{...},"histograms":{...}}, ...]}
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<std::map<std::string, Counter>> shard_counters_;
+  std::vector<std::map<std::string, Histogram>> shard_histograms_;
+};
+
+}  // namespace lds::store

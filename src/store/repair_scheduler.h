@@ -1,0 +1,85 @@
+// Background repair scheduling across the shards of a store service.
+//
+// Each LDS shard gets its own core::RepairManager (heartbeat failure
+// detection + replace-and-regenerate orchestration, riding the shard's own
+// simulated network).  The scheduler adds the cross-shard policy a
+// deployment needs: a global budget of concurrently running server repairs
+// (regeneration reads d helper elements, so unbounded repair concurrency
+// would starve foreground traffic), per-shard veto hooks so the service's
+// failure-budget accounting stays sound even under false suspicion, and
+// aggregate introspection/metrics for the harness and benches.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "lds/cluster.h"
+#include "lds/repair_manager.h"
+#include "store/metrics.h"
+
+namespace lds::store {
+
+class RepairScheduler {
+ public:
+  struct Options {
+    /// Global cap on servers being repaired at once, across all shards.
+    std::size_t max_concurrent = 2;
+    double heartbeat_period = 2.0;
+    double suspect_after = 9.0;
+    /// Re-ask interval while the global budget (or a shard veto) defers a
+    /// repair, and backoff for object rounds that raced writes.
+    double budget_retry = 2.0;
+    double object_retry = 5.0;
+    NodeId manager_id = 40000;
+  };
+
+  explicit RepairScheduler(Options opt, MetricsRegistry* metrics = nullptr)
+      : opt_(opt), metrics_(metrics) {}
+
+  /// Attach one LDS shard.  `may_replace(l2)` is the service's veto — e.g.
+  /// "replacing this healthy-looking server would overdraw f2" on a false
+  /// suspicion; `on_replaced(l2)` fires when the fresh (empty) replacement
+  /// is installed; `on_repaired(l2)` when it holds every object again.
+  /// All three may be null.
+  void attach_shard(std::size_t shard, core::LdsCluster& cluster,
+                    std::function<bool(std::size_t)> may_replace = {},
+                    std::function<void(std::size_t)> on_replaced = {},
+                    std::function<void(std::size_t)> on_repaired = {});
+
+  /// Register an object for repair coverage on its shard.
+  void track_object(std::size_t shard, ObjectId obj);
+
+  void start();
+  void stop();
+
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t peak_in_flight() const { return peak_in_flight_; }
+  /// Servers fully restored (every tracked object regenerated).
+  std::size_t servers_repaired() const { return servers_repaired_; }
+  /// Object-repair rounds attempted / failed-and-retried, across shards.
+  std::size_t object_rounds_started() const;
+  std::size_t object_rounds_failed() const;
+  /// Servers currently suspected (crashed, under repair, or queued for the
+  /// budget) across shards.
+  std::size_t suspected() const;
+  /// True when no repair work is pending anywhere.
+  bool quiet() const { return suspected() == 0 && in_flight_ == 0; }
+
+  core::RepairManager& manager(std::size_t shard) {
+    return *managers_.at(shard);
+  }
+  bool has_shard(std::size_t shard) const {
+    return managers_.contains(shard);
+  }
+
+ private:
+  Options opt_;
+  MetricsRegistry* metrics_;
+  std::map<std::size_t, std::unique_ptr<core::RepairManager>> managers_;
+  std::size_t in_flight_ = 0;
+  std::size_t peak_in_flight_ = 0;
+  std::size_t servers_repaired_ = 0;
+};
+
+}  // namespace lds::store

@@ -1,0 +1,123 @@
+#include "store/shard_router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace lds::store {
+
+ShardRouter::ShardRouter(std::size_t num_shards, Options opt) : opt_(opt) {
+  LDS_REQUIRE(opt_.vnodes >= 1, "ShardRouter: vnodes must be >= 1");
+  live_.assign(num_shards, true);
+  live_count_ = num_shards;
+  rebuild();
+}
+
+std::uint64_t ShardRouter::hash_key(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  // Finalize: FNV alone is weak in the high bits the ring compares first.
+  return mix_seed(h, 0);
+}
+
+void ShardRouter::rebuild() {
+  ring_.clear();
+  ring_.reserve(live_count_ * opt_.vnodes);
+  for (std::size_t s = 0; s < live_.size(); ++s) {
+    if (!live_[s]) continue;
+    const std::uint64_t shard_seed = mix_seed(opt_.seed, s);
+    for (std::size_t r = 0; r < opt_.vnodes; ++r) {
+      ring_.push_back({mix_seed(shard_seed, r),
+                       static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::size_t ShardRouter::shard_of_hash(std::uint64_t h) const {
+  LDS_REQUIRE(!ring_.empty(), "ShardRouter: no live shards");
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->shard;
+}
+
+std::size_t ShardRouter::add_shard() {
+  live_.push_back(true);
+  ++live_count_;
+  rebuild();
+  return live_.size() - 1;
+}
+
+void ShardRouter::remove_shard(std::size_t shard) {
+  LDS_REQUIRE(shard < live_.size() && live_[shard],
+              "ShardRouter: removing unknown or dead shard");
+  LDS_REQUIRE(live_count_ > 1, "ShardRouter: cannot remove the last shard");
+  live_[shard] = false;
+  --live_count_;
+  rebuild();
+}
+
+bool ShardRouter::is_live(std::size_t shard) const {
+  return shard < live_.size() && live_[shard];
+}
+
+namespace {
+
+/// Right-open sweep over the union of both rings' boundary points: the owner
+/// of every h in (b_j, b_{j+1}] is the owner of b_{j+1}, and the wrap
+/// segment (b_last, b_0] belongs to b_0's owner.  Visits each segment with
+/// its exact width in units of 2^-64.
+template <typename Fn>
+void sweep_segments(const std::vector<std::uint64_t>& bounds, Fn&& fn) {
+  const double unit = std::ldexp(1.0, -64);
+  for (std::size_t j = 0; j < bounds.size(); ++j) {
+    const std::uint64_t hi = bounds[j];
+    const std::uint64_t lo = bounds[j == 0 ? bounds.size() - 1 : j - 1];
+    // Width of (lo, hi] on the wrapping ring; a single boundary owns it all.
+    const std::uint64_t width = hi - lo;  // mod 2^64 wraps correctly
+    const double frac = bounds.size() == 1
+                            ? 1.0
+                            : static_cast<double>(width) * unit;
+    fn(hi, frac);
+  }
+}
+
+}  // namespace
+
+double ShardRouter::moved_fraction(const ShardRouter& a, const ShardRouter& b) {
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(a.ring_.size() + b.ring_.size());
+  for (const auto& p : a.ring_) bounds.push_back(p.hash);
+  for (const auto& p : b.ring_) bounds.push_back(p.hash);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  double moved = 0.0;
+  sweep_segments(bounds, [&](std::uint64_t h, double frac) {
+    if (a.shard_of_hash(h) != b.shard_of_hash(h)) moved += frac;
+  });
+  return moved;
+}
+
+std::vector<double> ShardRouter::ownership() const {
+  std::vector<double> own(live_.size(), 0.0);
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(ring_.size());
+  for (const auto& p : ring_) bounds.push_back(p.hash);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  sweep_segments(bounds, [&](std::uint64_t h, double frac) {
+    own[shard_of_hash(h)] += frac;
+  });
+  return own;
+}
+
+}  // namespace lds::store

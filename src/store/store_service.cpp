@@ -1,0 +1,473 @@
+#include "store/store_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace lds::store {
+
+const char* protocol_name(ShardProtocol p) {
+  switch (p) {
+    case ShardProtocol::Lds: return "lds";
+    case ShardProtocol::Abd: return "abd";
+    case ShardProtocol::Cas: return "cas";
+  }
+  return "?";
+}
+
+StoreService::StoreService(StoreOptions opt)
+    : opt_(std::move(opt)),
+      metrics_(opt_.shards),
+      router_(opt_.shards, ShardRouter::Options{opt_.vnodes,
+                                                mix_seed(opt_.seed, 0)}) {
+  LDS_REQUIRE(opt_.shards >= 1, "StoreService: need at least one shard");
+  LDS_REQUIRE(opt_.writers_per_shard >= 1 && opt_.readers_per_shard >= 1,
+              "StoreService: need writers and readers");
+  LDS_REQUIRE(opt_.batch_window >= 0, "StoreService: negative batch window");
+  LDS_REQUIRE(opt_.max_batch >= 1, "StoreService: max_batch must be >= 1");
+
+  bool any_lds = false;
+  for (std::size_t s = 0; s < opt_.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->spec = s < opt_.shard_overrides.size() ? opt_.shard_overrides[s]
+                                               : opt_.backend;
+    const std::uint64_t shard_seed = mix_seed(opt_.seed, s + 1);
+    switch (sh->spec.protocol) {
+      case ShardProtocol::Lds: {
+        any_lds = true;
+        core::LdsCluster::Options copt;
+        copt.cfg.n1 = sh->spec.n1;
+        copt.cfg.f1 = sh->spec.f1;
+        copt.cfg.n2 = sh->spec.n2;
+        copt.cfg.f2 = sh->spec.f2;
+        copt.cfg.backend = sh->spec.code;
+        copt.writers = opt_.writers_per_shard;
+        copt.readers = opt_.readers_per_shard;
+        copt.latency = opt_.exponential_latency
+                           ? core::LdsCluster::LatencyKind::Exponential
+                           : core::LdsCluster::LatencyKind::Fixed;
+        copt.tau1 = opt_.tau1;
+        copt.tau0 = opt_.tau0;
+        copt.tau2 = opt_.tau2;
+        copt.seed = shard_seed;
+        copt.sim = &sim_;
+        sh->lds = std::make_unique<core::LdsCluster>(copt);
+        sh->l1_down.assign(sh->spec.n1, false);
+        sh->l2_down.assign(sh->spec.n2, false);
+        break;
+      }
+      case ShardProtocol::Abd: {
+        baselines::AbdCluster::Options copt;
+        copt.n = sh->spec.n;
+        copt.f = sh->spec.f;
+        copt.writers = opt_.writers_per_shard;
+        copt.readers = opt_.readers_per_shard;
+        copt.tau1 = opt_.tau1;
+        copt.seed = shard_seed;
+        copt.exponential_latency = opt_.exponential_latency;
+        copt.sim = &sim_;
+        sh->abd = std::make_unique<baselines::AbdCluster>(copt);
+        sh->srv_down.assign(sh->spec.n, false);
+        break;
+      }
+      case ShardProtocol::Cas: {
+        baselines::CasCluster::Options copt;
+        copt.n = sh->spec.n;
+        copt.k = sh->spec.n - 2 * sh->spec.f;
+        copt.writers = opt_.writers_per_shard;
+        copt.readers = opt_.readers_per_shard;
+        copt.tau1 = opt_.tau1;
+        copt.seed = shard_seed;
+        copt.exponential_latency = opt_.exponential_latency;
+        copt.sim = &sim_;
+        sh->cas = std::make_unique<baselines::CasCluster>(copt);
+        sh->srv_down.assign(sh->spec.n, false);
+        break;
+      }
+    }
+    for (std::size_t w = 0; w < opt_.writers_per_shard; ++w) {
+      sh->free_writers.push_back(w);
+    }
+    for (std::size_t r = 0; r < opt_.readers_per_shard; ++r) {
+      sh->free_readers.push_back(r);
+    }
+    shards_.push_back(std::move(sh));
+  }
+
+  if (opt_.enable_repair && any_lds) {
+    repair_ = std::make_unique<RepairScheduler>(opt_.repair, &metrics_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard* sh = shards_[s].get();
+      if (sh->spec.protocol != ShardProtocol::Lds) continue;
+      // f2 = 0 means no crash budget at all: nothing can ever be injected,
+      // and a (heavy-tail) false suspicion could never claim a slot, so a
+      // manager would only risk deferring forever.  Leave it unmanaged.
+      if (sh->spec.f2 == 0) continue;
+      repair_->attach_shard(
+          s, *sh->lds,
+          /*may_replace=*/
+          [this, sh](std::size_t i) {
+            // A victim we crashed already holds a budget slot; a false
+            // suspicion may only proceed while the budget has room for the
+            // healthy server's data to go briefly missing.
+            return sh->l2_down[i] || sh->l2_down_count < sh->spec.f2;
+          },
+          /*on_replaced=*/
+          [this, s, sh](std::size_t i) {
+            if (!sh->l2_down[i]) {
+              sh->l2_down[i] = true;
+              ++sh->l2_down_count;
+              metrics_.counter("false_suspicions", s).inc();
+            }
+          },
+          /*on_repaired=*/
+          [sh](std::size_t i) {
+            sh->l2_down[i] = false;
+            --sh->l2_down_count;
+          });
+    }
+    repair_->start();
+  }
+}
+
+StoreService::~StoreService() = default;
+
+const core::History& StoreService::shard_history(std::size_t s) const {
+  const Shard& sh = *shards_.at(s);
+  switch (sh.spec.protocol) {
+    case ShardProtocol::Lds: return sh.lds->history();
+    case ShardProtocol::Abd: return sh.abd->history();
+    case ShardProtocol::Cas: return sh.cas->history();
+  }
+  LDS_REQUIRE(false, "unreachable");
+  return sh.lds->history();
+}
+
+ObjectId StoreService::intern(Shard& sh, std::size_t shard_idx,
+                              const std::string& key) {
+  auto it = sh.objects.find(key);
+  if (it != sh.objects.end()) return it->second;
+  const auto obj = static_cast<ObjectId>(sh.objects.size());
+  sh.objects.emplace(key, obj);
+  metrics_.counter("objects_created", shard_idx).inc();
+  if (repair_ && sh.spec.protocol == ShardProtocol::Lds) {
+    repair_->track_object(shard_idx, obj);
+  }
+  return obj;
+}
+
+// ---- puts (batched) ---------------------------------------------------------
+
+void StoreService::put(const std::string& key, Bytes value, PutCallback cb) {
+  const std::size_t s = router_.shard_of(key);
+  Shard& sh = *shards_[s];
+  if (sh.puts_in_flight >= opt_.admission_limit) {
+    metrics_.counter("puts_rejected", s).inc();
+    if (cb) cb(PutResult{false, Tag{}, "admission limit reached"});
+    return;
+  }
+  metrics_.counter("puts", s).inc();
+  ++sh.puts_in_flight;
+  ++outstanding_;
+  const ObjectId obj = intern(sh, s, key);
+
+  // Coalesce with a queued same-key put of the open window: the newer value
+  // wins and the absorbed put completes alongside it with the same tag.
+  auto slot = std::find_if(sh.window.begin(), sh.window.end(),
+                           [obj](const PendingPut& p) { return p.obj == obj; });
+  if (slot != sh.window.end()) {
+    slot->value = std::move(value);
+    slot->cbs.push_back(std::move(cb));
+    slot->submitted.push_back(sim_.now());
+    metrics_.counter("puts_coalesced", s).inc();
+  } else {
+    PendingPut p;
+    p.obj = obj;
+    p.value = std::move(value);
+    p.cbs.push_back(std::move(cb));
+    p.submitted.push_back(sim_.now());
+    sh.window.push_back(std::move(p));
+  }
+  ++sh.window_puts;
+
+  if (sh.window_puts >= opt_.max_batch || opt_.batch_window <= 0) {
+    flush_window(s);
+  } else if (!sh.window_open) {
+    sh.window_open = true;
+    sim_.after(opt_.batch_window, [this, s, epoch = sh.window_epoch] {
+      if (shards_[s]->window_epoch == epoch) flush_window(s);
+    });
+  }
+}
+
+void StoreService::flush_window(std::size_t shard_idx) {
+  Shard& sh = *shards_[shard_idx];
+  sh.window_open = false;
+  ++sh.window_epoch;
+  if (sh.window.empty()) return;
+  metrics_.counter("batches", shard_idx).inc();
+  metrics_.histogram("batch_size", shard_idx)
+      .record(static_cast<double>(sh.window_puts));
+  for (auto& p : sh.window) sh.put_queue.push_back(std::move(p));
+  sh.window.clear();
+  sh.window_puts = 0;
+  pump_puts(shard_idx);
+}
+
+void StoreService::pump_puts(std::size_t shard_idx) {
+  Shard& sh = *shards_[shard_idx];
+  while (!sh.put_queue.empty() && !sh.free_writers.empty()) {
+    PendingPut p = std::move(sh.put_queue.front());
+    sh.put_queue.pop_front();
+    const std::size_t w = sh.free_writers.back();
+    sh.free_writers.pop_back();
+    dispatch_put(shard_idx, w, std::move(p));
+  }
+}
+
+void StoreService::dispatch_put(std::size_t shard_idx, std::size_t writer,
+                                PendingPut p) {
+  Shard& sh = *shards_[shard_idx];
+  Bytes value = std::move(p.value);
+  auto done = [this, shard_idx, writer, cbs = std::move(p.cbs),
+               submitted = std::move(p.submitted)](Tag tag) {
+    Shard& done_sh = *shards_[shard_idx];
+    auto& latency = metrics_.histogram("put_latency", shard_idx);
+    const PutResult result{true, tag, {}};
+    for (std::size_t i = 0; i < cbs.size(); ++i) {
+      latency.record(sim_.now() - submitted[i]);
+      if (cbs[i]) cbs[i](result);
+    }
+    done_sh.puts_in_flight -= cbs.size();
+    outstanding_ -= cbs.size();
+    done_sh.free_writers.push_back(writer);
+    pump_puts(shard_idx);
+  };
+  cluster_write(sh, writer, p.obj, std::move(value), std::move(done));
+}
+
+// ---- gets -------------------------------------------------------------------
+
+void StoreService::get(const std::string& key, GetCallback cb) {
+  const std::size_t s = router_.shard_of(key);
+  Shard& sh = *shards_[s];
+  metrics_.counter("gets", s).inc();
+  ++outstanding_;
+  PendingGet g;
+  g.obj = intern(sh, s, key);
+  g.cb = std::move(cb);
+  g.submitted = sim_.now();
+  sh.get_queue.push_back(std::move(g));
+  pump_gets(s);
+}
+
+void StoreService::pump_gets(std::size_t shard_idx) {
+  Shard& sh = *shards_[shard_idx];
+  while (!sh.get_queue.empty() && !sh.free_readers.empty()) {
+    PendingGet g = std::move(sh.get_queue.front());
+    sh.get_queue.pop_front();
+    const std::size_t r = sh.free_readers.back();
+    sh.free_readers.pop_back();
+    dispatch_get(shard_idx, r, std::move(g));
+  }
+}
+
+void StoreService::dispatch_get(std::size_t shard_idx, std::size_t reader,
+                                PendingGet g) {
+  Shard& sh = *shards_[shard_idx];
+  const ObjectId obj = g.obj;
+  auto done = [this, shard_idx, reader, cb = std::move(g.cb),
+               submitted = g.submitted](Tag tag, Bytes value) {
+    Shard& done_sh = *shards_[shard_idx];
+    metrics_.histogram("get_latency", shard_idx)
+        .record(sim_.now() - submitted);
+    if (cb) cb(GetResult{true, tag, std::move(value), {}});
+    --outstanding_;
+    done_sh.free_readers.push_back(reader);
+    pump_gets(shard_idx);
+  };
+  cluster_read(sh, reader, obj, std::move(done));
+}
+
+void StoreService::multi_get(std::vector<std::string> keys,
+                             MultiGetCallback cb) {
+  LDS_REQUIRE(cb != nullptr, "multi_get: null callback");
+  metrics_.counter("multi_gets").inc();
+  if (keys.empty()) {
+    cb({});
+    return;
+  }
+  struct Gather {
+    std::vector<GetResult> results;
+    std::size_t remaining = 0;
+    MultiGetCallback cb;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->results.resize(keys.size());
+  gather->remaining = keys.size();
+  gather->cb = std::move(cb);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    get(keys[i], [gather, i](const GetResult& r) {
+      gather->results[i] = r;
+      if (--gather->remaining == 0) gather->cb(std::move(gather->results));
+    });
+  }
+}
+
+// ---- cluster dispatch -------------------------------------------------------
+
+void StoreService::cluster_write(Shard& sh, std::size_t writer, ObjectId obj,
+                                 Bytes value, std::function<void(Tag)> done) {
+  switch (sh.spec.protocol) {
+    case ShardProtocol::Lds:
+      sh.lds->writer(writer).write(obj, std::move(value), std::move(done));
+      return;
+    case ShardProtocol::Abd:
+      sh.abd->writer(writer).write(obj, std::move(value), std::move(done));
+      return;
+    case ShardProtocol::Cas:
+      sh.cas->writer(writer).write(obj, std::move(value), std::move(done));
+      return;
+  }
+}
+
+void StoreService::cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
+                                std::function<void(Tag, Bytes)> done) {
+  switch (sh.spec.protocol) {
+    case ShardProtocol::Lds:
+      sh.lds->reader(reader).read(obj, std::move(done));
+      return;
+    case ShardProtocol::Abd:
+      sh.abd->reader(reader).read(obj, std::move(done));
+      return;
+    case ShardProtocol::Cas:
+      sh.cas->reader(reader).read(obj, std::move(done));
+      return;
+  }
+}
+
+// ---- sync wrappers ----------------------------------------------------------
+
+PutResult StoreService::put_sync(const std::string& key, Bytes value) {
+  PutResult out;
+  bool done = false;
+  put(key, std::move(value), [&](const PutResult& r) {
+    out = r;
+    done = true;
+  });
+  while (!done && sim_.step()) {
+  }
+  LDS_REQUIRE(done, "put_sync: simulation drained before completion");
+  return out;
+}
+
+GetResult StoreService::get_sync(const std::string& key) {
+  GetResult out;
+  bool done = false;
+  get(key, [&](const GetResult& r) {
+    out = r;
+    done = true;
+  });
+  while (!done && sim_.step()) {
+  }
+  LDS_REQUIRE(done, "get_sync: simulation drained before completion");
+  return out;
+}
+
+std::vector<GetResult> StoreService::multi_get_sync(
+    std::vector<std::string> keys) {
+  std::vector<GetResult> out;
+  bool done = false;
+  multi_get(std::move(keys), [&](std::vector<GetResult> results) {
+    out = std::move(results);
+    done = true;
+  });
+  while (!done && sim_.step()) {
+  }
+  LDS_REQUIRE(done, "multi_get_sync: simulation drained before completion");
+  return out;
+}
+
+// ---- crash injection & quiescence -------------------------------------------
+
+namespace {
+std::size_t pick_healthy(const std::vector<bool>& down, Rng& rng) {
+  std::vector<std::size_t> healthy;
+  for (std::size_t i = 0; i < down.size(); ++i) {
+    if (!down[i]) healthy.push_back(i);
+  }
+  LDS_REQUIRE(!healthy.empty(), "pick_healthy: no healthy server");
+  return healthy[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(healthy.size()) - 1))];
+}
+}  // namespace
+
+bool StoreService::inject_crash(std::size_t shard, Rng& rng) {
+  Shard& sh = *shards_.at(shard);
+  if (sh.spec.protocol != ShardProtocol::Lds) {
+    if (sh.srv_down_count >= sh.spec.f) return false;
+    const std::size_t victim = pick_healthy(sh.srv_down, rng);
+    sh.srv_down[victim] = true;
+    ++sh.srv_down_count;
+    metrics_.counter("crashes", shard).inc();
+    if (sh.spec.protocol == ShardProtocol::Abd) {
+      sh.abd->crash_server(victim);
+    } else {
+      sh.cas->crash_server(victim);
+    }
+    return true;
+  }
+
+  const bool can_l1 = sh.l1_down_count < sh.spec.f1;
+  const bool can_l2 = sh.l2_down_count < sh.spec.f2;
+  if (!can_l1 && !can_l2) return false;
+  const bool hit_l2 = can_l2 && (!can_l1 || rng.bernoulli(0.5));
+  if (hit_l2) {
+    const std::size_t victim = pick_healthy(sh.l2_down, rng);
+    sh.l2_down[victim] = true;
+    ++sh.l2_down_count;
+    metrics_.counter("crashes_l2", shard).inc();
+    sh.lds->crash_l2(victim);
+  } else {
+    const std::size_t victim = pick_healthy(sh.l1_down, rng);
+    sh.l1_down[victim] = true;
+    ++sh.l1_down_count;
+    metrics_.counter("crashes_l1", shard).inc();
+    sh.lds->crash_l1(victim);
+  }
+  return true;
+}
+
+bool StoreService::idle() const {
+  if (outstanding_ != 0) return false;
+  if (repair_ != nullptr) {
+    if (!repair_->quiet()) return false;
+    // Every injected (or falsely suspected) L2 outage must have healed.
+    for (const auto& sh : shards_) {
+      if (sh->spec.protocol == ShardProtocol::Lds && sh->l2_down_count > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void StoreService::quiesce(const std::function<bool()>& drained) {
+  // Re-arm the heartbeat loops: a previous quiesce stopped them, and crashes
+  // injected since then still need detection (start() is idempotent).
+  if (repair_ != nullptr) repair_->start();
+  // Safety valve: a healthy service reaches idle() in well under this many
+  // events; hitting the cap means a liveness bug, so abort loudly.
+  std::size_t guard = 100'000'000;
+  auto settled = [&] { return idle() && (!drained || drained()); };
+  while (!settled() && guard > 0 && sim_.step()) {
+    --guard;
+  }
+  LDS_REQUIRE(settled(), "StoreService::quiesce: stalled with work pending");
+  if (repair_ != nullptr) repair_->stop();
+  while (sim_.step()) {
+  }
+}
+
+}  // namespace lds::store

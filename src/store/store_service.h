@@ -1,0 +1,223 @@
+// StoreService: a multi-object, multi-shard store fronting many independent
+// cluster instances behind one client API.
+//
+// Layering (ROADMAP north star "sharding, batching, async, caching"):
+//
+//   put/get/multi_get (string keys, async callbacks or sync wrappers)
+//        │
+//   ShardRouter ── consistent-hash ring: key -> shard
+//        │
+//   per-shard write batching ── queued puts to the same shard coalesce into
+//        │                      one dispatch window; same-key puts collapse
+//        │                      to the last value (absorbed puts complete
+//        │                      with the surviving write's tag), bounded by
+//        │                      an admission limit
+//   shard backends ── each shard owns its own LdsCluster (L2 code via
+//        │            codes::factory) or an ABD / CAS baseline cluster, all
+//        │            sharing ONE discrete-event Simulator so batching
+//        │            windows, repair budgets and latencies live in a single
+//        │            simulated time base
+//   RepairScheduler ── background heartbeat detection + regeneration of
+//                      crashed L2 servers under a global concurrency budget
+//
+// MetricsRegistry threads through every path (router, batching, repair);
+// snapshot with metrics().to_json().
+//
+// Concurrency model: one StoreService is single-threaded (like one shard of
+// the stress harness); scale-out across OS threads uses one service instance
+// per thread.  Within a service, operations overlap freely in *simulated*
+// time.  Correctness is checked per shard against the recorded cluster
+// History with the existing atomicity/freshness verifiers: coalescing is
+// linearizable because an absorbed put orders immediately before the
+// surviving same-key write and no read ever observes its value.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/abd.h"
+#include "baselines/cas.h"
+#include "codes/factory.h"
+#include "common/rng.h"
+#include "lds/cluster.h"
+#include "store/metrics.h"
+#include "store/repair_scheduler.h"
+#include "store/shard_router.h"
+
+namespace lds::store {
+
+enum class ShardProtocol { Lds, Abd, Cas };
+
+const char* protocol_name(ShardProtocol p);
+
+/// Per-shard backend choice: protocol, L2 erasure code (LDS only, built via
+/// codes::factory inside LdsConfig), and geometry.
+struct ShardBackend {
+  ShardProtocol protocol = ShardProtocol::Lds;
+  codes::BackendKind code = codes::BackendKind::PmMbr;
+  std::size_t n1 = 6, f1 = 1, n2 = 8, f2 = 2;  ///< LDS geometry
+  std::size_t n = 9, f = 2;                    ///< ABD / CAS geometry
+};
+
+struct StoreOptions {
+  std::size_t shards = 4;
+  /// Client pool per shard: writers bound batch-dispatch concurrency,
+  /// readers bound concurrent gets.
+  std::size_t writers_per_shard = 4;
+  std::size_t readers_per_shard = 4;
+  /// Backend for every shard, unless overridden per shard index.
+  ShardBackend backend;
+  std::vector<ShardBackend> shard_overrides;
+  /// Put coalescing window in simulated time; 0 dispatches immediately.
+  double batch_window = 0.5;
+  /// Flush an open window early once this many puts are queued.
+  std::size_t max_batch = 32;
+  /// Admission limit: reject puts while a shard has this many in flight.
+  std::size_t admission_limit = 1024;
+  std::size_t vnodes = 64;
+  bool exponential_latency = false;
+  double tau1 = 1.0, tau0 = 1.0, tau2 = 3.0;
+  std::uint64_t seed = 1;
+  /// Background repair (LDS shards): heartbeat detection + regeneration.
+  bool enable_repair = true;
+  RepairScheduler::Options repair;
+};
+
+struct PutResult {
+  bool ok = false;
+  Tag tag;
+  std::string error;  ///< empty when ok
+};
+
+struct GetResult {
+  bool ok = false;
+  Tag tag;
+  Bytes value;
+  std::string error;
+};
+
+class StoreService {
+ public:
+  using PutCallback = std::function<void(const PutResult&)>;
+  using GetCallback = std::function<void(const GetResult&)>;
+  using MultiGetCallback = std::function<void(std::vector<GetResult>)>;
+
+  explicit StoreService(StoreOptions opt);
+  ~StoreService();
+
+  // ---- async client API -----------------------------------------------------
+  /// Queue a put; the callback fires (in simulated time) when the write —
+  /// possibly coalesced with later same-key puts of the same batch — is
+  /// durable, or immediately with ok=false when admission-rejected.
+  void put(const std::string& key, Bytes value, PutCallback cb = {});
+  void get(const std::string& key, GetCallback cb = {});
+  /// Fan out one get per key (keys may span shards); the callback fires
+  /// when all have completed, results in key order.
+  void multi_get(std::vector<std::string> keys, MultiGetCallback cb);
+
+  // ---- sync wrappers (drive the simulator until completion) -----------------
+  PutResult put_sync(const std::string& key, Bytes value);
+  GetResult get_sync(const std::string& key);
+  std::vector<GetResult> multi_get_sync(std::vector<std::string> keys);
+
+  // ---- operations & introspection -------------------------------------------
+  net::Simulator& sim() { return sim_; }
+  /// Const: the service's shard set is fixed at construction, so letting
+  /// callers mutate ring membership would desync routing from shards_.
+  const ShardRouter& router() const { return router_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  RepairScheduler* repair() { return repair_.get(); }
+  const StoreOptions& options() const { return opt_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  ShardProtocol shard_protocol(std::size_t s) const {
+    return shards_.at(s)->spec.protocol;
+  }
+  /// The shard's recorded operation history (for the linearizability
+  /// checkers); absorbed puts never reach it by design.
+  const core::History& shard_history(std::size_t s) const;
+  /// Keys currently interned on one shard.
+  std::size_t shard_objects(std::size_t s) const {
+    return shards_.at(s)->objects.size();
+  }
+  /// Client ops accepted but not yet called back.
+  std::size_t outstanding() const { return outstanding_; }
+
+  /// Inject one server crash on `shard` within its failure budget (L1/L2
+  /// for LDS, servers for ABD/CAS).  Crashed LDS L2 servers are detected
+  /// and rebuilt by the repair scheduler when enabled, returning their
+  /// budget slot.  Returns false when the budget is exhausted.
+  bool inject_crash(std::size_t shard, Rng& rng);
+
+  /// True when no client op is in flight and (with repair enabled) every
+  /// injected L2 crash has been repaired.
+  bool idle() const;
+  /// Drive the simulator until idle() — and, when given, until the caller's
+  /// `drained` predicate also holds (a closed-loop driver passes "no more
+  /// ops queued", since outstanding() is momentarily zero between its ops) —
+  /// then stop heartbeats and drain the remaining events.  Aborts if the
+  /// simulation stalls with work still pending.
+  void quiesce(const std::function<bool()>& drained = {});
+
+ private:
+  struct PendingPut {
+    ObjectId obj = 0;
+    Bytes value;
+    std::vector<PutCallback> cbs;           ///< surviving + absorbed puts
+    std::vector<net::SimTime> submitted;    ///< one per callback
+  };
+  struct PendingGet {
+    ObjectId obj = 0;
+    GetCallback cb;
+    net::SimTime submitted = 0;
+  };
+
+  struct Shard {
+    ShardBackend spec;
+    std::unique_ptr<core::LdsCluster> lds;
+    std::unique_ptr<baselines::AbdCluster> abd;
+    std::unique_ptr<baselines::CasCluster> cas;
+    std::unordered_map<std::string, ObjectId> objects;
+    // Batching state.
+    std::vector<PendingPut> window;  ///< open batch (coalesced as it fills)
+    std::size_t window_puts = 0;     ///< puts in the window incl. absorbed
+    bool window_open = false;
+    /// Bumped on every flush so a stale timer (its window already flushed
+    /// early by max_batch) cannot flush the next window prematurely.
+    std::uint64_t window_epoch = 0;
+    std::deque<PendingPut> put_queue;  ///< flushed, awaiting a writer
+    std::deque<PendingGet> get_queue;
+    std::vector<std::size_t> free_writers;
+    std::vector<std::size_t> free_readers;
+    std::size_t puts_in_flight = 0;  ///< admission accounting
+    // Failure budgets.
+    std::vector<bool> l1_down, l2_down, srv_down;
+    std::size_t l1_down_count = 0, l2_down_count = 0, srv_down_count = 0;
+  };
+
+  ObjectId intern(Shard& sh, std::size_t shard_idx, const std::string& key);
+  void open_window(std::size_t shard_idx);
+  void flush_window(std::size_t shard_idx);
+  void pump_puts(std::size_t shard_idx);
+  void pump_gets(std::size_t shard_idx);
+  void dispatch_put(std::size_t shard_idx, std::size_t writer, PendingPut p);
+  void dispatch_get(std::size_t shard_idx, std::size_t reader, PendingGet g);
+  void cluster_write(Shard& sh, std::size_t writer, ObjectId obj, Bytes value,
+                     std::function<void(Tag)> done);
+  void cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
+                    std::function<void(Tag, Bytes)> done);
+
+  StoreOptions opt_;
+  net::Simulator sim_;
+  MetricsRegistry metrics_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<RepairScheduler> repair_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace lds::store

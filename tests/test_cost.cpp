@@ -1,0 +1,104 @@
+// CostTracker attribution and link classification (src/net/cost.h):
+// unknown ops return a zero bucket, internal write-to-L2 bytes land on the
+// originating write's OpId (the paper's Section II-d convention), and
+// classify_link maps every (from, to) role pair to its tau class.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lds/cluster.h"
+#include "net/cost.h"
+#include "net/latency.h"
+
+namespace lds::net {
+namespace {
+
+TEST(CostTracker, UnknownOpYieldsZeroBucket) {
+  CostTracker t;
+  const auto bucket = t.by_op(make_op_id(7, 1));
+  EXPECT_EQ(bucket.messages, 0u);
+  EXPECT_EQ(bucket.data_bytes, 0u);
+  EXPECT_EQ(bucket.meta_bytes, 0u);
+}
+
+TEST(CostTracker, RecordsSplitByOpAndLink) {
+  CostTracker t;
+  const OpId a = make_op_id(1, 1);
+  const OpId b = make_op_id(2, 1);
+  t.record(LinkClass::ClientL1, a, 100, 10);
+  t.record(LinkClass::L1L2, a, 50, 5);
+  t.record(LinkClass::ClientL1, b, 7, 1);
+  t.record(LinkClass::L1L1, kNoOp, 3, 2);  // unattributed broadcast relay
+
+  EXPECT_EQ(t.by_op(a).data_bytes, 150u);
+  EXPECT_EQ(t.by_op(a).messages, 2u);
+  EXPECT_EQ(t.by_op(b).data_bytes, 7u);
+  // kNoOp traffic counts globally but is attributed to no operation.
+  EXPECT_EQ(t.by_op(kNoOp).messages, 0u);
+  EXPECT_EQ(t.total().data_bytes, 160u);
+  EXPECT_EQ(t.total().meta_bytes, 18u);
+  EXPECT_EQ(t.by_link(LinkClass::ClientL1).data_bytes, 107u);
+  EXPECT_EQ(t.by_link(LinkClass::L1L2).data_bytes, 50u);
+  EXPECT_EQ(t.by_link(LinkClass::L1L1).data_bytes, 3u);
+
+  t.reset();
+  EXPECT_EQ(t.total().messages, 0u);
+  EXPECT_EQ(t.by_op(a).messages, 0u);
+  EXPECT_EQ(t.by_link(LinkClass::ClientL1).messages, 0u);
+}
+
+TEST(CostTracker, WriteToL2BytesAttributeToTheOriginatingWrite) {
+  // One write through a real cluster: the internal write-to-L2 messages
+  // carry the client write's OpId, so its per-op bucket must cover ALL data
+  // bytes of the execution — client->L1 put-data plus L1->L2 offload.
+  core::LdsCluster::Options opt;
+  opt.cfg.n1 = 6;
+  opt.cfg.f1 = 1;
+  opt.cfg.n2 = 8;
+  opt.cfg.f2 = 2;
+  opt.writers = 1;
+  opt.readers = 1;
+  core::LdsCluster cluster(opt);
+  Rng rng(3);
+  cluster.write_sync(0, 0, rng.bytes(500));
+  cluster.settle();  // deferred internal write-to-L2 traffic included
+
+  const OpId write_op = make_op_id(1, 1);
+  const auto op_bucket = cluster.net().costs().by_op(write_op);
+  const auto l1l2 = cluster.net().costs().by_link(LinkClass::L1L2);
+  EXPECT_GT(l1l2.data_bytes, 0u);
+  // The write is the only operation, so its attribution equals the total.
+  EXPECT_EQ(op_bucket.data_bytes, cluster.net().costs().total().data_bytes);
+  EXPECT_GE(op_bucket.data_bytes, 6 * 500u + l1l2.data_bytes);
+}
+
+TEST(LinkClass, ClassifiesAllRolePairs) {
+  using enum Role;
+  const Role all[] = {Writer, Reader, ServerL1, ServerL2, Other};
+  for (Role from : all) {
+    for (Role to : all) {
+      const LinkClass got = classify_link(from, to);
+      const bool from_client = from == Writer || from == Reader;
+      const bool to_client = to == Writer || to == Reader;
+      LinkClass want = LinkClass::Other;
+      if ((from_client && to == ServerL1) || (from == ServerL1 && to_client)) {
+        want = LinkClass::ClientL1;
+      } else if (from == ServerL1 && to == ServerL1) {
+        want = LinkClass::L1L1;
+      } else if ((from == ServerL1 && to == ServerL2) ||
+                 (from == ServerL2 && to == ServerL1)) {
+        want = LinkClass::L1L2;
+      }
+      EXPECT_EQ(got, want) << role_name(from) << " -> " << role_name(to);
+    }
+  }
+  // Spot checks pinning the table (client<->L2 never happens in LDS and
+  // must classify as Other, not as a tau1/tau2 link).
+  EXPECT_EQ(classify_link(Writer, ServerL2), LinkClass::Other);
+  EXPECT_EQ(classify_link(ServerL2, Reader), LinkClass::Other);
+  EXPECT_EQ(classify_link(ServerL2, ServerL2), LinkClass::Other);
+  EXPECT_EQ(classify_link(Other, ServerL2), LinkClass::Other);
+  EXPECT_EQ(classify_link(Writer, Reader), LinkClass::Other);
+}
+
+}  // namespace
+}  // namespace lds::net

@@ -170,31 +170,34 @@ TEST(LdsMultiObjectStress, ManyObjectsWithCrashesStayAtomic) {
     Rng rng(static_cast<std::uint64_t>(seed) + 900);
 
     // Each client walks its own schedule over 5 objects; operations are
-    // chained through callbacks so every client stays well-formed.
-    auto chain_writes = std::make_shared<std::function<void(std::size_t, int)>>();
-    *chain_writes = [&c, &rng, chain_writes](std::size_t w, int left) {
+    // chained through callbacks so every client stays well-formed.  All
+    // closures run inside c.settle() below, so capturing the stack-local
+    // std::functions by reference is safe (the src/harness idiom) and — in
+    // contrast to a shared_ptr<std::function> capturing itself — cycle-free.
+    std::function<void(std::size_t, int)> chain_writes;
+    chain_writes = [&c, &chain_writes](std::size_t w, int left) {
       if (left == 0) return;
       const ObjectId obj = static_cast<ObjectId>((w + left) % 5);
       c.writer(w).write(obj, Bytes{static_cast<std::uint8_t>(w * 16 + left)},
-                        [&c, chain_writes, w, left](Tag) {
-                          (*chain_writes)(w, left - 1);
+                        [&chain_writes, w, left](Tag) {
+                          chain_writes(w, left - 1);
                         });
     };
-    auto chain_reads = std::make_shared<std::function<void(std::size_t, int)>>();
-    *chain_reads = [&c, chain_reads](std::size_t r, int left) {
+    std::function<void(std::size_t, int)> chain_reads;
+    chain_reads = [&c, &chain_reads](std::size_t r, int left) {
       if (left == 0) return;
       const ObjectId obj = static_cast<ObjectId>((r + left) % 5);
-      c.reader(r).read(obj, [&c, chain_reads, r, left](Tag, Bytes) {
-        (*chain_reads)(r, left - 1);
+      c.reader(r).read(obj, [&chain_reads, r, left](Tag, Bytes) {
+        chain_reads(r, left - 1);
       });
     };
     for (std::size_t w = 0; w < 3; ++w) {
       c.sim().at(rng.uniform_real(0.0, 2.0),
-                 [chain_writes, w] { (*chain_writes)(w, 3); });
+                 [&chain_writes, w] { chain_writes(w, 3); });
     }
     for (std::size_t r = 0; r < 3; ++r) {
       c.sim().at(rng.uniform_real(0.0, 4.0),
-                 [chain_reads, r] { (*chain_reads)(r, 3); });
+                 [&chain_reads, r] { chain_reads(r, 3); });
     }
     c.sim().at(rng.uniform_real(1.0, 10.0), [&c] { c.crash_l1(2); });
     c.sim().at(rng.uniform_real(1.0, 10.0), [&c] { c.crash_l2(5); });

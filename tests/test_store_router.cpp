@@ -1,0 +1,136 @@
+// ShardRouter: routing determinism, load spread, and the consistent-hashing
+// contract — membership changes move only the displaced fraction of the key
+// space, verified against the router's own exact ring-measure accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "store/shard_router.h"
+
+namespace lds::store {
+namespace {
+
+std::string key(std::size_t i) { return "user:" + std::to_string(i) + ":obj"; }
+
+TEST(ShardRouter, RoutingIsDeterministicAcrossInstances) {
+  ShardRouter a(8), b(8);
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.shard_of(key(i)), b.shard_of(key(i)));
+    EXPECT_EQ(a.shard_of(key(i)), a.shard_of(key(i)));
+  }
+}
+
+TEST(ShardRouter, DifferentSeedsRouteDifferently) {
+  ShardRouter a(8);
+  ShardRouter b(8, {64, 0xdeadbeef});
+  std::size_t differ = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    differ += a.shard_of(key(i)) != b.shard_of(key(i)) ? 1 : 0;
+  }
+  EXPECT_GT(differ, 300u);  // ~7/8 expected
+}
+
+TEST(ShardRouter, SpreadsKeysAcrossAllShards) {
+  const std::size_t kShards = 8;
+  ShardRouter r(kShards);
+  std::map<std::size_t, std::size_t> counts;
+  const std::size_t kKeys = 8000;
+  for (std::size_t i = 0; i < kKeys; ++i) ++counts[r.shard_of(key(i))];
+  ASSERT_EQ(counts.size(), kShards);
+  for (const auto& [shard, n] : counts) {
+    // With 64 vnodes the split is uneven but bounded; each shard should get
+    // a sane share of an 8-way split (expected 1000 keys).
+    EXPECT_GT(n, kKeys / kShards / 4) << "shard " << shard;
+    EXPECT_LT(n, kKeys / kShards * 4) << "shard " << shard;
+  }
+}
+
+TEST(ShardRouter, OwnershipSumsToOneAndMatchesKeyCounts) {
+  ShardRouter r(4);
+  const auto own = r.ownership();
+  double total = 0;
+  for (double o : own) total += o;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Empirical key share tracks the exact ring measure.
+  std::vector<std::size_t> counts(4, 0);
+  const std::size_t kKeys = 20000;
+  for (std::size_t i = 0; i < kKeys; ++i) ++counts[r.shard_of(key(i))];
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]) / kKeys, own[s], 0.02)
+        << "shard " << s;
+  }
+}
+
+TEST(ShardRouter, AddShardMovesOnlyTheNewShardsShare) {
+  ShardRouter before(8);
+  ShardRouter after(8);
+  const std::size_t added = after.add_shard();
+  EXPECT_EQ(added, 8u);
+
+  const double moved = ShardRouter::moved_fraction(before, after);
+  // Exactly the ranges the new shard claimed moved: its ownership measure.
+  EXPECT_NEAR(moved, after.ownership()[added], 1e-12);
+  // ~1/9 of the space, far from the ~8/9 a mod-hash reshard would move.
+  EXPECT_GT(moved, 0.02);
+  EXPECT_LT(moved, 0.30);
+
+  // Keys that moved all moved *to* the new shard.
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const auto b = before.shard_of(key(i));
+    const auto a = after.shard_of(key(i));
+    if (b != a) {
+      EXPECT_EQ(a, added) << key(i);
+    }
+  }
+}
+
+TEST(ShardRouter, RemoveShardOnlyReassignsItsKeys) {
+  ShardRouter before(8);
+  ShardRouter after(8);
+  after.remove_shard(3);
+  EXPECT_FALSE(after.is_live(3));
+  EXPECT_EQ(after.num_live(), 7u);
+
+  const double moved = ShardRouter::moved_fraction(before, after);
+  EXPECT_NEAR(moved, before.ownership()[3], 1e-12);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const auto b = before.shard_of(key(i));
+    const auto a = after.shard_of(key(i));
+    if (b != 3) {
+      EXPECT_EQ(a, b) << key(i);  // survivors keep their keys
+    } else {
+      EXPECT_NE(a, 3u) << key(i);  // orphans land elsewhere
+    }
+  }
+}
+
+TEST(ShardRouter, MovedFractionOfIdenticalRingsIsZero) {
+  ShardRouter a(5), b(5);
+  EXPECT_EQ(ShardRouter::moved_fraction(a, b), 0.0);
+}
+
+TEST(ShardRouter, SingleShardOwnsEverything) {
+  ShardRouter r(1);
+  const auto own = r.ownership();
+  EXPECT_NEAR(own[0], 1.0, 1e-9);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(r.shard_of(key(i)), 0u);
+}
+
+TEST(ShardRouter, MoreVnodesSmoothTheSplit) {
+  // Max/min ownership spread should shrink as vnodes grow.
+  auto spread = [](std::size_t vnodes) {
+    ShardRouter r(8, {vnodes, 0x1d5a2d1f00c0ffeeull});
+    const auto own = r.ownership();
+    double lo = 1.0, hi = 0.0;
+    for (double o : own) {
+      lo = std::min(lo, o);
+      hi = std::max(hi, o);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(256), spread(4));
+}
+
+}  // namespace
+}  // namespace lds::store

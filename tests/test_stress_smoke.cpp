@@ -68,6 +68,62 @@ TEST(StressSmoke, RepairChurnExecutesAndStaysAtomic) {
   EXPECT_GT(rep.total_repairs(), 0u);
 }
 
+TEST(StressSmoke, StoreCleanRunPasses) {
+  auto opt = smoke_options(Backend::Store);
+  opt.threads = 2;
+  opt.store_shards = 3;
+  opt.objects = 6;
+  const auto rep = run_stress(opt);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.total_writes() + rep.total_reads(), 240u);
+  EXPECT_GT(rep.total_batches(), 0u);
+}
+
+TEST(StressSmoke, StoreCrashAndRepairInjectionStaysLinearizable) {
+  auto opt = smoke_options(Backend::Store);
+  opt.threads = 2;
+  opt.store_shards = 3;
+  opt.objects = 6;
+  opt.ops = 400;
+  opt.crash_rate = 0.15;
+  opt.seed = 11;
+  const auto rep = run_stress(opt);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_GT(rep.total_crashes(), 0u);
+  // The store backend repairs every L2 crash before quiescing.
+  EXPECT_GT(rep.total_repairs(), 0u);
+}
+
+TEST(StressSmoke, StoreRunsReproduceFromMasterSeed) {
+  auto opt = smoke_options(Backend::Store);
+  opt.threads = 2;
+  opt.store_shards = 2;
+  opt.crash_rate = 0.1;
+  opt.seed = 99;
+  const auto a = run_stress(opt);
+  const auto b = run_stress(opt);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i].sim_events, b.shards[i].sim_events);
+    EXPECT_EQ(a.shards[i].crashes, b.shards[i].crashes);
+    EXPECT_EQ(a.shards[i].repairs, b.shards[i].repairs);
+    EXPECT_EQ(a.shards[i].coalesced, b.shards[i].coalesced);
+  }
+}
+
+TEST(StressSmoke, StoreValidateOptionsCatchesBadShardCounts) {
+  auto opt = smoke_options(Backend::Store);
+  EXPECT_EQ(validate_options(opt), std::nullopt);
+  opt.store_shards = 0;
+  EXPECT_TRUE(validate_options(opt).has_value());
+  opt = smoke_options(Backend::Store);
+  opt.max_batch = 0;
+  EXPECT_TRUE(validate_options(opt).has_value());
+  opt = smoke_options(Backend::Store);
+  opt.f1 = opt.n1 / 2;  // store shards inherit the LDS geometry constraints
+  EXPECT_TRUE(validate_options(opt).has_value());
+}
+
 TEST(StressSmoke, RunsReproduceFromMasterSeed) {
   auto opt = smoke_options(Backend::Lds);
   opt.crash_rate = 0.1;

@@ -1,0 +1,281 @@
+// lds_store_bench — throughput driver for the sharded store service.
+//
+// Sweeps threads x shards x value-size: every OS thread runs one
+// StoreService replica (its own simulated world) under a closed-loop client
+// mix with no think time, so per-replica throughput is ops per *simulated*
+// time unit — deterministic for a fixed seed, and the number that shows how
+// aggregate service capacity scales with the shard count (more shards = more
+// clusters advancing concurrently in one time base).  Aggregate throughput
+// is the sum over replicas.
+//
+//   lds_store_bench                         # default sweep: 1,2,4,8 shards
+//   lds_store_bench --shards 1,4 --value-sizes 64,1024 --json out.json
+//
+// The JSON output carries one record per configuration (params, throughput,
+// wall time) plus the full MetricsRegistry snapshot of the first replica of
+// the largest configuration — batching/coalescing counters included — so CI
+// can track the perf trajectory and assert batching is actually engaged.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/store_service.h"
+
+namespace {
+
+using namespace lds;
+using store::GetResult;
+using store::PutResult;
+using store::StoreOptions;
+using store::StoreService;
+
+struct BenchOptions {
+  std::vector<std::size_t> shards = {1, 2, 4, 8};
+  std::vector<std::size_t> value_sizes = {256};
+  std::size_t threads = 1;
+  std::size_t ops = 4000;  ///< per replica per configuration
+  std::size_t keys = 32;
+  std::size_t clients_per_shard = 4;
+  double read_fraction = 0.5;
+  double batch_window = 0.5;
+  bool exponential_latency = false;
+  std::uint64_t seed = 1;
+  std::string json_path;
+};
+
+struct ReplicaResult {
+  double duration = 0;  ///< sim time from first op to last completion
+  std::size_t ops = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced = 0;
+  std::string metrics_json;
+};
+
+ReplicaResult run_replica(const BenchOptions& opt, std::size_t shards,
+                          std::size_t value_size, std::uint64_t seed) {
+  StoreOptions sopt;
+  sopt.shards = shards;
+  sopt.batch_window = opt.batch_window;
+  sopt.exponential_latency = opt.exponential_latency;
+  sopt.seed = seed;
+  StoreService svc(sopt);
+  Rng rng(mix_seed(seed, 0xb0));
+
+  std::size_t remaining = opt.ops;
+  std::size_t done = 0;
+  double done_time = 0;
+  std::function<void()> next = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    const std::string key =
+        "key-" + std::to_string(rng.uniform_int(
+                     0, static_cast<std::int64_t>(opt.keys) - 1));
+    auto complete = [&] {
+      ++done;
+      if (done == opt.ops) done_time = svc.sim().now();
+      next();
+    };
+    if (rng.bernoulli(opt.read_fraction)) {
+      svc.get(key, [complete](const GetResult&) { complete(); });
+    } else {
+      svc.put(key, rng.bytes(value_size),
+              [complete](const PutResult&) { complete(); });
+    }
+  };
+  const std::size_t clients = opt.clients_per_shard * shards;
+  for (std::size_t c = 0; c < clients; ++c) {
+    svc.sim().at(0.0, [&next] { next(); });
+  }
+  svc.quiesce([&] { return remaining == 0; });
+
+  ReplicaResult out;
+  out.duration = done_time;
+  out.ops = opt.ops;
+  out.batches = svc.metrics().counter_total("batches");
+  out.coalesced = svc.metrics().counter_total("puts_coalesced");
+  out.metrics_json = svc.metrics().to_json();
+  return out;
+}
+
+bool parse_size_list(const char* s, std::vector<std::size_t>* out) {
+  out->clear();
+  std::string token;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (token.empty()) return false;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0' || v == 0) return false;
+      out->push_back(static_cast<std::size_t>(v));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return !out->empty();
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --shards LIST         comma-separated shard counts (1,2,4,8)\n"
+      "  --value-sizes LIST    comma-separated value sizes in bytes (256)\n"
+      "  --threads N           service replicas on OS threads (1)\n"
+      "  --ops N               client ops per replica per config (4000)\n"
+      "  --keys N              distinct keys (32)\n"
+      "  --clients N           closed-loop clients per shard (4)\n"
+      "  --read-fraction X     fraction of ops that are gets (0.5)\n"
+      "  --batch-window X      put-coalescing window in sim units (0.5)\n"
+      "  --exponential         exponential instead of fixed link delays\n"
+      "  --json PATH           write machine-readable results\n"
+      "  --seed N              master seed (1)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      ok = v && parse_size_list(v, &opt.shards);
+    } else if (arg == "--value-sizes") {
+      const char* v = next();
+      ok = v && parse_size_list(v, &opt.value_sizes);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      ok = v && (opt.threads = std::strtoull(v, nullptr, 10)) >= 1;
+    } else if (arg == "--ops") {
+      const char* v = next();
+      ok = v && (opt.ops = std::strtoull(v, nullptr, 10)) >= 1;
+    } else if (arg == "--keys") {
+      const char* v = next();
+      ok = v && (opt.keys = std::strtoull(v, nullptr, 10)) >= 1;
+    } else if (arg == "--clients") {
+      const char* v = next();
+      ok = v && (opt.clients_per_shard = std::strtoull(v, nullptr, 10)) >= 1;
+    } else if (arg == "--read-fraction") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.read_fraction = std::strtod(v, nullptr);
+    } else if (arg == "--batch-window") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.batch_window = std::strtod(v, nullptr);
+    } else if (arg == "--exponential") {
+      opt.exponential_latency = true;
+    } else if (arg == "--json") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.json_path = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad or missing value for '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("lds_store_bench: threads=%zu ops/replica=%zu keys=%zu "
+              "clients/shard=%zu read-fraction=%.2f batch-window=%.2f "
+              "seed=%llu\n\n",
+              opt.threads, opt.ops, opt.keys, opt.clients_per_shard,
+              opt.read_fraction, opt.batch_window,
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("%8s %12s %12s %14s %10s %10s %10s\n", "shards", "value_size",
+              "sim_dur", "ops_per_unit", "batches", "coalesced", "wall_s");
+
+  std::string json = "{\"bench\":\"lds_store_bench\",\"configs\":[";
+  // Snapshot source: the largest shard count seen (not sweep order, which
+  // the user may pass descending).
+  std::string snapshot_metrics;
+  std::size_t snapshot_shards = 0;
+  bool first_cfg = true;
+  for (std::size_t value_size : opt.value_sizes) {
+    for (std::size_t shards : opt.shards) {
+      const auto wall_start = std::chrono::steady_clock::now();
+      std::vector<ReplicaResult> results(opt.threads);
+      std::vector<std::thread> workers;
+      for (std::size_t t = 0; t < opt.threads; ++t) {
+        workers.emplace_back([&, t] {
+          results[t] = run_replica(
+              opt, shards, value_size,
+              opt.threads == 1 ? opt.seed : mix_seed(opt.seed, t));
+        });
+      }
+      for (auto& w : workers) w.join();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+
+      double agg_tput = 0;
+      double max_dur = 0;
+      std::uint64_t batches = 0, coalesced = 0;
+      for (const auto& r : results) {
+        agg_tput += static_cast<double>(r.ops) / r.duration;
+        max_dur = std::max(max_dur, r.duration);
+        batches += r.batches;
+        coalesced += r.coalesced;
+      }
+      std::printf("%8zu %12zu %12.1f %14.3f %10llu %10llu %10.2f\n", shards,
+                  value_size, max_dur, agg_tput,
+                  static_cast<unsigned long long>(batches),
+                  static_cast<unsigned long long>(coalesced), wall);
+
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"shards\":%zu,\"threads\":%zu,\"value_size\":%zu,"
+                    "\"ops\":%zu,\"metric\":\"ops_per_sim_unit\","
+                    "\"value\":%.6f,\"batches\":%llu,\"coalesced\":%llu,"
+                    "\"wall_seconds\":%.3f}",
+                    first_cfg ? "" : ",", shards, opt.threads, value_size,
+                    opt.ops * opt.threads, agg_tput,
+                    static_cast<unsigned long long>(batches),
+                    static_cast<unsigned long long>(coalesced), wall);
+      json += buf;
+      first_cfg = false;
+      if (shards >= snapshot_shards) {
+        snapshot_shards = shards;
+        snapshot_metrics = results[0].metrics_json;
+      }
+    }
+  }
+  json += "],\"metrics_snapshot\":" +
+          (snapshot_metrics.empty() ? "{}" : snapshot_metrics) + "}\n";
+
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      return 2;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\njson written to %s\n", opt.json_path.c_str());
+  }
+  return 0;
+}

@@ -18,7 +18,7 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --backend lds|abd|cas   store under test (default lds)\n"
+      "  --backend lds|abd|cas|store   system under test (default lds)\n"
       "  --threads N             OS threads, one independent shard each (4)\n"
       "  --ops N                 total client operations (2000)\n"
       "  --writers N             writer clients per shard (2)\n"
@@ -31,6 +31,13 @@ void usage(const char* argv0) {
       "  --fixed-latency         fixed instead of exponential link delays\n"
       "  --n1/--f1/--n2/--f2 N   LDS geometry (6/1/8/2)\n"
       "  --n/--f N               ABD/CAS geometry (9/2; CAS k = n-2f)\n"
+      "  --shards N              store: consistent-hash shards per service "
+      "(4)\n"
+      "  --batch-window X        store: put-coalescing window, sim units "
+      "(0.5)\n"
+      "  --max-batch N           store: flush a window early at N puts (32)\n"
+      "                          (store always runs heartbeat-driven L2 "
+      "repair)\n"
       "  --seed N                master seed; 0 = pick from entropy (0)\n"
       "  --verbose               per-shard progress lines on stderr\n"
       "  --help                  this text\n",
@@ -132,6 +139,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--f") {
       const char* v = next();
       ok = v && parse_size(v, &opt.f);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.store_shards);
+    } else if (arg == "--batch-window") {
+      const char* v = next();
+      ok = v && parse_double(v, &opt.batch_window);
+    } else if (arg == "--max-batch") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.max_batch);
     } else if (arg == "--seed") {
       const char* v = next();
       ok = v && parse_u64(v, &opt.seed);
