@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mbr_vs_rs_read.dir/bench/bench_mbr_vs_rs_read.cpp.o"
+  "CMakeFiles/bench_mbr_vs_rs_read.dir/bench/bench_mbr_vs_rs_read.cpp.o.d"
+  "bench_mbr_vs_rs_read"
+  "bench_mbr_vs_rs_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mbr_vs_rs_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

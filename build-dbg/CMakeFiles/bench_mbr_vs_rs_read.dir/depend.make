@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mbr_vs_rs_read.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rlnc_feasibility.dir/bench/bench_rlnc_feasibility.cpp.o"
+  "CMakeFiles/bench_rlnc_feasibility.dir/bench/bench_rlnc_feasibility.cpp.o.d"
+  "bench_rlnc_feasibility"
+  "bench_rlnc_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rlnc_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

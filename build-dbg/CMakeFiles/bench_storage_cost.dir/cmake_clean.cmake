@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_cost.dir/bench/bench_storage_cost.cpp.o"
+  "CMakeFiles/bench_storage_cost.dir/bench/bench_storage_cost.cpp.o.d"
+  "bench_storage_cost"
+  "bench_storage_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_replication.dir/bench/bench_vs_replication.cpp.o"
+  "CMakeFiles/bench_vs_replication.dir/bench/bench_vs_replication.cpp.o.d"
+  "bench_vs_replication"
+  "bench_vs_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

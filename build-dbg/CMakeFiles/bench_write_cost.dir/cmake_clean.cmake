@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_write_cost.dir/bench/bench_write_cost.cpp.o"
+  "CMakeFiles/bench_write_cost.dir/bench/bench_write_cost.cpp.o.d"
+  "bench_write_cost"
+  "bench_write_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

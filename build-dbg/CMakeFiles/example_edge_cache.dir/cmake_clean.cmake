@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_edge_cache.dir/examples/edge_cache.cpp.o"
+  "CMakeFiles/example_edge_cache.dir/examples/edge_cache.cpp.o.d"
+  "example_edge_cache"
+  "example_edge_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_edge_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

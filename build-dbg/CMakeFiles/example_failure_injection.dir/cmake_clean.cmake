@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failure_injection.dir/examples/failure_injection.cpp.o"
+  "CMakeFiles/example_failure_injection.dir/examples/failure_injection.cpp.o.d"
+  "example_failure_injection"
+  "example_failure_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failure_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

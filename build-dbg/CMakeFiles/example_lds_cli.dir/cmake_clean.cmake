@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lds_cli.dir/examples/lds_cli.cpp.o"
+  "CMakeFiles/example_lds_cli.dir/examples/lds_cli.cpp.o.d"
+  "example_lds_cli"
+  "example_lds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_object_store.dir/examples/multi_object_store.cpp.o"
+  "CMakeFiles/example_multi_object_store.dir/examples/multi_object_store.cpp.o.d"
+  "example_multi_object_store"
+  "example_multi_object_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_object_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

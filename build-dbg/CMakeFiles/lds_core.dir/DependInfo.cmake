@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/abd.cpp" "CMakeFiles/lds_core.dir/src/baselines/abd.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/baselines/abd.cpp.o.d"
+  "/root/repo/src/baselines/cas.cpp" "CMakeFiles/lds_core.dir/src/baselines/cas.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/baselines/cas.cpp.o.d"
+  "/root/repo/src/codes/factory.cpp" "CMakeFiles/lds_core.dir/src/codes/factory.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/codes/factory.cpp.o.d"
+  "/root/repo/src/codes/pm_mbr.cpp" "CMakeFiles/lds_core.dir/src/codes/pm_mbr.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/codes/pm_mbr.cpp.o.d"
+  "/root/repo/src/codes/pm_msr.cpp" "CMakeFiles/lds_core.dir/src/codes/pm_msr.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/codes/pm_msr.cpp.o.d"
+  "/root/repo/src/codes/replication.cpp" "CMakeFiles/lds_core.dir/src/codes/replication.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/codes/replication.cpp.o.d"
+  "/root/repo/src/codes/rlnc.cpp" "CMakeFiles/lds_core.dir/src/codes/rlnc.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/codes/rlnc.cpp.o.d"
+  "/root/repo/src/codes/rs.cpp" "CMakeFiles/lds_core.dir/src/codes/rs.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/codes/rs.cpp.o.d"
+  "/root/repo/src/codes/striped.cpp" "CMakeFiles/lds_core.dir/src/codes/striped.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/codes/striped.cpp.o.d"
+  "/root/repo/src/common/assert.cpp" "CMakeFiles/lds_core.dir/src/common/assert.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/common/assert.cpp.o.d"
+  "/root/repo/src/common/format.cpp" "CMakeFiles/lds_core.dir/src/common/format.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/common/format.cpp.o.d"
+  "/root/repo/src/gf/gf256.cpp" "CMakeFiles/lds_core.dir/src/gf/gf256.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/gf/gf256.cpp.o.d"
+  "/root/repo/src/harness/stress.cpp" "CMakeFiles/lds_core.dir/src/harness/stress.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/harness/stress.cpp.o.d"
+  "/root/repo/src/lds/analysis.cpp" "CMakeFiles/lds_core.dir/src/lds/analysis.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/analysis.cpp.o.d"
+  "/root/repo/src/lds/cluster.cpp" "CMakeFiles/lds_core.dir/src/lds/cluster.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/cluster.cpp.o.d"
+  "/root/repo/src/lds/config.cpp" "CMakeFiles/lds_core.dir/src/lds/config.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/config.cpp.o.d"
+  "/root/repo/src/lds/context.cpp" "CMakeFiles/lds_core.dir/src/lds/context.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/context.cpp.o.d"
+  "/root/repo/src/lds/history.cpp" "CMakeFiles/lds_core.dir/src/lds/history.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/history.cpp.o.d"
+  "/root/repo/src/lds/reader.cpp" "CMakeFiles/lds_core.dir/src/lds/reader.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/reader.cpp.o.d"
+  "/root/repo/src/lds/repair_manager.cpp" "CMakeFiles/lds_core.dir/src/lds/repair_manager.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/repair_manager.cpp.o.d"
+  "/root/repo/src/lds/server_l1.cpp" "CMakeFiles/lds_core.dir/src/lds/server_l1.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/server_l1.cpp.o.d"
+  "/root/repo/src/lds/server_l2.cpp" "CMakeFiles/lds_core.dir/src/lds/server_l2.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/server_l2.cpp.o.d"
+  "/root/repo/src/lds/stats.cpp" "CMakeFiles/lds_core.dir/src/lds/stats.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/stats.cpp.o.d"
+  "/root/repo/src/lds/workload.cpp" "CMakeFiles/lds_core.dir/src/lds/workload.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/workload.cpp.o.d"
+  "/root/repo/src/lds/writer.cpp" "CMakeFiles/lds_core.dir/src/lds/writer.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/lds/writer.cpp.o.d"
+  "/root/repo/src/matrix/matrix.cpp" "CMakeFiles/lds_core.dir/src/matrix/matrix.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/matrix/matrix.cpp.o.d"
+  "/root/repo/src/matrix/vandermonde.cpp" "CMakeFiles/lds_core.dir/src/matrix/vandermonde.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/matrix/vandermonde.cpp.o.d"
+  "/root/repo/src/net/cost.cpp" "CMakeFiles/lds_core.dir/src/net/cost.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/net/cost.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "CMakeFiles/lds_core.dir/src/net/latency.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/net/latency.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "CMakeFiles/lds_core.dir/src/net/network.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/net/network.cpp.o.d"
+  "/root/repo/src/net/sim.cpp" "CMakeFiles/lds_core.dir/src/net/sim.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/net/sim.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "CMakeFiles/lds_core.dir/src/net/trace.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/net/trace.cpp.o.d"
+  "/root/repo/src/store/metrics.cpp" "CMakeFiles/lds_core.dir/src/store/metrics.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/store/metrics.cpp.o.d"
+  "/root/repo/src/store/repair_scheduler.cpp" "CMakeFiles/lds_core.dir/src/store/repair_scheduler.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/store/repair_scheduler.cpp.o.d"
+  "/root/repo/src/store/shard_router.cpp" "CMakeFiles/lds_core.dir/src/store/shard_router.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/store/shard_router.cpp.o.d"
+  "/root/repo/src/store/store_service.cpp" "CMakeFiles/lds_core.dir/src/store/store_service.cpp.o" "gcc" "CMakeFiles/lds_core.dir/src/store/store_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lds_store_bench.dir/tools/lds_store_bench.cpp.o"
+  "CMakeFiles/lds_store_bench.dir/tools/lds_store_bench.cpp.o.d"
+  "lds_store_bench"
+  "lds_store_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lds_store_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

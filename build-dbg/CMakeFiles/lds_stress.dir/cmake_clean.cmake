@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lds_stress.dir/tools/lds_stress_main.cpp.o"
+  "CMakeFiles/lds_stress.dir/tools/lds_stress_main.cpp.o.d"
+  "lds_stress"
+  "lds_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lds_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

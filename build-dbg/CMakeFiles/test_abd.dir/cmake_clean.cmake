@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abd.dir/tests/test_abd.cpp.o"
+  "CMakeFiles/test_abd.dir/tests/test_abd.cpp.o.d"
+  "test_abd"
+  "test_abd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

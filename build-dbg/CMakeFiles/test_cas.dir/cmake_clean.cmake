@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cas.dir/tests/test_cas.cpp.o"
+  "CMakeFiles/test_cas.dir/tests/test_cas.cpp.o.d"
+  "test_cas"
+  "test_cas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

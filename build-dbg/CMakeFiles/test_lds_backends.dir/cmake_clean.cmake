@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lds_backends.dir/tests/test_lds_backends.cpp.o"
+  "CMakeFiles/test_lds_backends.dir/tests/test_lds_backends.cpp.o.d"
+  "test_lds_backends"
+  "test_lds_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lds_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

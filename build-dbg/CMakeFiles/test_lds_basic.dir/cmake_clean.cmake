@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lds_basic.dir/tests/test_lds_basic.cpp.o"
+  "CMakeFiles/test_lds_basic.dir/tests/test_lds_basic.cpp.o.d"
+  "test_lds_basic"
+  "test_lds_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lds_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

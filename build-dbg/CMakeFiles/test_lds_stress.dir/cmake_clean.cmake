@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lds_stress.dir/tests/test_lds_stress.cpp.o"
+  "CMakeFiles/test_lds_stress.dir/tests/test_lds_stress.cpp.o.d"
+  "test_lds_stress"
+  "test_lds_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lds_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_mbr.dir/tests/test_pm_mbr.cpp.o"
+  "CMakeFiles/test_pm_mbr.dir/tests/test_pm_mbr.cpp.o.d"
+  "test_pm_mbr"
+  "test_pm_mbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_mbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pm_mbr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_msr.dir/tests/test_pm_msr.cpp.o"
+  "CMakeFiles/test_pm_msr.dir/tests/test_pm_msr.cpp.o.d"
+  "test_pm_msr"
+  "test_pm_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair_manager.dir/tests/test_repair_manager.cpp.o"
+  "CMakeFiles/test_repair_manager.dir/tests/test_repair_manager.cpp.o.d"
+  "test_repair_manager"
+  "test_repair_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

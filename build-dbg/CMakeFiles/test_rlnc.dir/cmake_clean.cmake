@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rlnc.dir/tests/test_rlnc.cpp.o"
+  "CMakeFiles/test_rlnc.dir/tests/test_rlnc.cpp.o.d"
+  "test_rlnc"
+  "test_rlnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rlnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_repair.dir/tests/test_store_repair.cpp.o"
+  "CMakeFiles/test_store_repair.dir/tests/test_store_repair.cpp.o.d"
+  "test_store_repair"
+  "test_store_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

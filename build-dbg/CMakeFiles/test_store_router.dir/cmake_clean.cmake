@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_router.dir/tests/test_store_router.cpp.o"
+  "CMakeFiles/test_store_router.dir/tests/test_store_router.cpp.o.d"
+  "test_store_router"
+  "test_store_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

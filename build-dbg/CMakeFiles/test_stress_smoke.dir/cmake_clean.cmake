@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_smoke.dir/tests/test_stress_smoke.cpp.o"
+  "CMakeFiles/test_stress_smoke.dir/tests/test_stress_smoke.cpp.o.d"
+  "test_stress_smoke"
+  "test_stress_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_striped.dir/tests/test_striped.cpp.o"
+  "CMakeFiles/test_striped.dir/tests/test_striped.cpp.o.d"
+  "test_striped"
+  "test_striped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_striped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
