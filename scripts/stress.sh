@@ -17,6 +17,8 @@
 #                 "store" = the sharded StoreService with write batching and
 #                 heartbeat-driven background repair)
 #   STORE_SHARDS  consistent-hash shards per store service (default 8)
+#   STORE_ENGINES store engine list soaked per round (default "sim parallel";
+#                 parallel = one service over ParallelEngine worker lanes)
 #
 # Extra arguments are forwarded to every lds_stress invocation.
 set -euo pipefail
@@ -25,6 +27,7 @@ STRESS_BIN=${STRESS_BIN:-build/lds_stress}
 SOAK_SECONDS=${SOAK_SECONDS:-30}
 BACKENDS=${BACKENDS:-"lds abd cas store"}
 STORE_SHARDS=${STORE_SHARDS:-8}
+STORE_ENGINES=${STORE_ENGINES:-"sim parallel"}
 
 if [[ ! -x "$STRESS_BIN" ]]; then
   echo "error: $STRESS_BIN not found or not executable." >&2
@@ -53,7 +56,11 @@ while ((SECONDS < deadline)); do
         fi
         ;;
       store)
-        cmd+=(--shards "$STORE_SHARDS" --ops 1000)
+        # Alternate engines so every soak covers both the deterministic and
+        # the parallel-lane execution paths.
+        read -r -a engines <<< "$STORE_ENGINES"
+        engine=${engines[$((round % ${#engines[@]}))]}
+        cmd+=(--shards "$STORE_SHARDS" --ops 1000 --engine "$engine")
         ;;
     esac
     cmd+=("$@")

@@ -266,13 +266,20 @@ CasCluster::CasCluster(Options opt) : opt_(opt) {
           : std::unique_ptr<net::LatencyModel>(
                 std::make_unique<net::FixedLatency>(opt_.tau1, opt_.tau1,
                                                     opt_.tau1));
-  if (opt_.sim != nullptr) {
-    sim_ = opt_.sim;
+  if (opt_.engine != nullptr) {
+    engine_ = opt_.engine;
+  } else if (opt_.sim != nullptr) {
+    opt_.lane = 0;
+    owned_engine_ = std::make_unique<net::SimEngine>(*opt_.sim, opt_.seed);
+    engine_ = owned_engine_.get();
   } else {
-    owned_sim_ = std::make_unique<net::Simulator>();
-    sim_ = owned_sim_.get();
+    opt_.lane = 0;
+    owned_engine_ = std::make_unique<net::SimEngine>(opt_.seed);
+    engine_ = owned_engine_.get();
   }
-  net_ = std::make_unique<net::Network>(*sim_, std::move(latency), opt_.seed);
+  sim_ = &engine_->lane_sim(opt_.lane);
+  net_ = std::make_unique<net::Network>(*engine_, opt_.lane, std::move(latency),
+                                        opt_.seed);
 
   ctx_ = make_cas_context(opt_.n, opt_.k, opt_.initial_value);
   for (std::size_t i = 0; i < opt_.n; ++i) {

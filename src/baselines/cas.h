@@ -194,13 +194,19 @@ class CasCluster {
     double tau1 = 1.0;
     std::uint64_t seed = 1;
     bool exponential_latency = false;
-    /// Optional external simulator shared with other clusters (see
-    /// LdsCluster::Options::sim); must outlive the cluster.
+    /// Execution engine + lane (see net/engine.h and
+    /// LdsCluster::Options::engine); null = own a single-lane SimEngine.
+    net::Engine* engine = nullptr;
+    std::size_t lane = 0;
+    /// Legacy shorthand for "SimEngine over an external simulator"; ignored
+    /// when `engine` is set.  Must outlive the cluster.
     net::Simulator* sim = nullptr;
   };
 
   explicit CasCluster(Options opt);
 
+  net::Engine& engine() { return *engine_; }
+  std::size_t lane() const { return opt_.lane; }
   net::Simulator& sim() { return *sim_; }
   net::Network& net() { return *net_; }
   History& history() { return history_; }
@@ -218,7 +224,8 @@ class CasCluster {
 
  private:
   Options opt_;
-  std::unique_ptr<net::Simulator> owned_sim_;
+  std::unique_ptr<net::SimEngine> owned_engine_;
+  net::Engine* engine_ = nullptr;
   net::Simulator* sim_ = nullptr;
   std::unique_ptr<net::Network> net_;
   std::shared_ptr<CasContext> ctx_;

@@ -1,6 +1,7 @@
 #include "harness/stress.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -299,7 +300,8 @@ ShardEnv make_cas_env(const StressOptions& opt, std::uint64_t shard_seed) {
   return make_single_layer_env(std::move(cluster), opt.n, opt.f);
 }
 
-ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
+store::StoreOptions make_store_options(const StressOptions& opt,
+                                       std::uint64_t shard_seed) {
   store::StoreOptions sopt;
   sopt.shards = opt.store_shards;
   sopt.writers_per_shard = opt.writers;
@@ -321,6 +323,11 @@ ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
   // safe, but keep them the exception rather than the steady state.
   sopt.repair.suspect_after =
       2 * sopt.repair.heartbeat_period + 8 * opt.tau2;
+  return sopt;
+}
+
+ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
+  const store::StoreOptions sopt = make_store_options(opt, shard_seed);
   auto service = std::make_shared<store::StoreService>(sopt);
 
   ShardEnv env;
@@ -509,6 +516,137 @@ ShardReport run_shard(const ThreadState& ts) {
   return rep;
 }
 
+// ---- parallel-engine store stress -------------------------------------------
+
+/// --engine=parallel, store backend: ONE StoreService whose shards spread
+/// over `threads` ParallelEngine lanes, driven by writer/reader chains that
+/// issue their next op from the previous op's completion callback.  A
+/// chain's Rng and budget hop lanes with the callbacks, but every hop
+/// synchronizes through the engine, so chain state needs no locks; chains
+/// share only atomic gauges.  Reports one ShardReport per *store* shard
+/// (the verification domain), with counts recovered from the metrics
+/// registry.
+StressReport run_parallel_store(const StressOptions& opt,
+                                std::uint64_t master_seed) {
+  StressReport out;
+  out.seed = master_seed;
+  store::StoreOptions sopt = make_store_options(opt, master_seed);
+  sopt.engine_mode = net::EngineMode::Parallel;
+  sopt.engine_threads = opt.threads;
+  store::StoreService svc(sopt);
+
+  struct Chain {
+    Rng rng{1};
+    std::size_t left = 0;  ///< chain-serialized; hops lanes with the chain
+    bool reader = false;
+  };
+  std::size_t reads = static_cast<std::size_t>(
+      static_cast<double>(opt.ops) * opt.read_fraction + 0.5);
+  reads = std::min(reads, opt.ops);
+  const std::size_t writes = opt.ops - reads;
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (std::size_t w = 0; w < opt.writers; ++w) {
+    auto c = std::make_unique<Chain>();
+    c->rng = Rng(mix_seed(master_seed, 100 + w));
+    c->left = writes / opt.writers + (w < writes % opt.writers ? 1 : 0);
+    chains.push_back(std::move(c));
+  }
+  for (std::size_t r = 0; r < opt.readers; ++r) {
+    auto c = std::make_unique<Chain>();
+    c->rng = Rng(mix_seed(master_seed, 200 + r));
+    c->left = reads / opt.readers + (r < reads % opt.readers ? 1 : 0);
+    c->reader = true;
+    chains.push_back(std::move(c));
+  }
+  std::atomic<std::size_t> to_issue{opt.ops};
+
+  // The closures below run on engine lanes while this frame blocks in
+  // quiesce(), so capturing stack locals by reference is safe (same idiom
+  // as run_shard's sim-driven closures).
+  std::function<void(Chain*)> issue = [&](Chain* c) {
+    if (c->left == 0) return;
+    --c->left;
+    to_issue.fetch_sub(1, std::memory_order_acq_rel);
+    const auto obj = static_cast<ObjectId>(
+        c->rng.uniform_int(0, static_cast<std::int64_t>(opt.objects) - 1));
+    const std::string key = "key-" + std::to_string(obj);
+    auto done = [&, c] {
+      if (opt.crash_rate > 0 && c->rng.bernoulli(opt.crash_rate)) {
+        const auto shard = static_cast<std::size_t>(c->rng.uniform_int(
+            0, static_cast<std::int64_t>(opt.store_shards) - 1));
+        // Fire-and-forget: the injection runs on the victim shard's lane
+        // (counted in the service's idle() gauge); blocking here would
+        // stall a lane on another lane mid-callback.
+        svc.inject_crash_async(shard, c->rng.next_u64());
+      }
+      issue(c);
+    };
+    if (c->reader) {
+      svc.get(key, [done](const store::GetResult&) { done(); });
+    } else {
+      svc.put(key, c->rng.bytes(opt.value_size),
+              [done](const store::PutResult&) { done(); });
+    }
+  };
+  for (auto& c : chains) issue(c.get());
+  svc.quiesce([&] { return to_issue.load(std::memory_order_acquire) == 0; });
+
+  const auto snap = svc.metrics().snapshot();
+  auto shard_counter = [&](std::size_t s, const char* name) -> std::uint64_t {
+    const auto& m = snap.shards.at(s).counters;
+    const auto it = m.find(name);
+    return it == m.end() ? 0 : it->second;
+  };
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    ShardReport rep;
+    rep.shard = s;
+    rep.seed = sopt.seed;
+    rep.writes = shard_counter(s, "puts");
+    rep.reads = shard_counter(s, "gets");
+    rep.crashes = shard_counter(s, "crashes") +
+                  shard_counter(s, "crashes_l1") +
+                  shard_counter(s, "crashes_l2");
+    rep.repairs = shard_counter(s, "repairs_completed");
+    rep.batches = shard_counter(s, "batches");
+    rep.coalesced = shard_counter(s, "puts_coalesced");
+    // Engine-wide event total, reported once (lanes are shared by shards).
+    rep.sim_events = s == 0 ? svc.engine().events_executed() : 0;
+
+    const History& history = svc.shard_history(s);
+    rep.liveness_ok = history.all_complete();
+    if (!rep.liveness_ok) {
+      rep.violation = "liveness: " + std::to_string(history.incomplete()) +
+                      " ops never completed";
+    }
+    const auto atomic_verdict = history.check_atomicity(Bytes{});
+    rep.atomicity_ok = atomic_verdict.ok;
+    if (!atomic_verdict.ok && rep.violation.empty()) {
+      rep.violation = "atomicity: " + atomic_verdict.violation;
+    }
+    const auto fresh_verdict = verify_read_freshness(history);
+    rep.freshness_ok = fresh_verdict.ok;
+    if (!fresh_verdict.ok && rep.violation.empty()) {
+      rep.violation = "freshness: " + fresh_verdict.violation;
+    }
+    if (s == 0 && svc.outstanding() != 0) {
+      rep.liveness_ok = false;
+      rep.violation = "liveness: " + std::to_string(svc.outstanding()) +
+                      " store ops never called back";
+    }
+    if (opt.verbose) {
+      std::fprintf(stderr,
+                   "[store shard %2zu] w=%zu r=%zu crashes=%zu repairs=%zu "
+                   "%s%s%s\n",
+                   rep.shard, rep.writes, rep.reads, rep.crashes, rep.repairs,
+                   rep.ok() ? "OK" : "VIOLATION",
+                   rep.violation.empty() ? "" : ": ",
+                   rep.violation.c_str());
+    }
+    out.shards.push_back(std::move(rep));
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---- driver -----------------------------------------------------------------
@@ -562,6 +700,9 @@ std::optional<std::string> validate_options(const StressOptions& opt) {
     return "--crash-rate must be in [0, 1]";
   if (!(opt.repair_rate >= 0.0 && opt.repair_rate <= 1.0))
     return "--repair-rate must be in [0, 1]";
+  if (opt.engine == net::EngineMode::Parallel && opt.backend != Backend::Store)
+    return "--engine=parallel requires --backend store (single-cluster "
+           "backends already scale one independent shard per OS thread)";
   if (opt.backend == Backend::Store) {
     if (opt.store_shards == 0 || opt.store_shards > 256)
       return "--shards must be in [1, 256]";
@@ -597,6 +738,10 @@ StressReport run_stress(const StressOptions& opt) {
   out.seed = opt.seed != 0 ? opt.seed : entropy_seed();
   if (validate_options(opt).has_value()) {
     return out;  // empty => !ok()
+  }
+  if (opt.backend == Backend::Store &&
+      opt.engine == net::EngineMode::Parallel) {
+    return run_parallel_store(opt, out.seed);
   }
 
   SharedState shared(opt.threads);
@@ -636,8 +781,10 @@ std::string format_report(const StressOptions& opt, const StressReport& rep) {
   char line[256];
   std::string out;
   std::snprintf(line, sizeof(line),
-                "lds_stress: backend=%s threads=%zu ops=%zu seed=%llu\n",
-                backend_name(opt.backend), opt.threads, opt.ops,
+                "lds_stress: backend=%s engine=%s threads=%zu ops=%zu "
+                "seed=%llu\n",
+                backend_name(opt.backend), net::engine_mode_name(opt.engine),
+                opt.threads, opt.ops,
                 static_cast<unsigned long long>(rep.seed));
   out += line;
   std::snprintf(line, sizeof(line),

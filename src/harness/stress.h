@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "lds/history.h"
+#include "net/engine.h"
 
 namespace lds::harness {
 
@@ -39,7 +40,15 @@ std::optional<Backend> parse_backend(std::string_view name);
 
 struct StressOptions {
   Backend backend = Backend::Lds;
-  /// OS threads; each runs one independent shard.
+  /// Execution engine (store backend only).  Deterministic: every OS thread
+  /// runs one independent StoreService on its own simulated time base, and
+  /// a run replays bit-identically from --seed.  Parallel: ONE StoreService
+  /// whose shards spread over `threads` ParallelEngine lanes; clients drive
+  /// it wall-clock closed-loop (no simulated think time), runs are not
+  /// replayable, and correctness comes from the per-shard verifiers.
+  net::EngineMode engine = net::EngineMode::Deterministic;
+  /// OS threads; each runs one independent shard (Parallel store: engine
+  /// lanes).
   std::size_t threads = 4;
   /// Total client operations across all shards.
   std::size_t ops = 2000;

@@ -23,13 +23,22 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
   opt_.cfg.validate();
   LDS_REQUIRE(opt_.writers >= 1 && opt_.writers < 9999,
               "LdsCluster: writer count out of range");
-  if (opt_.sim != nullptr) {
-    sim_ = opt_.sim;
+  // Engine resolution: explicit engine lane > external simulator (wrapped in
+  // a SimEngine, the pre-engine sharing pattern) > own a fresh SimEngine.
+  if (opt_.engine != nullptr) {
+    engine_ = opt_.engine;
+  } else if (opt_.sim != nullptr) {
+    opt_.lane = 0;
+    owned_engine_ = std::make_unique<net::SimEngine>(*opt_.sim, opt_.seed);
+    engine_ = owned_engine_.get();
   } else {
-    owned_sim_ = std::make_unique<net::Simulator>();
-    sim_ = owned_sim_.get();
+    opt_.lane = 0;
+    owned_engine_ = std::make_unique<net::SimEngine>(opt_.seed);
+    engine_ = owned_engine_.get();
   }
-  net_ = std::make_unique<net::Network>(*sim_, make_latency(opt_), opt_.seed);
+  sim_ = &engine_->lane_sim(opt_.lane);
+  net_ = std::make_unique<net::Network>(*engine_, opt_.lane, make_latency(opt_),
+                                        opt_.seed);
 
   ctx_ = LdsContext::make(opt_.cfg);
   ctx_->meter = &meter_;
@@ -55,6 +64,16 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
         *net_, ctx_, kReaderIdBase + static_cast<NodeId>(r), &history_,
         opt_.read_consistency));
   }
+}
+
+ServerL2& LdsCluster::replace_l2(std::size_t i) {
+  // Id-reuse protocol: Network::attach asserts that an id is attached at
+  // most once, so the crashed instance must detach (destruct) before the
+  // replacement constructs under the same id.  Keeping the two steps inside
+  // this helper is what makes the assert sound for every repair path.
+  l2_.at(i).reset();
+  l2_.at(i) = std::make_unique<ServerL2>(*net_, ctx_, i);
+  return *l2_.at(i);
 }
 
 void LdsCluster::write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,

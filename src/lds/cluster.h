@@ -39,15 +39,22 @@ class LdsCluster {
     /// Consistency level of this cluster's readers (Atomic = the paper's
     /// LDS; Regular = the Section-VI extension without put-tag).
     ReadConsistency read_consistency = ReadConsistency::Atomic;
-    /// When set, the cluster schedules onto this external simulator instead
-    /// of owning one, so several clusters (e.g. the shards of a
-    /// store::StoreService) share a single simulated time base.  The pointer
-    /// must outlive the cluster.
+    /// Execution engine + lane this cluster schedules onto (see
+    /// net/engine.h).  When null, the cluster owns a single-lane SimEngine.
+    /// Under a ParallelEngine the whole cluster is confined to `lane`.
+    /// The engine must outlive the cluster.
+    net::Engine* engine = nullptr;
+    std::size_t lane = 0;
+    /// Legacy shorthand for "SimEngine over an external simulator": several
+    /// clusters share one simulated time base.  Ignored when `engine` is
+    /// set; the pointer must outlive the cluster.
     net::Simulator* sim = nullptr;
   };
 
   explicit LdsCluster(Options opt);
 
+  net::Engine& engine() { return *engine_; }
+  std::size_t lane() const { return opt_.lane; }
   net::Simulator& sim() { return *sim_; }
   net::Network& net() { return *net_; }
   History& history() { return history_; }
@@ -67,13 +74,13 @@ class LdsCluster {
   void crash_l2(std::size_t i) { l2_.at(i)->crash(); }
 
   /// Repair extension (paper, Section VI future work): replace L2 server i
-  /// with a fresh, empty process under the same id.  Call
+  /// with a fresh, empty process under the same id, returning the
+  /// replacement.  This is the ONE id-reuse helper — both the store's repair
+  /// path (store::RepairScheduler via core::RepairManager) and ad-hoc churn
+  /// (harness, tests) must go through it.  Call
   /// l2(i).repair_object(obj, ...) afterwards to regenerate its contents
   /// from the surviving peers.
-  void replace_l2(std::size_t i) {
-    l2_.at(i).reset();  // detach the crashed instance first (id reuse)
-    l2_.at(i) = std::make_unique<ServerL2>(*net_, ctx_, i);
-  }
+  ServerL2& replace_l2(std::size_t i);
 
   /// Schedule an operation invocation at simulation time t (>= now).
   void write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
@@ -96,7 +103,8 @@ class LdsCluster {
 
  private:
   Options opt_;
-  std::unique_ptr<net::Simulator> owned_sim_;
+  std::unique_ptr<net::SimEngine> owned_engine_;
+  net::Engine* engine_ = nullptr;
   net::Simulator* sim_ = nullptr;
   std::unique_ptr<net::Network> net_;
   std::shared_ptr<LdsContext> ctx_;

@@ -44,6 +44,7 @@ void RepairManager::tick() {
 
 void RepairManager::suspect(std::size_t l2_index) {
   suspected_.insert(l2_index);
+  suspected_size_.store(suspected_.size(), std::memory_order_release);
   begin_repair(l2_index);
 }
 
@@ -74,6 +75,7 @@ void RepairManager::repair_next_object(std::size_t l2_index,
   if (remaining.empty()) {
     // Replacement fully restored: resume heartbeat coverage.
     suspected_.erase(l2_index);
+    suspected_size_.store(suspected_.size(), std::memory_order_release);
     last_seen_[l2_index] = net_.sim().now();
     if (opt_.release_slot) opt_.release_slot(l2_index);
     if (opt_.on_server_repaired) opt_.on_server_repaired(l2_index);

@@ -19,6 +19,7 @@
 // are pure meta-data).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <set>
 #include <unordered_map>
@@ -74,14 +75,25 @@ class RepairManager final : public net::Node {
   void on_message(NodeId from, const net::MessagePtr& msg) override;
 
   // ---- introspection --------------------------------------------------------
-  std::size_t suspected_count() const { return suspected_.size(); }
+  // Counters are atomics mirroring lane-local state so that a store-level
+  // quiescence poll (store::RepairScheduler::quiet) may read them from
+  // another thread while this manager's lane keeps executing.
+  std::size_t suspected_count() const {
+    return suspected_size_.load(std::memory_order_acquire);
+  }
   bool is_suspected(std::size_t l2_index) const {
-    return suspected_.contains(l2_index);
+    return suspected_.contains(l2_index);  // lane-local readers only
   }
   /// Object-repair rounds attempted / converged / failed-and-retried.
-  std::size_t repairs_started() const { return repairs_started_; }
-  std::size_t repairs_completed() const { return repairs_completed_; }
-  std::size_t repairs_failed() const { return repairs_failed_; }
+  std::size_t repairs_started() const {
+    return repairs_started_.load(std::memory_order_relaxed);
+  }
+  std::size_t repairs_completed() const {
+    return repairs_completed_.load(std::memory_order_relaxed);
+  }
+  std::size_t repairs_failed() const {
+    return repairs_failed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void tick();
@@ -100,9 +112,10 @@ class RepairManager final : public net::Node {
   std::set<ObjectId> objects_;
   std::unordered_map<std::size_t, net::SimTime> last_seen_;  // by L2 index
   std::set<std::size_t> suspected_;
-  std::size_t repairs_started_ = 0;
-  std::size_t repairs_completed_ = 0;
-  std::size_t repairs_failed_ = 0;
+  std::atomic<std::size_t> suspected_size_{0};  // == suspected_.size()
+  std::atomic<std::size_t> repairs_started_{0};
+  std::atomic<std::size_t> repairs_completed_{0};
+  std::atomic<std::size_t> repairs_failed_{0};
 };
 
 }  // namespace lds::core

@@ -20,10 +20,17 @@ Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
   LDS_REQUIRE(latency_ != nullptr, "Network: null latency model");
 }
 
+Network::Network(Engine& engine, std::size_t lane,
+                 std::unique_ptr<LatencyModel> latency, std::uint64_t seed)
+    : Network(engine.lane_sim(lane), std::move(latency), seed) {}
+
 void Network::attach(Node* node) {
   LDS_REQUIRE(node != nullptr, "Network::attach: null node");
   auto [it, inserted] = nodes_.emplace(node->id(), node);
-  LDS_REQUIRE(inserted, "Network::attach: duplicate node id");
+  // Id reuse (crash-and-replace, see LdsCluster::replace_l2) requires the
+  // old instance to detach before the replacement attaches; attaching two
+  // live nodes under one id would silently misroute messages.
+  LDS_REQUIRE(inserted, "Network::attach: node id already attached");
   roles_[node->id()] = node->role();
 }
 

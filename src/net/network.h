@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/cost.h"
+#include "net/engine.h"
 #include "net/latency.h"
 #include "net/sim.h"
 
@@ -70,6 +71,13 @@ class Node {
 
 class Network {
  public:
+  /// A network lives on one engine lane: its clock, latency sampling RNG and
+  /// cost tracker are all lane-local, so two networks on different lanes of
+  /// a ParallelEngine never contend.
+  Network(Engine& engine, std::size_t lane, std::unique_ptr<LatencyModel> latency,
+          std::uint64_t seed = 1);
+  /// Bare-simulator convenience (the SimEngine case with the engine left
+  /// implicit); the simulator must outlive the network.
   Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
           std::uint64_t seed = 1);
 

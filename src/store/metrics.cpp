@@ -33,6 +33,7 @@ double Histogram::bucket_value(std::size_t idx) {
 
 void Histogram::record(double v) {
   if (!(v >= 0.0)) v = 0.0;  // clamp negatives and NaN
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = max_ = v;
     buckets_.assign(kBuckets, 0);
@@ -49,35 +50,120 @@ void Histogram::record(double v) {
   ++buckets_[bucket_index(u)];
 }
 
-double Histogram::percentile(double p) const {
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile_locked(double p) const {
   if (count_ == 0) return 0.0;
-  if (p <= 0.0) return min();
-  if (p >= 1.0) return max();
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
   const std::uint64_t rank = static_cast<std::uint64_t>(
       std::ceil(p * static_cast<double>(count_)));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
-      return std::clamp(bucket_value(i), min(), max());
+      return std::clamp(bucket_value(i), min_, max_);
     }
   }
-  return max();
+  return max_;
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return percentile_locked(p);
+}
+
+Histogram::Stats Histogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.count = count_;
+  if (count_ == 0) return out;
+  out.min = min_;
+  out.max = max_;
+  out.mean = sum_ / static_cast<double>(count_);
+  out.p50 = percentile_locked(0.50);
+  out.p90 = percentile_locked(0.90);
+  out.p99 = percentile_locked(0.99);
+  return out;
 }
 
 // ---- MetricsRegistry --------------------------------------------------------
 
+MetricsRegistry::MetricsRegistry(std::size_t num_shards) {
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Scope>());
+  }
+}
+
+Counter& MetricsRegistry::scoped_counter(Scope& s, const std::string& name) {
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.counters[name];
+}
+
+Histogram& MetricsRegistry::scoped_histogram(Scope& s,
+                                             const std::string& name) {
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.histograms[name];
+}
+
 std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
   std::uint64_t total = 0;
-  if (auto it = counters_.find(name); it != counters_.end()) {
-    total += it->second.value();
+  {
+    std::lock_guard<std::mutex> lock(global_.mu);
+    if (auto it = global_.counters.find(name); it != global_.counters.end()) {
+      total += it->second.value();
+    }
   }
-  for (const auto& shard : shard_counters_) {
-    if (auto it = shard.find(name); it != shard.end()) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (auto it = shard->counters.find(name); it != shard->counters.end()) {
       total += it->second.value();
     }
   }
   return total;
+}
+
+void MetricsRegistry::snapshot_scope(const Scope& s, Snapshot::Scope* out) {
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& [name, c] : s.counters) out->counters[name] = c.value();
+  for (const auto& [name, h] : s.histograms) {
+    out->histograms[name] = h.stats();
+  }
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snapshot_scope(global_, &snap.global);
+  snap.shards.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    snapshot_scope(*shards_[s], &snap.shards[s]);
+  }
+  // Totals from the captured values — never re-read live counters here, or
+  // a concurrent writer could make the totals disagree with the sections.
+  for (const auto& [name, v] : snap.global.counters) snap.totals[name] += v;
+  for (const auto& shard : snap.shards) {
+    for (const auto& [name, v] : shard.counters) snap.totals[name] += v;
+  }
+  return snap;
 }
 
 namespace {
@@ -89,37 +175,38 @@ void append_num(std::string& out, double v) {
 }
 
 void append_counters(std::string& out,
-                     const std::map<std::string, Counter>& counters) {
+                     const std::map<std::string, std::uint64_t>& counters) {
   out += '{';
   bool first = true;
-  for (const auto& [name, c] : counters) {
+  for (const auto& [name, v] : counters) {
     if (!first) out += ',';
     first = false;
-    out += '"' + name + "\":" + std::to_string(c.value());
+    out += '"' + name + "\":" + std::to_string(v);
   }
   out += '}';
 }
 
-void append_histograms(std::string& out,
-                       const std::map<std::string, Histogram>& histograms) {
+void append_histograms(
+    std::string& out,
+    const std::map<std::string, Histogram::Stats>& histograms) {
   out += '{';
   bool first = true;
   for (const auto& [name, h] : histograms) {
     if (!first) out += ',';
     first = false;
-    out += '"' + name + "\":{\"count\":" + std::to_string(h.count());
+    out += '"' + name + "\":{\"count\":" + std::to_string(h.count);
     out += ",\"min\":";
-    append_num(out, h.min());
+    append_num(out, h.min);
     out += ",\"mean\":";
-    append_num(out, h.mean());
+    append_num(out, h.mean);
     out += ",\"p50\":";
-    append_num(out, h.percentile(0.50));
+    append_num(out, h.p50);
     out += ",\"p90\":";
-    append_num(out, h.percentile(0.90));
+    append_num(out, h.p90);
     out += ",\"p99\":";
-    append_num(out, h.percentile(0.99));
+    append_num(out, h.p99);
     out += ",\"max\":";
-    append_num(out, h.max());
+    append_num(out, h.max);
     out += '}';
   }
   out += '}';
@@ -128,31 +215,20 @@ void append_histograms(std::string& out,
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
-  // Collect the union of counter names for the totals section.
-  std::map<std::string, std::uint64_t> totals;
-  for (const auto& [name, c] : counters_) totals[name] += c.value();
-  for (const auto& shard : shard_counters_) {
-    for (const auto& [name, c] : shard) totals[name] += c.value();
-  }
-
-  std::string out = "{\"totals\":{";
-  bool first = true;
-  for (const auto& [name, v] : totals) {
-    if (!first) out += ',';
-    first = false;
-    out += '"' + name + "\":" + std::to_string(v);
-  }
-  out += "},\"counters\":";
-  append_counters(out, counters_);
+  const Snapshot snap = snapshot();
+  std::string out = "{\"totals\":";
+  append_counters(out, snap.totals);
+  out += ",\"counters\":";
+  append_counters(out, snap.global.counters);
   out += ",\"histograms\":";
-  append_histograms(out, histograms_);
+  append_histograms(out, snap.global.histograms);
   out += ",\"shards\":[";
-  for (std::size_t s = 0; s < shard_counters_.size(); ++s) {
+  for (std::size_t s = 0; s < snap.shards.size(); ++s) {
     if (s > 0) out += ',';
     out += "{\"counters\":";
-    append_counters(out, shard_counters_[s]);
+    append_counters(out, snap.shards[s].counters);
     out += ",\"histograms\":";
-    append_histograms(out, shard_histograms_[s]);
+    append_histograms(out, snap.shards[s].histograms);
     out += '}';
   }
   out += "]}";

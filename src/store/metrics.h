@@ -7,13 +7,20 @@
 // buckets subdivided linearly, so it covers many orders of magnitude with
 // bounded memory and ~6% relative quantile error, and recording is O(1).
 //
-// Thread-safety: none.  A registry belongs to one StoreService instance,
-// which is single-threaded by design (the harness runs one service per OS
-// thread); see store_service.h.
+// Thread-safety: full.  Counters are sharded by scope and atomic (relaxed
+// increments, no cross-counter ordering); histograms are mutex-guarded; each
+// scope (global, per shard) has its own lock for name lookups, so the lanes
+// of a ParallelEngine — which touch disjoint shard scopes — never contend.
+// snapshot() reads every scope once and computes the totals from the very
+// values it returns, so a snapshot's totals always equal the sum of its
+// global + per-shard sections, even while writers are running.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,11 +28,15 @@ namespace lds::store {
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Log-bucketed histogram of non-negative doubles (sim-time latencies,
@@ -33,17 +44,23 @@ class Counter {
 /// range is split into 16 linear sub-buckets.
 class Histogram {
  public:
+  /// Everything a reader wants, captured under one lock.
+  struct Stats {
+    std::uint64_t count = 0;
+    double min = 0, max = 0, mean = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+  };
+
   void record(double v);
 
-  std::uint64_t count() const { return count_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double mean() const {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
-  }
+  std::uint64_t count() const;
+  double min() const;
+  double max() const;
+  double mean() const;
   /// Approximate quantile (p in [0, 1]) from bucket midpoints; exact min/max
   /// are returned for p = 0 / p = 1.
   double percentile(double p) const;
+  Stats stats() const;
 
  private:
   static constexpr int kSubBits = 4;  // 16 sub-buckets per power of two
@@ -51,7 +68,9 @@ class Histogram {
 
   static std::size_t bucket_index(std::uint64_t u);
   static double bucket_value(std::size_t idx);
+  double percentile_locked(double p) const;  // caller holds mu_
 
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> buckets_;  // sized lazily on first record
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -64,34 +83,62 @@ class Histogram {
 /// a "totals" section summing every counter name across all scopes.
 class MetricsRegistry {
  public:
-  explicit MetricsRegistry(std::size_t num_shards = 0)
-      : shard_counters_(num_shards), shard_histograms_(num_shards) {}
+  explicit MetricsRegistry(std::size_t num_shards = 0);
 
-  Counter& counter(const std::string& name) { return counters_[name]; }
+  Counter& counter(const std::string& name) {
+    return scoped_counter(global_, name);
+  }
   Counter& counter(const std::string& name, std::size_t shard) {
-    return shard_counters_.at(shard)[name];
+    return scoped_counter(*shards_.at(shard), name);
   }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Histogram& histogram(const std::string& name) {
+    return scoped_histogram(global_, name);
+  }
   Histogram& histogram(const std::string& name, std::size_t shard) {
-    return shard_histograms_.at(shard)[name];
+    return scoped_histogram(*shards_.at(shard), name);
   }
 
-  std::size_t num_shards() const { return shard_counters_.size(); }
+  std::size_t num_shards() const { return shards_.size(); }
 
   /// Global value + sum over all shards for one counter name (0 if absent).
   std::uint64_t counter_total(const std::string& name) const;
 
-  /// Snapshot as one JSON object:
+  /// One consistent read of the whole registry.  `totals` is computed from
+  /// the returned counter values, so totals[name] == counters[name] +
+  /// sum(shards[s].counters[name]) holds exactly in every snapshot.
+  struct Snapshot {
+    struct Scope {
+      std::map<std::string, std::uint64_t> counters;
+      std::map<std::string, Histogram::Stats> histograms;
+    };
+    std::map<std::string, std::uint64_t> totals;
+    Scope global;
+    std::vector<Scope> shards;
+  };
+  Snapshot snapshot() const;
+
+  /// snapshot() as one JSON object:
   ///   {"totals":{...}, "counters":{...},
   ///    "histograms":{name:{count,min,mean,p50,p90,p99,max}},
   ///    "shards":[{"counters":{...},"histograms":{...}}, ...]}
   std::string to_json() const;
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Histogram> histograms_;
-  std::vector<std::map<std::string, Counter>> shard_counters_;
-  std::vector<std::map<std::string, Histogram>> shard_histograms_;
+  /// One lock per scope guards the map *shape* (lazy name interning and
+  /// iteration); the values themselves are individually thread-safe, and
+  /// std::map nodes are stable, so returned references stay valid.
+  struct Scope {
+    mutable std::mutex mu;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Histogram> histograms;
+  };
+
+  static Counter& scoped_counter(Scope& s, const std::string& name);
+  static Histogram& scoped_histogram(Scope& s, const std::string& name);
+  static void snapshot_scope(const Scope& s, Snapshot::Scope* out);
+
+  Scope global_;
+  std::vector<std::unique_ptr<Scope>> shards_;
 };
 
 }  // namespace lds::store

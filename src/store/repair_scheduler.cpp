@@ -10,29 +10,39 @@ void RepairScheduler::attach_shard(std::size_t shard,
                                    core::LdsCluster& cluster,
                                    std::function<bool(std::size_t)> may_replace,
                                    std::function<void(std::size_t)> on_replaced,
-                                   std::function<void(std::size_t)> on_repaired) {
+                                   std::function<void(std::size_t)> on_repaired,
+                                   std::size_t lane) {
   LDS_REQUIRE(!managers_.contains(shard),
               "RepairScheduler: shard already attached");
+  lane_of_shard_[shard] = lane;
+  const std::size_t budget_key =
+      opt_.budget_scope == BudgetScope::PerLane ? lane : 0;
   core::RepairManager::Options mopt;
   mopt.heartbeat_period = opt_.heartbeat_period;
   mopt.suspect_after = opt_.suspect_after;
   mopt.node_id = opt_.manager_id;  // ids are per-network; shards don't clash
   mopt.budget_retry = opt_.budget_retry;
   mopt.object_retry = opt_.object_retry;
-  mopt.acquire_slot = [this, shard,
+  mopt.acquire_slot = [this, shard, budget_key,
                        may_replace = std::move(may_replace)](std::size_t i) {
-    if (in_flight_ >= opt_.max_concurrent) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_by_lane_[budget_key] >= opt_.max_concurrent) return false;
     if (may_replace && !may_replace(i)) return false;
-    ++in_flight_;
-    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+    ++in_flight_by_lane_[budget_key];
+    ++in_flight_total_;
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_total_);
     if (metrics_) metrics_->counter("repairs_started", shard).inc();
     return true;
   };
-  mopt.release_slot = [this](std::size_t) { --in_flight_; };
+  mopt.release_slot = [this, budget_key](std::size_t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_by_lane_[budget_key];
+    --in_flight_total_;
+  };
   mopt.on_server_repaired = [this, shard,
                              on_repaired =
                                  std::move(on_repaired)](std::size_t i) {
-    ++servers_repaired_;
+    servers_repaired_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_) metrics_->counter("repairs_completed", shard).inc();
     if (on_repaired) on_repaired(i);
   };
@@ -40,9 +50,9 @@ void RepairScheduler::attach_shard(std::size_t shard,
       cluster.net(), cluster.ctx_ptr(), mopt,
       [&cluster, on_replaced = std::move(on_replaced)](std::size_t i)
           -> core::ServerL2& {
-        cluster.replace_l2(i);
+        core::ServerL2& fresh = cluster.replace_l2(i);
         if (on_replaced) on_replaced(i);
-        return cluster.l2(i);
+        return fresh;
       });
   managers_.emplace(shard, std::move(manager));
 }
@@ -52,11 +62,35 @@ void RepairScheduler::track_object(std::size_t shard, ObjectId obj) {
 }
 
 void RepairScheduler::start() {
-  for (auto& [shard, m] : managers_) m->start();
+  for (auto& [shard, m] : managers_) {
+    core::RepairManager* mgr = m.get();
+    if (post_) {
+      post_(shard, [mgr] { mgr->start(); });
+    } else {
+      mgr->start();
+    }
+  }
 }
 
 void RepairScheduler::stop() {
-  for (auto& [shard, m] : managers_) m->stop();
+  for (auto& [shard, m] : managers_) {
+    core::RepairManager* mgr = m.get();
+    if (post_) {
+      post_(shard, [mgr] { mgr->stop(); });
+    } else {
+      mgr->stop();
+    }
+  }
+}
+
+std::size_t RepairScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_total_;
+}
+
+std::size_t RepairScheduler::peak_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_in_flight_;
 }
 
 std::size_t RepairScheduler::object_rounds_started() const {

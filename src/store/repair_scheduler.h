@@ -3,16 +3,25 @@
 // Each LDS shard gets its own core::RepairManager (heartbeat failure
 // detection + replace-and-regenerate orchestration, riding the shard's own
 // simulated network).  The scheduler adds the cross-shard policy a
-// deployment needs: a global budget of concurrently running server repairs
+// deployment needs: a budget of concurrently running server repairs
 // (regeneration reads d helper elements, so unbounded repair concurrency
 // would starve foreground traffic), per-shard veto hooks so the service's
 // failure-budget accounting stays sound even under false suspicion, and
 // aggregate introspection/metrics for the harness and benches.
+//
+// Thread-safety: the budget and aggregate counters are mutex-guarded and the
+// per-manager introspection it sums is atomic, because under a
+// ParallelEngine each manager runs on its shard's lane.  The budget can be
+// scoped globally (Deterministic mode: one simulator, one budget — the
+// pre-engine behavior, bit-identical) or per lane (Parallel mode: each
+// engine lane gets its own max_concurrent, so repair admission never makes
+// one lane wait on another's backlog).
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "lds/cluster.h"
 #include "lds/repair_manager.h"
@@ -22,12 +31,16 @@ namespace lds::store {
 
 class RepairScheduler {
  public:
+  /// What the max_concurrent budget applies to.
+  enum class BudgetScope { Global, PerLane };
+
   struct Options {
-    /// Global cap on servers being repaired at once, across all shards.
+    /// Cap on servers being repaired at once, per budget scope.
     std::size_t max_concurrent = 2;
+    BudgetScope budget_scope = BudgetScope::Global;
     double heartbeat_period = 2.0;
     double suspect_after = 9.0;
-    /// Re-ask interval while the global budget (or a shard veto) defers a
+    /// Re-ask interval while the budget (or a shard veto) defers a
     /// repair, and backoff for object rounds that raced writes.
     double budget_retry = 2.0;
     double object_retry = 5.0;
@@ -37,34 +50,46 @@ class RepairScheduler {
   explicit RepairScheduler(Options opt, MetricsRegistry* metrics = nullptr)
       : opt_(opt), metrics_(metrics) {}
 
-  /// Attach one LDS shard.  `may_replace(l2)` is the service's veto — e.g.
-  /// "replacing this healthy-looking server would overdraw f2" on a false
-  /// suspicion; `on_replaced(l2)` fires when the fresh (empty) replacement
-  /// is installed; `on_repaired(l2)` when it holds every object again.
-  /// All three may be null.
+  /// Route a shard's manager start/stop onto its execution lane (required
+  /// under a ParallelEngine, where arming a heartbeat timer touches the
+  /// lane's simulator).  Default: run inline.
+  using Post = std::function<void(std::size_t shard, std::function<void()>)>;
+  void set_post(Post post) { post_ = std::move(post); }
+
+  /// Attach one LDS shard running on engine lane `lane`.  `may_replace(l2)`
+  /// is the service's veto — e.g. "replacing this healthy-looking server
+  /// would overdraw f2" on a false suspicion; `on_replaced(l2)` fires when
+  /// the fresh (empty) replacement is installed; `on_repaired(l2)` when it
+  /// holds every object again.  All three may be null and are invoked on the
+  /// shard's lane.
   void attach_shard(std::size_t shard, core::LdsCluster& cluster,
                     std::function<bool(std::size_t)> may_replace = {},
                     std::function<void(std::size_t)> on_replaced = {},
-                    std::function<void(std::size_t)> on_repaired = {});
+                    std::function<void(std::size_t)> on_repaired = {},
+                    std::size_t lane = 0);
 
-  /// Register an object for repair coverage on its shard.
+  /// Register an object for repair coverage on its shard.  Must run on the
+  /// shard's lane (or before the engine starts).
   void track_object(std::size_t shard, ObjectId obj);
 
   void start();
   void stop();
 
-  std::size_t in_flight() const { return in_flight_; }
-  std::size_t peak_in_flight() const { return peak_in_flight_; }
+  std::size_t in_flight() const;
+  std::size_t peak_in_flight() const;
   /// Servers fully restored (every tracked object regenerated).
-  std::size_t servers_repaired() const { return servers_repaired_; }
+  std::size_t servers_repaired() const {
+    return servers_repaired_.load(std::memory_order_relaxed);
+  }
   /// Object-repair rounds attempted / failed-and-retried, across shards.
   std::size_t object_rounds_started() const;
   std::size_t object_rounds_failed() const;
   /// Servers currently suspected (crashed, under repair, or queued for the
   /// budget) across shards.
   std::size_t suspected() const;
-  /// True when no repair work is pending anywhere.
-  bool quiet() const { return suspected() == 0 && in_flight_ == 0; }
+  /// True when no repair work is pending anywhere.  Safe to poll from a
+  /// driving thread while lanes run.
+  bool quiet() const { return suspected() == 0 && in_flight() == 0; }
 
   core::RepairManager& manager(std::size_t shard) {
     return *managers_.at(shard);
@@ -76,10 +101,14 @@ class RepairScheduler {
  private:
   Options opt_;
   MetricsRegistry* metrics_;
+  Post post_;
   std::map<std::size_t, std::unique_ptr<core::RepairManager>> managers_;
-  std::size_t in_flight_ = 0;
+  std::map<std::size_t, std::size_t> lane_of_shard_;
+  mutable std::mutex mu_;  ///< guards the budget accounting below
+  std::map<std::size_t, std::size_t> in_flight_by_lane_;
+  std::size_t in_flight_total_ = 0;
   std::size_t peak_in_flight_ = 0;
-  std::size_t servers_repaired_ = 0;
+  std::atomic<std::size_t> servers_repaired_{0};
 };
 
 }  // namespace lds::store

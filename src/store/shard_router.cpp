@@ -50,6 +50,16 @@ std::size_t ShardRouter::shard_of_hash(std::uint64_t h) const {
   return it->shard;
 }
 
+void ShardRouter::assign_lanes(std::size_t num_lanes) {
+  LDS_REQUIRE(num_lanes >= 1, "ShardRouter: need at least one lane");
+  num_lanes_ = num_lanes;
+}
+
+std::size_t ShardRouter::lane_of(std::size_t shard) const {
+  LDS_REQUIRE(shard < live_.size(), "ShardRouter: unknown shard");
+  return shard % num_lanes_;
+}
+
 std::size_t ShardRouter::add_shard() {
   live_.push_back(true);
   ++live_count_;

@@ -50,6 +50,15 @@ class ShardRouter {
   /// Total shard ids ever created (live or removed).
   std::size_t num_ids() const { return live_.size(); }
 
+  /// Map shard ids onto execution-engine lanes (see net/engine.h): shard s
+  /// runs on lane s % num_lanes, so shards spread evenly and a
+  /// Deterministic deployment (1 lane) puts everything on lane 0.  The
+  /// mapping is fixed at assignment; re-assigning with a different lane
+  /// count is allowed only while no engine is running on the old mapping.
+  void assign_lanes(std::size_t num_lanes);
+  std::size_t num_lanes() const { return num_lanes_; }
+  std::size_t lane_of(std::size_t shard) const;
+
   /// Exact fraction of the 2^64 hash space whose owning shard differs
   /// between two rings (rebalance displacement).  Rings should share vnode
   /// and seed options for the number to be meaningful.
@@ -70,6 +79,7 @@ class ShardRouter {
   Options opt_;
   std::vector<bool> live_;
   std::size_t live_count_ = 0;
+  std::size_t num_lanes_ = 1;
   std::vector<Point> ring_;  // sorted by hash
 };
 

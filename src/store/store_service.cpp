@@ -1,6 +1,9 @@
 #include "store/store_service.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/assert.h"
@@ -18,6 +21,7 @@ const char* protocol_name(ShardProtocol p) {
 
 StoreService::StoreService(StoreOptions opt)
     : opt_(std::move(opt)),
+      parallel_(opt_.engine_mode == net::EngineMode::Parallel),
       metrics_(opt_.shards),
       router_(opt_.shards, ShardRouter::Options{opt_.vnodes,
                                                 mix_seed(opt_.seed, 0)}) {
@@ -27,11 +31,27 @@ StoreService::StoreService(StoreOptions opt)
   LDS_REQUIRE(opt_.batch_window >= 0, "StoreService: negative batch window");
   LDS_REQUIRE(opt_.max_batch >= 1, "StoreService: max_batch must be >= 1");
 
+  if (parallel_) {
+    net::ParallelEngine::Options eopt;
+    const unsigned hw = std::thread::hardware_concurrency();
+    eopt.lanes = opt_.engine_threads != 0
+                     ? opt_.engine_threads
+                     : std::min(opt_.shards,
+                                static_cast<std::size_t>(hw == 0 ? 1 : hw));
+    eopt.seed = opt_.seed;
+    engine_ = std::make_unique<net::ParallelEngine>(eopt);
+  } else {
+    engine_ = std::make_unique<net::SimEngine>(opt_.seed);
+  }
+  router_.assign_lanes(engine_->lanes());
+
   bool any_lds = false;
   for (std::size_t s = 0; s < opt_.shards; ++s) {
     auto sh = std::make_unique<Shard>();
     sh->spec = s < opt_.shard_overrides.size() ? opt_.shard_overrides[s]
                                                : opt_.backend;
+    sh->lane = router_.lane_of(s);
+    sh->sim = &engine_->lane_sim(sh->lane);
     const std::uint64_t shard_seed = mix_seed(opt_.seed, s + 1);
     switch (sh->spec.protocol) {
       case ShardProtocol::Lds: {
@@ -51,7 +71,8 @@ StoreService::StoreService(StoreOptions opt)
         copt.tau0 = opt_.tau0;
         copt.tau2 = opt_.tau2;
         copt.seed = shard_seed;
-        copt.sim = &sim_;
+        copt.engine = engine_.get();
+        copt.lane = sh->lane;
         sh->lds = std::make_unique<core::LdsCluster>(copt);
         sh->l1_down.assign(sh->spec.n1, false);
         sh->l2_down.assign(sh->spec.n2, false);
@@ -66,7 +87,8 @@ StoreService::StoreService(StoreOptions opt)
         copt.tau1 = opt_.tau1;
         copt.seed = shard_seed;
         copt.exponential_latency = opt_.exponential_latency;
-        copt.sim = &sim_;
+        copt.engine = engine_.get();
+        copt.lane = sh->lane;
         sh->abd = std::make_unique<baselines::AbdCluster>(copt);
         sh->srv_down.assign(sh->spec.n, false);
         break;
@@ -80,7 +102,8 @@ StoreService::StoreService(StoreOptions opt)
         copt.tau1 = opt_.tau1;
         copt.seed = shard_seed;
         copt.exponential_latency = opt_.exponential_latency;
-        copt.sim = &sim_;
+        copt.engine = engine_.get();
+        copt.lane = sh->lane;
         sh->cas = std::make_unique<baselines::CasCluster>(copt);
         sh->srv_down.assign(sh->spec.n, false);
         break;
@@ -96,7 +119,16 @@ StoreService::StoreService(StoreOptions opt)
   }
 
   if (opt_.enable_repair && any_lds) {
-    repair_ = std::make_unique<RepairScheduler>(opt_.repair, &metrics_);
+    RepairScheduler::Options ropt = opt_.repair;
+    // Per-lane budgets keep repair admission engine-local: one lane's
+    // backlog never delays another lane's regeneration.
+    if (parallel_) {
+      ropt.budget_scope = RepairScheduler::BudgetScope::PerLane;
+    }
+    repair_ = std::make_unique<RepairScheduler>(ropt, &metrics_);
+    repair_->set_post([this](std::size_t shard, std::function<void()> fn) {
+      engine_->post(shards_.at(shard)->lane, std::move(fn));
+    });
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       Shard* sh = shards_[s].get();
       if (sh->spec.protocol != ShardProtocol::Lds) continue;
@@ -107,31 +139,40 @@ StoreService::StoreService(StoreOptions opt)
       repair_->attach_shard(
           s, *sh->lds,
           /*may_replace=*/
-          [this, sh](std::size_t i) {
+          [sh](std::size_t i) {
             // A victim we crashed already holds a budget slot; a false
             // suspicion may only proceed while the budget has room for the
             // healthy server's data to go briefly missing.
-            return sh->l2_down[i] || sh->l2_down_count < sh->spec.f2;
+            return sh->l2_down[i] ||
+                   sh->l2_down_count.load(std::memory_order_acquire) <
+                       sh->spec.f2;
           },
           /*on_replaced=*/
           [this, s, sh](std::size_t i) {
             if (!sh->l2_down[i]) {
               sh->l2_down[i] = true;
-              ++sh->l2_down_count;
+              sh->l2_down_count.fetch_add(1, std::memory_order_acq_rel);
               metrics_.counter("false_suspicions", s).inc();
             }
           },
           /*on_repaired=*/
           [sh](std::size_t i) {
             sh->l2_down[i] = false;
-            --sh->l2_down_count;
-          });
+            sh->l2_down_count.fetch_sub(1, std::memory_order_acq_rel);
+          },
+          /*lane=*/sh->lane);
     }
+    // Workers are not running yet, so arming the heartbeat timers via the
+    // post hook lands them in the lanes' inboxes / queues race-free.
     repair_->start();
   }
+
+  engine_->start();  // no-op in Deterministic mode
 }
 
-StoreService::~StoreService() = default;
+StoreService::~StoreService() {
+  engine_->stop();  // join lane workers before shard state is destroyed
+}
 
 const core::History& StoreService::shard_history(std::size_t s) const {
   const Shard& sh = *shards_.at(s);
@@ -151,7 +192,8 @@ ObjectId StoreService::intern(Shard& sh, std::size_t shard_idx,
   const auto obj = static_cast<ObjectId>(sh.objects.size());
   sh.objects.emplace(key, obj);
   metrics_.counter("objects_created", shard_idx).inc();
-  if (repair_ && sh.spec.protocol == ShardProtocol::Lds) {
+  if (repair_ && sh.spec.protocol == ShardProtocol::Lds &&
+      repair_->has_shard(shard_idx)) {
     repair_->track_object(shard_idx, obj);
   }
   return obj;
@@ -162,15 +204,36 @@ ObjectId StoreService::intern(Shard& sh, std::size_t shard_idx,
 void StoreService::put(const std::string& key, Bytes value, PutCallback cb) {
   const std::size_t s = router_.shard_of(key);
   Shard& sh = *shards_[s];
-  if (sh.puts_in_flight >= opt_.admission_limit) {
+  // Admission + liveness accounting happen on the submitting thread, so a
+  // quiescence poll can never observe "idle" while an accepted op is still
+  // sitting in an engine inbox.  Reserve-then-verify keeps the limit exact
+  // under concurrent submitters (a plain check-then-add could overshoot).
+  if (sh.puts_in_flight.fetch_add(1, std::memory_order_acq_rel) >=
+      opt_.admission_limit) {
+    sh.puts_in_flight.fetch_sub(1, std::memory_order_acq_rel);
     metrics_.counter("puts_rejected", s).inc();
     if (cb) cb(PutResult{false, Tag{}, "admission limit reached"});
     return;
   }
   metrics_.counter("puts", s).inc();
-  ++sh.puts_in_flight;
-  ++outstanding_;
-  const ObjectId obj = intern(sh, s, key);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!parallel_) {
+    // Straight through: SimEngine::post would only call the task inline, so
+    // skip the std::function wrapping and key copy on the hot path.
+    enqueue_put(s, key, std::move(value), std::move(cb));
+    return;
+  }
+  engine_->hold(sh.lane);
+  engine_->post(sh.lane, [this, s, key, value = std::move(value),
+                          cb = std::move(cb)]() mutable {
+    enqueue_put(s, key, std::move(value), std::move(cb));
+  });
+}
+
+void StoreService::enqueue_put(std::size_t shard_idx, const std::string& key,
+                               Bytes value, PutCallback cb) {
+  Shard& sh = *shards_[shard_idx];
+  const ObjectId obj = intern(sh, shard_idx, key);
 
   // Coalesce with a queued same-key put of the open window: the newer value
   // wins and the absorbed put completes alongside it with the same tag.
@@ -179,25 +242,28 @@ void StoreService::put(const std::string& key, Bytes value, PutCallback cb) {
   if (slot != sh.window.end()) {
     slot->value = std::move(value);
     slot->cbs.push_back(std::move(cb));
-    slot->submitted.push_back(sim_.now());
-    metrics_.counter("puts_coalesced", s).inc();
+    slot->submitted.push_back(sh.sim->now());
+    metrics_.counter("puts_coalesced", shard_idx).inc();
   } else {
     PendingPut p;
     p.obj = obj;
     p.value = std::move(value);
     p.cbs.push_back(std::move(cb));
-    p.submitted.push_back(sim_.now());
+    p.submitted.push_back(sh.sim->now());
     sh.window.push_back(std::move(p));
   }
   ++sh.window_puts;
 
   if (sh.window_puts >= opt_.max_batch || opt_.batch_window <= 0) {
-    flush_window(s);
+    flush_window(shard_idx);
   } else if (!sh.window_open) {
     sh.window_open = true;
-    sim_.after(opt_.batch_window, [this, s, epoch = sh.window_epoch] {
-      if (shards_[s]->window_epoch == epoch) flush_window(s);
-    });
+    sh.sim->after(opt_.batch_window,
+                  [this, shard_idx, epoch = sh.window_epoch] {
+                    if (shards_[shard_idx]->window_epoch == epoch) {
+                      flush_window(shard_idx);
+                    }
+                  });
   }
 }
 
@@ -235,12 +301,17 @@ void StoreService::dispatch_put(std::size_t shard_idx, std::size_t writer,
     Shard& done_sh = *shards_[shard_idx];
     auto& latency = metrics_.histogram("put_latency", shard_idx);
     const PutResult result{true, tag, {}};
+    // Gauges drop before the callbacks run: a callback may wake a sync
+    // waiter (or poll outstanding()) and must see itself completed.
+    done_sh.puts_in_flight.fetch_sub(cbs.size(), std::memory_order_acq_rel);
+    outstanding_.fetch_sub(cbs.size(), std::memory_order_acq_rel);
     for (std::size_t i = 0; i < cbs.size(); ++i) {
-      latency.record(sim_.now() - submitted[i]);
+      latency.record(done_sh.sim->now() - submitted[i]);
       if (cbs[i]) cbs[i](result);
     }
-    done_sh.puts_in_flight -= cbs.size();
-    outstanding_ -= cbs.size();
+    for (std::size_t i = 0; i < cbs.size(); ++i) {
+      engine_->release(done_sh.lane);
+    }
     done_sh.free_writers.push_back(writer);
     pump_puts(shard_idx);
   };
@@ -253,13 +324,26 @@ void StoreService::get(const std::string& key, GetCallback cb) {
   const std::size_t s = router_.shard_of(key);
   Shard& sh = *shards_[s];
   metrics_.counter("gets", s).inc();
-  ++outstanding_;
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!parallel_) {
+    enqueue_get(s, key, std::move(cb));
+    return;
+  }
+  engine_->hold(sh.lane);
+  engine_->post(sh.lane, [this, s, key, cb = std::move(cb)]() mutable {
+    enqueue_get(s, key, std::move(cb));
+  });
+}
+
+void StoreService::enqueue_get(std::size_t shard_idx, const std::string& key,
+                               GetCallback cb) {
+  Shard& sh = *shards_[shard_idx];
   PendingGet g;
-  g.obj = intern(sh, s, key);
+  g.obj = intern(sh, shard_idx, key);
   g.cb = std::move(cb);
-  g.submitted = sim_.now();
+  g.submitted = sh.sim->now();
   sh.get_queue.push_back(std::move(g));
-  pump_gets(s);
+  pump_gets(shard_idx);
 }
 
 void StoreService::pump_gets(std::size_t shard_idx) {
@@ -281,9 +365,10 @@ void StoreService::dispatch_get(std::size_t shard_idx, std::size_t reader,
                submitted = g.submitted](Tag tag, Bytes value) {
     Shard& done_sh = *shards_[shard_idx];
     metrics_.histogram("get_latency", shard_idx)
-        .record(sim_.now() - submitted);
+        .record(done_sh.sim->now() - submitted);
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);  // before cb, as above
     if (cb) cb(GetResult{true, tag, std::move(value), {}});
-    --outstanding_;
+    engine_->release(done_sh.lane);
     done_sh.free_readers.push_back(reader);
     pump_gets(shard_idx);
   };
@@ -300,17 +385,19 @@ void StoreService::multi_get(std::vector<std::string> keys,
   }
   struct Gather {
     std::vector<GetResult> results;
-    std::size_t remaining = 0;
+    std::atomic<std::size_t> remaining{0};
     MultiGetCallback cb;
   };
   auto gather = std::make_shared<Gather>();
   gather->results.resize(keys.size());
-  gather->remaining = keys.size();
+  gather->remaining.store(keys.size(), std::memory_order_release);
   gather->cb = std::move(cb);
   for (std::size_t i = 0; i < keys.size(); ++i) {
     get(keys[i], [gather, i](const GetResult& r) {
       gather->results[i] = r;
-      if (--gather->remaining == 0) gather->cb(std::move(gather->results));
+      if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        gather->cb(std::move(gather->results));
+      }
     });
   }
 }
@@ -349,43 +436,82 @@ void StoreService::cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
 
 // ---- sync wrappers ----------------------------------------------------------
 
+namespace {
+/// One-shot completion cell for the sync wrappers: deterministic mode spins
+/// the simulator, parallel mode blocks on the condition variable.  notify
+/// happens under the lock so the waiter cannot destroy the cell while the
+/// signaling lane still touches it.
+struct SyncCell {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  void signal() { cv.notify_one(); }
+};
+}  // namespace
+
 PutResult StoreService::put_sync(const std::string& key, Bytes value) {
   PutResult out;
-  bool done = false;
+  SyncCell cell;
   put(key, std::move(value), [&](const PutResult& r) {
+    std::lock_guard<std::mutex> lk(cell.mu);
     out = r;
-    done = true;
+    cell.done = true;
+    cell.signal();
   });
-  while (!done && sim_.step()) {
+  if (!parallel_) {
+    net::Simulator& sim = engine_->lane_sim(0);
+    while (!cell.done && sim.step()) {
+    }
+    LDS_REQUIRE(cell.done, "put_sync: simulation drained before completion");
+  } else {
+    std::unique_lock<std::mutex> lk(cell.mu);
+    cell.cv.wait(lk, [&] { return cell.done; });
   }
-  LDS_REQUIRE(done, "put_sync: simulation drained before completion");
   return out;
 }
 
 GetResult StoreService::get_sync(const std::string& key) {
   GetResult out;
-  bool done = false;
+  SyncCell cell;
   get(key, [&](const GetResult& r) {
+    std::lock_guard<std::mutex> lk(cell.mu);
     out = r;
-    done = true;
+    cell.done = true;
+    cell.signal();
   });
-  while (!done && sim_.step()) {
+  if (!parallel_) {
+    net::Simulator& sim = engine_->lane_sim(0);
+    while (!cell.done && sim.step()) {
+    }
+    LDS_REQUIRE(cell.done, "get_sync: simulation drained before completion");
+  } else {
+    std::unique_lock<std::mutex> lk(cell.mu);
+    cell.cv.wait(lk, [&] { return cell.done; });
   }
-  LDS_REQUIRE(done, "get_sync: simulation drained before completion");
   return out;
 }
 
 std::vector<GetResult> StoreService::multi_get_sync(
     std::vector<std::string> keys) {
   std::vector<GetResult> out;
-  bool done = false;
+  SyncCell cell;
   multi_get(std::move(keys), [&](std::vector<GetResult> results) {
+    std::lock_guard<std::mutex> lk(cell.mu);
     out = std::move(results);
-    done = true;
+    cell.done = true;
+    cell.signal();
   });
-  while (!done && sim_.step()) {
+  if (!parallel_) {
+    net::Simulator& sim = engine_->lane_sim(0);
+    while (!cell.done && sim.step()) {
+    }
+    LDS_REQUIRE(cell.done,
+                "multi_get_sync: simulation drained before completion");
+  } else {
+    std::unique_lock<std::mutex> lk(cell.mu);
+    cell.cv.wait(lk, [&] { return cell.done; });
   }
-  LDS_REQUIRE(done, "multi_get_sync: simulation drained before completion");
   return out;
 }
 
@@ -403,13 +529,15 @@ std::size_t pick_healthy(const std::vector<bool>& down, Rng& rng) {
 }
 }  // namespace
 
-bool StoreService::inject_crash(std::size_t shard, Rng& rng) {
+bool StoreService::inject_crash_on_lane(std::size_t shard, Rng& rng) {
   Shard& sh = *shards_.at(shard);
   if (sh.spec.protocol != ShardProtocol::Lds) {
-    if (sh.srv_down_count >= sh.spec.f) return false;
+    if (sh.srv_down_count.load(std::memory_order_acquire) >= sh.spec.f) {
+      return false;
+    }
     const std::size_t victim = pick_healthy(sh.srv_down, rng);
     sh.srv_down[victim] = true;
-    ++sh.srv_down_count;
+    sh.srv_down_count.fetch_add(1, std::memory_order_acq_rel);
     metrics_.counter("crashes", shard).inc();
     if (sh.spec.protocol == ShardProtocol::Abd) {
       sh.abd->crash_server(victim);
@@ -419,33 +547,67 @@ bool StoreService::inject_crash(std::size_t shard, Rng& rng) {
     return true;
   }
 
-  const bool can_l1 = sh.l1_down_count < sh.spec.f1;
-  const bool can_l2 = sh.l2_down_count < sh.spec.f2;
+  const bool can_l1 =
+      sh.l1_down_count.load(std::memory_order_acquire) < sh.spec.f1;
+  const bool can_l2 =
+      sh.l2_down_count.load(std::memory_order_acquire) < sh.spec.f2;
   if (!can_l1 && !can_l2) return false;
   const bool hit_l2 = can_l2 && (!can_l1 || rng.bernoulli(0.5));
   if (hit_l2) {
     const std::size_t victim = pick_healthy(sh.l2_down, rng);
     sh.l2_down[victim] = true;
-    ++sh.l2_down_count;
+    sh.l2_down_count.fetch_add(1, std::memory_order_acq_rel);
     metrics_.counter("crashes_l2", shard).inc();
     sh.lds->crash_l2(victim);
   } else {
     const std::size_t victim = pick_healthy(sh.l1_down, rng);
     sh.l1_down[victim] = true;
-    ++sh.l1_down_count;
+    sh.l1_down_count.fetch_add(1, std::memory_order_acq_rel);
     metrics_.counter("crashes_l1", shard).inc();
     sh.lds->crash_l1(victim);
   }
   return true;
 }
 
+bool StoreService::inject_crash(std::size_t shard, Rng& rng) {
+  if (!parallel_) return inject_crash_on_lane(shard, rng);
+  // Hop to the shard's lane and wait for the verdict.  The calling thread
+  // blocks, so handing it our Rng reference is race-free.
+  bool result = false;
+  SyncCell cell;
+  engine_->post(shards_.at(shard)->lane, [&] {
+    const bool r = inject_crash_on_lane(shard, rng);
+    std::lock_guard<std::mutex> lk(cell.mu);
+    result = r;
+    cell.done = true;
+    cell.signal();
+  });
+  std::unique_lock<std::mutex> lk(cell.mu);
+  cell.cv.wait(lk, [&] { return cell.done; });
+  return result;
+}
+
+void StoreService::inject_crash_async(std::size_t shard, std::uint64_t seed,
+                                      std::function<void(bool)> done) {
+  pending_injections_.fetch_add(1, std::memory_order_acq_rel);
+  engine_->post(shards_.at(shard)->lane,
+                [this, shard, seed, done = std::move(done)] {
+                  Rng rng(seed);
+                  const bool r = inject_crash_on_lane(shard, rng);
+                  pending_injections_.fetch_sub(1, std::memory_order_acq_rel);
+                  if (done) done(r);
+                });
+}
+
 bool StoreService::idle() const {
-  if (outstanding_ != 0) return false;
+  if (outstanding_.load(std::memory_order_acquire) != 0) return false;
+  if (pending_injections_.load(std::memory_order_acquire) != 0) return false;
   if (repair_ != nullptr) {
     if (!repair_->quiet()) return false;
     // Every injected (or falsely suspected) L2 outage must have healed.
     for (const auto& sh : shards_) {
-      if (sh->spec.protocol == ShardProtocol::Lds && sh->l2_down_count > 0) {
+      if (sh->spec.protocol == ShardProtocol::Lds &&
+          sh->l2_down_count.load(std::memory_order_acquire) > 0) {
         return false;
       }
     }
@@ -457,17 +619,26 @@ void StoreService::quiesce(const std::function<bool()>& drained) {
   // Re-arm the heartbeat loops: a previous quiesce stopped them, and crashes
   // injected since then still need detection (start() is idempotent).
   if (repair_ != nullptr) repair_->start();
-  // Safety valve: a healthy service reaches idle() in well under this many
-  // events; hitting the cap means a liveness bug, so abort loudly.
-  std::size_t guard = 100'000'000;
   auto settled = [&] { return idle() && (!drained || drained()); };
-  while (!settled() && guard > 0 && sim_.step()) {
-    --guard;
+  if (!parallel_) {
+    // Safety valve: a healthy service reaches idle() in well under this many
+    // events; hitting the cap means a liveness bug, so abort loudly.
+    std::size_t guard = 100'000'000;
+    net::Simulator& sim = engine_->lane_sim(0);
+    while (!settled() && guard > 0 && sim.step()) {
+      --guard;
+    }
+    LDS_REQUIRE(settled(), "StoreService::quiesce: stalled with work pending");
+    if (repair_ != nullptr) repair_->stop();
+    while (sim.step()) {
+    }
+    return;
   }
-  LDS_REQUIRE(settled(), "StoreService::quiesce: stalled with work pending");
-  if (repair_ != nullptr) repair_->stop();
-  while (sim_.step()) {
-  }
+  const bool ok = engine_->drain_until(settled);
+  LDS_REQUIRE(ok && settled(),
+              "StoreService::quiesce: stalled with work pending");
+  if (repair_ != nullptr) repair_->stop();  // posted to each shard's lane
+  engine_->drain();
 }
 
 }  // namespace lds::store

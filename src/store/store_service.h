@@ -5,7 +5,7 @@
 //
 //   put/get/multi_get (string keys, async callbacks or sync wrappers)
 //        │
-//   ShardRouter ── consistent-hash ring: key -> shard
+//   ShardRouter ── consistent-hash ring: key -> shard; shard -> engine lane
 //        │
 //   per-shard write batching ── queued puts to the same shard coalesce into
 //        │                      one dispatch window; same-key puts collapse
@@ -13,25 +13,36 @@
 //        │                      with the surviving write's tag), bounded by
 //        │                      an admission limit
 //   shard backends ── each shard owns its own LdsCluster (L2 code via
-//        │            codes::factory) or an ABD / CAS baseline cluster, all
-//        │            sharing ONE discrete-event Simulator so batching
-//        │            windows, repair budgets and latencies live in a single
-//        │            simulated time base
+//        │            codes::factory) or an ABD / CAS baseline cluster,
+//        │            scheduled onto ONE lane of the service's execution
+//        │            engine (net/engine.h)
 //   RepairScheduler ── background heartbeat detection + regeneration of
-//                      crashed L2 servers under a global concurrency budget
+//                      crashed L2 servers under a concurrent-repair budget
 //
 // MetricsRegistry threads through every path (router, batching, repair);
 // snapshot with metrics().to_json().
 //
-// Concurrency model: one StoreService is single-threaded (like one shard of
-// the stress harness); scale-out across OS threads uses one service instance
-// per thread.  Within a service, operations overlap freely in *simulated*
-// time.  Correctness is checked per shard against the recorded cluster
-// History with the existing atomicity/freshness verifiers: coalescing is
-// linearizable because an absorbed put orders immediately before the
-// surviving same-key write and no read ever observes its value.
+// Execution model (Options::engine_mode):
+//
+//   * Deterministic — every shard on one SimEngine lane; operations overlap
+//     in *simulated* time, runs are bit-reproducible for a fixed seed, and
+//     scale-out across OS threads uses one service instance per thread (the
+//     pre-engine behavior, unchanged).
+//   * Parallel — a ParallelEngine with one worker event loop per shard
+//     group; client calls are thread-safe, callbacks fire on the owning
+//     shard's lane, and throughput scales with lanes.  Runs are not
+//     reproducible (OS scheduling interleaves lanes); correctness is
+//     checked per shard against the recorded History with the existing
+//     atomicity/freshness verifiers — each shard's history uses its own
+//     lane's monotonic clock, which is exactly the per-domain premise those
+//     checkers already have.
+//
+// Coalescing stays linearizable in both modes because an absorbed put
+// orders immediately before the surviving same-key write and no read ever
+// observes its value.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -45,6 +56,7 @@
 #include "codes/factory.h"
 #include "common/rng.h"
 #include "lds/cluster.h"
+#include "net/engine.h"
 #include "store/metrics.h"
 #include "store/repair_scheduler.h"
 #include "store/shard_router.h"
@@ -83,7 +95,14 @@ struct StoreOptions {
   bool exponential_latency = false;
   double tau1 = 1.0, tau0 = 1.0, tau2 = 3.0;
   std::uint64_t seed = 1;
+  /// Execution engine (see net/engine.h): Deterministic = one simulated
+  /// time base, bit-reproducible; Parallel = one worker event loop per
+  /// shard group, wall-clock scale-out.
+  net::EngineMode engine_mode = net::EngineMode::Deterministic;
+  /// Parallel lanes; 0 = min(shards, hardware threads).
+  std::size_t engine_threads = 0;
   /// Background repair (LDS shards): heartbeat detection + regeneration.
+  /// In Parallel mode the scheduler's budget is scoped per lane.
   bool enable_repair = true;
   RepairScheduler::Options repair;
 };
@@ -111,22 +130,33 @@ class StoreService {
   ~StoreService();
 
   // ---- async client API -----------------------------------------------------
-  /// Queue a put; the callback fires (in simulated time) when the write —
-  /// possibly coalesced with later same-key puts of the same batch — is
-  /// durable, or immediately with ok=false when admission-rejected.
+  // Deterministic mode: call from the owning thread; callbacks fire inline
+  // while the simulator runs.  Parallel mode: thread-safe; callbacks fire on
+  // the destination shard's engine lane.
+  /// Queue a put; the callback fires when the write — possibly coalesced
+  /// with later same-key puts of the same batch — is durable, or
+  /// immediately with ok=false when admission-rejected.
   void put(const std::string& key, Bytes value, PutCallback cb = {});
   void get(const std::string& key, GetCallback cb = {});
   /// Fan out one get per key (keys may span shards); the callback fires
   /// when all have completed, results in key order.
   void multi_get(std::vector<std::string> keys, MultiGetCallback cb);
 
-  // ---- sync wrappers (drive the simulator until completion) -----------------
+  // ---- sync wrappers --------------------------------------------------------
+  // Deterministic: drive the simulator until completion.  Parallel: block
+  // the calling thread until the lanes complete the operation.
   PutResult put_sync(const std::string& key, Bytes value);
   GetResult get_sync(const std::string& key);
   std::vector<GetResult> multi_get_sync(std::vector<std::string> keys);
 
   // ---- operations & introspection -------------------------------------------
-  net::Simulator& sim() { return sim_; }
+  net::Engine& engine() { return *engine_; }
+  bool parallel() const { return parallel_; }
+  /// Lane-0 simulator (Deterministic mode's single time base).  Under a
+  /// parallel engine, prefer engine().lane_sim(shard_lane(s)) and the lane
+  /// discipline documented in net/engine.h.
+  net::Simulator& sim() { return engine_->lane_sim(0); }
+  std::size_t shard_lane(std::size_t s) const { return shards_.at(s)->lane; }
   /// Const: the service's shard set is fixed at construction, so letting
   /// callers mutate ring membership would desync routing from shards_.
   const ShardRouter& router() const { return router_; }
@@ -138,29 +168,41 @@ class StoreService {
     return shards_.at(s)->spec.protocol;
   }
   /// The shard's recorded operation history (for the linearizability
-  /// checkers); absorbed puts never reach it by design.
+  /// checkers); absorbed puts never reach it by design.  Stable only while
+  /// the shard's lane is quiescent (e.g. after quiesce()).
   const core::History& shard_history(std::size_t s) const;
-  /// Keys currently interned on one shard.
+  /// Keys currently interned on one shard (quiescent lanes only).
   std::size_t shard_objects(std::size_t s) const {
     return shards_.at(s)->objects.size();
   }
   /// Client ops accepted but not yet called back.
-  std::size_t outstanding() const { return outstanding_; }
+  std::size_t outstanding() const {
+    return outstanding_.load(std::memory_order_acquire);
+  }
 
   /// Inject one server crash on `shard` within its failure budget (L1/L2
   /// for LDS, servers for ABD/CAS).  Crashed LDS L2 servers are detected
   /// and rebuilt by the repair scheduler when enabled, returning their
-  /// budget slot.  Returns false when the budget is exhausted.
+  /// budget slot.  Returns false when the budget is exhausted.  In Parallel
+  /// mode this blocks on the shard's lane; never call it from a callback
+  /// (use inject_crash_async there).
   bool inject_crash(std::size_t shard, Rng& rng);
+  /// Fire-and-forget variant safe from any thread or lane: runs the
+  /// injection on the shard's lane with a derived Rng(seed); `done` (may be
+  /// null) fires on that lane with the budget verdict.
+  void inject_crash_async(std::size_t shard, std::uint64_t seed,
+                          std::function<void(bool)> done = {});
 
-  /// True when no client op is in flight and (with repair enabled) every
-  /// injected L2 crash has been repaired.
+  /// True when no client op or queued injection is in flight and (with
+  /// repair enabled) every injected L2 crash has been repaired.  Safe to
+  /// poll from the driving thread in Parallel mode.
   bool idle() const;
-  /// Drive the simulator until idle() — and, when given, until the caller's
+  /// Run the engine until idle() — and, when given, until the caller's
   /// `drained` predicate also holds (a closed-loop driver passes "no more
   /// ops queued", since outstanding() is momentarily zero between its ops) —
   /// then stop heartbeats and drain the remaining events.  Aborts if the
-  /// simulation stalls with work still pending.
+  /// execution stalls with work still pending.  In Parallel mode `drained`
+  /// is polled from this thread and must read only thread-safe state.
   void quiesce(const std::function<bool()>& drained = {});
 
  private:
@@ -178,11 +220,13 @@ class StoreService {
 
   struct Shard {
     ShardBackend spec;
+    std::size_t lane = 0;               ///< engine lane this shard runs on
+    net::Simulator* sim = nullptr;      ///< == engine->lane_sim(lane)
     std::unique_ptr<core::LdsCluster> lds;
     std::unique_ptr<baselines::AbdCluster> abd;
     std::unique_ptr<baselines::CasCluster> cas;
     std::unordered_map<std::string, ObjectId> objects;
-    // Batching state.
+    // Batching state (lane-local).
     std::vector<PendingPut> window;  ///< open batch (coalesced as it fills)
     std::size_t window_puts = 0;     ///< puts in the window incl. absorbed
     bool window_open = false;
@@ -193,14 +237,21 @@ class StoreService {
     std::deque<PendingGet> get_queue;
     std::vector<std::size_t> free_writers;
     std::vector<std::size_t> free_readers;
-    std::size_t puts_in_flight = 0;  ///< admission accounting
-    // Failure budgets.
+    /// Admission accounting; atomic because admission happens on the
+    /// submitting thread while completion happens on the lane.
+    std::atomic<std::size_t> puts_in_flight{0};
+    // Failure budgets: vectors are lane-local, counts are atomic so the
+    // idle() poll can read them cross-thread.
     std::vector<bool> l1_down, l2_down, srv_down;
-    std::size_t l1_down_count = 0, l2_down_count = 0, srv_down_count = 0;
+    std::atomic<std::size_t> l1_down_count{0}, l2_down_count{0},
+        srv_down_count{0};
   };
 
   ObjectId intern(Shard& sh, std::size_t shard_idx, const std::string& key);
-  void open_window(std::size_t shard_idx);
+  void enqueue_put(std::size_t shard_idx, const std::string& key, Bytes value,
+                   PutCallback cb);
+  void enqueue_get(std::size_t shard_idx, const std::string& key,
+                   GetCallback cb);
   void flush_window(std::size_t shard_idx);
   void pump_puts(std::size_t shard_idx);
   void pump_gets(std::size_t shard_idx);
@@ -210,14 +261,17 @@ class StoreService {
                      std::function<void(Tag)> done);
   void cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
                     std::function<void(Tag, Bytes)> done);
+  bool inject_crash_on_lane(std::size_t shard, Rng& rng);
 
   StoreOptions opt_;
-  net::Simulator sim_;
+  bool parallel_ = false;
+  std::unique_ptr<net::Engine> engine_;
   MetricsRegistry metrics_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<RepairScheduler> repair_;
-  std::size_t outstanding_ = 0;
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::size_t> pending_injections_{0};
 };
 
 }  // namespace lds::store

@@ -149,6 +149,28 @@ TEST(Network, ObserverCanCrashDestinationBeforeHandling) {
   EXPECT_TRUE(b.crashed());
 }
 
+TEST(Network, EngineLaneConstructorSharesTheLaneClock) {
+  SimEngine engine;
+  Network net{engine, 0, std::make_unique<FixedLatency>(1.0, 0.5, 10.0), 7};
+  Recorder a(net, 1, Role::Writer);
+  Recorder b(net, 2, Role::ServerL1);
+  a.post(2, 42);
+  engine.drain();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, 42);
+  EXPECT_EQ(&net.sim(), &engine.lane_sim(0));
+}
+
+TEST(NetworkDeath, AttachingAnIdTwiceAborts) {
+  // The id-reuse protocol (LdsCluster::replace_l2) detaches the crashed
+  // instance before constructing the replacement; attaching a second live
+  // node under an occupied id must abort loudly.
+  Fixture f;
+  Recorder a(f.net, 7, Role::ServerL2);
+  EXPECT_DEATH({ Recorder dup(f.net, 7, Role::ServerL2); },
+               "already attached");
+}
+
 TEST(LinkClassify, Table) {
   EXPECT_EQ(classify_link(Role::Writer, Role::ServerL1), LinkClass::ClientL1);
   EXPECT_EQ(classify_link(Role::ServerL1, Role::Reader), LinkClass::ClientL1);

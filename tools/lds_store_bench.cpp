@@ -10,21 +10,38 @@
 //
 //   lds_store_bench                         # default sweep: 1,2,4,8 shards
 //   lds_store_bench --shards 1,4 --value-sizes 64,1024 --json out.json
+//   lds_store_bench --engine parallel --threads 8 --shards 8
+//
+// --engine selects the execution engine (net/engine.h):
+//   sim      — every OS thread runs one deterministic StoreService replica;
+//              per-replica throughput is ops per *simulated* time unit
+//              (bit-reproducible for a fixed seed), aggregate is the sum.
+//   parallel — ONE StoreService per configuration with its shards spread
+//              over --threads ParallelEngine lanes; the number that matters
+//              is real wall-clock ops/s, printed for both engines so the
+//              speedup is directly comparable on the same workload.
+// Every run replays each shard's recorded history through the atomicity and
+// freshness verifiers and reports the verdict (the linearizability gate for
+// the non-deterministic parallel engine).
 //
 // The JSON output carries one record per configuration (params, throughput,
 // wall time) plus the full MetricsRegistry snapshot of the first replica of
 // the largest configuration — batching/coalescing counters included — so CI
 // can track the perf trajectory and assert batching is actually engaged.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "harness/stress.h"
 #include "store/store_service.h"
 
 namespace {
@@ -36,6 +53,7 @@ using store::StoreOptions;
 using store::StoreService;
 
 struct BenchOptions {
+  lds::net::EngineMode engine = lds::net::EngineMode::Deterministic;
   std::vector<std::size_t> shards = {1, 2, 4, 8};
   std::vector<std::size_t> value_sizes = {256};
   std::size_t threads = 1;
@@ -54,8 +72,20 @@ struct ReplicaResult {
   std::size_t ops = 0;
   std::uint64_t batches = 0;
   std::uint64_t coalesced = 0;
+  bool verified = true;  ///< every shard history passed both checkers
   std::string metrics_json;
 };
+
+/// Replay every shard history through the atomicity + freshness verifiers.
+bool verify_service(StoreService& svc) {
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    const auto& h = svc.shard_history(s);
+    if (!h.all_complete()) return false;
+    if (!h.check_atomicity(Bytes{}).ok) return false;
+    if (!lds::harness::verify_read_freshness(h).ok) return false;
+  }
+  return true;
+}
 
 ReplicaResult run_replica(const BenchOptions& opt, std::size_t shards,
                           std::size_t value_size, std::uint64_t seed) {
@@ -99,6 +129,64 @@ ReplicaResult run_replica(const BenchOptions& opt, std::size_t shards,
   out.ops = opt.ops;
   out.batches = svc.metrics().counter_total("batches");
   out.coalesced = svc.metrics().counter_total("puts_coalesced");
+  out.verified = verify_service(svc);
+  out.metrics_json = svc.metrics().to_json();
+  return out;
+}
+
+/// One parallel-engine configuration: a single service, shards spread over
+/// opt.threads lanes, driven by closed-loop client chains (each chain issues
+/// its next op from the previous completion callback; chain state hops
+/// lanes with the callbacks, synchronized by the engine).
+ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
+                           std::size_t value_size, std::uint64_t seed) {
+  StoreOptions sopt;
+  sopt.shards = shards;
+  sopt.batch_window = opt.batch_window;
+  sopt.exponential_latency = opt.exponential_latency;
+  sopt.seed = seed;
+  sopt.engine_mode = lds::net::EngineMode::Parallel;
+  sopt.engine_threads = opt.threads;
+  StoreService svc(sopt);
+
+  struct Chain {
+    Rng rng{1};
+    std::size_t left = 0;
+  };
+  const std::size_t clients = opt.clients_per_shard * shards;
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (std::size_t c = 0; c < clients; ++c) {
+    auto chain = std::make_unique<Chain>();
+    chain->rng = Rng(mix_seed(seed, 0xb0 + c));
+    chain->left = opt.ops / clients + (c < opt.ops % clients ? 1 : 0);
+    chains.push_back(std::move(chain));
+  }
+  std::atomic<std::size_t> to_issue{opt.ops};
+  std::function<void(Chain*)> next = [&](Chain* c) {
+    if (c->left == 0) return;
+    --c->left;
+    to_issue.fetch_sub(1, std::memory_order_acq_rel);
+    const std::string key =
+        "key-" + std::to_string(c->rng.uniform_int(
+                     0, static_cast<std::int64_t>(opt.keys) - 1));
+    auto complete = [&, c] { next(c); };
+    if (c->rng.bernoulli(opt.read_fraction)) {
+      svc.get(key, [complete](const GetResult&) { complete(); });
+    } else {
+      svc.put(key, c->rng.bytes(value_size),
+              [complete](const PutResult&) { complete(); });
+    }
+  };
+  for (auto& c : chains) next(c.get());
+  svc.quiesce(
+      [&] { return to_issue.load(std::memory_order_acquire) == 0; });
+
+  ReplicaResult out;
+  out.duration = 0;  // lanes have independent clocks; wall time is the metric
+  out.ops = opt.ops;
+  out.batches = svc.metrics().counter_total("batches");
+  out.coalesced = svc.metrics().counter_total("puts_coalesced");
+  out.verified = verify_service(svc);
   out.metrics_json = svc.metrics().to_json();
   return out;
 }
@@ -125,6 +213,8 @@ bool parse_size_list(const char* s, std::vector<std::size_t>* out) {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
+      "  --engine sim|parallel sim: one deterministic replica per thread;\n"
+      "                        parallel: one service over --threads lanes\n"
       "  --shards LIST         comma-separated shard counts (1,2,4,8)\n"
       "  --value-sizes LIST    comma-separated value sizes in bytes (256)\n"
       "  --threads N           service replicas on OS threads (1)\n"
@@ -152,6 +242,15 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      auto m = v ? lds::net::parse_engine_mode(v)
+                 : std::optional<lds::net::EngineMode>{};
+      if (!m) {
+        std::fprintf(stderr, "unknown engine '%s'\n", v ? v : "");
+        return 2;
+      }
+      opt.engine = *m;
     } else if (arg == "--shards") {
       const char* v = next();
       ok = v && parse_size_list(v, &opt.shards);
@@ -199,16 +298,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("lds_store_bench: threads=%zu ops/replica=%zu keys=%zu "
+  const bool parallel = opt.engine == lds::net::EngineMode::Parallel;
+  std::printf("lds_store_bench: engine=%s threads=%zu ops%s=%zu keys=%zu "
               "clients/shard=%zu read-fraction=%.2f batch-window=%.2f "
               "seed=%llu\n\n",
-              opt.threads, opt.ops, opt.keys, opt.clients_per_shard,
-              opt.read_fraction, opt.batch_window,
+              lds::net::engine_mode_name(opt.engine), opt.threads,
+              parallel ? "" : "/replica", opt.ops, opt.keys,
+              opt.clients_per_shard, opt.read_fraction, opt.batch_window,
               static_cast<unsigned long long>(opt.seed));
-  std::printf("%8s %12s %12s %14s %10s %10s %10s\n", "shards", "value_size",
-              "sim_dur", "ops_per_unit", "batches", "coalesced", "wall_s");
+  std::printf("%8s %12s %12s %14s %10s %10s %10s %12s %9s\n", "shards",
+              "value_size", "sim_dur", "ops_per_unit", "batches", "coalesced",
+              "wall_s", "wall_ops_s", "verified");
 
   std::string json = "{\"bench\":\"lds_store_bench\",\"configs\":[";
+  bool all_verified = true;
   // Snapshot source: the largest shard count seen (not sweep order, which
   // the user may pass descending).
   std::string snapshot_metrics;
@@ -217,16 +320,21 @@ int main(int argc, char** argv) {
   for (std::size_t value_size : opt.value_sizes) {
     for (std::size_t shards : opt.shards) {
       const auto wall_start = std::chrono::steady_clock::now();
-      std::vector<ReplicaResult> results(opt.threads);
-      std::vector<std::thread> workers;
-      for (std::size_t t = 0; t < opt.threads; ++t) {
-        workers.emplace_back([&, t] {
-          results[t] = run_replica(
-              opt, shards, value_size,
-              opt.threads == 1 ? opt.seed : mix_seed(opt.seed, t));
-        });
+      std::vector<ReplicaResult> results;
+      if (parallel) {
+        results.push_back(run_parallel(opt, shards, value_size, opt.seed));
+      } else {
+        results.resize(opt.threads);
+        std::vector<std::thread> workers;
+        for (std::size_t t = 0; t < opt.threads; ++t) {
+          workers.emplace_back([&, t] {
+            results[t] = run_replica(
+                opt, shards, value_size,
+                opt.threads == 1 ? opt.seed : mix_seed(opt.seed, t));
+          });
+        }
+        for (auto& w : workers) w.join();
       }
-      for (auto& w : workers) w.join();
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         wall_start)
@@ -234,28 +342,44 @@ int main(int argc, char** argv) {
 
       double agg_tput = 0;
       double max_dur = 0;
+      std::size_t total_ops = 0;
       std::uint64_t batches = 0, coalesced = 0;
+      bool verified = true;
       for (const auto& r : results) {
-        agg_tput += static_cast<double>(r.ops) / r.duration;
+        if (r.duration > 0) {
+          agg_tput += static_cast<double>(r.ops) / r.duration;
+        }
         max_dur = std::max(max_dur, r.duration);
+        total_ops += r.ops;
         batches += r.batches;
         coalesced += r.coalesced;
+        verified = verified && r.verified;
       }
-      std::printf("%8zu %12zu %12.1f %14.3f %10llu %10llu %10.2f\n", shards,
-                  value_size, max_dur, agg_tput,
-                  static_cast<unsigned long long>(batches),
-                  static_cast<unsigned long long>(coalesced), wall);
+      const double wall_ops_s = static_cast<double>(total_ops) / wall;
+      std::printf(
+          "%8zu %12zu %12.1f %14.3f %10llu %10llu %10.2f %12.0f %9s\n",
+          shards, value_size, max_dur, agg_tput,
+          static_cast<unsigned long long>(batches),
+          static_cast<unsigned long long>(coalesced), wall, wall_ops_s,
+          verified ? "yes" : "NO");
+      all_verified = all_verified && verified;
 
-      char buf[256];
+      char buf[320];
       std::snprintf(buf, sizeof(buf),
-                    "%s{\"shards\":%zu,\"threads\":%zu,\"value_size\":%zu,"
-                    "\"ops\":%zu,\"metric\":\"ops_per_sim_unit\","
+                    "%s{\"engine\":\"%s\",\"shards\":%zu,\"threads\":%zu,"
+                    "\"value_size\":%zu,"
+                    "\"ops\":%zu,\"metric\":\"%s\","
                     "\"value\":%.6f,\"batches\":%llu,\"coalesced\":%llu,"
-                    "\"wall_seconds\":%.3f}",
-                    first_cfg ? "" : ",", shards, opt.threads, value_size,
-                    opt.ops * opt.threads, agg_tput,
+                    "\"wall_seconds\":%.3f,\"wall_ops_per_sec\":%.3f,"
+                    "\"verified\":%s}",
+                    first_cfg ? "" : ",",
+                    lds::net::engine_mode_name(opt.engine), shards,
+                    opt.threads, value_size, total_ops,
+                    parallel ? "ops_per_sec_wall" : "ops_per_sim_unit",
+                    parallel ? wall_ops_s : agg_tput,
                     static_cast<unsigned long long>(batches),
-                    static_cast<unsigned long long>(coalesced), wall);
+                    static_cast<unsigned long long>(coalesced), wall,
+                    wall_ops_s, verified ? "true" : "false");
       json += buf;
       first_cfg = false;
       if (shards >= snapshot_shards) {
@@ -276,6 +400,11 @@ int main(int argc, char** argv) {
     std::fputs(json.c_str(), f);
     std::fclose(f);
     std::printf("\njson written to %s\n", opt.json_path.c_str());
+  }
+  if (!all_verified) {
+    std::fprintf(stderr, "VERIFICATION FAILED: a shard history violated "
+                         "atomicity/freshness\n");
+    return 1;
   }
   return 0;
 }

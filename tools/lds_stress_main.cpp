@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "harness/stress.h"
@@ -19,6 +20,11 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
       "  --backend lds|abd|cas|store   system under test (default lds)\n"
+      "  --engine sim|parallel   store backend execution engine (sim):\n"
+      "                          sim = deterministic replicas, one per "
+      "thread;\n"
+      "                          parallel = one service, shards spread over\n"
+      "                          --threads worker event loops\n"
       "  --threads N             OS threads, one independent shard each (4)\n"
       "  --ops N                 total client operations (2000)\n"
       "  --writers N             writer clients per shard (2)\n"
@@ -92,6 +98,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.backend = *b;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      auto m = v ? lds::net::parse_engine_mode(v)
+                 : std::optional<lds::net::EngineMode>{};
+      if (!m) {
+        std::fprintf(stderr, "unknown engine '%s'\n", v ? v : "");
+        return 2;
+      }
+      opt.engine = *m;
     } else if (arg == "--threads") {
       const char* v = next();
       ok = v && parse_size(v, &opt.threads);
