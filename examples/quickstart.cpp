@@ -1,22 +1,38 @@
 // Quickstart: stand up a two-layer LDS deployment, write, read, and inspect
-// what the algorithm did (costs, storage, atomicity verdict).
+// what the algorithm did (costs, storage, atomicity verdict) — then do the
+// same through the production surface, the unified store::Client.
 //
-//   build/examples/quickstart
+//   build/examples/quickstart [--engine sim|parallel]
 //
 // The deployment below: n1 = 6 edge servers tolerating f1 = 1 crash
 // (so k = 4), n2 = 8 back-end servers tolerating f2 = 2 crashes (so d = 4);
 // the back-end stores a {(14, 4, 4), (alpha = 4, beta = 1)} product-matrix
-// MBR code.
+// MBR code.  --engine selects the execution engine of the store section
+// (net/engine.h): sim = deterministic, parallel = worker lanes.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/format.h"
 #include "lds/analysis.h"
 #include "lds/cluster.h"
+#include "store/client.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lds;
   using namespace lds::core;
+
+  net::EngineMode engine = net::EngineMode::Deterministic;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      const auto m = net::parse_engine_mode(argv[++i]);
+      if (!m) {
+        std::fprintf(stderr, "unknown engine '%s'\n", argv[i]);
+        return 2;
+      }
+      engine = *m;
+    }
+  }
 
   LdsCluster::Options opt;
   opt.cfg.n1 = 6;
@@ -35,9 +51,10 @@ int main() {
               opt.cfg.n1, opt.cfg.f1, opt.cfg.k(), opt.cfg.n2, opt.cfg.f2,
               opt.cfg.d());
 
-  // 1. Write a value.
-  const std::string payload = "hello, layered storage";
-  const Bytes value(payload.begin(), payload.end());
+  // 1. Write a value.  Value is an immutable ref-counted buffer: the writer
+  //    fan-out to all of L1 shares ONE allocation instead of copying |v|
+  //    per server.
+  const Value value = Value::from_string("hello, layered storage");
   const Tag tag = cluster.write_sync(0, /*obj=*/0, value);
   std::printf("write completed: tag=%s  t=%.1f tau1\n", tag.to_string().c_str(),
               cluster.sim().now());
@@ -45,8 +62,7 @@ int main() {
   // 2. Read it back immediately (may be served from edge temporary storage).
   auto [rtag, rvalue] = cluster.read_sync(0, 0);
   std::printf("read 1 returned: tag=%s value=\"%s\"\n",
-              rtag.to_string().c_str(),
-              std::string(rvalue.begin(), rvalue.end()).c_str());
+              rtag.to_string().c_str(), rvalue.to_string().c_str());
 
   // 3. Let the system quiesce: the edge offloads coded elements to the
   //    back-end and garbage-collects its temporary copies (Lemma V.1).
@@ -59,8 +75,7 @@ int main() {
   // 4. Read again: served by regeneration from the MBR-coded back-end.
   auto [rtag2, rvalue2] = cluster.read_sync(0, 0);
   std::printf("read 2 (regenerated from L2): tag=%s value=\"%s\"\n",
-              rtag2.to_string().c_str(),
-              std::string(rvalue2.begin(), rvalue2.end()).c_str());
+              rtag2.to_string().c_str(), rvalue2.to_string().c_str());
 
   // 5. Inspect costs and check atomicity of the whole execution.
   const auto& costs = cluster.net().costs();
@@ -76,5 +91,56 @@ int main() {
   const auto verdict = cluster.history().check_atomicity(opt.cfg.initial_value);
   std::printf("atomicity check: %s\n",
               verdict.ok ? "OK" : verdict.violation.c_str());
-  return verdict.ok ? 0 : 1;
+  if (!verdict.ok) return 1;
+
+  // 6. The same storage behind the production surface: a sharded
+  //    StoreService fronted by store::Client — string keys, Status errors,
+  //    typed versions, conditional puts, per-op deadlines.
+  std::printf("\n-- store::Client (engine=%s) --\n",
+              net::engine_mode_name(engine));
+  store::StoreOptions sopt;
+  sopt.shards = 2;
+  sopt.engine_mode = engine;
+  sopt.seed = 7;
+  store::StoreService service(sopt);
+  store::Client client(service);
+
+  const auto put = client.put_sync("greeting", value);
+  if (!put.ok()) {
+    std::printf("put failed: %s\n", put.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("put   greeting           -> version %s\n",
+              put.value().to_string().c_str());
+
+  const auto got = client.get_sync("greeting");
+  std::printf("get   greeting           -> \"%s\" @ %s\n",
+              got.value().value.to_string().c_str(),
+              got.value().version.to_string().c_str());
+
+  // Conditional put: commits only against the version we read.
+  const auto cas_ok = client.put_if_version_sync(
+      "greeting", Value::from_string("hello again"), got.value().version);
+  std::printf("cas   @%s            -> %s\n",
+              got.value().version.to_string().c_str(),
+              cas_ok.ok() ? cas_ok.value().to_string().c_str()
+                          : cas_ok.status().to_string().c_str());
+
+  // ...and a stale retry of the same version is Aborted, not lost.
+  const auto cas_stale = client.put_if_version_sync(
+      "greeting", Value::from_string("lost update"), got.value().version);
+  std::printf("cas   @stale version     -> %s\n",
+              cas_stale.status().to_string().c_str());
+
+  // Status taxonomy: a key never written is NotFound, not an empty value.
+  const auto missing = client.get_sync("no-such-key");
+  std::printf("get   no-such-key        -> %s\n",
+              missing.status().to_string().c_str());
+
+  service.quiesce();
+  const bool cas_correct = cas_ok.ok() &&
+                           cas_stale.status().is(StatusCode::kAborted) &&
+                           missing.status().is(StatusCode::kNotFound);
+  std::printf("store section: %s\n", cas_correct ? "OK" : "UNEXPECTED");
+  return cas_correct ? 0 : 1;
 }

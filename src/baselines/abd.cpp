@@ -62,7 +62,7 @@ void AbdServer::on_message(NodeId from, const net::MessagePtr& msg) {
   if (const auto* q = std::get_if<AbdQuery>(&m->body())) {
     send(from, AbdMessage::make(
                    m->obj(), m->op(),
-                   AbdQueryResp{st.tag, q->want_value ? st.value : Bytes{}}));
+                   AbdQueryResp{st.tag, q->want_value ? st.value : Value{}}));
     return;
   }
   if (const auto* u = std::get_if<AbdUpdate>(&m->body())) {
@@ -90,7 +90,7 @@ void AbdClient::broadcast(const AbdBody& body) {
   }
 }
 
-void AbdClient::write(ObjectId obj, Bytes value, WriteCallback cb) {
+void AbdClient::write(ObjectId obj, Value value, WriteCallback cb) {
   LDS_REQUIRE(!busy(), "AbdClient: one operation at a time");
   phase_ = Phase::Query;
   is_write_ = true;
@@ -235,7 +235,7 @@ AbdCluster::AbdCluster(Options opt) : opt_(opt) {
   }
 }
 
-Tag AbdCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
+Tag AbdCluster::write_sync(std::size_t writer_idx, ObjectId obj, Value value) {
   bool done = false;
   Tag tag;
   writers_.at(writer_idx)->write(obj, std::move(value), [&](Tag t) {
@@ -248,12 +248,12 @@ Tag AbdCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
   return tag;
 }
 
-std::pair<Tag, Bytes> AbdCluster::read_sync(std::size_t reader_idx,
+std::pair<Tag, Value> AbdCluster::read_sync(std::size_t reader_idx,
                                             ObjectId obj) {
   bool done = false;
   Tag tag;
-  Bytes value;
-  readers_.at(reader_idx)->read(obj, [&](Tag t, Bytes v) {
+  Value value;
+  readers_.at(reader_idx)->read(obj, [&](Tag t, Value v) {
     done = true;
     tag = t;
     value = std::move(v);

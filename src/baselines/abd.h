@@ -21,6 +21,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/slice.h"
 #include "lds/history.h"
 #include "net/network.h"
 
@@ -36,11 +37,11 @@ struct AbdQuery {
 };
 struct AbdQueryResp {
   Tag tag;
-  Bytes value;  ///< empty when only the tag was requested
+  Value value;  ///< empty when only the tag was requested
 };
 struct AbdUpdate {
   Tag tag;
-  Bytes value;
+  Value value;
 };
 struct AbdUpdateAck {
   Tag tag;
@@ -95,7 +96,7 @@ class AbdServer final : public net::Node {
  private:
   struct ObjectState {
     Tag tag = kTag0;
-    Bytes value;
+    Value value;  ///< shared handle; replicas reference one buffer
   };
   ObjectState& object(ObjectId obj);
 
@@ -107,12 +108,12 @@ class AbdServer final : public net::Node {
 class AbdClient final : public net::Node {
  public:
   using WriteCallback = std::function<void(Tag)>;
-  using ReadCallback = std::function<void(Tag, Bytes)>;
+  using ReadCallback = std::function<void(Tag, Value)>;
 
   AbdClient(net::Network& net, std::shared_ptr<const AbdContext> ctx,
             NodeId id, Role role, History* history = nullptr);
 
-  void write(ObjectId obj, Bytes value, WriteCallback cb = {});
+  void write(ObjectId obj, Value value, WriteCallback cb = {});
   void read(ObjectId obj, ReadCallback cb = {});
   bool busy() const { return phase_ != Phase::Idle; }
 
@@ -132,12 +133,12 @@ class AbdClient final : public net::Node {
   std::uint32_t seq_ = 0;
   OpId op_ = kNoOp;
   ObjectId obj_ = 0;
-  Bytes value_;
+  Value value_;
   WriteCallback wcb_;
   ReadCallback rcb_;
   std::size_t history_index_ = 0;
   Tag max_tag_;
-  Bytes max_value_;
+  Value max_value_;
   Tag update_tag_;
   std::unordered_set<NodeId> responders_;
 };
@@ -179,8 +180,8 @@ class AbdCluster {
 
   void crash_server(std::size_t i) { servers_.at(i)->crash(); }
 
-  Tag write_sync(std::size_t writer_idx, ObjectId obj, Bytes value);
-  std::pair<Tag, Bytes> read_sync(std::size_t reader_idx, ObjectId obj);
+  Tag write_sync(std::size_t writer_idx, ObjectId obj, Value value);
+  std::pair<Tag, Value> read_sync(std::size_t reader_idx, ObjectId obj);
 
   std::uint64_t storage_bytes() const;
 

@@ -128,7 +128,7 @@ void CasClient::broadcast(const CasBody& body) {
   }
 }
 
-void CasClient::write(ObjectId obj, Bytes value, WriteCallback cb) {
+void CasClient::write(ObjectId obj, Value value, WriteCallback cb) {
   LDS_REQUIRE(!busy(), "CasClient: one operation at a time");
   phase_ = Phase::Query;
   is_write_ = true;
@@ -299,7 +299,7 @@ CasCluster::CasCluster(Options opt) : opt_(opt) {
   }
 }
 
-Tag CasCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
+Tag CasCluster::write_sync(std::size_t writer_idx, ObjectId obj, Value value) {
   bool done = false;
   Tag tag;
   writers_.at(writer_idx)->write(obj, std::move(value), [&](Tag t) {
@@ -312,12 +312,12 @@ Tag CasCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
   return tag;
 }
 
-std::pair<Tag, Bytes> CasCluster::read_sync(std::size_t reader_idx,
+std::pair<Tag, Value> CasCluster::read_sync(std::size_t reader_idx,
                                             ObjectId obj) {
   bool done = false;
   Tag tag;
-  Bytes value;
-  readers_.at(reader_idx)->read(obj, [&](Tag t, Bytes v) {
+  Value value;
+  readers_.at(reader_idx)->read(obj, [&](Tag t, Value v) {
     done = true;
     tag = t;
     value = std::move(v);

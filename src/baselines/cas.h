@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "codes/striped.h"
+#include "common/slice.h"
 #include "lds/history.h"
 #include "net/network.h"
 
@@ -144,12 +145,12 @@ class CasServer final : public net::Node {
 class CasClient final : public net::Node {
  public:
   using WriteCallback = std::function<void(Tag)>;
-  using ReadCallback = std::function<void(Tag, Bytes)>;
+  using ReadCallback = std::function<void(Tag, Value)>;
 
   CasClient(net::Network& net, std::shared_ptr<const CasContext> ctx,
             NodeId id, Role role, History* history = nullptr);
 
-  void write(ObjectId obj, Bytes value, WriteCallback cb = {});
+  void write(ObjectId obj, Value value, WriteCallback cb = {});
   void read(ObjectId obj, ReadCallback cb = {});
   bool busy() const { return phase_ != Phase::Idle; }
 
@@ -170,7 +171,7 @@ class CasClient final : public net::Node {
   std::uint32_t seq_ = 0;
   OpId op_ = kNoOp;
   ObjectId obj_ = 0;
-  Bytes value_;
+  Value value_;
   WriteCallback wcb_;
   ReadCallback rcb_;
   std::size_t history_index_ = 0;
@@ -217,8 +218,8 @@ class CasCluster {
   CasServer& server(std::size_t i) { return *servers_.at(i); }
   void crash_server(std::size_t i) { servers_.at(i)->crash(); }
 
-  Tag write_sync(std::size_t writer_idx, ObjectId obj, Bytes value);
-  std::pair<Tag, Bytes> read_sync(std::size_t reader_idx, ObjectId obj);
+  Tag write_sync(std::size_t writer_idx, ObjectId obj, Value value);
+  std::pair<Tag, Value> read_sync(std::size_t reader_idx, ObjectId obj);
 
   std::uint64_t storage_bytes() const;
 

@@ -1,0 +1,23 @@
+#include "common/status.h"
+
+namespace lds {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAdmissionReject: return "AdmissionReject";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (msg_.empty()) return status_code_name(code_);
+  return std::string(status_code_name(code_)) + ": " + msg_;
+}
+
+}  // namespace lds

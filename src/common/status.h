@@ -1,0 +1,125 @@
+// Status / Result<T>: the error taxonomy of the client-facing API.
+//
+// The seed-era results carried `bool ok` plus a free-text error string, which
+// loses *why* an operation failed (admission reject vs. deadline vs. version
+// mismatch) and forces every layer to invent its own convention.  This is the
+// RocksDB `Status` idiom adapted to the LDS store: a small fixed code set, an
+// optional context message (shard / op / key), and a `Result<T>` carrier for
+// sync wrappers that return a value OR a failure.
+//
+// The taxonomy is closed on purpose — every client-visible failure of the
+// store maps onto exactly one code:
+//
+//   Ok               operation completed
+//   NotFound         get of a key that was never written on its shard
+//   AdmissionReject  put refused: the shard's in-flight limit is reached
+//   DeadlineExceeded OpOptions::deadline expired before completion
+//   Aborted          conditional put: the expected version did not match
+//   Unavailable      the client was closed (or the service is shutting down)
+//   InvalidArgument  malformed request (empty key, bad options)
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace lds {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAdmissionReject,
+  kDeadlineExceeded,
+  kAborted,
+  kUnavailable,
+  kInvalidArgument,
+};
+
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is Ok (the common case costs no allocation).
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = {}) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AdmissionReject(std::string msg = {}) {
+    return Status(StatusCode::kAdmissionReject, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg = {}) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg = {}) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = {}) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = {}) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  bool is(StatusCode c) const { return code_ == c; }
+  const std::string& message() const { return msg_; }
+
+  /// "AdmissionReject: shard 3 at limit 1024" (or just the code name).
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are context, not identity
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// Value-or-Status carrier for synchronous wrappers.  Implicitly
+/// constructible from either side so call sites read naturally:
+///
+///   Result<Version> r = client.put_sync("k", value);
+///   if (!r.ok()) return r.status();
+///   use(r.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    LDS_REQUIRE(!status_.ok(), "Result: Ok status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LDS_REQUIRE(ok(), "Result::value: no value (status not Ok)");
+    return value_;
+  }
+  T& value() & {
+    LDS_REQUIRE(ok(), "Result::value: no value (status not Ok)");
+    return value_;
+  }
+  T&& value() && {
+    LDS_REQUIRE(ok(), "Result::value: no value (status not Ok)");
+    return std::move(value_);
+  }
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace lds

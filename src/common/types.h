@@ -72,6 +72,34 @@ struct Tag {
 /// The initial tag t0 associated with the distinguished initial value v0.
 inline constexpr Tag kTag0{0, 0};
 
+/// Typed version token of the client API: a Tag plus a "known" marker.  Puts
+/// and gets return a Version; conditional puts (put_if_version) take one.
+/// Tags order versions totally (Section III), so Version comparisons are
+/// tag-major; an unknown Version (default-constructed) orders below every
+/// known one and never matches a stored tag in a conditional put.
+class Version {
+ public:
+  constexpr Version() = default;
+  constexpr explicit Version(Tag t) : tag_(t), known_(true) {}
+
+  constexpr bool known() const { return known_; }
+  constexpr Tag tag() const { return tag_; }
+
+  friend constexpr auto operator<=>(const Version& a, const Version& b) {
+    if (auto c = a.known_ <=> b.known_; c != 0) return c;
+    return a.tag_ <=> b.tag_;
+  }
+  friend constexpr bool operator==(const Version&, const Version&) = default;
+
+  std::string to_string() const {
+    return known_ ? tag_.to_string() : std::string("unknown");
+  }
+
+ private:
+  Tag tag_{};
+  bool known_ = false;
+};
+
 struct TagHash {
   std::size_t operator()(const Tag& t) const noexcept {
     return std::hash<std::uint64_t>()(t.z * 0x9e3779b97f4a7c15ull ^

@@ -12,7 +12,7 @@
 #include "baselines/cas.h"
 #include "common/rng.h"
 #include "lds/cluster.h"
-#include "store/store_service.h"
+#include "store/client.h"
 
 namespace lds::harness {
 
@@ -92,7 +92,7 @@ struct ShardEnv {
   /// One history per verification domain: a single cluster for lds/abd/cas,
   /// one per store shard for the store backend.
   std::vector<const History*> histories;
-  std::function<void(std::size_t, ObjectId, Bytes, std::function<void()>)>
+  std::function<void(std::size_t, ObjectId, Value, std::function<void()>)>
       write;
   std::function<void(std::size_t, ObjectId, std::function<void()>)> read;
   /// Injects one server crash if the failure budget allows; returns whether
@@ -151,7 +151,7 @@ ShardEnv make_lds_env(const StressOptions& opt, std::uint64_t shard_seed) {
   env.sim = &cluster->sim();
   env.histories.push_back(&cluster->history());
   env.repairs = &faults->repairs_done;
-  env.write = [cluster](std::size_t w, ObjectId obj, Bytes v,
+  env.write = [cluster](std::size_t w, ObjectId obj, Value v,
                         std::function<void()> done) {
     cluster->writer(w).write(obj, std::move(v),
                              [done = std::move(done)](Tag) { done(); });
@@ -159,7 +159,7 @@ ShardEnv make_lds_env(const StressOptions& opt, std::uint64_t shard_seed) {
   env.read = [cluster](std::size_t r, ObjectId obj,
                        std::function<void()> done) {
     cluster->reader(r).read(
-        obj, [done = std::move(done)](Tag, Bytes) { done(); });
+        obj, [done = std::move(done)](Tag, const Value&) { done(); });
   };
 
   // Repair churn: replace the crashed server, then regenerate each object in
@@ -242,7 +242,7 @@ ShardEnv make_single_layer_env(std::shared_ptr<Cluster> cluster,
   ShardEnv env;
   env.sim = &cluster->sim();
   env.histories.push_back(&cluster->history());
-  env.write = [cluster](std::size_t w, ObjectId obj, Bytes v,
+  env.write = [cluster](std::size_t w, ObjectId obj, Value v,
                         std::function<void()> done) {
     cluster->writer(w).write(obj, std::move(v),
                              [done = std::move(done)](Tag) { done(); });
@@ -250,7 +250,7 @@ ShardEnv make_single_layer_env(std::shared_ptr<Cluster> cluster,
   env.read = [cluster](std::size_t r, ObjectId obj,
                        std::function<void()> done) {
     cluster->reader(r).read(
-        obj, [done = std::move(done)](Tag, Bytes) { done(); });
+        obj, [done = std::move(done)](Tag, const Value&) { done(); });
   };
   env.try_crash = [cluster, down, down_count, n, budget](Rng& rng) {
     if (*down_count >= budget) return false;
@@ -329,21 +329,24 @@ store::StoreOptions make_store_options(const StressOptions& opt,
 ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
   const store::StoreOptions sopt = make_store_options(opt, shard_seed);
   auto service = std::make_shared<store::StoreService>(sopt);
+  // All client traffic goes through the unified store::Client facade; the
+  // raw service stays for introspection (histories, metrics, injection).
+  auto client = std::make_shared<store::Client>(*service);
 
   ShardEnv env;
   env.sim = &service->sim();
   for (std::size_t s = 0; s < service->num_shards(); ++s) {
     env.histories.push_back(&service->shard_history(s));
   }
-  env.write = [service](std::size_t, ObjectId obj, Bytes v,
-                        std::function<void()> done) {
-    service->put("key-" + std::to_string(obj), std::move(v),
-                 [done = std::move(done)](const store::PutResult&) { done(); });
-  };
-  env.read = [service](std::size_t, ObjectId obj,
+  env.write = [client](std::size_t, ObjectId obj, Value v,
                        std::function<void()> done) {
-    service->get("key-" + std::to_string(obj),
-                 [done = std::move(done)](const store::GetResult&) { done(); });
+    client->put("key-" + std::to_string(obj), std::move(v),
+                [done = std::move(done)](const store::PutResult&) { done(); });
+  };
+  env.read = [client](std::size_t, ObjectId obj,
+                      std::function<void()> done) {
+    client->get("key-" + std::to_string(obj),
+                [done = std::move(done)](const store::GetResult&) { done(); });
   };
   env.try_crash = [service, shards = opt.store_shards](Rng& rng) {
     // Random starting shard, then first shard with remaining budget.
@@ -365,7 +368,11 @@ ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
     rep.batches = service->metrics().counter_total("batches");
     rep.coalesced = service->metrics().counter_total("puts_coalesced");
   };
-  env.keepalive = service;
+  struct Keep {
+    std::shared_ptr<store::StoreService> service;
+    std::shared_ptr<store::Client> client;
+  };
+  env.keepalive = std::make_shared<Keep>(Keep{service, client});
   return env;
 }
 
@@ -534,6 +541,7 @@ StressReport run_parallel_store(const StressOptions& opt,
   sopt.engine_mode = net::EngineMode::Parallel;
   sopt.engine_threads = opt.threads;
   store::StoreService svc(sopt);
+  store::Client client(svc);
 
   struct Chain {
     Rng rng{1};
@@ -582,10 +590,10 @@ StressReport run_parallel_store(const StressOptions& opt,
       issue(c);
     };
     if (c->reader) {
-      svc.get(key, [done](const store::GetResult&) { done(); });
+      client.get(key, [done](const store::GetResult&) { done(); });
     } else {
-      svc.put(key, c->rng.bytes(opt.value_size),
-              [done](const store::PutResult&) { done(); });
+      client.put(key, c->rng.bytes(opt.value_size),
+                 [done](const store::PutResult&) { done(); });
     }
   };
   for (auto& c : chains) issue(c.get());

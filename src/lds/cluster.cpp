@@ -64,6 +64,14 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
         *net_, ctx_, kReaderIdBase + static_cast<NodeId>(r), &history_,
         opt_.read_consistency));
   }
+  // Regular-consistency pool (Section VI extension): ids follow the atomic
+  // readers' block so both pools stay within the reader id range.
+  for (std::size_t r = 0; r < opt_.regular_readers; ++r) {
+    regular_readers_.push_back(std::make_unique<Reader>(
+        *net_, ctx_,
+        kReaderIdBase + static_cast<NodeId>(opt_.readers + r), &history_,
+        ReadConsistency::Regular));
+  }
 }
 
 ServerL2& LdsCluster::replace_l2(std::size_t i) {
@@ -77,7 +85,7 @@ ServerL2& LdsCluster::replace_l2(std::size_t i) {
 }
 
 void LdsCluster::write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
-                          Bytes value, Writer::Callback cb) {
+                          Value value, Writer::Callback cb) {
   Writer* w = writers_.at(writer_idx).get();
   sim_->at(t, [w, obj, value = std::move(value), cb = std::move(cb)]() mutable {
     w->write(obj, std::move(value), std::move(cb));
@@ -92,7 +100,7 @@ void LdsCluster::read_at(net::SimTime t, std::size_t reader_idx, ObjectId obj,
   });
 }
 
-Tag LdsCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
+Tag LdsCluster::write_sync(std::size_t writer_idx, ObjectId obj, Value value) {
   bool done = false;
   Tag tag;
   writers_.at(writer_idx)
@@ -106,12 +114,12 @@ Tag LdsCluster::write_sync(std::size_t writer_idx, ObjectId obj, Bytes value) {
   return tag;
 }
 
-std::pair<Tag, Bytes> LdsCluster::read_sync(std::size_t reader_idx,
+std::pair<Tag, Value> LdsCluster::read_sync(std::size_t reader_idx,
                                             ObjectId obj) {
   bool done = false;
   Tag tag;
-  Bytes value;
-  readers_.at(reader_idx)->read(obj, [&](Tag t, Bytes v) {
+  Value value;
+  readers_.at(reader_idx)->read(obj, [&](Tag t, Value v) {
     done = true;
     tag = t;
     value = std::move(v);

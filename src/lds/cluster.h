@@ -39,6 +39,11 @@ class LdsCluster {
     /// Consistency level of this cluster's readers (Atomic = the paper's
     /// LDS; Regular = the Section-VI extension without put-tag).
     ReadConsistency read_consistency = ReadConsistency::Atomic;
+    /// Additional dedicated Regular-consistency readers (the store's
+    /// ReadMode::Regular pool); 0 = none.  Their ids follow the atomic
+    /// readers' block.  Histories mixing regular reads must be verified
+    /// with History::check_regularity.
+    std::size_t regular_readers = 0;
     /// Execution engine + lane this cluster schedules onto (see
     /// net/engine.h).  When null, the cluster owns a single-lane SimEngine.
     /// Under a ParallelEngine the whole cluster is confined to `lane`.
@@ -65,6 +70,7 @@ class LdsCluster {
 
   Writer& writer(std::size_t i) { return *writers_.at(i); }
   Reader& reader(std::size_t i) { return *readers_.at(i); }
+  Reader& regular_reader(std::size_t i) { return *regular_readers_.at(i); }
   ServerL1& l1(std::size_t j) { return *l1_.at(j); }
   ServerL2& l2(std::size_t i) { return *l2_.at(i); }
   std::size_t num_writers() const { return writers_.size(); }
@@ -84,16 +90,16 @@ class LdsCluster {
 
   /// Schedule an operation invocation at simulation time t (>= now).
   void write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
-                Bytes value, Writer::Callback cb = {});
+                Value value, Writer::Callback cb = {});
   void read_at(net::SimTime t, std::size_t reader_idx, ObjectId obj,
                Reader::Callback cb = {});
 
   /// Invoke a write now and run the simulation until it completes.
   /// Returns the tag it wrote.  Aborts if the simulation drains first.
-  Tag write_sync(std::size_t writer_idx, ObjectId obj, Bytes value);
+  Tag write_sync(std::size_t writer_idx, ObjectId obj, Value value);
 
   /// Invoke a read now and run the simulation until it completes.
-  std::pair<Tag, Bytes> read_sync(std::size_t reader_idx, ObjectId obj);
+  std::pair<Tag, Value> read_sync(std::size_t reader_idx, ObjectId obj);
 
   /// Run until no events remain; returns events executed.  With an external
   /// simulator this drains the *shared* queue, i.e. every attached cluster.
@@ -114,6 +120,7 @@ class LdsCluster {
   std::vector<std::unique_ptr<ServerL2>> l2_;
   std::vector<std::unique_ptr<Writer>> writers_;
   std::vector<std::unique_ptr<Reader>> readers_;
+  std::vector<std::unique_ptr<Reader>> regular_readers_;
 };
 
 /// Node-id layout used by LdsCluster (stable, documented for tests):

@@ -22,7 +22,7 @@ std::size_t History::on_invoke(OpId id, OpKind kind, ObjectId obj,
 }
 
 void History::on_response(std::size_t index, net::SimTime t, Tag tag,
-                          Bytes value) {
+                          Value value) {
   LDS_REQUIRE(index < ops_.size(), "History::on_response: bad index");
   OpRecord& rec = ops_[index];
   LDS_CHECK(!rec.complete, "History::on_response: duplicate response");
@@ -32,7 +32,7 @@ void History::on_response(std::size_t index, net::SimTime t, Tag tag,
   rec.value = std::move(value);
 }
 
-void History::set_payload(std::size_t index, Tag tag, Bytes value) {
+void History::set_payload(std::size_t index, Tag tag, Value value) {
   LDS_REQUIRE(index < ops_.size(), "History::set_payload: bad index");
   ops_[index].tag = tag;
   ops_[index].value = std::move(value);

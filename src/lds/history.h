@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slice.h"
 #include "common/types.h"
 #include "net/sim.h"
 
@@ -37,7 +38,7 @@ struct OpRecord {
   net::SimTime responded = 0;
   bool complete = false;
   Tag tag;      ///< tag(pi): write tag, or tag whose value the read returned
-  Bytes value;  ///< value written / value returned
+  Value value;  ///< value written / value returned (shared handle, not a copy)
 };
 
 class History {
@@ -45,13 +46,13 @@ class History {
   /// Record an invocation; returns the index used by on_response.
   std::size_t on_invoke(OpId id, OpKind kind, ObjectId obj, NodeId client,
                         net::SimTime t);
-  void on_response(std::size_t index, net::SimTime t, Tag tag, Bytes value);
+  void on_response(std::size_t index, net::SimTime t, Tag tag, Value value);
 
   /// Record a write's chosen (tag, value) at put-data time, before it is
   /// known whether the write will complete.  Needed for P3: a read may
   /// legitimately return the value of a write that never completed (e.g. the
   /// writer crashed after the value reached the servers).
-  void set_payload(std::size_t index, Tag tag, Bytes value);
+  void set_payload(std::size_t index, Tag tag, Value value);
 
   const std::vector<OpRecord>& ops() const { return ops_; }
 

@@ -13,6 +13,7 @@
 
 #include <variant>
 
+#include "common/slice.h"
 #include "common/types.h"
 #include "net/network.h"
 
@@ -28,10 +29,13 @@ struct TagResp {
   Tag tag;
 };
 
-/// put-data (Fig. 1, writer): PUT-DATA (tw, v).
+/// put-data (Fig. 1, writer): PUT-DATA (tw, v).  The value is a shared
+/// handle: the writer's n1-way fan-out and every server's list entry
+/// reference ONE buffer (cost accounting still charges each message the
+/// full |v| — the refcount is a simulator artifact, not a protocol one).
 struct PutData {
   Tag tag;
-  Bytes value;
+  Value value;
 };
 
 /// ACK to the writer of `tag` (sent from put-data-resp or broadcast-resp).
@@ -52,10 +56,11 @@ struct QueryData {
   Tag treq;
 };
 
-/// A (tag, value) response to a reader (from the list L).
+/// A (tag, value) response to a reader (from the list L); shares the
+/// server-side buffer.
 struct DataRespValue {
   Tag tag;
-  Bytes value;
+  Value value;
 };
 
 /// A (tag, coded-element) response to a reader, produced by an internal

@@ -39,7 +39,7 @@ void Reader::read(ObjectId obj, Callback cb) {
   responders_.clear();
   have_value_ = false;
   best_value_tag_ = kTag0;
-  best_value_.clear();
+  best_value_ = Value();
   coded_.clear();
   if (history_ != nullptr) {
     history_index_ =

@@ -34,7 +34,10 @@ enum class ReadConsistency : std::uint8_t { Atomic, Regular };
 
 class Reader final : public net::Node {
  public:
-  using Callback = std::function<void(Tag, Bytes)>;
+  /// The returned value is a shared handle; lambdas taking `const Bytes&`
+  /// (or `Bytes`, at the cost of one copy) keep working via Value's
+  /// implicit view conversion.
+  using Callback = std::function<void(Tag, Value)>;
 
   Reader(net::Network& net, std::shared_ptr<const LdsContext> ctx, NodeId id,
          History* history = nullptr,
@@ -74,12 +77,12 @@ class Reader final : public net::Node {
   // Value candidates: best (max-tag) (tag, value) seen so far.
   bool have_value_ = false;
   Tag best_value_tag_;
-  Bytes best_value_;
+  Value best_value_;
   // Coded candidates per tag: (code coordinate, element) lists.
   std::map<Tag, std::vector<codes::IndexedBytes>> coded_;
 
   Tag result_tag_;
-  Bytes result_value_;
+  Value result_value_;
 };
 
 }  // namespace lds::core

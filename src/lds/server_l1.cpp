@@ -51,7 +51,7 @@ std::size_t ServerL1::registered_readers(ObjectId obj) const {
 
 // ---- list mutation with storage accounting ----------------------------------
 
-void ServerL1::list_put(ObjectState& st, Tag t, std::optional<Bytes> v) {
+void ServerL1::list_put(ObjectState& st, Tag t, std::optional<Value> v) {
   auto it = st.list.find(t);
   if (it != st.list.end()) {
     const std::uint64_t old_bytes =
@@ -197,7 +197,9 @@ void ServerL1::commit_tag(ObjectId obj, OpId op, Tag t) {
     garbage_collect(obj);
     return;
   }
-  const Bytes value = *it->second;  // copy: serving + GC may mutate the list
+  // Handle copy (refcount bump): serving + GC may erase the list entry, but
+  // the shared buffer outlives it.
+  const Value value = *it->second;
   serve_registered(obj, t, value);
   garbage_collect(obj);
   // Attribute the internal write-to-L2 to the originating write operation
@@ -209,7 +211,7 @@ void ServerL1::commit_tag(ObjectId obj, OpId op, Tag t) {
   write_to_l2(obj, write_op, t, value);
 }
 
-void ServerL1::serve_registered(ObjectId obj, Tag t, const Bytes& value) {
+void ServerL1::serve_registered(ObjectId obj, Tag t, const Value& value) {
   ObjectState& st = object(obj);
   auto it = st.gamma.begin();
   while (it != st.gamma.end()) {
@@ -231,7 +233,7 @@ void ServerL1::garbage_collect(ObjectId obj) {
 }
 
 void ServerL1::write_to_l2(ObjectId obj, OpId op, Tag tag,
-                           const Bytes& value) {
+                           const Value& value) {
   // Fig. 2 lines 20-23: encode with C2 and send each coordinate to its L2
   // server.  The element for L2 server i is coordinate n1 + i of C.
   const auto& elems = ctx_->encoded_elements(obj, tag, value);
@@ -374,7 +376,7 @@ void ServerL1::put_tag_resp(ObjectId obj, OpId op, NodeId reader,
       st.tc = m.tag;
       list_put(st, m.tag, std::nullopt);
       Tag tbar = kTag0;
-      const Bytes* vbar = nullptr;
+      const Value* vbar = nullptr;
       for (auto lit = st.list.rbegin(); lit != st.list.rend(); ++lit) {
         if (lit->first < st.tc && lit->second.has_value()) {
           tbar = lit->first;
@@ -383,7 +385,7 @@ void ServerL1::put_tag_resp(ObjectId obj, OpId op, NodeId reader,
         }
       }
       if (vbar != nullptr) {
-        const Bytes value = *vbar;  // copy: serving mutates gamma, GC the list
+        const Value value = *vbar;  // handle copy: serving mutates gamma
         serve_registered(obj, tbar, value);
       }
       garbage_collect(obj);

@@ -77,8 +77,10 @@ class ServerL1 final : public net::Node {
   };
 
   struct ObjectState {
-    // L: ordered map tag -> optional value; nullopt encodes bot.
-    std::map<Tag, std::optional<Bytes>> list;
+    // L: ordered map tag -> optional value; nullopt encodes bot.  Values are
+    // shared handles: the entry references the same buffer the PUT-DATA
+    // message (and every peer server's entry) carries.
+    std::map<Tag, std::optional<Value>> list;
     Tag tc = kTag0;
     std::vector<GammaEntry> gamma;
     std::map<Tag, std::size_t> commit_counter;
@@ -95,7 +97,7 @@ class ServerL1 final : public net::Node {
   void get_tag_resp(ObjectId obj, OpId op, NodeId writer);
   void put_data_resp(ObjectId obj, OpId op, NodeId writer, const PutData& m);
   void broadcast_resp(ObjectId obj, OpId op, const CommitTag& m);
-  void write_to_l2(ObjectId obj, OpId op, Tag tag, const Bytes& value);
+  void write_to_l2(ObjectId obj, OpId op, Tag tag, const Value& value);
   void write_to_l2_complete(ObjectId obj, const AckCodeElem& m);
   void get_committed_tag_resp(ObjectId obj, OpId op, NodeId reader);
   void get_data_resp(ObjectId obj, OpId op, NodeId reader, const QueryData& m);
@@ -110,13 +112,13 @@ class ServerL1 final : public net::Node {
   void commit_tag(ObjectId obj, OpId op, Tag t);
 
   /// Serve and unregister every gamma entry with treq <= t (value known).
-  void serve_registered(ObjectId obj, Tag t, const Bytes& value);
+  void serve_registered(ObjectId obj, Tag t, const Value& value);
 
   /// Replace (t', v) with (t', bot) for every t' < tc (Fig. 2 lines 18, 65).
   void garbage_collect(ObjectId obj);
 
   // List mutation helpers that keep the storage gauge consistent.
-  void list_put(ObjectState& st, Tag t, std::optional<Bytes> v);
+  void list_put(ObjectState& st, Tag t, std::optional<Value> v);
   void list_blank(ObjectState& st, Tag t);
 
   void bcast_commit(ObjectId obj, OpId op, Tag tag);

@@ -12,7 +12,7 @@ void Writer::send_to_l1(const LdsBody& body) {
   }
 }
 
-void Writer::write(ObjectId obj, Bytes value, Callback cb) {
+void Writer::write(ObjectId obj, Value value, Callback cb) {
   LDS_REQUIRE(!busy(), "Writer: client must be well-formed (one op at a time)");
   LDS_REQUIRE(!crashed(), "Writer: crashed client cannot invoke");
   phase_ = Phase::GetTag;

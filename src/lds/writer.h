@@ -25,8 +25,9 @@ class Writer final : public net::Node {
          History* history = nullptr);
 
   /// Invoke a write operation (asynchronous; `cb` fires at the response
-  /// step).  Requires no operation in progress.
-  void write(ObjectId obj, Bytes value, Callback cb = {});
+  /// step).  Requires no operation in progress.  The value is an immutable
+  /// shared handle; Bytes arguments convert (moving, not copying).
+  void write(ObjectId obj, Value value, Callback cb = {});
 
   bool busy() const { return phase_ != Phase::Idle; }
   std::uint32_t ops_started() const { return seq_; }
@@ -45,7 +46,7 @@ class Writer final : public net::Node {
   std::uint32_t seq_ = 0;
   OpId op_ = kNoOp;
   ObjectId obj_ = 0;
-  Bytes value_;
+  Value value_;
   Callback cb_;
   std::size_t history_index_ = 0;
   Tag max_tag_;

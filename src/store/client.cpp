@@ -1,0 +1,247 @@
+#include "store/client.h"
+
+#include "common/assert.h"
+#include "common/format.h"
+#include "store/async_util.h"
+
+namespace lds::store {
+
+namespace {
+
+std::string deadline_msg(double deadline) {
+  return "deadline " + fmt_double(deadline) + " expired";
+}
+
+}  // namespace
+
+/// One logical put (plain or conditional).  Everything that touches the op
+/// after submission — deadline timer, retries, completion — runs on the
+/// key's shard lane, so `settled` is the only cross-lane rendezvous (the
+/// caller of a sync wrapper reads the result after its own synchronization).
+struct Client::PutOp {
+  std::atomic<bool> settled{false};
+  PutCallback cb;
+
+  /// First settle wins: returns true when this caller should complete.
+  bool settle() { return !settled.exchange(true, std::memory_order_acq_rel); }
+};
+
+struct Client::GetOp {
+  std::atomic<bool> settled{false};
+  GetCallback cb;
+
+  bool settle() { return !settled.exchange(true, std::memory_order_acq_rel); }
+};
+
+// ---- puts (plain and conditional share one deadline/retry driver) -----------
+
+void Client::put(const std::string& key, Value value, PutCallback cb,
+                 OpOptions opts) {
+  run_put_op(key, std::move(value), opts, std::move(cb),
+             [this](const std::string& k, Value v,
+                    StoreService::PutCallback pcb) {
+               svc_->put(k, std::move(v), std::move(pcb));
+             });
+}
+
+void Client::put_if_version(const std::string& key, Value value,
+                            Version expected, PutCallback cb, OpOptions opts) {
+  run_put_op(key, std::move(value), opts, std::move(cb),
+             [this, expected](const std::string& k, Value v,
+                              StoreService::PutCallback pcb) {
+               svc_->put_if(k, std::move(v), expected, std::move(pcb));
+             });
+}
+
+void Client::run_put_op(const std::string& key, Value value, OpOptions opts,
+                        PutCallback cb, PutSubmit submit) {
+  if (closed()) {
+    if (cb) cb(PutResult::failure(Status::Unavailable("client closed")));
+    return;
+  }
+  if (key.empty()) {
+    if (cb) cb(PutResult::failure(Status::InvalidArgument("empty key")));
+    return;
+  }
+  auto op = std::make_shared<PutOp>();
+  op->cb = std::move(cb);
+  const std::size_t lane = lane_of_key(key);
+  // Hop to the shard's lane first: the deadline timer must be armed with
+  // after_here on the lane whose clock the operation runs against.
+  svc_->engine().post(lane, [this, key, value = std::move(value), opts, op,
+                             submit = std::make_shared<PutSubmit>(
+                                 std::move(submit))]() mutable {
+    if (opts.deadline > 0) {
+      svc_->engine().after_here(opts.deadline, [op, opts] {
+        if (!op->settle()) return;
+        if (op->cb) {
+          op->cb(PutResult::failure(
+              Status::DeadlineExceeded(deadline_msg(opts.deadline))));
+        }
+      });
+    }
+    attempt_put_op(key, std::move(value), opts, std::move(op), 1,
+                   opts.retry.backoff, std::move(submit));
+  });
+}
+
+void Client::attempt_put_op(const std::string& key, Value value,
+                            OpOptions opts, std::shared_ptr<PutOp> op,
+                            std::size_t attempt, double backoff,
+                            std::shared_ptr<PutSubmit> submit) {
+  // The value is a shared handle, so keeping a copy for a potential retry
+  // costs a refcount, not a payload copy.
+  (*submit)(key, value, [this, key, value, opts, op, attempt, backoff,
+                         submit](const PutResult& r) mutable {
+    if (op->settled.load(std::memory_order_acquire)) return;  // deadline won
+    if (!r.ok && opts.retry.retriable(r.status) &&
+        attempt < opts.retry.max_attempts) {
+      svc_->engine().after_here(backoff, [this, key, value = std::move(value),
+                                          opts, op = std::move(op), attempt,
+                                          backoff,
+                                          submit = std::move(submit)]() mutable {
+        if (op->settled.load(std::memory_order_acquire)) return;
+        attempt_put_op(key, std::move(value), opts, std::move(op), attempt + 1,
+                       backoff * opts.retry.backoff_multiplier,
+                       std::move(submit));
+      });
+      return;
+    }
+    if (!op->settle()) return;
+    if (op->cb) op->cb(r);
+  });
+}
+
+// ---- gets -------------------------------------------------------------------
+
+void Client::get(const std::string& key, GetCallback cb, OpOptions opts) {
+  if (closed()) {
+    if (cb) cb(GetResult::failure(Status::Unavailable("client closed")));
+    return;
+  }
+  if (key.empty()) {
+    if (cb) cb(GetResult::failure(Status::InvalidArgument("empty key")));
+    return;
+  }
+  auto op = std::make_shared<GetOp>();
+  op->cb = std::move(cb);
+  const std::size_t lane = lane_of_key(key);
+  svc_->engine().post(lane, [this, key, opts, op]() mutable {
+    if (opts.deadline > 0) {
+      svc_->engine().after_here(opts.deadline, [op, opts] {
+        if (!op->settle()) return;
+        if (op->cb) {
+          op->cb(GetResult::failure(
+              Status::DeadlineExceeded(deadline_msg(opts.deadline))));
+        }
+      });
+    }
+    svc_->get(
+        key,
+        [op](const GetResult& r) {
+          if (!op->settle()) return;  // deadline won; drop the late result
+          if (op->cb) op->cb(r);
+        },
+        opts.read_mode);
+  });
+}
+
+// ---- multi-key scatter-gather -----------------------------------------------
+
+void Client::multi_get(std::vector<std::string> keys, MultiGetCallback cb,
+                       OpOptions opts) {
+  LDS_REQUIRE(cb != nullptr, "Client::multi_get: null callback");
+  if (keys.empty()) {  // fire exactly once — an empty gather never completes
+    cb({});
+    return;
+  }
+  auto gather = detail::make_gather<GetResult>(keys.size(), std::move(cb));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    get(keys[i],
+        [gather, i](const GetResult& r) {
+          detail::gather_finish(gather, i, r);
+        },
+        opts);
+  }
+}
+
+void Client::multi_put(std::vector<KeyValue> entries, MultiPutCallback cb,
+                       OpOptions opts) {
+  LDS_REQUIRE(cb != nullptr, "Client::multi_put: null callback");
+  if (entries.empty()) {
+    cb({});
+    return;
+  }
+  auto gather = detail::make_gather<PutResult>(entries.size(), std::move(cb));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    put(entries[i].key, std::move(entries[i].value),
+        [gather, i](const PutResult& r) {
+          detail::gather_finish(gather, i, r);
+        },
+        opts);
+  }
+}
+
+// ---- sync wrappers ----------------------------------------------------------
+
+using detail::run_op_sync;
+
+Result<Version> Client::put_sync(const std::string& key, Value value,
+                                 OpOptions opts) {
+  const PutResult r = run_op_sync<PutResult>(
+      svc_->engine(), svc_->parallel(),
+      "Client::put_sync: simulation drained before completion",
+      [&](auto done) {
+        put(key, std::move(value),
+            [done = std::move(done)](const PutResult& pr) { done(pr); },
+            opts);
+      });
+  if (!r.ok) return r.status;
+  return r.version;
+}
+
+Result<VersionedValue> Client::get_sync(const std::string& key,
+                                        OpOptions opts) {
+  const GetResult r = run_op_sync<GetResult>(
+      svc_->engine(), svc_->parallel(),
+      "Client::get_sync: simulation drained before completion",
+      [&](auto done) {
+        get(key, [done = std::move(done)](const GetResult& gr) { done(gr); },
+            opts);
+      });
+  if (!r.ok) return r.status;
+  return VersionedValue{r.version, r.value};
+}
+
+Result<Version> Client::put_if_version_sync(const std::string& key,
+                                            Value value, Version expected,
+                                            OpOptions opts) {
+  const PutResult r = run_op_sync<PutResult>(
+      svc_->engine(), svc_->parallel(),
+      "Client::put_if_version_sync: simulation drained before completion",
+      [&](auto done) {
+        put_if_version(
+            key, std::move(value), expected,
+            [done = std::move(done)](const PutResult& pr) { done(pr); }, opts);
+      });
+  if (!r.ok) return r.status;
+  return r.version;
+}
+
+std::vector<GetResult> Client::multi_get_sync(std::vector<std::string> keys,
+                                              OpOptions opts) {
+  return run_op_sync<std::vector<GetResult>>(
+      svc_->engine(), svc_->parallel(),
+      "Client::multi_get_sync: simulation drained before completion",
+      [&](auto done) { multi_get(std::move(keys), std::move(done), opts); });
+}
+
+std::vector<PutResult> Client::multi_put_sync(std::vector<KeyValue> entries,
+                                              OpOptions opts) {
+  return run_op_sync<std::vector<PutResult>>(
+      svc_->engine(), svc_->parallel(),
+      "Client::multi_put_sync: simulation drained before completion",
+      [&](auto done) { multi_put(std::move(entries), std::move(done), opts); });
+}
+
+}  // namespace lds::store

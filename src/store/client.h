@@ -1,0 +1,146 @@
+// store::Client — the documented client entry point of the LDS store.
+//
+// A thin facade over StoreService that adds the cross-cutting per-operation
+// concerns the service itself keeps out of its hot path:
+//
+//   * OpOptions::deadline — an engine-clock budget per logical operation.
+//     The client arms a timer ON THE KEY'S SHARD LANE (Engine::after_here),
+//     so expiry is lane-safe in both Deterministic and Parallel modes: the
+//     timer, the completion callback and any retry all run on one lane and
+//     race only through the op's settled flag.  When the timer wins, the
+//     caller gets DeadlineExceeded; the underlying protocol op (if any) is
+//     left to finish and its late result is dropped.
+//   * OpOptions::retry — bounded retries with exponential backoff for
+//     transient AdmissionReject failures, scheduled in engine time so a
+//     deterministic run replays bit-identically.
+//   * OpOptions::read_mode — Atomic (default) or Regular consistency
+//     (Section VI extension; LDS shards with a provisioned regular pool).
+//   * Typed versions — puts return the Version they committed; gets return
+//     the Version they observed; put_if_version commits only against an
+//     expected Version (Aborted on mismatch).
+//   * Status-returning sync wrappers — Result<Version> / Result<
+//     VersionedValue> in the RocksDB Status idiom (common/status.h).
+//
+// Values are zero-copy handles end to end: the buffer a caller puts is the
+// buffer the batch window queues, the writer fans out, and the L1 servers
+// store (common/slice.h).
+//
+// Thread-safety follows the service: Deterministic mode is single-threaded
+// with inline callbacks; Parallel mode accepts calls from any thread and
+// fires callbacks on the owning shard's lane.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/store_service.h"
+
+namespace lds::store {
+
+/// Bounded retry with exponential backoff, in engine-time units.  Only
+/// transient failures retry (today: AdmissionReject); semantic outcomes
+/// (NotFound, Aborted) and expired deadlines never do.
+struct RetryPolicy {
+  std::size_t max_attempts = 1;  ///< total attempts; 1 = no retry
+  double backoff = 0.5;          ///< delay before the first retry
+  double backoff_multiplier = 2.0;
+
+  bool retriable(const Status& s) const {
+    return s.is(StatusCode::kAdmissionReject);
+  }
+};
+
+/// Per-operation options.  Defaults mean: no deadline, no retry, atomic
+/// reads — i.e. exactly the raw StoreService behavior.
+struct OpOptions {
+  /// Engine-clock budget for the whole operation, retries included;
+  /// 0 = unbounded.  Expiry completes the op with DeadlineExceeded.
+  double deadline = 0;
+  RetryPolicy retry;
+  ReadMode read_mode = ReadMode::Atomic;
+};
+
+/// A get's payload with the version that produced it.
+struct VersionedValue {
+  Version version;
+  Value value;
+};
+
+class Client {
+ public:
+  using PutCallback = StoreService::PutCallback;
+  using GetCallback = StoreService::GetCallback;
+  using MultiGetCallback = StoreService::MultiGetCallback;
+  using MultiPutCallback = StoreService::MultiPutCallback;
+
+  /// The service must outlive the client.
+  explicit Client(StoreService& service) : svc_(&service) {}
+
+  // ---- async API ------------------------------------------------------------
+  void put(const std::string& key, Value value, PutCallback cb,
+           OpOptions opts = {});
+  void get(const std::string& key, GetCallback cb, OpOptions opts = {});
+  /// Conditional put: commits iff the key's current version equals
+  /// `expected` (Aborted otherwise, carrying the observed version).  A
+  /// never-written key matches Version(kTag0) — "create if absent".
+  void put_if_version(const std::string& key, Value value, Version expected,
+                      PutCallback cb, OpOptions opts = {});
+  /// Scatter-gather over shards; results in input order; an empty input
+  /// fires the callback once with an empty vector.  `opts` apply to each
+  /// sub-operation independently.
+  void multi_get(std::vector<std::string> keys, MultiGetCallback cb,
+                 OpOptions opts = {});
+  void multi_put(std::vector<KeyValue> entries, MultiPutCallback cb,
+                 OpOptions opts = {});
+
+  // ---- sync wrappers (Status idiom) -----------------------------------------
+  // Deterministic mode drives the simulator until the op settles; Parallel
+  // mode blocks the calling thread.
+  Result<Version> put_sync(const std::string& key, Value value,
+                           OpOptions opts = {});
+  Result<VersionedValue> get_sync(const std::string& key, OpOptions opts = {});
+  Result<Version> put_if_version_sync(const std::string& key, Value value,
+                                      Version expected, OpOptions opts = {});
+  std::vector<GetResult> multi_get_sync(std::vector<std::string> keys,
+                                        OpOptions opts = {});
+  std::vector<PutResult> multi_put_sync(std::vector<KeyValue> entries,
+                                        OpOptions opts = {});
+
+  // ---- lifecycle ------------------------------------------------------------
+  /// After close(), every operation completes immediately with Unavailable.
+  /// In-flight operations are unaffected.  Idempotent, thread-safe.
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  StoreService& service() { return *svc_; }
+
+ private:
+  /// Mutable per-op coordination: lives on the op's lane; `settled` is
+  /// atomic only because multi-op gathers read results across lanes.
+  struct PutOp;
+  struct GetOp;
+  /// How one attempt of a put-like op is submitted to the service (plain
+  /// put, or put_if with a bound expected version).  Type-erased so the
+  /// deadline/retry driver exists once.
+  using PutSubmit =
+      std::function<void(const std::string&, Value, StoreService::PutCallback)>;
+
+  std::size_t lane_of_key(const std::string& key) const {
+    return svc_->shard_lane(svc_->router().shard_of(key));
+  }
+  /// Shared driver for put and put_if_version: closed/empty-key prechecks,
+  /// lane hop, deadline arming, bounded-backoff retries.
+  void run_put_op(const std::string& key, Value value, OpOptions opts,
+                  PutCallback cb, PutSubmit submit);
+  void attempt_put_op(const std::string& key, Value value, OpOptions opts,
+                      std::shared_ptr<PutOp> op, std::size_t attempt,
+                      double backoff, std::shared_ptr<PutSubmit> submit);
+
+  StoreService* svc_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace lds::store

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "store/async_util.h"
 
 namespace lds::store {
 
@@ -64,6 +65,7 @@ StoreService::StoreService(StoreOptions opt)
         copt.cfg.backend = sh->spec.code;
         copt.writers = opt_.writers_per_shard;
         copt.readers = opt_.readers_per_shard;
+        copt.regular_readers = opt_.regular_readers_per_shard;
         copt.latency = opt_.exponential_latency
                            ? core::LdsCluster::LatencyKind::Exponential
                            : core::LdsCluster::LatencyKind::Fixed;
@@ -114,6 +116,11 @@ StoreService::StoreService(StoreOptions opt)
     }
     for (std::size_t r = 0; r < opt_.readers_per_shard; ++r) {
       sh->free_readers.push_back(r);
+    }
+    if (sh->spec.protocol == ShardProtocol::Lds) {
+      for (std::size_t r = 0; r < opt_.regular_readers_per_shard; ++r) {
+        sh->free_regular_readers.push_back(r);
+      }
     }
     shards_.push_back(std::move(sh));
   }
@@ -201,7 +208,7 @@ ObjectId StoreService::intern(Shard& sh, std::size_t shard_idx,
 
 // ---- puts (batched) ---------------------------------------------------------
 
-void StoreService::put(const std::string& key, Bytes value, PutCallback cb) {
+void StoreService::put(const std::string& key, Value value, PutCallback cb) {
   const std::size_t s = router_.shard_of(key);
   Shard& sh = *shards_[s];
   // Admission + liveness accounting happen on the submitting thread, so a
@@ -212,7 +219,11 @@ void StoreService::put(const std::string& key, Bytes value, PutCallback cb) {
       opt_.admission_limit) {
     sh.puts_in_flight.fetch_sub(1, std::memory_order_acq_rel);
     metrics_.counter("puts_rejected", s).inc();
-    if (cb) cb(PutResult{false, Tag{}, "admission limit reached"});
+    if (cb) {
+      cb(PutResult::failure(Status::AdmissionReject(
+          "shard " + std::to_string(s) + " at limit " +
+          std::to_string(opt_.admission_limit))));
+    }
     return;
   }
   metrics_.counter("puts", s).inc();
@@ -231,7 +242,7 @@ void StoreService::put(const std::string& key, Bytes value, PutCallback cb) {
 }
 
 void StoreService::enqueue_put(std::size_t shard_idx, const std::string& key,
-                               Bytes value, PutCallback cb) {
+                               Value value, PutCallback cb) {
   Shard& sh = *shards_[shard_idx];
   const ObjectId obj = intern(sh, shard_idx, key);
 
@@ -251,6 +262,7 @@ void StoreService::enqueue_put(std::size_t shard_idx, const std::string& key,
     p.cbs.push_back(std::move(cb));
     p.submitted.push_back(sh.sim->now());
     sh.window.push_back(std::move(p));
+    ++sh.writes_in_flight[obj];  // one per cluster write, not per client put
   }
   ++sh.window_puts;
 
@@ -295,12 +307,17 @@ void StoreService::pump_puts(std::size_t shard_idx) {
 void StoreService::dispatch_put(std::size_t shard_idx, std::size_t writer,
                                 PendingPut p) {
   Shard& sh = *shards_[shard_idx];
-  Bytes value = std::move(p.value);
-  auto done = [this, shard_idx, writer, cbs = std::move(p.cbs),
+  Value value = std::move(p.value);
+  auto done = [this, shard_idx, writer, obj = p.obj, cbs = std::move(p.cbs),
                submitted = std::move(p.submitted)](Tag tag) {
     Shard& done_sh = *shards_[shard_idx];
     auto& latency = metrics_.histogram("put_latency", shard_idx);
-    const PutResult result{true, tag, {}};
+    const PutResult result = PutResult::success(tag);
+    // Conditional-put guards: the committed tag becomes visible to later
+    // verifications even when their read raced this write's completion.
+    --done_sh.writes_in_flight[obj];
+    Tag& committed = done_sh.last_committed[obj];
+    if (tag > committed) committed = tag;
     // Gauges drop before the callbacks run: a callback may wake a sync
     // waiter (or poll outstanding()) and must see itself completed.
     done_sh.puts_in_flight.fetch_sub(cbs.size(), std::memory_order_acq_rel);
@@ -320,29 +337,56 @@ void StoreService::dispatch_put(std::size_t shard_idx, std::size_t writer,
 
 // ---- gets -------------------------------------------------------------------
 
-void StoreService::get(const std::string& key, GetCallback cb) {
+void StoreService::get(const std::string& key, GetCallback cb, ReadMode mode) {
   const std::size_t s = router_.shard_of(key);
   Shard& sh = *shards_[s];
+  // Regular reads need an LDS shard with a provisioned pool; the shard spec
+  // is immutable, so this check is safe from any submitting thread.
+  if (mode == ReadMode::Regular &&
+      (sh.spec.protocol != ShardProtocol::Lds ||
+       opt_.regular_readers_per_shard == 0)) {
+    metrics_.counter("gets_invalid", s).inc();
+    if (cb) {
+      cb(GetResult::failure(Status::InvalidArgument(
+          "regular reads not provisioned on shard " + std::to_string(s))));
+    }
+    return;
+  }
   metrics_.counter("gets", s).inc();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   if (!parallel_) {
-    enqueue_get(s, key, std::move(cb));
+    enqueue_get(s, key, std::move(cb), mode);
     return;
   }
   engine_->hold(sh.lane);
-  engine_->post(sh.lane, [this, s, key, cb = std::move(cb)]() mutable {
-    enqueue_get(s, key, std::move(cb));
+  engine_->post(sh.lane, [this, s, key, cb = std::move(cb), mode]() mutable {
+    enqueue_get(s, key, std::move(cb), mode);
   });
 }
 
 void StoreService::enqueue_get(std::size_t shard_idx, const std::string& key,
-                               GetCallback cb) {
+                               GetCallback cb, ReadMode mode) {
   Shard& sh = *shards_[shard_idx];
+  const auto it = sh.objects.find(key);
+  if (it == sh.objects.end()) {
+    // Never written on this shard: NotFound without interning (probing reads
+    // must not grow per-shard state) and without a cluster round trip.
+    metrics_.counter("gets_not_found", shard_idx).inc();
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);  // before cb
+    if (cb) {
+      cb(GetResult::failure(Status::NotFound(
+          "key never written on shard " + std::to_string(shard_idx))));
+    }
+    engine_->release(sh.lane);  // no-op under the deterministic engine
+    return;
+  }
   PendingGet g;
-  g.obj = intern(sh, shard_idx, key);
+  g.obj = it->second;
   g.cb = std::move(cb);
   g.submitted = sh.sim->now();
-  sh.get_queue.push_back(std::move(g));
+  g.mode = mode;
+  (mode == ReadMode::Regular ? sh.regular_get_queue : sh.get_queue)
+      .push_back(std::move(g));
   pump_gets(shard_idx);
 }
 
@@ -355,57 +399,204 @@ void StoreService::pump_gets(std::size_t shard_idx) {
     sh.free_readers.pop_back();
     dispatch_get(shard_idx, r, std::move(g));
   }
+  while (!sh.regular_get_queue.empty() && !sh.free_regular_readers.empty()) {
+    PendingGet g = std::move(sh.regular_get_queue.front());
+    sh.regular_get_queue.pop_front();
+    const std::size_t r = sh.free_regular_readers.back();
+    sh.free_regular_readers.pop_back();
+    dispatch_get(shard_idx, r, std::move(g));
+  }
 }
 
 void StoreService::dispatch_get(std::size_t shard_idx, std::size_t reader,
                                 PendingGet g) {
   Shard& sh = *shards_[shard_idx];
   const ObjectId obj = g.obj;
-  auto done = [this, shard_idx, reader, cb = std::move(g.cb),
-               submitted = g.submitted](Tag tag, Bytes value) {
+  const ReadMode mode = g.mode;
+  const bool internal = g.internal;
+  auto done = [this, shard_idx, reader, mode, internal, cb = std::move(g.cb),
+               submitted = g.submitted](Tag tag, Value value) {
     Shard& done_sh = *shards_[shard_idx];
-    metrics_.histogram("get_latency", shard_idx)
-        .record(done_sh.sim->now() - submitted);
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);  // before cb, as above
-    if (cb) cb(GetResult{true, tag, std::move(value), {}});
-    engine_->release(done_sh.lane);
-    done_sh.free_readers.push_back(reader);
+    if (!internal) {
+      metrics_.histogram("get_latency", shard_idx)
+          .record(done_sh.sim->now() - submitted);
+      // Gauge drops before the callback runs, as in dispatch_put.
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    if (cb) cb(GetResult::success(tag, std::move(value)));
+    if (!internal) engine_->release(done_sh.lane);
+    (mode == ReadMode::Regular ? done_sh.free_regular_readers
+                               : done_sh.free_readers)
+        .push_back(reader);
     pump_gets(shard_idx);
   };
-  cluster_read(sh, reader, obj, std::move(done));
+  cluster_read(sh, reader, obj, std::move(done), mode);
+}
+
+// ---- conditional puts -------------------------------------------------------
+
+void StoreService::put_if(const std::string& key, Value value,
+                          Version expected, PutCallback cb) {
+  const std::size_t s = router_.shard_of(key);
+  Shard& sh = *shards_[s];
+  if (sh.puts_in_flight.fetch_add(1, std::memory_order_acq_rel) >=
+      opt_.admission_limit) {
+    sh.puts_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.counter("puts_rejected", s).inc();
+    if (cb) {
+      cb(PutResult::failure(Status::AdmissionReject(
+          "shard " + std::to_string(s) + " at limit " +
+          std::to_string(opt_.admission_limit))));
+    }
+    return;
+  }
+  metrics_.counter("puts_conditional", s).inc();
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!parallel_) {
+    enqueue_put_if(s, key, std::move(value), expected, std::move(cb));
+    return;
+  }
+  engine_->hold(sh.lane);
+  engine_->post(sh.lane, [this, s, key, value = std::move(value), expected,
+                          cb = std::move(cb)]() mutable {
+    enqueue_put_if(s, key, std::move(value), expected, std::move(cb));
+  });
+}
+
+void StoreService::finish_put(std::size_t shard_idx, const PutCallback& cb,
+                              const PutResult& r) {
+  Shard& sh = *shards_[shard_idx];
+  sh.puts_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  if (cb) cb(r);
+  engine_->release(sh.lane);
+}
+
+void StoreService::enqueue_put_if(std::size_t shard_idx,
+                                  const std::string& key, Value value,
+                                  Version expected, PutCallback cb) {
+  Shard& sh = *shards_[shard_idx];
+  const auto it = sh.objects.find(key);
+
+  // Queue the (now verified) write directly: conditional puts bypass the
+  // coalescing window so they are never absorbed and always return their
+  // own tag.
+  auto commit = [this, shard_idx](Value v, ObjectId obj, PutCallback pcb) {
+    Shard& csh = *shards_[shard_idx];
+    PendingPut p;
+    p.obj = obj;
+    p.value = std::move(v);
+    p.cbs.push_back(std::move(pcb));
+    p.submitted.push_back(csh.sim->now());
+    csh.put_queue.push_back(std::move(p));
+    ++csh.writes_in_flight[obj];  // later put_ifs must see this write
+    pump_puts(shard_idx);
+  };
+
+  if (it == sh.objects.end()) {
+    // A never-written key's register holds v0 at t0, so it verifies against
+    // Version(kTag0).  (No real write ever carries t0: writers always bump
+    // z, so this cannot collide with a committed version.)
+    if (expected == Version(kTag0)) {
+      commit(std::move(value), intern(sh, shard_idx, key), std::move(cb));
+    } else {
+      metrics_.counter("puts_aborted", shard_idx).inc();
+      finish_put(shard_idx, cb,
+                 PutResult::failure(Status::Aborted(
+                     "expected version " + expected.to_string() +
+                     ", key never written")));
+    }
+    return;
+  }
+
+  // Verification read through the shard's reader pool.  `internal` keeps the
+  // put_if's own outstanding/admission slots in place until the final
+  // verdict (the read is still a genuine protocol read and is recorded in
+  // the shard history).
+  PendingGet g;
+  g.obj = it->second;
+  g.submitted = sh.sim->now();
+  g.mode = ReadMode::Atomic;
+  g.internal = true;
+  g.cb = [this, shard_idx, expected, value = std::move(value),
+          cb = std::move(cb), commit,
+          obj = it->second](const GetResult& r) mutable {
+    Shard& vsh = *shards_[shard_idx];
+    // Closing the verify-then-write window: a same-key write that is still
+    // in flight — or that committed while the verification read was in
+    // progress (the read only guarantees freshness against writes completed
+    // before its invocation) — may not be reflected in r.tag, and blindly
+    // committing would silently overwrite it.  Such writes force a
+    // (possibly spurious) abort; anything arriving after this point is
+    // concurrent with the conditional write, so either linearization is
+    // valid and no lost update is possible.
+    const auto in_flight = vsh.writes_in_flight.find(obj);
+    const auto committed = vsh.last_committed.find(obj);
+    const bool racing =
+        (in_flight != vsh.writes_in_flight.end() && in_flight->second > 0) ||
+        (committed != vsh.last_committed.end() &&
+         committed->second > expected.tag());
+    if (racing || Version(r.tag) != expected) {
+      metrics_.counter("puts_aborted", shard_idx).inc();
+      const Tag observed =
+          committed != vsh.last_committed.end() && committed->second > r.tag
+              ? committed->second
+              : r.tag;
+      PutResult abort = PutResult::failure(Status::Aborted(
+          racing ? "concurrent write on the key (re-read and retry)"
+                 : "expected version " + expected.to_string() +
+                       ", observed " + Version(observed).to_string()));
+      abort.tag = observed;  // surface the observed version for retry loops
+      abort.version = Version(observed);
+      finish_put(shard_idx, cb, abort);
+      return;
+    }
+    commit(std::move(value), obj, std::move(cb));
+  };
+  sh.get_queue.push_back(std::move(g));
+  pump_gets(shard_idx);
 }
 
 void StoreService::multi_get(std::vector<std::string> keys,
                              MultiGetCallback cb) {
   LDS_REQUIRE(cb != nullptr, "multi_get: null callback");
   metrics_.counter("multi_gets").inc();
+  // An empty key vector must still fire exactly once: a gather that never
+  // sees a sub-op completion would otherwise leave the caller (and any sync
+  // wrapper spinning on it) hung forever.
   if (keys.empty()) {
     cb({});
     return;
   }
-  struct Gather {
-    std::vector<GetResult> results;
-    std::atomic<std::size_t> remaining{0};
-    MultiGetCallback cb;
-  };
-  auto gather = std::make_shared<Gather>();
-  gather->results.resize(keys.size());
-  gather->remaining.store(keys.size(), std::memory_order_release);
-  gather->cb = std::move(cb);
+  auto gather = detail::make_gather<GetResult>(keys.size(), std::move(cb));
   for (std::size_t i = 0; i < keys.size(); ++i) {
     get(keys[i], [gather, i](const GetResult& r) {
-      gather->results[i] = r;
-      if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        gather->cb(std::move(gather->results));
-      }
+      detail::gather_finish(gather, i, r);
     });
+  }
+}
+
+void StoreService::multi_put(std::vector<KeyValue> entries,
+                             MultiPutCallback cb) {
+  LDS_REQUIRE(cb != nullptr, "multi_put: null callback");
+  metrics_.counter("multi_puts").inc();
+  if (entries.empty()) {  // fire exactly once, as in multi_get
+    cb({});
+    return;
+  }
+  auto gather = detail::make_gather<PutResult>(entries.size(), std::move(cb));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    put(entries[i].key, std::move(entries[i].value),
+        [gather, i](const PutResult& r) {
+          detail::gather_finish(gather, i, r);
+        });
   }
 }
 
 // ---- cluster dispatch -------------------------------------------------------
 
 void StoreService::cluster_write(Shard& sh, std::size_t writer, ObjectId obj,
-                                 Bytes value, std::function<void(Tag)> done) {
+                                 Value value, std::function<void(Tag)> done) {
   switch (sh.spec.protocol) {
     case ShardProtocol::Lds:
       sh.lds->writer(writer).write(obj, std::move(value), std::move(done));
@@ -420,10 +611,13 @@ void StoreService::cluster_write(Shard& sh, std::size_t writer, ObjectId obj,
 }
 
 void StoreService::cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
-                                std::function<void(Tag, Bytes)> done) {
+                                std::function<void(Tag, Value)> done,
+                                ReadMode mode) {
   switch (sh.spec.protocol) {
     case ShardProtocol::Lds:
-      sh.lds->reader(reader).read(obj, std::move(done));
+      (mode == ReadMode::Regular ? sh.lds->regular_reader(reader)
+                                 : sh.lds->reader(reader))
+          .read(obj, std::move(done));
       return;
     case ShardProtocol::Abd:
       sh.abd->reader(reader).read(obj, std::move(done));
@@ -436,83 +630,50 @@ void StoreService::cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
 
 // ---- sync wrappers ----------------------------------------------------------
 
-namespace {
-/// One-shot completion cell for the sync wrappers: deterministic mode spins
-/// the simulator, parallel mode blocks on the condition variable.  notify
-/// happens under the lock so the waiter cannot destroy the cell while the
-/// signaling lane still touches it.
-struct SyncCell {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
+using detail::run_op_sync;
 
-  void signal() { cv.notify_one(); }
-};
-}  // namespace
-
-PutResult StoreService::put_sync(const std::string& key, Bytes value) {
-  PutResult out;
-  SyncCell cell;
-  put(key, std::move(value), [&](const PutResult& r) {
-    std::lock_guard<std::mutex> lk(cell.mu);
-    out = r;
-    cell.done = true;
-    cell.signal();
-  });
-  if (!parallel_) {
-    net::Simulator& sim = engine_->lane_sim(0);
-    while (!cell.done && sim.step()) {
-    }
-    LDS_REQUIRE(cell.done, "put_sync: simulation drained before completion");
-  } else {
-    std::unique_lock<std::mutex> lk(cell.mu);
-    cell.cv.wait(lk, [&] { return cell.done; });
-  }
-  return out;
+PutResult StoreService::put_sync(const std::string& key, Value value) {
+  return run_op_sync<PutResult>(
+      *engine_, parallel_, "put_sync: simulation drained before completion",
+      [&](auto done) {
+        put(key, std::move(value),
+            [done = std::move(done)](const PutResult& r) { done(r); });
+      });
 }
 
-GetResult StoreService::get_sync(const std::string& key) {
-  GetResult out;
-  SyncCell cell;
-  get(key, [&](const GetResult& r) {
-    std::lock_guard<std::mutex> lk(cell.mu);
-    out = r;
-    cell.done = true;
-    cell.signal();
-  });
-  if (!parallel_) {
-    net::Simulator& sim = engine_->lane_sim(0);
-    while (!cell.done && sim.step()) {
-    }
-    LDS_REQUIRE(cell.done, "get_sync: simulation drained before completion");
-  } else {
-    std::unique_lock<std::mutex> lk(cell.mu);
-    cell.cv.wait(lk, [&] { return cell.done; });
-  }
-  return out;
+GetResult StoreService::get_sync(const std::string& key, ReadMode mode) {
+  return run_op_sync<GetResult>(
+      *engine_, parallel_, "get_sync: simulation drained before completion",
+      [&](auto done) {
+        get(key, [done = std::move(done)](const GetResult& r) { done(r); },
+            mode);
+      });
+}
+
+PutResult StoreService::put_if_sync(const std::string& key, Value value,
+                                    Version expected) {
+  return run_op_sync<PutResult>(
+      *engine_, parallel_,
+      "put_if_sync: simulation drained before completion", [&](auto done) {
+        put_if(key, std::move(value), expected,
+               [done = std::move(done)](const PutResult& r) { done(r); });
+      });
 }
 
 std::vector<GetResult> StoreService::multi_get_sync(
     std::vector<std::string> keys) {
-  std::vector<GetResult> out;
-  SyncCell cell;
-  multi_get(std::move(keys), [&](std::vector<GetResult> results) {
-    std::lock_guard<std::mutex> lk(cell.mu);
-    out = std::move(results);
-    cell.done = true;
-    cell.signal();
-  });
-  if (!parallel_) {
-    net::Simulator& sim = engine_->lane_sim(0);
-    while (!cell.done && sim.step()) {
-    }
-    LDS_REQUIRE(cell.done,
-                "multi_get_sync: simulation drained before completion");
-  } else {
-    std::unique_lock<std::mutex> lk(cell.mu);
-    cell.cv.wait(lk, [&] { return cell.done; });
-  }
-  return out;
+  return run_op_sync<std::vector<GetResult>>(
+      *engine_, parallel_,
+      "multi_get_sync: simulation drained before completion",
+      [&](auto done) { multi_get(std::move(keys), std::move(done)); });
+}
+
+std::vector<PutResult> StoreService::multi_put_sync(
+    std::vector<KeyValue> entries) {
+  return run_op_sync<std::vector<PutResult>>(
+      *engine_, parallel_,
+      "multi_put_sync: simulation drained before completion",
+      [&](auto done) { multi_put(std::move(entries), std::move(done)); });
 }
 
 // ---- crash injection & quiescence -------------------------------------------
@@ -573,18 +734,13 @@ bool StoreService::inject_crash(std::size_t shard, Rng& rng) {
   if (!parallel_) return inject_crash_on_lane(shard, rng);
   // Hop to the shard's lane and wait for the verdict.  The calling thread
   // blocks, so handing it our Rng reference is race-free.
-  bool result = false;
-  SyncCell cell;
-  engine_->post(shards_.at(shard)->lane, [&] {
-    const bool r = inject_crash_on_lane(shard, rng);
-    std::lock_guard<std::mutex> lk(cell.mu);
-    result = r;
-    cell.done = true;
-    cell.signal();
-  });
-  std::unique_lock<std::mutex> lk(cell.mu);
-  cell.cv.wait(lk, [&] { return cell.done; });
-  return result;
+  return run_op_sync<bool>(
+      *engine_, /*parallel=*/true, "inject_crash: cannot stall",
+      [&](auto done) {
+        engine_->post(shards_.at(shard)->lane, [&, done = std::move(done)] {
+          done(inject_crash_on_lane(shard, rng));
+        });
+      });
 }
 
 void StoreService::inject_crash_async(std::size_t shard, std::uint64_t seed,

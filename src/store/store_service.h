@@ -3,7 +3,11 @@
 //
 // Layering (ROADMAP north star "sharding, batching, async, caching"):
 //
-//   put/get/multi_get (string keys, async callbacks or sync wrappers)
+//   store::Client (store/client.h) — deadlines, retries, Status sync API
+//        │
+//   put/get/put_if/multi_get/multi_put (string keys, async callbacks or
+//        │                              sync wrappers; Status + Version
+//        │                              results, zero-copy Value payloads)
 //        │
 //   ShardRouter ── consistent-hash ring: key -> shard; shard -> engine lane
 //        │
@@ -55,6 +59,8 @@
 #include "baselines/cas.h"
 #include "codes/factory.h"
 #include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
 #include "lds/cluster.h"
 #include "net/engine.h"
 #include "store/metrics.h"
@@ -101,23 +107,80 @@ struct StoreOptions {
   net::EngineMode engine_mode = net::EngineMode::Deterministic;
   /// Parallel lanes; 0 = min(shards, hardware threads).
   std::size_t engine_threads = 0;
+  /// Regular-consistency readers per LDS shard (ReadMode::Regular pool);
+  /// 0 = regular reads are not provisioned and return InvalidArgument.
+  std::size_t regular_readers_per_shard = 0;
   /// Background repair (LDS shards): heartbeat detection + regeneration.
   /// In Parallel mode the scheduler's budget is scoped per lane.
   bool enable_repair = true;
   RepairScheduler::Options repair;
 };
 
+/// Per-read consistency choice.  Atomic is the paper's LDS (linearizable);
+/// Regular skips the put-tag write-back (Section VI extension, LDS shards
+/// only) — one round trip fewer, but reads are no longer mutually monotone,
+/// so histories containing regular reads must be verified with
+/// History::check_regularity, not check_atomicity.
+enum class ReadMode : std::uint8_t { Atomic, Regular };
+
+/// Outcome of a put.  `status` is authoritative (see common/status.h for the
+/// taxonomy); `ok`/`error` are derived at construction so seed-era call
+/// sites (`r.ok`, `r.error`) keep compiling during the migration, and `tag`
+/// is the raw token behind the typed `version`.
 struct PutResult {
-  bool ok = false;
+  Status status;
   Tag tag;
-  std::string error;  ///< empty when ok
+  Version version;
+  bool ok = false;        ///< derived: status.ok()
+  std::string error;      ///< derived: status.to_string() when !ok
+
+  PutResult() = default;
+  static PutResult success(Tag t) {
+    PutResult r;
+    r.tag = t;
+    r.version = Version(t);
+    r.ok = true;
+    return r;
+  }
+  static PutResult failure(Status s) {
+    PutResult r;
+    r.error = s.to_string();
+    r.status = std::move(s);
+    return r;
+  }
 };
 
+/// Outcome of a get.  The value is a shared handle onto the buffer the
+/// protocol delivered — no copy between the cluster callback and the caller.
 struct GetResult {
-  bool ok = false;
+  Status status;
   Tag tag;
-  Bytes value;
+  Version version;
+  Value value;
+  bool ok = false;
   std::string error;
+
+  GetResult() = default;
+  static GetResult success(Tag t, Value v) {
+    GetResult r;
+    r.tag = t;
+    r.version = Version(t);
+    r.value = std::move(v);
+    r.ok = true;
+    return r;
+  }
+  static GetResult failure(Status s) {
+    GetResult r;
+    r.error = s.to_string();
+    r.status = std::move(s);
+    return r;
+  }
+};
+
+/// One entry of a multi_put.
+struct KeyValue {
+  std::string key;
+  Value value;
 };
 
 class StoreService {
@@ -125,6 +188,7 @@ class StoreService {
   using PutCallback = std::function<void(const PutResult&)>;
   using GetCallback = std::function<void(const GetResult&)>;
   using MultiGetCallback = std::function<void(std::vector<GetResult>)>;
+  using MultiPutCallback = std::function<void(std::vector<PutResult>)>;
 
   explicit StoreService(StoreOptions opt);
   ~StoreService();
@@ -132,22 +196,48 @@ class StoreService {
   // ---- async client API -----------------------------------------------------
   // Deterministic mode: call from the owning thread; callbacks fire inline
   // while the simulator runs.  Parallel mode: thread-safe; callbacks fire on
-  // the destination shard's engine lane.
-  /// Queue a put; the callback fires when the write — possibly coalesced
-  /// with later same-key puts of the same batch — is durable, or
-  /// immediately with ok=false when admission-rejected.
-  void put(const std::string& key, Bytes value, PutCallback cb = {});
-  void get(const std::string& key, GetCallback cb = {});
+  // the destination shard's engine lane.  store::Client (store/client.h) is
+  // the documented entry point layered on these: it adds per-op deadlines,
+  // retry policies and Status-returning sync wrappers.
+  /// Queue a put; the callback fires with the new Version when the write —
+  /// possibly coalesced with later same-key puts of the same batch — is
+  /// durable, or immediately with AdmissionReject when over the limit.
+  void put(const std::string& key, Value value, PutCallback cb = {});
+  /// Read a key.  Keys never written on their shard complete immediately
+  /// with NotFound (and are NOT interned, so probing reads cannot grow
+  /// per-shard state).  ReadMode::Regular requires an LDS shard and
+  /// regular_readers_per_shard > 0, else InvalidArgument.
+  void get(const std::string& key, GetCallback cb = {},
+           ReadMode mode = ReadMode::Atomic);
+  /// Conditional put: commits iff the key's current version equals
+  /// `expected` (optimistic concurrency — tags strictly increase, so there
+  /// is no ABA).  Mismatch completes with Aborted carrying the observed
+  /// version; like any CAS it may also abort *spuriously* when a same-key
+  /// write is in flight or committed during the verification read (the
+  /// guard that prevents a verified-stale commit from silently overwriting
+  /// an intervening write) — callers treat Aborted as "re-read and retry".
+  /// A never-written key verifies against Version(kTag0).  Bypasses the
+  /// coalescing window: a conditional put is never absorbed and always
+  /// gets its own tag.
+  void put_if(const std::string& key, Value value, Version expected,
+              PutCallback cb = {});
   /// Fan out one get per key (keys may span shards); the callback fires
-  /// when all have completed, results in key order.
+  /// when all have completed, results in key order.  An empty key vector
+  /// still fires the callback exactly once, with an empty result.
   void multi_get(std::vector<std::string> keys, MultiGetCallback cb);
+  /// Scatter-gather puts, results in entry order; empty input fires once.
+  void multi_put(std::vector<KeyValue> entries, MultiPutCallback cb);
 
   // ---- sync wrappers --------------------------------------------------------
   // Deterministic: drive the simulator until completion.  Parallel: block
   // the calling thread until the lanes complete the operation.
-  PutResult put_sync(const std::string& key, Bytes value);
-  GetResult get_sync(const std::string& key);
+  PutResult put_sync(const std::string& key, Value value);
+  GetResult get_sync(const std::string& key,
+                     ReadMode mode = ReadMode::Atomic);
+  PutResult put_if_sync(const std::string& key, Value value,
+                        Version expected);
   std::vector<GetResult> multi_get_sync(std::vector<std::string> keys);
+  std::vector<PutResult> multi_put_sync(std::vector<KeyValue> entries);
 
   // ---- operations & introspection -------------------------------------------
   net::Engine& engine() { return *engine_; }
@@ -167,6 +257,10 @@ class StoreService {
   ShardProtocol shard_protocol(std::size_t s) const {
     return shards_.at(s)->spec.protocol;
   }
+  /// The shard's LDS cluster (nullptr for ABD/CAS shards).  Quiescent-lane
+  /// introspection only (storage meters, cost accounting, direct crash
+  /// injection in tests).
+  core::LdsCluster* shard_lds(std::size_t s) { return shards_.at(s)->lds.get(); }
   /// The shard's recorded operation history (for the linearizability
   /// checkers); absorbed puts never reach it by design.  Stable only while
   /// the shard's lane is quiescent (e.g. after quiesce()).
@@ -208,7 +302,7 @@ class StoreService {
  private:
   struct PendingPut {
     ObjectId obj = 0;
-    Bytes value;
+    Value value;                            ///< shared handle, never copied
     std::vector<PutCallback> cbs;           ///< surviving + absorbed puts
     std::vector<net::SimTime> submitted;    ///< one per callback
   };
@@ -216,6 +310,11 @@ class StoreService {
     ObjectId obj = 0;
     GetCallback cb;
     net::SimTime submitted = 0;
+    ReadMode mode = ReadMode::Atomic;
+    /// put_if verification read: the op's outstanding/admission slots and
+    /// engine hold belong to the enclosing conditional put, so completion
+    /// must not touch them (the final verdict does).
+    bool internal = false;
   };
 
   struct Shard {
@@ -226,6 +325,12 @@ class StoreService {
     std::unique_ptr<baselines::AbdCluster> abd;
     std::unique_ptr<baselines::CasCluster> cas;
     std::unordered_map<std::string, ObjectId> objects;
+    /// Conditional-put guards (lane-local): cluster writes currently in the
+    /// window / queue / dispatched per object, and the newest tag a
+    /// completed put committed.  put_if aborts when either shows a write
+    /// the verification read may not have observed.
+    std::unordered_map<ObjectId, std::size_t> writes_in_flight;
+    std::unordered_map<ObjectId, Tag> last_committed;
     // Batching state (lane-local).
     std::vector<PendingPut> window;  ///< open batch (coalesced as it fills)
     std::size_t window_puts = 0;     ///< puts in the window incl. absorbed
@@ -235,8 +340,12 @@ class StoreService {
     std::uint64_t window_epoch = 0;
     std::deque<PendingPut> put_queue;  ///< flushed, awaiting a writer
     std::deque<PendingGet> get_queue;
+    /// ReadMode::Regular runs on its own reader pool + queue so a burst of
+    /// regular reads never starves atomic ones (and vice versa).
+    std::deque<PendingGet> regular_get_queue;
     std::vector<std::size_t> free_writers;
     std::vector<std::size_t> free_readers;
+    std::vector<std::size_t> free_regular_readers;
     /// Admission accounting; atomic because admission happens on the
     /// submitting thread while completion happens on the lane.
     std::atomic<std::size_t> puts_in_flight{0};
@@ -248,19 +357,25 @@ class StoreService {
   };
 
   ObjectId intern(Shard& sh, std::size_t shard_idx, const std::string& key);
-  void enqueue_put(std::size_t shard_idx, const std::string& key, Bytes value,
+  void enqueue_put(std::size_t shard_idx, const std::string& key, Value value,
                    PutCallback cb);
   void enqueue_get(std::size_t shard_idx, const std::string& key,
-                   GetCallback cb);
+                   GetCallback cb, ReadMode mode);
+  void enqueue_put_if(std::size_t shard_idx, const std::string& key,
+                      Value value, Version expected, PutCallback cb);
   void flush_window(std::size_t shard_idx);
   void pump_puts(std::size_t shard_idx);
   void pump_gets(std::size_t shard_idx);
   void dispatch_put(std::size_t shard_idx, std::size_t writer, PendingPut p);
   void dispatch_get(std::size_t shard_idx, std::size_t reader, PendingGet g);
-  void cluster_write(Shard& sh, std::size_t writer, ObjectId obj, Bytes value,
+  void cluster_write(Shard& sh, std::size_t writer, ObjectId obj, Value value,
                      std::function<void(Tag)> done);
   void cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
-                    std::function<void(Tag, Bytes)> done);
+                    std::function<void(Tag, Value)> done, ReadMode mode);
+  /// Release one admission slot + the outstanding gauge and complete `cb`
+  /// with `r` (gauges drop before the callback, as in dispatch_put).
+  void finish_put(std::size_t shard_idx, const PutCallback& cb,
+                  const PutResult& r);
   bool inject_crash_on_lane(std::size_t shard, Rng& rng);
 
   StoreOptions opt_;

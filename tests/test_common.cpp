@@ -1,8 +1,12 @@
-// Common substrate: tags, op ids, RNG, formatting, cost-tracker basics.
+// Common substrate: tags, op ids, RNG, formatting, cost-tracker basics,
+// plus the client-API primitives: Status/Result taxonomy and the zero-copy
+// Value buffer.
 #include <gtest/gtest.h>
 
 #include "common/format.h"
 #include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "net/cost.h"
 
@@ -110,6 +114,90 @@ TEST(RoleNames, AllCovered) {
   EXPECT_STREQ(role_name(Role::ServerL1), "L1");
   EXPECT_STREQ(role_name(Role::ServerL2), "L2");
   EXPECT_STREQ(role_name(Role::Other), "other");
+}
+
+// ---- Status / Result --------------------------------------------------------
+
+TEST(Status, TaxonomyAndMessages) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::AdmissionReject("shard 3 at limit 8");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.is(StatusCode::kAdmissionReject));
+  EXPECT_EQ(s.to_string(), "AdmissionReject: shard 3 at limit 8");
+  EXPECT_EQ(Status::NotFound().to_string(), "NotFound");
+  // Equality is by code: messages are context, not identity.
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Aborted());
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(Status, ResultCarriesValueOrStatus) {
+  Result<int> good = 7;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.value_or(0), 7);
+  Result<int> bad = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(static_cast<bool>(bad));
+  EXPECT_TRUE(bad.status().is(StatusCode::kDeadlineExceeded));
+  EXPECT_EQ(bad.value_or(42), 42);
+}
+
+// ---- Version ----------------------------------------------------------------
+
+TEST(Versions, TypedOrderingAndUnknown) {
+  const Version unknown;
+  EXPECT_FALSE(unknown.known());
+  EXPECT_EQ(unknown.to_string(), "unknown");
+  const Version a(Tag{1, 2});
+  const Version b(Tag{2, 1});
+  EXPECT_TRUE(a.known());
+  EXPECT_LT(unknown, a);  // unknown orders below every known version
+  EXPECT_LT(a, b);        // tag-major total order
+  EXPECT_EQ(a, Version(Tag{1, 2}));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.tag(), (Tag{1, 2}));
+}
+
+// ---- Value (zero-copy buffers) ----------------------------------------------
+
+TEST(Values, SharesOneBufferAcrossCopies) {
+  const Value v(Bytes{1, 2, 3});
+  const Value copy = v;
+  EXPECT_TRUE(copy.same_buffer(v));
+  EXPECT_EQ(v.use_count(), 2);
+  EXPECT_EQ(copy, v);
+  EXPECT_EQ(copy, (Bytes{1, 2, 3}));
+  EXPECT_EQ((Bytes{1, 2, 3}), copy);
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_FALSE(copy.empty());
+}
+
+TEST(Values, EmptyHoldsNoBufferAndConvertsBothWays) {
+  const Value empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.use_count(), 0);  // v0 costs no allocation
+  EXPECT_EQ(empty, Value(Bytes{}));
+  EXPECT_EQ(empty, Bytes{});
+
+  // Bytes -> Value moves the vector (no byte copy); Value -> const Bytes&
+  // views in place.
+  Bytes payload{9, 8, 7};
+  const auto* data = payload.data();
+  const Value moved(std::move(payload));
+  EXPECT_EQ(moved.data(), data);
+  const Bytes& view = moved;
+  EXPECT_EQ(view.data(), data);
+  EXPECT_EQ(moved.to_bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(Value::from_string("hi").to_string(), "hi");
+  // Content equality across distinct buffers still holds.
+  EXPECT_EQ(moved, Value(Bytes{9, 8, 7}));
+  EXPECT_FALSE(moved.same_buffer(Value(Bytes{9, 8, 7})));
 }
 
 }  // namespace

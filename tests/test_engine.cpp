@@ -11,7 +11,7 @@
 #include "harness/stress.h"
 #include "lds/cluster.h"
 #include "net/engine.h"
-#include "store/store_service.h"
+#include "store/client.h"
 
 namespace lds {
 namespace {
@@ -232,6 +232,71 @@ TEST(Determinism, StoreServiceDeterministicModeIsReproducible) {
   EXPECT_EQ(run_store_workload(42), run_store_workload(42));
 }
 
+/// The unified client surface on top of the store: zero-copy Value handles,
+/// tight deadlines that DO expire (racing the batch window), retry backoff
+/// timers and conditional puts.  All client-side scheduling runs on the
+/// engine clock, so the histories, the client-observed status sequence and
+/// the metrics must replay byte-identically for one seed.
+std::string run_client_workload(std::uint64_t seed) {
+  store::StoreOptions sopt;
+  sopt.shards = 2;
+  sopt.seed = seed;
+  sopt.batch_window = 4.0;     // wide window so 1.0-deadlines expire first
+  sopt.admission_limit = 6;    // small enough that retries engage
+  store::StoreService svc(sopt);
+  store::Client client(svc);
+  Rng rng(mix_seed(seed, 0xc11e));
+  std::string statuses;
+  std::size_t remaining = 200;
+  std::function<void()> next = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    const std::string key = "key-" + std::to_string(rng.uniform_int(0, 7));
+    store::OpOptions opts;
+    if (rng.bernoulli(0.25)) opts.deadline = 1.0;  // expires inside the window
+    opts.retry.max_attempts = 3;
+    opts.retry.backoff = 2.0;
+    auto record = [&statuses, &next](const Status& s) {
+      statuses += status_code_name(s.code());
+      statuses += ';';
+      next();
+    };
+    if (rng.bernoulli(0.4)) {
+      client.get(key,
+                 [record](const store::GetResult& r) { record(r.status); },
+                 opts);
+    } else if (rng.bernoulli(0.15)) {
+      client.put_if_version(
+          key, rng.bytes(24), Version(kTag0),
+          [record](const store::PutResult& r) { record(r.status); }, opts);
+    } else {
+      client.put(key, rng.bytes(24),
+                 [record](const store::PutResult& r) { record(r.status); },
+                 opts);
+    }
+  };
+  for (int c = 0; c < 6; ++c) {
+    svc.sim().at(0.0, [&next] { next(); });
+  }
+  svc.quiesce([&] { return remaining == 0; });
+  std::string out = statuses + '\n';
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    out += serialize(svc.shard_history(s));
+  }
+  out += svc.metrics().to_json();
+  return out;
+}
+
+TEST(Determinism, ClientDeadlinesRetriesAndValuesAreReproducible) {
+  const std::string a = run_client_workload(77);
+  EXPECT_EQ(a, run_client_workload(77));
+  // The workload really exercised the taxonomy, not just Ok.
+  EXPECT_NE(a.find("DeadlineExceeded"), std::string::npos);
+  EXPECT_NE(a.find("Ok"), std::string::npos);
+  EXPECT_NE(a.find("Aborted"), std::string::npos);
+  EXPECT_NE(run_client_workload(78), a);
+}
+
 // ---- ParallelEngine store correctness ---------------------------------------
 
 TEST(ParallelStore, SyncWrappersRoundTrip) {
@@ -250,7 +315,9 @@ TEST(ParallelStore, SyncWrappersRoundTrip) {
   const auto multi = svc.multi_get_sync({"alpha", "beta"});
   ASSERT_EQ(multi.size(), 2u);
   EXPECT_EQ(multi[0].value, (Bytes{1, 2, 3}));
-  EXPECT_TRUE(multi[1].ok);  // unwritten key reads the initial value
+  // Unwritten keys report NotFound instead of interning + reading v0.
+  EXPECT_TRUE(multi[1].status.is(StatusCode::kNotFound));
+  EXPECT_FALSE(multi[1].ok);
   EXPECT_EQ(svc.outstanding(), 0u);
 }
 

@@ -107,7 +107,8 @@ TEST(StoreService, BatchingUnderConcurrentWritersStaysLinearizable) {
     const std::string key = "k" + std::to_string(rng.uniform_int(0, 3));
     if (rng.bernoulli(0.4)) {
       svc.get(key, [&](const GetResult& r) {
-        EXPECT_TRUE(r.ok);
+        // A racing get may beat the key's first put: NotFound, not an error.
+        EXPECT_TRUE(r.ok || r.status.is(StatusCode::kNotFound)) << r.error;
         ++done;
         next();
       });

@@ -42,11 +42,12 @@
 #include <vector>
 
 #include "harness/stress.h"
-#include "store/store_service.h"
+#include "store/client.h"
 
 namespace {
 
 using namespace lds;
+using store::Client;
 using store::GetResult;
 using store::PutResult;
 using store::StoreOptions;
@@ -95,6 +96,7 @@ ReplicaResult run_replica(const BenchOptions& opt, std::size_t shards,
   sopt.exponential_latency = opt.exponential_latency;
   sopt.seed = seed;
   StoreService svc(sopt);
+  Client client(svc);
   Rng rng(mix_seed(seed, 0xb0));
 
   std::size_t remaining = opt.ops;
@@ -112,10 +114,10 @@ ReplicaResult run_replica(const BenchOptions& opt, std::size_t shards,
       next();
     };
     if (rng.bernoulli(opt.read_fraction)) {
-      svc.get(key, [complete](const GetResult&) { complete(); });
+      client.get(key, [complete](const GetResult&) { complete(); });
     } else {
-      svc.put(key, rng.bytes(value_size),
-              [complete](const PutResult&) { complete(); });
+      client.put(key, rng.bytes(value_size),
+                 [complete](const PutResult&) { complete(); });
     }
   };
   const std::size_t clients = opt.clients_per_shard * shards;
@@ -148,6 +150,7 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
   sopt.engine_mode = lds::net::EngineMode::Parallel;
   sopt.engine_threads = opt.threads;
   StoreService svc(sopt);
+  Client client(svc);
 
   struct Chain {
     Rng rng{1};
@@ -171,10 +174,10 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
                      0, static_cast<std::int64_t>(opt.keys) - 1));
     auto complete = [&, c] { next(c); };
     if (c->rng.bernoulli(opt.read_fraction)) {
-      svc.get(key, [complete](const GetResult&) { complete(); });
+      client.get(key, [complete](const GetResult&) { complete(); });
     } else {
-      svc.put(key, c->rng.bytes(value_size),
-              [complete](const PutResult&) { complete(); });
+      client.put(key, c->rng.bytes(value_size),
+                 [complete](const PutResult&) { complete(); });
     }
   };
   for (auto& c : chains) next(c.get());
