@@ -1,0 +1,133 @@
+// bench_codec — encode/decode throughput of the wire codec (net/codec.h) by
+// message type and value size.
+//
+// The codec sits on two hot paths: exact meta-byte accounting charges every
+// simulated send one encoded_size() call, and the TCP deployment path
+// encodes + decodes every frame for real.  This bench reports, per message
+// type and payload size:
+//
+//   encode_mops   million encode() calls per second (frame build, zero-copy
+//                 value bodies)
+//   decode_mops   million decode() calls per second (parse + message build)
+//   size_mops     million encoded_size() calls per second (the accounting
+//                 path: no allocation at all)
+//   encode_gbps   payload gigabytes per second through encode()
+//
+//   bench_codec [--json out.json]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/abd.h"
+#include "baselines/cas.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "lds/messages.h"
+#include "net/codec.h"
+#include "store/remote.h"
+
+namespace {
+
+using namespace lds;
+using net::MessagePtr;
+using net::codec::decode;
+using net::codec::encode;
+using net::codec::encoded_size;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Sample {
+  std::string name;
+  std::size_t value_size = 0;
+  MessagePtr msg;
+};
+
+std::vector<Sample> make_samples() {
+  store::register_store_wire();
+  Rng rng(42);
+  std::vector<Sample> out;
+  const OpId op = make_op_id(3, 17);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{256}, std::size_t{4096},
+        std::size_t{65536}}) {
+    out.push_back({"lds_put_data", n,
+                   core::LdsMessage::make(
+                       1, op, core::PutData{Tag{9, 2}, Value(rng.bytes(n))})});
+    out.push_back(
+        {"lds_data_resp_coded", n,
+         core::LdsMessage::make(
+             1, op, core::DataRespCoded{Tag{9, 2}, 3, rng.bytes(n)})});
+    out.push_back({"abd_update", n,
+                   baselines::AbdMessage::make(
+                       1, op,
+                       baselines::AbdUpdate{Tag{9, 2}, Value(rng.bytes(n))})});
+    out.push_back({"cas_pre_write", n,
+                   baselines::CasMessage::make(
+                       1, op, baselines::CasPreWrite{Tag{9, 2}, rng.bytes(n)})});
+    out.push_back(
+        {"store_put", n,
+         store::RemoteMessage::make(
+             op, store::RemotePut{"key-123", Value(rng.bytes(n))})});
+  }
+  // Meta-only control messages (the accounting-path common case).
+  out.push_back({"lds_query_tag", 0,
+                 core::LdsMessage::make(1, op, core::QueryTag{})});
+  out.push_back({"lds_commit_tag", 0,
+                 core::LdsMessage::make(1, op, core::CommitTag{Tag{9, 2}, 7})});
+  return out;
+}
+
+/// Run `fn` until ~0.1s elapsed; returns calls per second.
+template <typename Fn>
+double rate(Fn&& fn) {
+  // Warm up + calibrate.
+  std::size_t batch = 64;
+  fn();
+  while (true) {
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    const double dt = now_s() - t0;
+    if (dt >= 0.05) return static_cast<double>(batch) / dt;
+    batch *= 4;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "bench_codec");
+  std::printf("bench_codec: wire codec throughput by type and value size\n\n");
+  std::printf("%22s %11s %12s %12s %12s %12s\n", "type", "value_size",
+              "encode_mops", "decode_mops", "size_mops", "encode_gbps");
+
+  for (const auto& s : make_samples()) {
+    const Bytes wire = encode(*s.msg).to_bytes();
+
+    const double enc = rate([&] {
+      const auto f = encode(*s.msg);
+      if (f.size() == 0) std::abort();  // keep the call observable
+    });
+    const double dec = rate([&] {
+      MessagePtr out;
+      if (!decode(wire.data(), wire.size(), &out).ok()) std::abort();
+    });
+    const double size = rate([&] {
+      if (encoded_size(*s.msg) == 0) std::abort();
+    });
+    const double gbps = enc * static_cast<double>(s.value_size) / 1e9;
+
+    std::printf("%22s %11zu %12.2f %12.2f %12.2f %12.3f\n", s.name.c_str(),
+                s.value_size, enc / 1e6, dec / 1e6, size / 1e6, gbps);
+    const std::string params =
+        "type=" + s.name + " value_size=" + std::to_string(s.value_size);
+    json.add(params, "encode_ops_per_sec", enc);
+    json.add(params, "decode_ops_per_sec", dec);
+    json.add(params, "encoded_size_ops_per_sec", size);
+  }
+  return 0;
+}

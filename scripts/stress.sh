@@ -19,6 +19,12 @@
 #   STORE_SHARDS  consistent-hash shards per store service (default 8)
 #   STORE_ENGINES store engine list soaked per round (default "sim parallel";
 #                 parallel = one service over ParallelEngine worker lanes)
+#   TRANSPORT     "inproc" (default) or "tcp": tcp adds one loopback round
+#                 per soak round — lds_served on an ephemeral port driven by
+#                 lds_store_bench --remote, both verified (client-observed
+#                 history AND server-side histories at shutdown)
+#   SERVED_BIN    lds_served binary (default build/lds_served)
+#   STORE_BENCH_BIN  lds_store_bench binary (default build/lds_store_bench)
 #
 # Extra arguments are forwarded to every lds_stress invocation.
 set -euo pipefail
@@ -28,12 +34,55 @@ SOAK_SECONDS=${SOAK_SECONDS:-30}
 BACKENDS=${BACKENDS:-"lds abd cas store"}
 STORE_SHARDS=${STORE_SHARDS:-8}
 STORE_ENGINES=${STORE_ENGINES:-"sim parallel"}
+TRANSPORT=${TRANSPORT:-inproc}
+SERVED_BIN=${SERVED_BIN:-build/lds_served}
+STORE_BENCH_BIN=${STORE_BENCH_BIN:-build/lds_store_bench}
 
 if [[ ! -x "$STRESS_BIN" ]]; then
   echo "error: $STRESS_BIN not found or not executable." >&2
   echo "build it first:  cmake -B build -S . && cmake --build build -j --target lds_stress" >&2
   exit 2
 fi
+if [[ "$TRANSPORT" == "tcp" && ( ! -x "$SERVED_BIN" || ! -x "$STORE_BENCH_BIN" ) ]]; then
+  echo "error: TRANSPORT=tcp needs $SERVED_BIN and $STORE_BENCH_BIN." >&2
+  exit 2
+fi
+
+served_pid=""
+cleanup() { [[ -n "$served_pid" ]] && kill "$served_pid" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# One TCP loopback round: serve on an ephemeral port, hammer it with the
+# remote bench, then SIGTERM — the server's exit code is its own shard-
+# history verification verdict.
+tcp_round() {
+  local seed=$1 port_file
+  port_file=$(mktemp)
+  rm -f "$port_file"
+  "$SERVED_BIN" --port 0 --port-file "$port_file" --shards "$STORE_SHARDS" \
+    --threads 2 --seed "$seed" >/dev/null &
+  served_pid=$!
+  for _ in $(seq 100); do [[ -s "$port_file" ]] && break; sleep 0.1; done
+  if [[ ! -s "$port_file" ]]; then
+    echo "VIOLATION — lds_served failed to start (seed $seed)" >&2
+    exit 1
+  fi
+  local port
+  port=$(cat "$port_file")
+  if ! "$STORE_BENCH_BIN" --remote "127.0.0.1:$port" --threads 4 \
+      --ops 800 --keys 16 --seed "$seed" >/dev/null; then
+    echo "VIOLATION — reproduce with:" >&2
+    echo "  $SERVED_BIN --shards $STORE_SHARDS --seed $seed  +  $STORE_BENCH_BIN --remote ... --seed $seed" >&2
+    exit 1
+  fi
+  kill -TERM "$served_pid"
+  if ! wait "$served_pid"; then
+    echo "VIOLATION — lds_served shutdown verification failed (seed $seed)" >&2
+    exit 1
+  fi
+  served_pid=""
+  rm -f "$port_file"
+}
 
 read -r -a backends <<< "$BACKENDS"
 deadline=$((SECONDS + SOAK_SECONDS))
@@ -71,6 +120,10 @@ while ((SECONDS < deadline)); do
     fi
     runs=$((runs + 1))
   done
+  if [[ "$TRANSPORT" == "tcp" ]] && ((SECONDS < deadline)); then
+    tcp_round $((RANDOM * 32768 + RANDOM + round))
+    runs=$((runs + 1))
+  fi
 done
 
-echo "soak passed: $runs runs across ${backends[*]} in ${SECONDS}s, 0 violations"
+echo "soak passed: $runs runs across ${backends[*]} (transport=$TRANSPORT) in ${SECONDS}s, 0 violations"

@@ -1,6 +1,7 @@
 #include "baselines/abd.h"
 
 #include "common/assert.h"
+#include "net/codec.h"
 
 namespace lds::baselines {
 
@@ -15,6 +16,11 @@ std::uint64_t AbdMessage::data_bytes() const {
         return 0;
       },
       body_);
+}
+
+std::uint64_t AbdMessage::meta_bytes() const {
+  // Exact: the codec's encoded frame size minus the data payload.
+  return net::codec::encoded_size(*this) - data_bytes();
 }
 
 const char* AbdMessage::type_name() const {

@@ -47,6 +47,8 @@ struct AbdUpdateAck {
   Tag tag;
 };
 
+/// Alternative order frozen: the wire codec (net/codec.h) uses the variant
+/// index as the frame's type id.  Append, never reorder.
 using AbdBody = std::variant<AbdQuery, AbdQueryResp, AbdUpdate, AbdUpdateAck>;
 
 class AbdMessage final : public net::Payload {
@@ -59,7 +61,8 @@ class AbdMessage final : public net::Payload {
   const AbdBody& body() const { return body_; }
 
   std::uint64_t data_bytes() const override;
-  std::uint64_t meta_bytes() const override { return 32; }
+  /// Exact: codec frame size minus the data payload (defined in abd.cpp).
+  std::uint64_t meta_bytes() const override;
   const char* type_name() const override;
 
   static net::MessagePtr make(ObjectId obj, OpId op, AbdBody body) {

@@ -2,6 +2,7 @@
 
 #include "codes/rs.h"
 #include "common/assert.h"
+#include "net/codec.h"
 
 namespace lds::baselines {
 
@@ -16,6 +17,11 @@ std::uint64_t CasMessage::data_bytes() const {
         return 0;
       },
       body_);
+}
+
+std::uint64_t CasMessage::meta_bytes() const {
+  // Exact: the codec's encoded frame size minus the data payload.
+  return net::codec::encoded_size(*this) - data_bytes();
 }
 
 const char* CasMessage::type_name() const {

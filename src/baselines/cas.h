@@ -71,6 +71,8 @@ struct CasFinAck {
   Bytes element;
 };
 
+/// Alternative order frozen: the wire codec (net/codec.h) uses the variant
+/// index as the frame's type id.  Append, never reorder.
 using CasBody = std::variant<CasQuery, CasQueryResp, CasPreWrite, CasPreAck,
                              CasFinalize, CasFinAck>;
 
@@ -84,7 +86,8 @@ class CasMessage final : public net::Payload {
   const CasBody& body() const { return body_; }
 
   std::uint64_t data_bytes() const override;
-  std::uint64_t meta_bytes() const override { return 32; }
+  /// Exact: codec frame size minus the data payload (defined in cas.cpp).
+  std::uint64_t meta_bytes() const override;
   const char* type_name() const override;
 
   static net::MessagePtr make(ObjectId obj, OpId op, CasBody body) {

@@ -62,6 +62,11 @@ class Status {
   static Status InvalidArgument(std::string msg = {}) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
+  /// Rebuild a Status from its code — the wire-decoding path (store RPC
+  /// replies carry the code + context message).  Ok ignores the message.
+  static Status FromCode(StatusCode code, std::string msg = {}) {
+    return code == StatusCode::kOk ? Ok() : Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

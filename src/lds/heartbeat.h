@@ -4,6 +4,7 @@
 // meta-data in the cost accounting.
 #pragma once
 
+#include "net/codec.h"
 #include "net/network.h"
 
 namespace lds::core {
@@ -13,7 +14,9 @@ class HeartbeatPing final : public net::Payload {
   explicit HeartbeatPing(std::uint64_t seq) : seq_(seq) {}
   std::uint64_t seq() const { return seq_; }
   std::uint64_t data_bytes() const override { return 0; }
-  std::uint64_t meta_bytes() const override { return 16; }
+  std::uint64_t meta_bytes() const override {
+    return net::codec::encoded_size(*this);  // pure meta: header + u64 seq
+  }
   const char* type_name() const override { return "HEARTBEAT-PING"; }
 
  private:
@@ -25,7 +28,9 @@ class HeartbeatPong final : public net::Payload {
   explicit HeartbeatPong(std::uint64_t seq) : seq_(seq) {}
   std::uint64_t seq() const { return seq_; }
   std::uint64_t data_bytes() const override { return 0; }
-  std::uint64_t meta_bytes() const override { return 16; }
+  std::uint64_t meta_bytes() const override {
+    return net::codec::encoded_size(*this);
+  }
   const char* type_name() const override { return "HEARTBEAT-PONG"; }
 
  private:

@@ -1,0 +1,13 @@
+#include "lds/messages.h"
+
+#include "net/codec.h"
+
+namespace lds::core {
+
+std::uint64_t LdsMessage::meta_bytes() const {
+  // Exact by construction: everything in the encoded frame that is not the
+  // data payload is meta-data (header, tags, ids, counters, length fields).
+  return net::codec::encoded_size(*this) - data_bytes();
+}
+
+}  // namespace lds::core

@@ -126,15 +126,14 @@ struct SendHelperElem {
   Bytes helper;
 };
 
+/// The alternative ORDER is frozen: the wire codec (net/codec.h) uses the
+/// variant index as the frame's type id.  Append new message types at the
+/// end; never reorder.
 using LdsBody =
     std::variant<QueryTag, TagResp, PutData, WriteAck, QueryCommTag,
                  CommTagResp, QueryData, DataRespValue, DataRespCoded,
                  DataRespNack, PutTag, PutTagAck, UnregisterReader, CommitTag,
                  WriteCodeElem, AckCodeElem, QueryCodeElem, SendHelperElem>;
-
-/// Approximate on-wire size of tags/ids/counters; excluded from normalized
-/// costs, tracked separately so meta overhead can still be reported.
-inline constexpr std::uint64_t kMetaBytesPerMessage = 32;
 
 class LdsMessage final : public net::Payload {
  public:
@@ -146,7 +145,10 @@ class LdsMessage final : public net::Payload {
   const LdsBody& body() const { return body_; }
 
   std::uint64_t data_bytes() const override;
-  std::uint64_t meta_bytes() const override { return kMetaBytesPerMessage; }
+  /// Exact on-wire meta-data bytes: the codec's encoded frame size minus the
+  /// data payload (net/codec.h) — measured, not estimated.  Defined in
+  /// messages.cpp to keep this header free of the codec dependency.
+  std::uint64_t meta_bytes() const override;
   const char* type_name() const override;
 
   static net::MessagePtr make(ObjectId obj, OpId op, LdsBody body) {

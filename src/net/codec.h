@@ -1,0 +1,266 @@
+// The wire format: every protocol message has ONE exact binary encoding.
+//
+// Until this layer existed the cost model (paper, Section II-d) charged each
+// message an *estimated* meta-data constant and the system could only run
+// in-process (payloads were shared_ptr handles).  The codec fixes both: it
+// defines a flat, length-prefixed frame for every message of the LDS, ABD and
+// CAS protocols (plus the heartbeat micro-protocol and the store RPC family),
+// so that
+//
+//   * meta_bytes() is the exact encoded size minus the data payload — the
+//     recorded communication costs are measured on-wire bytes, and
+//   * a real transport (net/transport.h TcpTransport) can move the same
+//     messages between processes.
+//
+// Frame layout (all integers little-endian, fixed width):
+//
+//   offset  size  field
+//   0       4     frame length N (bytes after this prefix; <= kMaxFrameBytes)
+//   4       2     magic 0x4C53 ("LS")
+//   6       1     wire version (kWireVersion; bumped on any layout change)
+//   7       1     family (Family: Lds / Abd / Cas / Heartbeat / Store)
+//   8       1     type id within the family (the variant index — frozen)
+//   9       4     ObjectId
+//   13      8     OpId
+//   21      ...   fixed body fields (tags, counters, flags), then at most one
+//                 trailing length-prefixed payload (u32 length + bytes)
+//
+// Encoding is zero-copy for `Value` payloads: encode() returns a Frame whose
+// `head` holds everything up to and including the payload length, and whose
+// `body` is a shared handle onto the value buffer — a transport writes the
+// two spans back to back without ever copying the value.
+//
+// Versioning rules: the header is frozen; unknown versions, families and
+// type ids are rejected with Status::InvalidArgument (decode never crashes
+// on hostile input).  New message types append new type ids; removed types
+// leave their id unused; any change to an existing body layout bumps
+// kWireVersion.
+#pragma once
+
+#include <cstring>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace lds::net::codec {
+
+inline constexpr std::uint16_t kMagic = 0x4C53;  // "LS"
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Bytes of the u32 frame-length prefix.
+inline constexpr std::size_t kLenPrefixBytes = 4;
+/// Fixed header after the prefix: magic, version, family, type, obj, op.
+inline constexpr std::size_t kHeaderBytes = 2 + 1 + 1 + 1 + 4 + 8;
+/// Every frame costs this much before its body fields.
+inline constexpr std::size_t kFrameOverheadBytes =
+    kLenPrefixBytes + kHeaderBytes;
+/// Wire size of a Tag (u64 z + i32 w).
+inline constexpr std::size_t kTagWireBytes = 12;
+/// Hard ceiling on one frame: decode rejects anything larger as hostile.
+inline constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
+
+/// Protocol family carried in the frame header.  Lds/Abd/Cas/Heartbeat are
+/// built in; Store is registered by the store RPC layer (store/remote.h).
+enum class Family : std::uint8_t {
+  Lds = 0,
+  Abd = 1,
+  Cas = 2,
+  Heartbeat = 3,
+  Store = 4,
+};
+inline constexpr std::size_t kMaxFamilies = 8;
+
+/// Visitor aggregate for std::visit over message body variants (shared by
+/// every family codec implementation).
+template <class... Ts>
+struct overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+overloaded(Ts...) -> overloaded<Ts...>;
+
+/// The decoder's rejection vocabulary: a truncated field inside a frame.
+inline Status truncated_frame(const std::string& what) {
+  return Status::InvalidArgument("truncated frame: " + what);
+}
+
+// ---- primitive writers / readers -------------------------------------------
+
+/// Append-only little-endian byte builder for frame heads and body fields.
+class Writer {
+ public:
+  explicit Writer(std::size_t reserve = 64) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void tag(const Tag& t) {
+    u64(t.z);
+    i32(t.w);
+  }
+  /// u32 length + raw bytes (strings, coded elements, helper data).  A blob
+  /// beyond u32 range cannot be framed — that is a programming error (the
+  /// frame cap kMaxFrameBytes rejects hostile sizes far earlier).
+  void blob(const std::uint8_t* data, std::size_t len) {
+    LDS_REQUIRE(len <= 0xffffffffu, "codec::Writer: blob exceeds u32 length");
+    u32(static_cast<std::uint32_t>(len));
+    append(data, len);
+  }
+  void blob(const Bytes& b) { blob(b.data(), b.size()); }
+  void blob(const std::string& s) {
+    blob(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  void append(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  /// Patch a previously written u32 (the frame-length prefix).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    std::memcpy(buf_.data() + offset, &v, 4);
+  }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);  // little-endian hosts only (x86/arm)
+  }
+
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian reader; every getter returns false instead
+/// of reading past the end, so decoders never crash on truncated frames.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : cur_(data), end_(data + len) {}
+
+  bool u8(std::uint8_t* v) { return raw(v, 1); }
+  bool u16(std::uint16_t* v) { return raw(v, 2); }
+  bool u32(std::uint32_t* v) { return raw(v, 4); }
+  bool u64(std::uint64_t* v) { return raw(v, 8); }
+  bool i32(std::int32_t* v) { return raw(v, 4); }
+  bool tag(Tag* t) { return u64(&t->z) && i32(&t->w); }
+  bool blob(Bytes* out) {
+    std::uint32_t len = 0;
+    if (!u32(&len) || len > remaining()) return false;
+    out->assign(cur_, cur_ + len);
+    cur_ += len;
+    return true;
+  }
+  bool blob(std::string* out) {
+    std::uint32_t len = 0;
+    if (!u32(&len) || len > remaining()) return false;
+    out->assign(reinterpret_cast<const char*>(cur_), len);
+    cur_ += len;
+    return true;
+  }
+  bool value(Value* out) {
+    Bytes b;
+    if (!blob(&b)) return false;
+    *out = Value(std::move(b));
+    return true;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - cur_); }
+  bool exhausted() const { return cur_ == end_; }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(p, cur_, n);
+    cur_ += n;
+    return true;
+  }
+
+  const std::uint8_t* cur_;
+  const std::uint8_t* end_;
+};
+
+// ---- frames -----------------------------------------------------------------
+
+/// One encoded frame, split so the trailing value payload stays zero-copy:
+/// `head` is the length prefix + header + fixed fields (+ the payload's u32
+/// length when the type carries one); `body` shares the value buffer.
+struct Frame {
+  Bytes head;
+  Value body;
+
+  std::size_t size() const { return head.size() + body.size(); }
+  /// Contiguous copy (tests, single-buffer transports).
+  Bytes to_bytes() const {
+    Bytes out;
+    out.reserve(size());
+    out.insert(out.end(), head.begin(), head.end());
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+  }
+};
+
+// ---- per-family codec registry ----------------------------------------------
+
+/// Frame fields a family's encoder fills in (the codec writes the header and
+/// the trailing payload length itself).
+struct WireInfo {
+  std::uint8_t type = 0;
+  ObjectId obj = 0;
+  OpId op = kNoOp;
+  bool has_body = false;  ///< a trailing length-prefixed payload follows
+  Value body;             ///< zero-copy payload handle (when has_body)
+};
+
+/// One protocol family's encoder/decoder.  Implementations are stateless
+/// singletons with static storage duration.
+class FamilyCodec {
+ public:
+  virtual ~FamilyCodec() = default;
+  virtual const char* name() const = 0;
+  /// True when `msg` belongs to this family: append the fixed body fields to
+  /// `w` and fill `info`.  False = not mine, try the next family.
+  virtual bool encode_body(const Payload& msg, Writer& w,
+                           WireInfo* info) const = 0;
+  /// Exact frame size of `msg` without materializing it; false = not mine.
+  virtual bool size_of(const Payload& msg, std::uint64_t* size) const = 0;
+  /// Rebuild a message from one frame (header already parsed and verified).
+  /// Must consume the reader exactly; unknown `type` -> InvalidArgument.
+  virtual Status decode_body(std::uint8_t type, ObjectId obj, OpId op,
+                             Reader& r, MessagePtr* out) const = 0;
+};
+
+/// Register a family codec (idempotent for the same pointer).  The Lds, Abd,
+/// Cas and Heartbeat families are built in; the store RPC layer registers
+/// Family::Store from store/remote.cpp.  `impl` must have static lifetime.
+void register_family(Family f, const FamilyCodec* impl);
+
+// ---- encode / decode ---------------------------------------------------------
+
+/// Encode any known protocol message.  Aborts (LDS_REQUIRE) on a payload no
+/// registered family owns — an unencodable message is a programming error,
+/// not an input error.
+Frame encode(const Payload& msg);
+
+/// Exact on-wire frame size (length prefix included) without encoding.
+/// This is what meta_bytes() derives from: meta = encoded_size - data_bytes.
+std::uint64_t encoded_size(const Payload& msg);
+
+/// Decode ONE frame starting at `data` (the length prefix).  On success sets
+/// `*out` (and `*consumed` to the full frame size when non-null).  Truncated,
+/// oversized, bad-magic, unknown-version/family/type and malformed-body
+/// frames all return Status::InvalidArgument and never crash.
+Status decode(const std::uint8_t* data, std::size_t len, MessagePtr* out,
+              std::size_t* consumed = nullptr);
+Status decode(const Bytes& frame, MessagePtr* out);
+
+/// Stream-reassembly helper: with >= kLenPrefixBytes available, sets
+/// `*total` to the full frame size and returns Ok (oversized prefixes are
+/// rejected here, before a hostile peer can make us buffer 4 GiB).  With
+/// fewer bytes available sets `*total` to 0 and returns Ok ("need more").
+Status frame_length(const std::uint8_t* data, std::size_t len,
+                    std::size_t* total);
+
+}  // namespace lds::net::codec

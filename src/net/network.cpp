@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include "net/transport.h"
+
 namespace lds::net {
 
 Node::Node(Network& net, NodeId id, Role role)
@@ -16,8 +18,18 @@ void Node::send(NodeId to, MessagePtr msg) {
 
 Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
                  std::uint64_t seed)
-    : sim_(sim), latency_(std::move(latency)), rng_(seed) {
+    : sim_(sim),
+      latency_(std::move(latency)),
+      transport_(std::make_unique<InProcTransport>(*this)),
+      rng_(seed) {
   LDS_REQUIRE(latency_ != nullptr, "Network: null latency model");
+}
+
+Network::~Network() = default;
+
+void Network::set_transport(std::unique_ptr<Transport> t) {
+  LDS_REQUIRE(t != nullptr, "Network::set_transport: null transport");
+  transport_ = std::move(t);
 }
 
 Network::Network(Engine& engine, std::size_t lane,
@@ -46,6 +58,11 @@ void Network::send(NodeId from, Role from_role, NodeId to, MessagePtr msg) {
   costs_.record(link, msg->op(), msg->data_bytes(), msg->meta_bytes());
 
   const SimTime delay = latency_->sample(link, rng_);
+  transport_->deliver(from, to, std::move(msg), delay);
+}
+
+void Network::deliver_local(NodeId from, NodeId to, MessagePtr msg,
+                            SimTime delay) {
   sim_.after(delay, [this, from, to, msg = std::move(msg)]() {
     Node* dest = find(to);
     if (dest == nullptr || dest->crashed()) return;  // reliable-iff-alive

@@ -37,6 +37,7 @@ class Payload {
 using MessagePtr = std::shared_ptr<const Payload>;
 
 class Network;
+class Transport;  // net/transport.h: the message-delivery seam
 
 /// A process.  Subclasses implement on_message(); the constructor registers
 /// the node with the network and the destructor detaches it.
@@ -80,6 +81,7 @@ class Network {
   /// implicit); the simulator must outlive the network.
   Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
           std::uint64_t seed = 1);
+  ~Network();  // out-of-line: Transport is only forward-declared here
 
   Simulator& sim() { return sim_; }
   CostTracker& costs() { return costs_; }
@@ -87,9 +89,20 @@ class Network {
   Rng& rng() { return rng_; }
 
   /// Place a message in the (from -> to) channel.  Cost is accounted here,
-  /// at send time.  Unknown destinations are allowed (the message is dropped
-  /// at delivery) so that nodes can be torn down mid-simulation in tests.
+  /// at send time, from the payload's exact wire sizes (net/codec.h); the
+  /// transport then moves the message.  Unknown destinations are allowed
+  /// (the message is dropped at delivery) so that nodes can be torn down
+  /// mid-simulation in tests.
   void send(NodeId from, Role from_role, NodeId to, MessagePtr msg);
+
+  /// The delivery seam (default: InProcTransport — zero-copy, deterministic;
+  /// see net/transport.h).  Replace before any traffic flows.
+  Transport& transport() { return *transport_; }
+  void set_transport(std::unique_ptr<Transport> t);
+  /// Deliver into a local node after `delay`: the InProcTransport path, and
+  /// the entry point a remote transport uses when a frame arrives for a
+  /// node attached here.  Must run on the network's lane.
+  void deliver_local(NodeId from, NodeId to, MessagePtr msg, SimTime delay);
 
   /// Crash a node by id (no-op if unknown).
   void crash(NodeId id);
@@ -113,6 +126,7 @@ class Network {
 
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<Transport> transport_;
   Rng rng_;
   CostTracker costs_;
   std::unordered_map<NodeId, Node*> nodes_;

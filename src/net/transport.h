@@ -1,0 +1,180 @@
+// Transport: how messages physically move between processes.
+//
+// Network (net/network.h) owns the *protocol-visible* semantics — reliable
+// point-to-point links, cost accounting at send time, latency sampling — and
+// delegates the actual movement of a message to a Transport:
+//
+//   * InProcTransport — the default and the only deterministic one: the
+//     message stays a shared_ptr handle (zero serialization, zero copies)
+//     and delivery is an event on the destination's lane simulator.  Runs
+//     bit-identically for a fixed seed under both SimEngine and
+//     ParallelEngine, exactly as before the seam existed.
+//
+//   * TcpTransport — the real-deployment path: every message is encoded to
+//     its codec frame (net/codec.h) and moved over a TCP socket by one
+//     poll(2)-based event-loop thread (listener + all connections + a wakeup
+//     pipe).  Incoming byte streams are reassembled into frames, decoded,
+//     and handed to a handler on the loop thread.  Not deterministic: the
+//     kernel schedules delivery.  This is what lets a StoreService serve
+//     remote store::Clients (store/remote.h, tools/lds_served.cpp).
+//
+// Determinism scope, explicitly: InProc yes (same seed => byte-identical
+// histories, costs, metrics), TCP no (wall-clock and kernel interleaving).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/codec.h"
+#include "net/sim.h"
+
+namespace lds::net {
+
+class Network;
+
+/// The message-delivery seam of Network.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual const char* name() const = 0;
+  /// True when delivery order is a pure function of the seed (InProc); real
+  /// transports are not.
+  virtual bool deterministic() const = 0;
+  /// Move `msg` from `from` to `to`, becoming visible after `delay` —
+  /// virtual time for deterministic transports; real transports ignore it
+  /// (the kernel imposes its own latency).
+  virtual void deliver(NodeId from, NodeId to, MessagePtr msg,
+                       SimTime delay) = 0;
+};
+
+/// Default transport: the zero-copy in-process path.  Delivery is an event
+/// on the owning Network's simulator, scheduled at send time (the paper's
+/// reliable-iff-alive link model).
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(Network& net) : net_(net) {}
+  const char* name() const override { return "inproc"; }
+  bool deterministic() const override { return true; }
+  void deliver(NodeId from, NodeId to, MessagePtr msg, SimTime delay) override;
+
+ private:
+  Network& net_;
+};
+
+/// Length-prefixed codec frames over real TCP sockets, one poll-based event
+/// loop thread per transport instance.
+///
+/// Roles: after listen() the transport accepts connections and assigns each
+/// an ascending peer id; after connect() it holds an outbound connection to
+/// one peer.  One instance can do both (ids come from one counter).  Frames
+/// are written zero-copy from the codec's {head, body} split (the value
+/// buffer is never copied into a contiguous frame); incoming streams are
+/// reassembled, bounds-checked against Options::max_frame_bytes, decoded,
+/// and delivered to the registered handler ON THE LOOP THREAD — handlers
+/// must be thread-safe against the rest of the application.
+///
+/// deliver()/close_peer() are thread-safe (any thread, any lane); a hostile
+/// or corrupt peer is disconnected on its first malformed frame.
+class TcpTransport final : public Transport {
+ public:
+  struct Options {
+    /// Frames larger than this disconnect the peer (decode would reject
+    /// them anyway; checking at reassembly avoids buffering the garbage).
+    std::size_t max_frame_bytes = codec::kMaxFrameBytes;
+    /// Poll timeout: the loop re-checks its stop flag at this cadence even
+    /// when no fd is ready.
+    int poll_interval_ms = 50;
+  };
+  /// Called on the event-loop thread for every decoded incoming frame.
+  using Handler = std::function<void(NodeId peer, MessagePtr msg)>;
+  using DisconnectHandler = std::function<void(NodeId peer)>;
+
+  TcpTransport() : TcpTransport(Options{}) {}
+  explicit TcpTransport(Options opt);
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral, see port()) and start
+  /// the event loop.  Accepted peers deliver their frames to `on_message`.
+  Status listen(std::uint16_t port, Handler on_message);
+  /// The bound listening port (after a successful listen()).
+  std::uint16_t port() const { return port_; }
+
+  /// Open an outbound connection; `*peer` receives the id to deliver() to.
+  Status connect(const std::string& host, std::uint16_t port,
+                 Handler on_message, NodeId* peer);
+
+  /// Observe peer disconnects (loop thread).  Set before listen/connect.
+  void set_disconnect_handler(DisconnectHandler h) {
+    on_disconnect_ = std::move(h);
+  }
+
+  void close_peer(NodeId peer);
+  /// Stop the loop, close every socket.  Idempotent; called by the dtor.
+  void stop();
+
+  const char* name() const override { return "tcp"; }
+  bool deterministic() const override { return false; }
+  /// Encode `msg` and queue it to peer `to` (`from` and `delay` are carried
+  /// for interface symmetry; TCP imposes its own latency).  Unknown peers
+  /// drop the message, mirroring Network's drop-at-delivery semantics.
+  void deliver(NodeId from, NodeId to, MessagePtr msg, SimTime delay) override;
+
+  std::uint64_t frames_sent() const { return frames_sent_.load(); }
+  std::uint64_t frames_received() const { return frames_received_.load(); }
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  std::uint64_t bytes_received() const { return bytes_received_.load(); }
+  std::uint64_t decode_errors() const { return decode_errors_.load(); }
+  /// Outbound frames refused because they exceed Options::max_frame_bytes.
+  std::uint64_t frames_dropped() const { return frames_dropped_.load(); }
+  /// True once stop() ran (or is running); the transport cannot restart.
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    Handler handler;
+    Bytes inbuf;
+    std::deque<codec::Frame> outq;  ///< front frame partially written
+    std::size_t out_off = 0;        ///< bytes of the front frame written
+  };
+
+  void ensure_loop();     // start the loop thread once (under mu_)
+  void loop();
+  void wake();
+  /// Close + erase under mu_; returns true when the peer existed.
+  bool close_locked(NodeId peer);
+  bool flush_conn(Conn& c);             // loop thread; false = conn broken
+  bool read_conn(NodeId peer, Conn& c,  // loop thread; false = conn broken
+                 std::vector<std::pair<Handler, MessagePtr>>* delivered);
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  Handler accept_handler_;
+  DisconnectHandler on_disconnect_;
+  NodeId next_peer_ = 1;
+  std::unordered_map<NodeId, Conn> conns_;
+
+  std::atomic<std::uint64_t> frames_sent_{0}, frames_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0}, bytes_received_{0};
+  std::atomic<std::uint64_t> decode_errors_{0}, frames_dropped_{0};
+};
+
+}  // namespace lds::net

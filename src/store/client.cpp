@@ -1,8 +1,13 @@
 #include "store/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/assert.h"
 #include "common/format.h"
 #include "store/async_util.h"
+#include "store/remote.h"
 
 namespace lds::store {
 
@@ -13,6 +18,66 @@ std::string deadline_msg(double deadline) {
 }
 
 }  // namespace
+
+// ---- lifecycle / remote mode ------------------------------------------------
+
+Client::Client(StoreService& service) : svc_(&service) {}
+
+Client::Client(std::unique_ptr<RemoteSession> remote)
+    : remote_(std::move(remote)) {}
+
+Client::~Client() = default;
+
+std::unique_ptr<Client> Client::connect(const std::string& host,
+                                        std::uint16_t port, Status* status) {
+  auto session = RemoteSession::open(host, port, status);
+  if (session == nullptr) return nullptr;
+  return std::unique_ptr<Client>(new Client(std::move(session)));
+}
+
+PutResult Client::remote_put_op(
+    OpOptions opts, const std::function<PutResult(double)>& attempt) {
+  // The engine-time deadline/retry driver, transliterated to wall-clock
+  // seconds: one budget across all attempts, backoff slept between them.
+  const auto start = std::chrono::steady_clock::now();
+  const auto remaining = [&]() -> double {
+    const double used =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return opts.deadline - used;
+  };
+  double backoff = opts.retry.backoff;
+  for (std::size_t n = 1;; ++n) {
+    double budget = 0;  // 0 = unbounded
+    if (opts.deadline > 0) {
+      budget = remaining();
+      if (budget <= 0) {
+        return PutResult::failure(
+            Status::DeadlineExceeded(deadline_msg(opts.deadline)));
+      }
+    }
+    PutResult r = attempt(budget);
+    if (r.ok || !opts.retry.retriable(r.status) ||
+        n >= opts.retry.max_attempts) {
+      return r;
+    }
+    // Never sleep past the deadline: the engine-time driver's timer fires
+    // exactly at expiry, so the wall-clock driver caps the backoff at the
+    // remaining budget (the loop top then reports DeadlineExceeded on
+    // time, not a backoff late).
+    double sleep_s = backoff;
+    if (opts.deadline > 0) {
+      const double rem = remaining();
+      if (rem <= 0) {
+        return PutResult::failure(
+            Status::DeadlineExceeded(deadline_msg(opts.deadline)));
+      }
+      sleep_s = std::min(backoff, rem);
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    backoff *= opts.retry.backoff_multiplier;
+  }
+}
 
 /// One logical put (plain or conditional).  Everything that touches the op
 /// after submission — deadline timer, retries, completion — runs on the
@@ -37,6 +102,20 @@ struct Client::GetOp {
 
 void Client::put(const std::string& key, Value value, PutCallback cb,
                  OpOptions opts) {
+  if (remote_) {
+    PutResult r;
+    if (closed()) {
+      r = PutResult::failure(Status::Unavailable("client closed"));
+    } else if (key.empty()) {
+      r = PutResult::failure(Status::InvalidArgument("empty key"));
+    } else {
+      r = remote_put_op(opts, [&](double deadline_s) {
+        return remote_->put(key, value, deadline_s);
+      });
+    }
+    if (cb) cb(r);
+    return;
+  }
   run_put_op(key, std::move(value), opts, std::move(cb),
              [this](const std::string& k, Value v,
                     StoreService::PutCallback pcb) {
@@ -46,6 +125,20 @@ void Client::put(const std::string& key, Value value, PutCallback cb,
 
 void Client::put_if_version(const std::string& key, Value value,
                             Version expected, PutCallback cb, OpOptions opts) {
+  if (remote_) {
+    PutResult r;
+    if (closed()) {
+      r = PutResult::failure(Status::Unavailable("client closed"));
+    } else if (key.empty()) {
+      r = PutResult::failure(Status::InvalidArgument("empty key"));
+    } else {
+      r = remote_put_op(opts, [&](double deadline_s) {
+        return remote_->put_if(key, value, expected, deadline_s);
+      });
+    }
+    if (cb) cb(r);
+    return;
+  }
   run_put_op(key, std::move(value), opts, std::move(cb),
              [this, expected](const std::string& k, Value v,
                               StoreService::PutCallback pcb) {
@@ -123,6 +216,12 @@ void Client::get(const std::string& key, GetCallback cb, OpOptions opts) {
     if (cb) cb(GetResult::failure(Status::InvalidArgument("empty key")));
     return;
   }
+  if (remote_) {
+    // Gets have no retriable failure; one blocking RPC under the deadline.
+    const GetResult r = remote_->get(key, opts.read_mode, opts.deadline);
+    if (cb) cb(r);
+    return;
+  }
   auto op = std::make_shared<GetOp>();
   op->cb = std::move(cb);
   const std::size_t lane = lane_of_key(key);
@@ -188,6 +287,13 @@ using detail::run_op_sync;
 
 Result<Version> Client::put_sync(const std::string& key, Value value,
                                  OpOptions opts) {
+  if (remote_) {
+    // Remote async ops block inline, so the callback has fired by return.
+    PutResult rr;
+    put(key, std::move(value), [&rr](const PutResult& pr) { rr = pr; }, opts);
+    if (!rr.ok) return rr.status;
+    return rr.version;
+  }
   const PutResult r = run_op_sync<PutResult>(
       svc_->engine(), svc_->parallel(),
       "Client::put_sync: simulation drained before completion",
@@ -202,6 +308,12 @@ Result<Version> Client::put_sync(const std::string& key, Value value,
 
 Result<VersionedValue> Client::get_sync(const std::string& key,
                                         OpOptions opts) {
+  if (remote_) {
+    GetResult rr;
+    get(key, [&rr](const GetResult& gr) { rr = gr; }, opts);
+    if (!rr.ok) return rr.status;
+    return VersionedValue{rr.version, rr.value};
+  }
   const GetResult r = run_op_sync<GetResult>(
       svc_->engine(), svc_->parallel(),
       "Client::get_sync: simulation drained before completion",
@@ -216,6 +328,13 @@ Result<VersionedValue> Client::get_sync(const std::string& key,
 Result<Version> Client::put_if_version_sync(const std::string& key,
                                             Value value, Version expected,
                                             OpOptions opts) {
+  if (remote_) {
+    PutResult rr;
+    put_if_version(key, std::move(value), expected,
+                   [&rr](const PutResult& pr) { rr = pr; }, opts);
+    if (!rr.ok) return rr.status;
+    return rr.version;
+  }
   const PutResult r = run_op_sync<PutResult>(
       svc_->engine(), svc_->parallel(),
       "Client::put_if_version_sync: simulation drained before completion",
@@ -230,6 +349,13 @@ Result<Version> Client::put_if_version_sync(const std::string& key,
 
 std::vector<GetResult> Client::multi_get_sync(std::vector<std::string> keys,
                                               OpOptions opts) {
+  if (remote_) {
+    std::vector<GetResult> rr;
+    multi_get(std::move(keys), [&rr](std::vector<GetResult> v) {
+      rr = std::move(v);
+    }, opts);
+    return rr;
+  }
   return run_op_sync<std::vector<GetResult>>(
       svc_->engine(), svc_->parallel(),
       "Client::multi_get_sync: simulation drained before completion",
@@ -238,6 +364,13 @@ std::vector<GetResult> Client::multi_get_sync(std::vector<std::string> keys,
 
 std::vector<PutResult> Client::multi_put_sync(std::vector<KeyValue> entries,
                                               OpOptions opts) {
+  if (remote_) {
+    std::vector<PutResult> rr;
+    multi_put(std::move(entries), [&rr](std::vector<PutResult> v) {
+      rr = std::move(v);
+    }, opts);
+    return rr;
+  }
   return run_op_sync<std::vector<PutResult>>(
       svc_->engine(), svc_->parallel(),
       "Client::multi_put_sync: simulation drained before completion",

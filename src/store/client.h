@@ -21,6 +21,15 @@
 //   * Status-returning sync wrappers — Result<Version> / Result<
 //     VersionedValue> in the RocksDB Status idiom (common/status.h).
 //
+// Remote-connect mode (Client::connect): the same API over a TCP connection
+// to a served StoreService (store/remote.h, tools/lds_served.cpp).  The
+// differences are inherent to leaving the address space: OpOptions::deadline
+// and RetryPolicy backoffs are wall-clock SECONDS (engine time does not
+// exist on this side of the socket), async callbacks are invoked inline
+// after the blocking RPC completes, multi_get/multi_put issue their
+// sub-operations sequentially over the one connection, and nothing is
+// deterministic.  ReadMode still applies (the mode rides the request).
+//
 // Values are zero-copy handles end to end: the buffer a caller puts is the
 // buffer the batch window queues, the writer fans out, and the L1 servers
 // store (common/slice.h).
@@ -39,6 +48,8 @@
 #include "store/store_service.h"
 
 namespace lds::store {
+
+class RemoteSession;  // store/remote.h
 
 /// Bounded retry with exponential backoff, in engine-time units.  Only
 /// transient failures retry (today: AdmissionReject); semantic outcomes
@@ -77,7 +88,17 @@ class Client {
   using MultiPutCallback = StoreService::MultiPutCallback;
 
   /// The service must outlive the client.
-  explicit Client(StoreService& service) : svc_(&service) {}
+  explicit Client(StoreService& service);
+  ~Client();
+
+  /// Remote-connect mode: a client whose operations travel over TCP to a
+  /// served StoreService at host:port (see the header note for the semantic
+  /// differences).  Returns nullptr on connection failure, with the reason
+  /// in `*status` when non-null.
+  static std::unique_ptr<Client> connect(const std::string& host,
+                                         std::uint16_t port,
+                                         Status* status = nullptr);
+  bool remote() const { return remote_ != nullptr; }
 
   // ---- async API ------------------------------------------------------------
   void put(const std::string& key, Value value, PutCallback cb,
@@ -115,6 +136,7 @@ class Client {
   void close() { closed_.store(true, std::memory_order_release); }
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  /// Local mode only (remote clients have no in-process service).
   StoreService& service() { return *svc_; }
 
  private:
@@ -128,9 +150,15 @@ class Client {
   using PutSubmit =
       std::function<void(const std::string&, Value, StoreService::PutCallback)>;
 
+  explicit Client(std::unique_ptr<RemoteSession> remote);
+
   std::size_t lane_of_key(const std::string& key) const {
     return svc_->shard_lane(svc_->router().shard_of(key));
   }
+  /// Remote path shared by put and put_if_version: wall-clock deadline +
+  /// bounded-backoff retries around one blocking RPC per attempt.
+  PutResult remote_put_op(OpOptions opts,
+                          const std::function<PutResult(double)>& attempt);
   /// Shared driver for put and put_if_version: closed/empty-key prechecks,
   /// lane hop, deadline arming, bounded-backoff retries.
   void run_put_op(const std::string& key, Value value, OpOptions opts,
@@ -139,7 +167,8 @@ class Client {
                       std::shared_ptr<PutOp> op, std::size_t attempt,
                       double backoff, std::shared_ptr<PutSubmit> submit);
 
-  StoreService* svc_;
+  StoreService* svc_ = nullptr;            ///< local mode
+  std::unique_ptr<RemoteSession> remote_;  ///< remote mode
   std::atomic<bool> closed_{false};
 };
 

@@ -1,0 +1,175 @@
+// The store RPC family: serve a StoreService to remote store::Clients.
+//
+// Four wire messages (codec Family::Store, net/codec.h) carry the client API
+// over a TcpTransport (net/transport.h):
+//
+//   RemotePut    { key, value }                 -> RemoteReply
+//   RemoteGet    { key, read mode }             -> RemoteReply (value)
+//   RemotePutIf  { key, value, expected }       -> RemoteReply
+//   RemoteReply  { status code+message, version, optional value }
+//
+// Every request carries a per-connection request id in the frame's OpId
+// field; the reply echoes it, so one connection multiplexes any number of
+// concurrent callers (RemoteSession below blocks each caller on its own id).
+//
+// Threading: RemoteServer's handler runs on the transport's event-loop
+// thread and submits straight into StoreService's thread-safe client API —
+// which is why serving requires EngineMode::Parallel.  Completion callbacks
+// fire on shard lanes and push the reply frame back through the transport's
+// thread-safe deliver().
+//
+// Determinism: none — this is the real-deployment path (see the scope note
+// in net/transport.h).  Correctness of a served run is established by the
+// linearizability checkers over the server-side histories (lds_served
+// verifies them at shutdown) and client-observed histories (lds_store_bench
+// --remote).
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <variant>
+
+#include "net/codec.h"
+#include "net/transport.h"
+#include "store/store_service.h"
+
+namespace lds::store {
+
+// ---- wire messages -----------------------------------------------------------
+
+struct RemotePut {
+  std::string key;
+  Value value;
+};
+struct RemoteGet {
+  std::string key;
+  ReadMode mode = ReadMode::Atomic;
+};
+struct RemotePutIf {
+  std::string key;
+  Value value;
+  Version expected;
+};
+/// One reply shape serves every request kind.  `version_known`/`tag` carry
+/// the committed/observed Version (including the observed version an
+/// Aborted conditional put reports); `has_value` marks a get's payload.
+struct RemoteReply {
+  StatusCode code = StatusCode::kOk;
+  std::string message;  ///< Status context (empty when ok)
+  bool version_known = false;
+  Tag tag;
+  bool coalesced = false;  ///< puts: absorbed by a newer same-key write
+  bool has_value = false;
+  Value value;
+};
+
+/// Alternative order frozen: the wire codec uses the variant index as the
+/// frame's type id.  Append, never reorder.
+using RemoteBody = std::variant<RemotePut, RemoteGet, RemotePutIf, RemoteReply>;
+
+class RemoteMessage final : public net::Payload {
+ public:
+  RemoteMessage(OpId request_id, RemoteBody body)
+      : request_(request_id), body_(std::move(body)) {}
+
+  /// The per-connection request id (rides the frame's OpId field).
+  OpId op() const override { return request_; }
+  const RemoteBody& body() const { return body_; }
+
+  std::uint64_t data_bytes() const override;
+  std::uint64_t meta_bytes() const override;  ///< exact, via the codec
+  const char* type_name() const override;
+
+  static net::MessagePtr make(OpId request_id, RemoteBody body) {
+    return std::make_shared<RemoteMessage>(request_id, std::move(body));
+  }
+
+ private:
+  OpId request_;
+  RemoteBody body_;
+};
+
+/// Register Family::Store with the codec.  Idempotent, thread-safe; called
+/// by RemoteServer/RemoteSession construction (and by anything that feeds
+/// RemoteMessages to a transport directly, e.g. bench_codec).
+void register_store_wire();
+
+// ---- server ------------------------------------------------------------------
+
+/// Accepts remote store clients and bridges them onto a StoreService.
+/// Usually owned via StoreService::listen(); standalone construction is for
+/// tests.  The service must be in Parallel mode and must outlive the server.
+class RemoteServer {
+ public:
+  explicit RemoteServer(StoreService& svc);
+  ~RemoteServer();
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and start serving.
+  Status listen(std::uint16_t port);
+  std::uint16_t port() const { return transport_.port(); }
+  /// Actively accepting (a successful listen() not yet stopped).
+  bool listening() const { return port() != 0 && !transport_.stopped(); }
+  /// True after stop(): the transport cannot restart — StoreService::listen
+  /// recreates the server instead.
+  bool stopped() const { return transport_.stopped(); }
+  /// Stop accepting and drop every connection (in-flight operations still
+  /// complete inside the service; their replies are dropped).
+  void stop() { transport_.stop(); }
+
+  std::uint64_t frames_received() const { return transport_.frames_received(); }
+  std::uint64_t frames_sent() const { return transport_.frames_sent(); }
+
+ private:
+  void on_message(NodeId peer, const net::MessagePtr& msg);
+  void reply(NodeId peer, OpId id, RemoteReply r);
+
+  StoreService& svc_;
+  net::TcpTransport transport_;
+};
+
+// ---- client session ----------------------------------------------------------
+
+/// One TCP connection to a RemoteServer, shared by any number of caller
+/// threads: requests are pipelined under per-connection ids and each caller
+/// blocks on its own reply.  Deadlines are wall-clock seconds — engine time
+/// does not exist on this side of the socket.
+class RemoteSession {
+ public:
+  static std::unique_ptr<RemoteSession> open(const std::string& host,
+                                             std::uint16_t port,
+                                             Status* status = nullptr);
+  ~RemoteSession();
+
+  PutResult put(const std::string& key, Value value, double deadline_s = 0);
+  GetResult get(const std::string& key, ReadMode mode = ReadMode::Atomic,
+                double deadline_s = 0);
+  PutResult put_if(const std::string& key, Value value, Version expected,
+                   double deadline_s = 0);
+
+  bool connected() const;
+
+ private:
+  RemoteSession() = default;
+
+  struct Pending {
+    bool done = false;
+    RemoteReply reply;
+  };
+
+  /// Send one request and block for its reply (or deadline/disconnect).
+  Status call(RemoteBody req, double deadline_s, RemoteReply* out);
+  void on_message(NodeId peer, const net::MessagePtr& msg);
+
+  net::TcpTransport transport_;
+  NodeId server_ = kNoNode;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<OpId, Pending> pending_;
+  bool disconnected_ = false;
+};
+
+}  // namespace lds::store

@@ -8,6 +8,7 @@
 
 #include "common/assert.h"
 #include "store/async_util.h"
+#include "store/remote.h"
 
 namespace lds::store {
 
@@ -178,7 +179,38 @@ StoreService::StoreService(StoreOptions opt)
 }
 
 StoreService::~StoreService() {
+  // Remote serving stops first (no new requests enter), then the engine
+  // joins its lane workers.  In-flight completion callbacks that still try
+  // to reply find the transport's connections gone and drop harmlessly —
+  // the RemoteServer object itself outlives the drain (member destruction
+  // order), so no callback dangles.
+  stop_listening();
   engine_->stop();  // join lane workers before shard state is destroyed
+}
+
+Status StoreService::listen(std::uint16_t port) {
+  if (remote_ != nullptr && remote_->listening()) {
+    return Status::InvalidArgument("already listening on port " +
+                                   std::to_string(remote_->port()));
+  }
+  // A stopped transport cannot restart, so listen-after-stop_listening gets
+  // a fresh server.  The old one is RETIRED, not destroyed: reply callbacks
+  // of requests still completing inside the service captured it, and they
+  // must find a live object (whose stopped transport then drops the reply).
+  // Retirees are freed in ~StoreService after the engine drains.
+  if (remote_ != nullptr && remote_->stopped()) {
+    retired_remotes_.push_back(std::move(remote_));
+  }
+  if (remote_ == nullptr) remote_ = std::make_unique<RemoteServer>(*this);
+  return remote_->listen(port);
+}
+
+std::uint16_t StoreService::listen_port() const {
+  return remote_ == nullptr ? 0 : remote_->port();
+}
+
+void StoreService::stop_listening() {
+  if (remote_ != nullptr) remote_->stop();
 }
 
 const core::History& StoreService::shard_history(std::size_t s) const {
@@ -324,7 +356,13 @@ void StoreService::dispatch_put(std::size_t shard_idx, std::size_t writer,
     outstanding_.fetch_sub(cbs.size(), std::memory_order_acq_rel);
     for (std::size_t i = 0; i < cbs.size(); ++i) {
       latency.record(done_sh.sim->now() - submitted[i]);
-      if (cbs[i]) cbs[i](result);
+      if (cbs[i]) {
+        // Coalescing keeps the LAST submitted value (newest wins), so every
+        // earlier callback belongs to an absorbed put.
+        PutResult r = result;
+        r.coalesced = i + 1 < cbs.size();
+        cbs[i](r);
+      }
     }
     for (std::size_t i = 0; i < cbs.size(); ++i) {
       engine_->release(done_sh.lane);

@@ -69,6 +69,8 @@
 
 namespace lds::store {
 
+class RemoteServer;  // store/remote.h: serves remote store::Clients over TCP
+
 enum class ShardProtocol { Lds, Abd, Cas };
 
 const char* protocol_name(ShardProtocol p);
@@ -131,6 +133,11 @@ struct PutResult {
   Status status;
   Tag tag;
   Version version;
+  /// True when this put was absorbed by a newer same-key put of the same
+  /// batch window: the write is durable, but `version` is the SURVIVOR's —
+  /// a read of the key returns the survivor's value, not this one.  The
+  /// remote bench uses this to record only linearization-visible writes.
+  bool coalesced = false;
   bool ok = false;        ///< derived: status.ok()
   std::string error;      ///< derived: status.to_string() when !ok
 
@@ -238,6 +245,21 @@ class StoreService {
                         Version expected);
   std::vector<GetResult> multi_get_sync(std::vector<std::string> keys);
   std::vector<PutResult> multi_put_sync(std::vector<KeyValue> entries);
+
+  // ---- remote serving --------------------------------------------------------
+  /// Serve remote store::Clients (store/remote.h) on 127.0.0.1:`port`
+  /// (0 = ephemeral; read back with listen_port()).  Requires
+  /// EngineMode::Parallel — the request handler submits from the transport's
+  /// event-loop thread, which only the parallel client API tolerates —
+  /// else InvalidArgument.  InvalidArgument while already listening;
+  /// listen() after stop_listening() starts a fresh server.  Not
+  /// deterministic (see net/transport.h).
+  Status listen(std::uint16_t port);
+  /// The bound port after a successful listen(); 0 when not listening.
+  std::uint16_t listen_port() const;
+  /// Drop every remote connection and stop accepting; in-flight operations
+  /// complete inside the service, their replies are dropped.  Idempotent.
+  void stop_listening();
 
   // ---- operations & introspection -------------------------------------------
   net::Engine& engine() { return *engine_; }
@@ -385,6 +407,10 @@ class StoreService {
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<RepairScheduler> repair_;
+  std::unique_ptr<RemoteServer> remote_;
+  /// Stopped servers kept alive until the engine drains: reply callbacks of
+  /// requests still completing in the service reference them (see listen()).
+  std::vector<std::unique_ptr<RemoteServer>> retired_remotes_;
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<std::size_t> pending_injections_{0};
 };

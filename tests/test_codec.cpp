@@ -1,0 +1,472 @@
+// The wire codec (src/net/codec.h): seeded randomized
+// encode -> decode -> re-encode identity over every message type of every
+// family (LDS, ABD, CAS, heartbeat, store RPC), exact meta-byte accounting,
+// hostile-input robustness (truncated / oversized / bad-magic /
+// unknown-version frames reject with InvalidArgument, never crash), and a
+// TcpTransport loopback smoke test driving put/get/multi_get against a
+// listening StoreService.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "baselines/abd.h"
+#include "baselines/cas.h"
+#include "common/rng.h"
+#include "lds/heartbeat.h"
+#include "lds/messages.h"
+#include "net/codec.h"
+#include "net/transport.h"
+#include "store/client.h"
+#include "store/remote.h"
+
+namespace lds::net::codec {
+namespace {
+
+Tag random_tag(Rng& rng) {
+  return Tag{rng.next_u64() >> 16,
+             static_cast<NodeId>(rng.uniform_int(0, 1 << 20))};
+}
+
+OpId random_op(Rng& rng) {
+  return make_op_id(static_cast<NodeId>(rng.uniform_int(1, 1 << 20)),
+                    static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30)));
+}
+
+/// One message of every LDS type, payloads of `n` bytes.
+std::vector<MessagePtr> sample_lds(Rng& rng, std::size_t n) {
+  using namespace lds::core;
+  const ObjectId obj = static_cast<ObjectId>(rng.uniform_int(0, 1 << 20));
+  const OpId op = random_op(rng);
+  auto mk = [&](LdsBody body) {
+    return LdsMessage::make(obj, op, std::move(body));
+  };
+  return {
+      mk(QueryTag{}),
+      mk(TagResp{random_tag(rng)}),
+      mk(PutData{random_tag(rng), Value(rng.bytes(n))}),
+      mk(WriteAck{random_tag(rng)}),
+      mk(QueryCommTag{}),
+      mk(CommTagResp{random_tag(rng)}),
+      mk(QueryData{random_tag(rng)}),
+      mk(DataRespValue{random_tag(rng), Value(rng.bytes(n))}),
+      mk(DataRespCoded{random_tag(rng),
+                       static_cast<int>(rng.uniform_int(0, 64)),
+                       rng.bytes(n)}),
+      mk(DataRespNack{}),
+      mk(PutTag{random_tag(rng)}),
+      mk(PutTagAck{}),
+      mk(UnregisterReader{}),
+      mk(CommitTag{random_tag(rng), rng.next_u64()}),
+      mk(WriteCodeElem{random_tag(rng), rng.bytes(n)}),
+      mk(AckCodeElem{random_tag(rng)}),
+      mk(QueryCodeElem{static_cast<int>(rng.uniform_int(0, 64))}),
+      mk(SendHelperElem{random_tag(rng), rng.bytes(n)}),
+  };
+}
+
+std::vector<MessagePtr> sample_abd(Rng& rng, std::size_t n) {
+  using namespace lds::baselines;
+  const ObjectId obj = static_cast<ObjectId>(rng.uniform_int(0, 1 << 20));
+  const OpId op = random_op(rng);
+  auto mk = [&](AbdBody body) {
+    return AbdMessage::make(obj, op, std::move(body));
+  };
+  return {
+      mk(AbdQuery{rng.bernoulli(0.5)}),
+      mk(AbdQueryResp{random_tag(rng), Value(rng.bytes(n))}),
+      mk(AbdUpdate{random_tag(rng), Value(rng.bytes(n))}),
+      mk(AbdUpdateAck{random_tag(rng)}),
+  };
+}
+
+std::vector<MessagePtr> sample_cas(Rng& rng, std::size_t n) {
+  using namespace lds::baselines;
+  const ObjectId obj = static_cast<ObjectId>(rng.uniform_int(0, 1 << 20));
+  const OpId op = random_op(rng);
+  auto mk = [&](CasBody body) {
+    return CasMessage::make(obj, op, std::move(body));
+  };
+  return {
+      mk(CasQuery{}),
+      mk(CasQueryResp{random_tag(rng)}),
+      mk(CasPreWrite{random_tag(rng), rng.bytes(n)}),
+      mk(CasPreAck{random_tag(rng)}),
+      mk(CasFinalize{random_tag(rng), rng.bernoulli(0.5)}),
+      mk(CasFinAck{random_tag(rng), rng.bernoulli(0.5), rng.bytes(n)}),
+  };
+}
+
+std::vector<MessagePtr> sample_heartbeat(Rng& rng) {
+  return {std::make_shared<core::HeartbeatPing>(rng.next_u64()),
+          std::make_shared<core::HeartbeatPong>(rng.next_u64())};
+}
+
+std::vector<MessagePtr> sample_store(Rng& rng, std::size_t n) {
+  using namespace lds::store;
+  register_store_wire();
+  const OpId op = random_op(rng);
+  std::string key = "key-" + std::to_string(rng.next_u64() % 1000);
+  RemoteReply reply;
+  reply.code = StatusCode::kAborted;
+  reply.message = "expected version mismatch";
+  reply.version_known = true;
+  reply.tag = random_tag(rng);
+  reply.coalesced = rng.bernoulli(0.5);
+  reply.has_value = true;
+  reply.value = Value(rng.bytes(n));
+  return {
+      RemoteMessage::make(op, RemotePut{key, Value(rng.bytes(n))}),
+      RemoteMessage::make(op, RemoteGet{key, ReadMode::Regular}),
+      RemoteMessage::make(
+          op, RemotePutIf{key, Value(rng.bytes(n)), Version(random_tag(rng))}),
+      RemoteMessage::make(op, RemotePutIf{key, Value(rng.bytes(n)),
+                                          Version()}),  // unknown expected
+      RemoteMessage::make(op, std::move(reply)),
+  };
+}
+
+/// encode -> decode -> re-encode must be the identity on wire bytes, and
+/// every size accessor must agree with the encoded frame.
+void expect_roundtrip(const MessagePtr& m) {
+  const Frame f = encode(*m);
+  EXPECT_EQ(f.size(), encoded_size(*m)) << m->type_name();
+  EXPECT_EQ(m->meta_bytes() + m->data_bytes(), encoded_size(*m))
+      << m->type_name();
+  const Bytes wire = f.to_bytes();
+  ASSERT_GE(wire.size(), kFrameOverheadBytes);
+
+  MessagePtr back;
+  std::size_t consumed = 0;
+  const Status s = decode(wire.data(), wire.size(), &back, &consumed);
+  ASSERT_TRUE(s.ok()) << m->type_name() << ": " << s.to_string();
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_STREQ(back->type_name(), m->type_name());
+  EXPECT_EQ(back->op(), m->op());
+  EXPECT_EQ(back->data_bytes(), m->data_bytes());
+  EXPECT_EQ(back->meta_bytes(), m->meta_bytes());
+
+  const Bytes rewire = encode(*back).to_bytes();
+  EXPECT_EQ(wire, rewire) << m->type_name() << ": re-encode not identical";
+}
+
+std::vector<MessagePtr> all_samples(Rng& rng, std::size_t n) {
+  std::vector<MessagePtr> all;
+  for (auto& v : {sample_lds(rng, n), sample_abd(rng, n), sample_cas(rng, n),
+                  sample_heartbeat(rng), sample_store(rng, n)}) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+TEST(Codec, RoundTripsEveryMessageTypeAcrossSeedsAndSizes) {
+  // Empty payloads (the paper's v0), tiny, typical, and large.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{256}, std::size_t{65536}}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng rng(mix_seed(seed, n));
+      for (const auto& m : all_samples(rng, n)) expect_roundtrip(m);
+    }
+  }
+}
+
+TEST(Codec, RoundTripsMaxSizeCodedElements) {
+  // A full-object coded element at the top of the realistic range.
+  Rng rng(mix_seed(42, 0));
+  for (const auto& m : all_samples(rng, 1u << 20)) expect_roundtrip(m);
+}
+
+TEST(Codec, ZeroCopyValueBodies) {
+  // Encoding a value-bearing message must share the payload buffer, not
+  // copy it: the Frame body and the message's Value are the same buffer.
+  const Value v(Rng(7).bytes(4096));
+  const auto msg = core::LdsMessage::make(
+      3, make_op_id(1, 1), core::PutData{Tag{1, 1}, v});
+  const Frame f = encode(*msg);
+  EXPECT_TRUE(f.body.same_buffer(v));
+  EXPECT_EQ(f.head.size() + v.size(), encoded_size(*msg));
+}
+
+TEST(Codec, FrameLengthHelper) {
+  Rng rng(3);
+  const Bytes wire = encode(*sample_lds(rng, 100)[2]).to_bytes();
+  std::size_t total = 0;
+  // Too short to know: Ok with total 0.
+  ASSERT_TRUE(frame_length(wire.data(), 3, &total).ok());
+  EXPECT_EQ(total, 0u);
+  ASSERT_TRUE(frame_length(wire.data(), wire.size(), &total).ok());
+  EXPECT_EQ(total, wire.size());
+  // Hostile length prefix: rejected before any buffering could happen.
+  Bytes evil = wire;
+  const std::uint32_t huge = static_cast<std::uint32_t>(kMaxFrameBytes + 1);
+  std::memcpy(evil.data(), &huge, 4);
+  EXPECT_FALSE(frame_length(evil.data(), evil.size(), &total).ok());
+}
+
+/// Every corruption must yield InvalidArgument — and, implicitly, not crash.
+void expect_rejected(const Bytes& frame, const char* what) {
+  MessagePtr out;
+  const Status s = decode(frame.data(), frame.size(), &out);
+  EXPECT_FALSE(s.ok()) << what;
+  EXPECT_TRUE(s.is(StatusCode::kInvalidArgument))
+      << what << ": " << s.to_string();
+}
+
+TEST(Codec, RejectsCorruptFramesInEveryFamily) {
+  Rng rng(mix_seed(9, 1));
+  for (const auto& m : all_samples(rng, 33)) {
+    const Bytes wire = encode(*m).to_bytes();
+
+    // Truncation at EVERY length short of the full frame.
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      Bytes t(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(len));
+      // Re-patch the length prefix so the truncation hits the BODY parse
+      // path too, not just the have-fewer-bytes-than-declared check.
+      if (len >= kLenPrefixBytes) {
+        const auto n = static_cast<std::uint32_t>(len - kLenPrefixBytes);
+        std::memcpy(t.data(), &n, 4);
+      }
+      expect_rejected(t, m->type_name());
+    }
+
+    Bytes bad = wire;  // bad magic
+    bad[4] ^= 0xff;
+    expect_rejected(bad, "bad magic");
+
+    bad = wire;  // unknown wire version
+    bad[6] = 99;
+    expect_rejected(bad, "unknown version");
+
+    bad = wire;  // unknown family id (an empty registry slot, then out of range)
+    bad[7] = 7;
+    expect_rejected(bad, "unknown family");
+    bad[7] = 200;
+    expect_rejected(bad, "out-of-range family");
+
+    bad = wire;  // unknown type id within the family
+    bad[8] = 250;
+    expect_rejected(bad, "unknown type");
+
+    bad = wire;  // oversized declared length
+    const std::uint32_t huge = static_cast<std::uint32_t>(kMaxFrameBytes + 1);
+    std::memcpy(bad.data(), &huge, 4);
+    expect_rejected(bad, "oversized frame");
+
+    bad = wire;  // trailing garbage inside the declared frame
+    bad.push_back(0xab);
+    const auto n = static_cast<std::uint32_t>(bad.size() - kLenPrefixBytes);
+    std::memcpy(bad.data(), &n, 4);
+    expect_rejected(bad, "trailing bytes");
+  }
+}
+
+TEST(Codec, RejectsInteriorLengthOverrun) {
+  // A blob length field pointing past the end of its frame must not read
+  // out of bounds.  PutData: [..header..][tag][u32 len][payload].
+  Rng rng(11);
+  const auto msg = core::LdsMessage::make(
+      1, make_op_id(2, 3), core::PutData{Tag{5, 1}, Value(rng.bytes(64))});
+  Bytes wire = encode(*msg).to_bytes();
+  const std::size_t len_off = kFrameOverheadBytes + kTagWireBytes;
+  const std::uint32_t overrun = 1u << 30;
+  std::memcpy(wire.data() + len_off, &overrun, 4);
+  expect_rejected(wire, "interior length overrun");
+}
+
+// ---- TcpTransport loopback --------------------------------------------------
+
+TEST(TcpTransport, LoopbackStoreServiceServesPutGetMultiGet) {
+  store::StoreOptions sopt;
+  sopt.shards = 2;
+  sopt.engine_mode = EngineMode::Parallel;
+  sopt.engine_threads = 2;
+  sopt.seed = 17;
+  store::StoreService svc(sopt);
+  ASSERT_TRUE(svc.listen(0).ok());
+  ASSERT_NE(svc.listen_port(), 0);
+
+  Status st;
+  const auto client = store::Client::connect("127.0.0.1", svc.listen_port(),
+                                             &st);
+  ASSERT_NE(client, nullptr) << st.to_string();
+  ASSERT_TRUE(client->remote());
+
+  // put -> get round-trips the value and version across the socket.
+  const Value v = Value::from_string("over the wire");
+  const auto put = client->put_sync("alpha", v);
+  ASSERT_TRUE(put.ok()) << put.status().to_string();
+  const auto got = client->get_sync("alpha");
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(got.value().value, v);
+  EXPECT_EQ(got.value().version, put.value());
+
+  // NotFound travels as a typed status, not a crash or an empty value.
+  EXPECT_TRUE(client->get_sync("never-written").status().is(
+      StatusCode::kNotFound));
+
+  // Conditional puts: create-if-absent, then a stale expected aborts with
+  // the observed version.
+  const auto created = client->put_if_version_sync(
+      "beta", Value::from_string("b0"), Version(kTag0));
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+  const auto fresh = client->put_if_version_sync(
+      "beta", Value::from_string("b1"), created.value());
+  ASSERT_TRUE(fresh.ok());
+  const auto stale = client->put_if_version_sync(
+      "beta", Value::from_string("b2"), created.value());
+  EXPECT_TRUE(stale.status().is(StatusCode::kAborted));
+
+  // multi_put + multi_get scatter-gather over the one connection.
+  std::vector<store::KeyValue> entries;
+  for (int i = 0; i < 8; ++i) {
+    entries.push_back({"bulk-" + std::to_string(i),
+                       Value::from_string("v" + std::to_string(i))});
+  }
+  const auto puts = client->multi_put_sync(entries);
+  ASSERT_EQ(puts.size(), entries.size());
+  for (const auto& r : puts) EXPECT_TRUE(r.status.ok());
+  std::vector<std::string> keys;
+  for (const auto& e : entries) keys.push_back(e.key);
+  keys.push_back("absent");
+  const auto gets = client->multi_get_sync(keys);
+  ASSERT_EQ(gets.size(), keys.size());
+  for (std::size_t i = 0; i + 1 < gets.size(); ++i) {
+    ASSERT_TRUE(gets[i].status.ok());
+    EXPECT_EQ(gets[i].value, entries[i].value);
+  }
+  EXPECT_TRUE(gets.back().status.is(StatusCode::kNotFound));
+
+  // Closed client fails fast without touching the socket.
+  client->close();
+  EXPECT_TRUE(client->put_sync("alpha", v).status().is(
+      StatusCode::kUnavailable));
+
+  svc.stop_listening();
+  svc.quiesce();
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    EXPECT_TRUE(svc.shard_history(s).check_atomicity(Bytes{}).ok);
+  }
+}
+
+TEST(TcpTransport, ListenStopListenAgainAndRejectWhileListening) {
+  store::StoreOptions sopt;
+  sopt.shards = 1;
+  sopt.engine_mode = EngineMode::Parallel;
+  sopt.engine_threads = 1;
+  store::StoreService svc(sopt);
+  ASSERT_TRUE(svc.listen(0).ok());
+  // Double listen is a Status, not an abort.
+  EXPECT_TRUE(svc.listen(0).is(StatusCode::kInvalidArgument));
+  svc.stop_listening();
+  // Re-listen after stop gets a fresh server and a fresh port.
+  ASSERT_TRUE(svc.listen(0).ok());
+  ASSERT_NE(svc.listen_port(), 0);
+  const auto client =
+      store::Client::connect("127.0.0.1", svc.listen_port(), nullptr);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->put_sync("k", Value::from_string("v")).ok());
+}
+
+TEST(TcpTransport, OversizedRequestFailsWithInvalidArgument) {
+  store::StoreOptions sopt;
+  sopt.shards = 1;
+  sopt.engine_mode = EngineMode::Parallel;
+  sopt.engine_threads = 1;
+  store::StoreService svc(sopt);
+  ASSERT_TRUE(svc.listen(0).ok());
+  const auto client =
+      store::Client::connect("127.0.0.1", svc.listen_port(), nullptr);
+  ASSERT_NE(client, nullptr);
+  // A value that cannot fit one frame is the CALLER's error, reported
+  // before anything reaches the wire — not a dead connection.
+  const auto r =
+      client->put_sync("big", Value(Bytes(kMaxFrameBytes + 1024, 0x5a)));
+  EXPECT_TRUE(r.status().is(StatusCode::kInvalidArgument))
+      << r.status().to_string();
+  // The connection survives and keeps serving.
+  EXPECT_TRUE(client->put_sync("small", Value::from_string("v")).ok());
+}
+
+TEST(TcpTransport, ListenRequiresParallelEngine) {
+  store::StoreOptions sopt;
+  sopt.shards = 1;  // Deterministic mode: handler thread would be unsafe
+  store::StoreService svc(sopt);
+  const Status st = svc.listen(0);
+  EXPECT_TRUE(st.is(StatusCode::kInvalidArgument)) << st.to_string();
+}
+
+TEST(TcpTransport, ConnectFailureReportsStatus) {
+  // Nothing listens here: connect must fail cleanly, not hang or crash.
+  Status st;
+  const auto client = store::Client::connect("127.0.0.1", 1, &st);
+  EXPECT_EQ(client, nullptr);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TcpTransport, HostileBytesDisconnectWithoutCrashing) {
+  // Raw garbage at the socket level: the hostile peer is dropped on its
+  // first malformed frame while well-formed peers keep being served.
+  TcpTransport server;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(server
+                  .listen(0,
+                          [&](NodeId, MessagePtr) {
+                            received.fetch_add(1, std::memory_order_relaxed);
+                          })
+                  .ok());
+
+  const auto raw_send = [&](const Bytes& bytes) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+    // The server must close on us: a blocking read observes EOF, not data.
+    char buf[16];
+    EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0);
+    ::close(fd);
+  };
+
+  // Hostile length prefix (way beyond the frame cap).
+  raw_send(Bytes{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4});
+  // Well-formed length, garbage header.
+  Bytes garbage(64, 0xaa);
+  const std::uint32_t n = 60;
+  std::memcpy(garbage.data(), &n, 4);
+  raw_send(garbage);
+  EXPECT_GE(server.decode_errors(), 2u);
+
+  // A legitimate peer still gets through after the hostile ones.
+  TcpTransport good;
+  NodeId peer = kNoNode;
+  ASSERT_TRUE(
+      good.connect("127.0.0.1", server.port(), [](NodeId, MessagePtr) {},
+                   &peer)
+          .ok());
+  good.deliver(0, peer,
+               core::LdsMessage::make(0, make_op_id(1, 1),
+                                      core::TagResp{Tag{1, 1}}),
+               0);
+  for (int i = 0; i < 400 && received.load(std::memory_order_relaxed) < 1;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(std::memory_order_relaxed), 1);
+  good.stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace lds::net::codec

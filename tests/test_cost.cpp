@@ -4,8 +4,11 @@
 // classify_link maps every (from, to) role pair to its tau class.
 #include <gtest/gtest.h>
 
+#include "baselines/abd.h"
+#include "baselines/cas.h"
 #include "common/rng.h"
 #include "lds/cluster.h"
+#include "net/codec.h"
 #include "net/cost.h"
 #include "net/latency.h"
 
@@ -69,6 +72,60 @@ TEST(CostTracker, WriteToL2BytesAttributeToTheOriginatingWrite) {
   // The write is the only operation, so its attribution equals the total.
   EXPECT_EQ(op_bucket.data_bytes, cluster.net().costs().total().data_bytes);
   EXPECT_GE(op_bucket.data_bytes, 6 * 500u + l1l2.data_bytes);
+}
+
+TEST(CostTracker, MetaBytesAreExactEncodedFrameSizes) {
+  // The cost model's headline fix: recorded meta bytes are MEASURED — for
+  // every message, meta_bytes() equals the codec's encoded frame size minus
+  // the data payload.  A crash-free run delivers every sent message, so the
+  // delivery observer re-derives the expected totals from the actual wire
+  // encodings and they must match the tracker byte for byte.
+  core::LdsCluster::Options opt;
+  opt.cfg.n1 = 6;
+  opt.cfg.f1 = 1;
+  opt.cfg.n2 = 8;
+  opt.cfg.f2 = 2;
+  opt.writers = 1;
+  opt.readers = 1;
+  core::LdsCluster cluster(opt);
+
+  std::uint64_t observed_meta = 0, observed_data = 0, observed_msgs = 0;
+  cluster.net().set_delivery_observer(
+      [&](NodeId, NodeId, const net::Payload& p) {
+        const std::uint64_t frame = codec::encoded_size(p);
+        ASSERT_GT(frame, p.data_bytes());
+        observed_meta += frame - p.data_bytes();
+        observed_data += p.data_bytes();
+        ++observed_msgs;
+      });
+
+  Rng rng(7);
+  cluster.write_sync(0, 0, rng.bytes(300));
+  cluster.read_sync(0, 0);
+  cluster.settle();  // include the deferred write-to-L2 offload traffic
+
+  const auto& total = cluster.net().costs().total();
+  EXPECT_GT(observed_msgs, 0u);
+  EXPECT_EQ(total.messages, observed_msgs);
+  EXPECT_EQ(total.meta_bytes, observed_meta);
+  EXPECT_EQ(total.data_bytes, observed_data);
+}
+
+TEST(CostTracker, PerTypeMetaEqualsFrameMinusBody) {
+  // Spot-check the identity per message family on value-bearing types.
+  const Value v(Rng(3).bytes(512));
+  const auto lds = core::LdsMessage::make(
+      0, make_op_id(1, 1), core::PutData{Tag{2, 1}, v});
+  const auto abd = baselines::AbdMessage::make(
+      0, make_op_id(2, 1), baselines::AbdUpdate{Tag{2, 1}, v});
+  const auto cas = baselines::CasMessage::make(
+      0, make_op_id(3, 1), baselines::CasPreWrite{Tag{2, 1}, v.to_bytes()});
+  for (const auto& m : {net::MessagePtr(lds), net::MessagePtr(abd),
+                        net::MessagePtr(cas)}) {
+    EXPECT_EQ(m->meta_bytes(), codec::encoded_size(*m) - m->data_bytes())
+        << m->type_name();
+    EXPECT_EQ(m->data_bytes(), v.size()) << m->type_name();
+  }
 }
 
 TEST(LinkClass, ClassifiesAllRolePairs) {

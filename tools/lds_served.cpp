@@ -1,0 +1,223 @@
+// lds_served — a networked LDS store daemon.
+//
+// Runs one StoreService under the parallel engine and serves remote
+// store::Clients over TCP (store/remote.h wire protocol):
+//
+//   lds_served                                # 4 shards on 127.0.0.1:7777
+//   lds_served --port 0 --port-file port.txt  # ephemeral port, written out
+//   lds_served --shards 8 --threads 4 --backend lds --duration 60
+//
+// Prints "lds_served: listening on 127.0.0.1:<port>" once ready, then serves
+// until SIGINT/SIGTERM (or --duration seconds).  On shutdown it stops
+// accepting, quiesces the service, and replays every shard history through
+// the atomicity + freshness verifiers — the exit code is the verification
+// verdict, which is what the CI loopback smoke (and scripts/stress.sh
+// TRANSPORT=tcp) gate on.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "harness/stress.h"
+#include "store/remote.h"
+#include "store/store_service.h"
+
+namespace {
+
+using namespace lds;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+struct ServedOptions {
+  std::uint16_t port = 7777;  ///< 0 = ephemeral
+  std::string port_file;
+  std::size_t shards = 4;
+  std::size_t threads = 0;  ///< engine lanes; 0 = min(shards, hw)
+  store::ShardProtocol backend = store::ShardProtocol::Lds;
+  double batch_window = 0.5;
+  double duration = 0;  ///< seconds; 0 = until signal
+  std::uint64_t seed = 1;
+  bool verify = true;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --port N          TCP port, 0 = ephemeral (7777)\n"
+      "  --port-file PATH  write the bound port here once listening\n"
+      "  --shards N        consistent-hash shards (4)\n"
+      "  --threads N       engine lanes; 0 = min(shards, hw threads) (0)\n"
+      "  --backend B       lds|abd|cas shard protocol (lds)\n"
+      "  --batch-window X  put-coalescing window in engine units (0.5)\n"
+      "  --duration SECS   auto-exit after SECS; 0 = until SIGTERM (0)\n"
+      "  --seed N          master seed (1)\n"
+      "  --no-verify       skip the shutdown history verification\n",
+      argv0);
+}
+
+bool verify_service(store::StoreService& svc) {
+  bool ok = true;
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    const auto& h = svc.shard_history(s);
+    if (!h.all_complete()) {
+      std::fprintf(stderr, "shard %zu: %zu incomplete operations\n", s,
+                   h.incomplete());
+      ok = false;
+      continue;
+    }
+    if (const auto r = h.check_atomicity(Bytes{}); !r.ok) {
+      std::fprintf(stderr, "shard %zu: ATOMICITY VIOLATION: %s\n", s,
+                   r.violation.c_str());
+      ok = false;
+    }
+    if (const auto r = harness::verify_read_freshness(h); !r.ok) {
+      std::fprintf(stderr, "shard %zu: FRESHNESS VIOLATION: %s\n", s,
+                   r.violation.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServedOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--port") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) {  // strict: digits in [0, 65535], no silent u16 truncation
+        char* end = nullptr;
+        const unsigned long p = std::strtoul(v, &end, 10);
+        ok = end != v && *end == '\0' && p <= 65535;
+        if (ok) opt.port = static_cast<std::uint16_t>(p);
+      }
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.port_file = v;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      ok = v && (opt.shards = std::strtoull(v, nullptr, 10)) >= 1;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--backend") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) {
+        if (std::strcmp(v, "lds") == 0) {
+          opt.backend = store::ShardProtocol::Lds;
+        } else if (std::strcmp(v, "abd") == 0) {
+          opt.backend = store::ShardProtocol::Abd;
+        } else if (std::strcmp(v, "cas") == 0) {
+          opt.backend = store::ShardProtocol::Cas;
+        } else {
+          ok = false;
+        }
+      }
+    } else if (arg == "--batch-window") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.batch_window = std::strtod(v, nullptr);
+    } else if (arg == "--duration") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.duration = std::strtod(v, nullptr);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--no-verify") {
+      opt.verify = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad or missing value for '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  store::StoreOptions sopt;
+  sopt.shards = opt.shards;
+  sopt.backend.protocol = opt.backend;
+  sopt.batch_window = opt.batch_window;
+  sopt.seed = opt.seed;
+  sopt.engine_mode = net::EngineMode::Parallel;
+  sopt.engine_threads = opt.threads;
+  store::StoreService svc(sopt);
+
+  if (const Status st = svc.listen(opt.port); !st.ok()) {
+    std::fprintf(stderr, "lds_served: %s\n", st.to_string().c_str());
+    return 2;
+  }
+  std::printf("lds_served: listening on 127.0.0.1:%u (shards=%zu lanes=%zu "
+              "backend=%s seed=%llu)\n",
+              svc.listen_port(), opt.shards, svc.engine().lanes(),
+              store::protocol_name(opt.backend),
+              static_cast<unsigned long long>(opt.seed));
+  std::fflush(stdout);
+  if (!opt.port_file.empty()) {
+    if (std::FILE* f = std::fopen(opt.port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", svc.listen_port());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "lds_served: cannot write %s\n",
+                   opt.port_file.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (opt.duration > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count() >= opt.duration) {
+      break;
+    }
+  }
+
+  std::printf("lds_served: shutting down\n");
+  svc.stop_listening();
+  svc.quiesce();
+  std::size_t keys = 0;
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    keys += svc.shard_objects(s);
+  }
+  std::printf("lds_served: %llu puts, %llu gets, %zu keys across %zu shards\n",
+              static_cast<unsigned long long>(
+                  svc.metrics().counter_total("puts")),
+              static_cast<unsigned long long>(
+                  svc.metrics().counter_total("gets")),
+              keys, svc.num_shards());
+  if (opt.verify) {
+    if (!verify_service(svc)) {
+      std::fprintf(stderr, "lds_served: VERIFICATION FAILED\n");
+      return 1;
+    }
+    std::printf("lds_served: shard histories verified atomic + fresh\n");
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 //   lds_store_bench                         # default sweep: 1,2,4,8 shards
 //   lds_store_bench --shards 1,4 --value-sizes 64,1024 --json out.json
 //   lds_store_bench --engine parallel --threads 8 --shards 8
+//   lds_store_bench --remote 127.0.0.1:7777 --threads 4   # vs lds_served
 //
 // --engine selects the execution engine (net/engine.h):
 //   sim      — every OS thread runs one deterministic StoreService replica;
@@ -23,6 +24,16 @@
 // Every run replays each shard's recorded history through the atomicity and
 // freshness verifiers and reports the verdict (the linearizability gate for
 // the non-deterministic parallel engine).
+//
+// --remote host:port drives a running lds_served instance instead of an
+// in-process service: --threads OS threads each hold one TCP connection
+// (store::Client::connect) and run a closed-loop put/get mix — every fourth
+// read is a multi_get — while recording a CLIENT-OBSERVED history with
+// wall-clock invocation/response times.  That history goes through the same
+// atomicity + freshness verifiers, so the linearizability gate holds across
+// a real network hop (NotFound reads are recorded as the initial value, so
+// a stale NotFound after a completed put is a violation, not a skip).
+// Shard count and backend are whatever the server was started with.
 //
 // The JSON output carries one record per configuration (params, throughput,
 // wall time) plus the full MetricsRegistry snapshot of the first replica of
@@ -39,6 +50,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "harness/stress.h"
@@ -66,6 +78,8 @@ struct BenchOptions {
   bool exponential_latency = false;
   std::uint64_t seed = 1;
   std::string json_path;
+  std::string remote_host;  ///< non-empty = drive a served instance
+  std::uint16_t remote_port = 0;
 };
 
 struct ReplicaResult {
@@ -194,6 +208,192 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
   return out;
 }
 
+/// One --remote configuration: opt.threads connections in closed loops,
+/// verified against the client-observed history.
+ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
+                         std::uint64_t seed) {
+  struct SharedHistory {
+    std::mutex mu;
+    core::History history;
+    std::unordered_map<std::string, ObjectId> objects;
+    std::size_t errors = 0;
+
+    ObjectId intern(const std::string& key) {
+      const auto it = objects.find(key);
+      if (it != objects.end()) return it->second;
+      const auto obj = static_cast<ObjectId>(objects.size());
+      objects.emplace(key, obj);
+      return obj;
+    }
+    void record(OpId id, core::OpKind kind, const std::string& key,
+                NodeId client, double invoked, double responded, Tag tag,
+                Value value) {
+      std::lock_guard<std::mutex> lk(mu);
+      const std::size_t idx =
+          history.on_invoke(id, kind, intern(key), client, invoked);
+      history.on_response(idx, responded, tag, std::move(value));
+    }
+    void error() {
+      std::lock_guard<std::mutex> lk(mu);
+      ++errors;
+    }
+  };
+
+  SharedHistory shared;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto now_s = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // Priming pass: the server may be long-lived, holding versions from
+  // sessions this history never saw.  Writing every key once — strictly
+  // before the concurrent phase — gives each a session-known baseline, so
+  // every later read must return a recorded tag (freshness) and the
+  // verifiers are exact despite the unknown prior state.
+  {
+    Status st;
+    const auto primer =
+        store::Client::connect(opt.remote_host, opt.remote_port, &st);
+    if (primer == nullptr) {
+      std::fprintf(stderr, "remote connect failed: %s\n",
+                   st.to_string().c_str());
+      ReplicaResult out;
+      out.ops = opt.ops;
+      out.verified = false;
+      return out;
+    }
+    Rng prng(mix_seed(seed, 0x9417));
+    std::uint32_t seq = 0;
+    for (std::size_t k = 0; k < opt.keys; ++k) {
+      const std::string key = "key-" + std::to_string(k);
+      const Value value(prng.bytes(value_size));
+      const double inv = now_s();
+      store::PutResult r;
+      primer->put(key, value, [&r](const store::PutResult& pr) { r = pr; });
+      const double resp = now_s();
+      if (r.status.ok() && !r.coalesced) {
+        shared.record(make_op_id(0, ++seq), core::OpKind::Write, key, 0, inv,
+                      resp, r.tag, value);
+      } else if (!r.status.ok()) {
+        shared.error();
+      }
+    }
+  }
+
+  std::atomic<bool> connect_failed{false};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < opt.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Status st;
+      const auto client =
+          store::Client::connect(opt.remote_host, opt.remote_port, &st);
+      if (client == nullptr) {
+        std::fprintf(stderr, "remote connect failed: %s\n",
+                     st.to_string().c_str());
+        connect_failed.store(true, std::memory_order_release);
+        return;
+      }
+      Rng rng(mix_seed(seed, 0xec0 + t));
+      const NodeId me = static_cast<NodeId>(t + 1);
+      std::uint32_t seq = 0;
+      const std::size_t my_ops =
+          opt.ops / opt.threads + (t < opt.ops % opt.threads ? 1 : 0);
+      auto key_of = [&] {
+        return "key-" + std::to_string(rng.uniform_int(
+                            0, static_cast<std::int64_t>(opt.keys) - 1));
+      };
+      auto record_get = [&](const std::string& key, double inv, double resp,
+                            const store::GetResult& r) {
+        if (r.status.ok()) {
+          shared.record(make_op_id(me, ++seq), core::OpKind::Read, key, me,
+                        inv, resp, r.tag, r.value);
+        } else if (r.status.is(StatusCode::kNotFound)) {
+          // NotFound is the initial value: recording it as (t0, empty) makes
+          // a stale NotFound after a completed put a checkable violation.
+          shared.record(make_op_id(me, ++seq), core::OpKind::Read, key, me,
+                        inv, resp, kTag0, Value{});
+        } else {
+          shared.error();
+        }
+      };
+      for (std::size_t i = 0; i < my_ops; ++i) {
+        const double inv = now_s();
+        if (rng.bernoulli(opt.read_fraction)) {
+          if (rng.bernoulli(0.25)) {  // a quarter of reads are multi_gets
+            std::vector<std::string> keys = {key_of(), key_of()};
+            const auto rs = client->multi_get_sync(keys);
+            const double resp = now_s();
+            for (std::size_t k = 0; k < keys.size(); ++k) {
+              record_get(keys[k], inv, resp, rs[k]);
+            }
+          } else {
+            const std::string key = key_of();
+            store::GetResult r;
+            client->get(key,
+                        [&r](const store::GetResult& gr) { r = gr; });
+            record_get(key, inv, now_s(), r);
+          }
+        } else {
+          const std::string key = key_of();
+          const Value value(rng.bytes(value_size));
+          store::PutResult r;
+          client->put(key, value,
+                      [&r](const store::PutResult& pr) { r = pr; });
+          const double resp = now_s();
+          if (r.status.ok()) {
+            // A coalesced put was absorbed by a newer same-key write: its
+            // value is never readable and its tag belongs to the survivor,
+            // so it has no linearization-visible record (exactly as the
+            // server-side history skips absorbed puts by design).
+            if (!r.coalesced) {
+              shared.record(make_op_id(me, ++seq), core::OpKind::Write, key,
+                            me, inv, resp, r.tag, value);
+            }
+          } else {
+            shared.error();
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  ReplicaResult out;
+  out.duration = 0;  // wall time is the remote metric
+  out.ops = opt.ops;
+  if (connect_failed.load(std::memory_order_acquire)) {
+    out.verified = false;
+    return out;
+  }
+  if (shared.errors > 0) {
+    std::fprintf(stderr, "remote run: %zu operations failed\n",
+                 shared.errors);
+  }
+  const auto atomicity = shared.history.check_atomicity(Bytes{});
+  if (!atomicity.ok) {
+    std::fprintf(stderr, "remote run: ATOMICITY VIOLATION: %s\n",
+                 atomicity.violation.c_str());
+  }
+  const auto freshness = lds::harness::verify_read_freshness(shared.history);
+  if (!freshness.ok) {
+    std::fprintf(stderr, "remote run: FRESHNESS VIOLATION: %s\n",
+                 freshness.violation.c_str());
+  }
+  out.verified = atomicity.ok && freshness.ok && shared.errors == 0;
+  return out;
+}
+
+/// Strict TCP port parse: digits only, in [min_port, 65535] — no silent
+/// u16 truncation of out-of-range values.
+bool parse_port(const char* s, unsigned long min_port, std::uint16_t* out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || v < min_port || v > 65535) return false;
+  *out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
 bool parse_size_list(const char* s, std::vector<std::size_t>* out) {
   out->clear();
   std::string token;
@@ -218,6 +418,9 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --engine sim|parallel sim: one deterministic replica per thread;\n"
       "                        parallel: one service over --threads lanes\n"
+      "  --remote HOST:PORT    drive a running lds_served instance instead\n"
+      "                        (--threads TCP connections; shards/backend\n"
+      "                        come from the server)\n"
       "  --shards LIST         comma-separated shard counts (1,2,4,8)\n"
       "  --value-sizes LIST    comma-separated value sizes in bytes (256)\n"
       "  --threads N           service replicas on OS threads (1)\n"
@@ -254,6 +457,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.engine = *m;
+    } else if (arg == "--remote") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) {
+        const std::string hp = v;
+        const auto colon = hp.rfind(':');
+        ok = colon != std::string::npos && colon > 0 && colon + 1 < hp.size();
+        if (ok) {
+          opt.remote_host = hp.substr(0, colon);
+          ok = parse_port(hp.c_str() + colon + 1, 1, &opt.remote_port);
+        }
+      }
     } else if (arg == "--shards") {
       const char* v = next();
       ok = v && parse_size_list(v, &opt.shards);
@@ -301,14 +516,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool remote = !opt.remote_host.empty();
   const bool parallel = opt.engine == lds::net::EngineMode::Parallel;
+  const char* engine_name =
+      remote ? "remote" : lds::net::engine_mode_name(opt.engine);
   std::printf("lds_store_bench: engine=%s threads=%zu ops%s=%zu keys=%zu "
               "clients/shard=%zu read-fraction=%.2f batch-window=%.2f "
-              "seed=%llu\n\n",
-              lds::net::engine_mode_name(opt.engine), opt.threads,
-              parallel ? "" : "/replica", opt.ops, opt.keys,
-              opt.clients_per_shard, opt.read_fraction, opt.batch_window,
-              static_cast<unsigned long long>(opt.seed));
+              "seed=%llu\n",
+              engine_name, opt.threads, parallel || remote ? "" : "/replica",
+              opt.ops, opt.keys, opt.clients_per_shard, opt.read_fraction,
+              opt.batch_window, static_cast<unsigned long long>(opt.seed));
+  if (remote) {
+    std::printf("remote target: %s:%u (server chooses shards/backend; "
+                "verification is client-observed)\n",
+                opt.remote_host.c_str(), opt.remote_port);
+  }
+  std::printf("\n");
   std::printf("%8s %12s %12s %14s %10s %10s %10s %12s %9s\n", "shards",
               "value_size", "sim_dur", "ops_per_unit", "batches", "coalesced",
               "wall_s", "wall_ops_s", "verified");
@@ -320,11 +543,16 @@ int main(int argc, char** argv) {
   std::string snapshot_metrics;
   std::size_t snapshot_shards = 0;
   bool first_cfg = true;
+  // Remote mode sweeps value sizes only: the shard count lives server-side.
+  const std::vector<std::size_t> shard_sweep =
+      remote ? std::vector<std::size_t>{0} : opt.shards;
   for (std::size_t value_size : opt.value_sizes) {
-    for (std::size_t shards : opt.shards) {
+    for (std::size_t shards : shard_sweep) {
       const auto wall_start = std::chrono::steady_clock::now();
       std::vector<ReplicaResult> results;
-      if (parallel) {
+      if (remote) {
+        results.push_back(run_remote(opt, value_size, opt.seed));
+      } else if (parallel) {
         results.push_back(run_parallel(opt, shards, value_size, opt.seed));
       } else {
         results.resize(opt.threads);
@@ -375,11 +603,11 @@ int main(int argc, char** argv) {
                     "\"value\":%.6f,\"batches\":%llu,\"coalesced\":%llu,"
                     "\"wall_seconds\":%.3f,\"wall_ops_per_sec\":%.3f,"
                     "\"verified\":%s}",
-                    first_cfg ? "" : ",",
-                    lds::net::engine_mode_name(opt.engine), shards,
+                    first_cfg ? "" : ",", engine_name, shards,
                     opt.threads, value_size, total_ops,
-                    parallel ? "ops_per_sec_wall" : "ops_per_sim_unit",
-                    parallel ? wall_ops_s : agg_tput,
+                    parallel || remote ? "ops_per_sec_wall"
+                                       : "ops_per_sim_unit",
+                    parallel || remote ? wall_ops_s : agg_tput,
                     static_cast<unsigned long long>(batches),
                     static_cast<unsigned long long>(coalesced), wall,
                     wall_ops_s, verified ? "true" : "false");
