@@ -1,16 +1,27 @@
 // E9: micro-benchmarks of the coding substrate - GF kernels, Reed-Solomon,
 // product-matrix MBR/MSR encode / decode / helper / repair throughput.
 //
-// These are the only google-benchmark binaries; the system benches (E1-E8)
-// print paper-formula-vs-measured tables instead.
+// Two modes:
+//   (default)        google-benchmark over the BM_* suites below.
+//   --json <path>    snapshot mode: manually timed GB/s of the GF kernels by
+//                    ISA x length and of encode_value by code x size x path
+//                    (stripewise-scalar baseline, planar SIMD, planar +
+//                    engine lanes), written as BENCH_gf256.json rows.  This
+//                    is the perf-trajectory record for the SIMD gate
+//                    (ROADMAP: >= 4x encode at 4 KiB stripes vs scalar).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
+#include "bench_util.h"
 #include "codes/pm_mbr.h"
 #include "codes/pm_msr.h"
 #include "codes/rs.h"
 #include "codes/striped.h"
 #include "common/rng.h"
 #include "gf/gf256.h"
+#include "net/engine.h"
 
 namespace {
 
@@ -168,4 +179,126 @@ void BM_PmMsrDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_PmMsrDecode)->Arg(4096);
 
+// ---- --json snapshot mode ---------------------------------------------------
+
+/// Wall-clock GB/s of `op` (which processes `bytes` per call), timed over
+/// enough repetitions to absorb clock granularity.
+template <typename Op>
+double measure_gbps(std::size_t bytes, Op&& op) {
+  using clock = std::chrono::steady_clock;
+  // Warm up (page in buffers, build lazy encode maps).
+  op();
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    const double sec = std::chrono::duration<double>(clock::now() - t0).count();
+    if (sec >= 0.05) {
+      return static_cast<double>(bytes) * static_cast<double>(iters) / sec /
+             1e9;
+    }
+    iters *= 4;
+  }
+}
+
+int run_snapshot(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "codes_micro");
+  const gf::Isa best = gf::active_isa();
+  const std::size_t kKernelLens[] = {4096, 64 * 1024};
+
+  // GF kernels by ISA and length.
+  Rng rng(1);
+  for (const std::size_t len : kKernelLens) {
+    const Bytes x = rng.bytes(len);
+    Bytes y = rng.bytes(len);
+    Bytes z(len);
+    double scalar_axpy = 0;
+    for (const gf::Isa isa : gf::supported_isas()) {
+      gf::select_isa(isa);
+      const std::string p =
+          std::string("isa=") + gf::isa_name(isa) + " len=" +
+          std::to_string(len);
+      const double axpy_gbps =
+          measure_gbps(len, [&] { gf::axpy(y, 0x53, x); });
+      const double mul_gbps =
+          measure_gbps(len, [&] { gf::mul_into(z, 0x53, x); });
+      const double dot_gbps = measure_gbps(len, [&] {
+        benchmark::DoNotOptimize(gf::dot(x, z));
+      });
+      json.add(p, "axpy_gbps", axpy_gbps);
+      json.add(p, "mul_into_gbps", mul_gbps);
+      json.add(p, "dot_gbps", dot_gbps);
+      std::printf("%-28s axpy %8.2f GB/s  mul_into %8.2f GB/s  dot %8.2f GB/s\n",
+                  p.c_str(), axpy_gbps, mul_gbps, dot_gbps);
+      if (isa == gf::Isa::Scalar) {
+        scalar_axpy = axpy_gbps;
+      } else if (scalar_axpy > 0) {
+        json.add(p, "axpy_speedup_vs_scalar", axpy_gbps / scalar_axpy);
+      }
+    }
+  }
+  gf::select_isa(best);
+
+  // encode_value by code x value size x path.  "stripewise_scalar" is the
+  // pre-SIMD baseline (reference loop on scalar kernels); "planar" is the
+  // production serial path on the best ISA; "planar_lanes" adds the engine
+  // fan-out (4 lanes; wall-clock gain tracks physical cores).
+  struct NamedCode {
+    const char* name;
+    codes::StripedCode code;
+  };
+  NamedCode codes[] = {
+      {"rs_14_10",
+       codes::StripedCode(std::make_shared<codes::RsRegenerating>(14, 10))},
+      {"pm_mbr_20_8_8",
+       codes::StripedCode(std::make_shared<codes::PmMbrCode>(20, 8, 8))},
+      {"pm_msr_14_5",
+       codes::StripedCode(std::make_shared<codes::PmMsrCode>(14, 5))},
+  };
+  net::ParallelEngine::Options popt;
+  popt.lanes = 4;
+  net::ParallelEngine engine(popt);
+  engine.start();
+  for (auto& nc : codes) {
+    for (const std::size_t size :
+         {std::size_t{4096}, std::size_t{64 * 1024}, std::size_t{1 << 20}}) {
+      const Bytes value = rng.bytes(size);
+      const std::string p =
+          std::string("code=") + nc.name + " size=" + std::to_string(size);
+      gf::select_isa(gf::Isa::Scalar);
+      const double base = measure_gbps(size, [&] {
+        benchmark::DoNotOptimize(nc.code.encode_value_stripewise(value));
+      });
+      gf::select_isa(best);
+      const double planar = measure_gbps(size, [&] {
+        benchmark::DoNotOptimize(nc.code.encode_value(value));
+      });
+      const double lanes = measure_gbps(size, [&] {
+        benchmark::DoNotOptimize(nc.code.encode_value(value, &engine));
+      });
+      json.add(p, "encode_stripewise_scalar_gbps", base);
+      json.add(p, "encode_planar_gbps", planar);
+      json.add(p, "encode_planar_lanes_gbps", lanes);
+      json.add(p, "encode_speedup_vs_scalar", planar / base);
+      std::printf(
+          "%-32s stripewise(scalar) %7.3f GB/s  planar %7.3f GB/s  "
+          "+lanes %7.3f GB/s  speedup %5.1fx\n",
+          p.c_str(), base, planar, lanes, planar / base);
+    }
+  }
+  engine.stop();
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return run_snapshot(argc, argv);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,13 +1,29 @@
 #include "codes/striped.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 
 #include "common/assert.h"
+#include "gf/gf256.h"
+#include "net/engine.h"
 
 namespace lds::codes {
 
 namespace {
 constexpr std::size_t kHeader = 8;
+
+// Chunking for the planar encode: each chunk covers kChunkInputBytes of the
+// framed input, so the gathered planes plus one output plane stay cache
+// resident while the (n*alpha) x B map sweeps over them.
+constexpr std::size_t kChunkInputBytes = 16 * 1024;
+// Smaller chunks for the lane fan-out so even the threshold-sized encode
+// splits into enough pieces to occupy several lanes.
+constexpr std::size_t kLaneChunkInputBytes = 8 * 1024;
+// Below this framed size the fan-out hop costs more than the arithmetic.
+constexpr std::size_t kMinLaneInputBytes = 48 * 1024;
 
 std::uint64_t read_len(const Bytes& framed) {
   std::uint64_t len = 0;
@@ -19,7 +35,7 @@ std::uint64_t read_len(const Bytes& framed) {
 }  // namespace
 
 StripedCode::StripedCode(std::shared_ptr<const RegeneratingCode> code)
-    : code_(std::move(code)) {
+    : code_(std::move(code)), planar_(std::make_shared<PlanarMap>()) {
   LDS_REQUIRE(code_ != nullptr, "StripedCode: null code");
 }
 
@@ -49,7 +65,200 @@ std::size_t StripedCode::helper_size(std::size_t value_size) const {
   return stripes(value_size) * code_->beta();
 }
 
+const StripedCode::PlanarMap* StripedCode::planar_map() const {
+  PlanarMap& m = *planar_;
+  std::call_once(m.once, [&] {
+    const std::size_t b = code_->file_size();
+    const std::size_t a = code_->alpha();
+    const std::size_t n = code_->n();
+
+    // encode(0) must be 0 for a linear map; a code with a constant offset
+    // would make the basis probe meaningless.
+    Bytes stripe(b, 0);
+    auto zero = code_->encode(stripe);
+    for (const auto& e : zero) {
+      for (std::uint8_t v : e) {
+        if (v != 0) return;  // not linear: keep the stripewise path
+      }
+    }
+
+    // Probe the code with each basis stripe e_j; column j of the map is the
+    // resulting coded symbols.
+    std::vector<Bytes> rows(n * a, Bytes(b, 0));
+    for (std::size_t j = 0; j < b; ++j) {
+      stripe[j] = 1;
+      auto elems = code_->encode(stripe);
+      stripe[j] = 0;
+      LDS_CHECK(elems.size() == n, "StripedCode: encode element count");
+      for (std::size_t i = 0; i < n; ++i) {
+        LDS_CHECK(elems[i].size() == a, "StripedCode: element stripe size");
+        for (std::size_t t = 0; t < a; ++t) {
+          rows[i * a + t][j] = elems[i][t];
+        }
+      }
+    }
+
+    // Self-check on a dense non-basis stripe: if the code were affine in some
+    // hidden way (or randomized), the map reproduction would not match and we
+    // keep the reference path.
+    for (std::size_t j = 0; j < b; ++j) {
+      stripe[j] = static_cast<std::uint8_t>((j * 37 + 11) & 0xff);
+      if (stripe[j] == 0) stripe[j] = 1;
+    }
+    auto probe = code_->encode(stripe);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t t = 0; t < a; ++t) {
+        if (gf::dot(rows[i * a + t], stripe) != probe[i][t]) return;
+      }
+    }
+
+    m.rows = std::move(rows);
+    m.ok = true;
+  });
+  return m.ok ? &m : nullptr;
+}
+
+void StripedCode::encode_stripe_range(const PlanarMap& map,
+                                      const std::uint8_t* framed,
+                                      std::size_t s0, std::size_t s1,
+                                      std::size_t row0, std::size_t row1,
+                                      std::span<Bytes> out) const {
+  const std::size_t b = code_->file_size();
+  const std::size_t a = code_->alpha();
+  const std::size_t mm = s1 - s0;
+  if (mm == 0) return;
+
+  // Gather input planes: plane j = symbol j of every stripe in the range,
+  // contiguous so the map sweep below runs long SIMD kernels over it.
+  Bytes planes(b * mm);
+  for (std::size_t s = 0; s < mm; ++s) {
+    const std::uint8_t* src = framed + (s0 + s) * b;
+    for (std::size_t j = 0; j < b; ++j) planes[j * mm + s] = src[j];
+  }
+
+  Bytes q(mm);
+  for (std::size_t r = row0; r < row1; ++r) {
+    const Bytes& coeff = map.rows[r];
+    // q = sum_j coeff[j] * plane_j, with the first nonzero term a mul_into so
+    // q needs no zero-fill pass.
+    bool first = true;
+    for (std::size_t j = 0; j < b; ++j) {
+      if (coeff[j] == 0) continue;
+      if (first) {
+        gf::mul_into(q, coeff[j], {planes.data() + j * mm, mm});
+        first = false;
+      } else {
+        gf::axpy(q, coeff[j], {planes.data() + j * mm, mm});
+      }
+    }
+    if (first) std::memset(q.data(), 0, mm);
+
+    // Scatter plane r back into the stripe-major element layout.
+    const std::size_t i = r / a;
+    const std::size_t t = r % a;
+    std::uint8_t* dst = out[i].data() + s0 * a + t;
+    for (std::size_t s = 0; s < mm; ++s) dst[s * a] = q[s];
+  }
+}
+
+std::vector<Bytes> StripedCode::encode_value_planar(const PlanarMap& map,
+                                                    const Bytes& framed) const {
+  const std::size_t b = code_->file_size();
+  const std::size_t a = code_->alpha();
+  const std::size_t m = framed.size() / b;
+  std::vector<Bytes> out(code_->n());
+  for (auto& e : out) e.resize(m * a);
+
+  const std::size_t chunk = std::max<std::size_t>(1, kChunkInputBytes / b);
+  for (std::size_t s0 = 0; s0 < m; s0 += chunk) {
+    const std::size_t s1 = std::min(m, s0 + chunk);
+    encode_stripe_range(map, framed.data(), s0, s1, 0, map.rows.size(), out);
+  }
+  return out;
+}
+
+std::vector<Bytes> StripedCode::encode_value_lanes(const PlanarMap& map,
+                                                   const Bytes& framed,
+                                                   net::Engine& engine) const {
+  const std::size_t b = code_->file_size();
+  const std::size_t a = code_->alpha();
+  const std::size_t m = framed.size() / b;
+  std::vector<Bytes> out(code_->n());
+  for (auto& e : out) e.resize(m * a);
+
+  const std::size_t chunk = std::max<std::size_t>(1, kLaneChunkInputBytes / b);
+  const std::size_t total = (m + chunk - 1) / chunk;
+
+  // Work-helping fan-out: chunks sit behind an atomic claim counter; helper
+  // tasks posted to the other lanes and the calling thread all pull from it
+  // until it runs dry.  Helpers never wait on anything, so two lanes encoding
+  // concurrently (each with helpers queued on the other) cannot deadlock; the
+  // caller blocks only on in-flight pure-compute chunks.
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto job = std::make_shared<Job>();
+  // Keep the map alive independently of *this: a helper can still be between
+  // its last chunk and its return after the caller has moved on.
+  auto hold_map = planar_;
+
+  const std::size_t rows = map.rows.size();
+  auto run_chunks = [this, job, hold_map, &map, &framed, &out, m, chunk, rows,
+                     total] {
+    for (;;) {
+      const std::size_t c =
+          job->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total) break;
+      const std::size_t s0 = c * chunk;
+      const std::size_t s1 = std::min(m, s0 + chunk);
+      encode_stripe_range(map, framed.data(), s0, s1, 0, rows, out);
+      if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lk(job->mu);
+        job->cv.notify_all();
+      }
+    }
+  };
+
+  const auto self = engine.current_lane();
+  std::size_t posted = 0;
+  for (std::size_t lane = 0; lane < engine.lanes() && posted + 1 < total;
+       ++lane) {
+    if (self && *self == lane) continue;  // this thread helps directly below
+    engine.post(lane, run_chunks);
+    ++posted;
+  }
+
+  run_chunks();
+  std::unique_lock<std::mutex> lk(job->mu);
+  job->cv.wait(lk, [&] {
+    return job->done.load(std::memory_order_acquire) == total;
+  });
+  return out;
+}
+
 std::vector<Bytes> StripedCode::encode_value(const Bytes& value) const {
+  const PlanarMap* map = planar_map();
+  if (map == nullptr) return encode_value_stripewise(value);
+  return encode_value_planar(*map, frame(value));
+}
+
+std::vector<Bytes> StripedCode::encode_value(const Bytes& value,
+                                             net::Engine* engine) const {
+  const PlanarMap* map = planar_map();
+  if (map == nullptr) return encode_value_stripewise(value);
+  Bytes framed = frame(value);
+  if (engine == nullptr || engine->lanes() <= 1 ||
+      framed.size() < kMinLaneInputBytes) {
+    return encode_value_planar(*map, framed);
+  }
+  return encode_value_lanes(*map, framed, *engine);
+}
+
+std::vector<Bytes> StripedCode::encode_value_stripewise(
+    const Bytes& value) const {
   const Bytes framed = frame(value);
   const std::size_t b = code_->file_size();
   const std::size_t m = framed.size() / b;
@@ -67,10 +276,27 @@ std::vector<Bytes> StripedCode::encode_value(const Bytes& value) const {
 }
 
 Bytes StripedCode::encode_element(const Bytes& value, int index) const {
-  const Bytes framed = frame(value);
   const std::size_t b = code_->file_size();
-  const std::size_t m = framed.size() / b;
   const std::size_t a = code_->alpha();
+  const PlanarMap* map = planar_map();
+  if (map != nullptr) {
+    const Bytes framed = frame(value);
+    const std::size_t m = framed.size() / b;
+    // Reuse the planar sweep restricted to this element's alpha rows; `out`
+    // only needs slot `index` populated.
+    std::vector<Bytes> out(code_->n());
+    out[static_cast<std::size_t>(index)].resize(m * a);
+    const std::size_t row0 = static_cast<std::size_t>(index) * a;
+    const std::size_t chunk = std::max<std::size_t>(1, kChunkInputBytes / b);
+    for (std::size_t s0 = 0; s0 < m; s0 += chunk) {
+      const std::size_t s1 = std::min(m, s0 + chunk);
+      encode_stripe_range(*map, framed.data(), s0, s1, row0, row0 + a, out);
+    }
+    return std::move(out[static_cast<std::size_t>(index)]);
+  }
+
+  const Bytes framed = frame(value);
+  const std::size_t m = framed.size() / b;
   Bytes out(m * a);
   for (std::size_t s = 0; s < m; ++s) {
     const Bytes e = code_->encode_one({framed.data() + s * b, b}, index);

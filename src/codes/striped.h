@@ -7,11 +7,37 @@
 // per-stripe elements (stripe-major), and likewise for helper data; all sizes
 // are therefore value-size * alpha/B and value-size * beta/B up to padding,
 // matching the normalized cost accounting of Section II-d.
+//
+// Encode hot path.  Every wrapped code is a fixed linear map per stripe
+// (element i, symbol t  =  <E[i*alpha+t], stripe>), so encode_value does NOT
+// loop stripe-by-stripe through tiny dot products.  Instead it probes the
+// code once with the B basis stripes to recover the (n*alpha) x B encode map
+// E, then processes stripes in cache-sized chunks in *plane-major* form:
+// gather input plane j (symbol j of every stripe in the chunk, contiguous),
+// accumulate output planes with long gf::mul_into / gf::axpy calls (the
+// runtime-dispatched SIMD kernels), and scatter back to the stripe-major
+// element layout.  The probe is validated against the wrapped code on a test
+// stripe at build time; a code that is not a fixed linear map (none today)
+// silently keeps the reference stripe-by-stripe path.
+//
+// Large encodes additionally fan out across the lanes of a net::Engine
+// (encode_value(value, engine)): stripe chunks go into a shared claim
+// counter, every other lane is posted a helper task, and the calling lane
+// helps until all chunks are done.  Helpers never block, so the fan-out
+// cannot deadlock even when every lane encodes concurrently.  The output is
+// byte-identical on every path - scalar or SIMD, serial or lane-parallel,
+// Sim or Parallel engine - because chunk boundaries only partition pure,
+// exact GF arithmetic.
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "codes/erasure_code.h"
+
+namespace lds::net {
+class Engine;
+}
 
 namespace lds::codes {
 
@@ -32,8 +58,22 @@ class StripedCode {
   /// Bytes of helper data per helper for a value of `value_size` bytes.
   std::size_t helper_size(std::size_t value_size) const;
 
-  /// Encode a full value into all n elements.
+  /// Encode a full value into all n elements (planar SIMD path when the
+  /// wrapped code is linear, reference path otherwise).
   std::vector<Bytes> encode_value(const Bytes& value) const;
+
+  /// Encode a full value, fanning stripe chunks out across `engine`'s lanes
+  /// when the value is large enough to pay for the hop (null engine or a
+  /// single-lane engine = the serial path).  Byte-identical to every other
+  /// path; deterministic engines see no scheduled events (the fan-out is
+  /// pure compute, invisible to virtual time).
+  std::vector<Bytes> encode_value(const Bytes& value,
+                                  net::Engine* engine) const;
+
+  /// Reference stripe-by-stripe encode through the wrapped code.  Kept
+  /// callable for the equivalence tests and as the baseline leg of
+  /// bench_codes_micro; encode_value must match it byte for byte.
+  std::vector<Bytes> encode_value_stripewise(const Bytes& value) const;
 
   /// Encode only element `index`.
   Bytes encode_element(const Bytes& value, int index) const;
@@ -52,9 +92,38 @@ class StripedCode {
       int target_index, std::span<const IndexedBytes> helpers) const;
 
  private:
+  /// Per-stripe encode map E and its validity (see file comment).  Shared
+  /// across copies of this StripedCode (the map is a pure function of the
+  /// wrapped code, which is shared too) and built once, thread-safely.
+  struct PlanarMap {
+    std::once_flag once;
+    bool ok = false;
+    std::vector<Bytes> rows;  ///< (n * alpha) rows of B coefficients
+  };
+
   Bytes frame(const Bytes& value) const;  // header + pad to stripe multiple
 
+  /// The probed encode map, or null when the wrapped code failed the
+  /// linearity self-check (=> stripe-by-stripe fallback).
+  const PlanarMap* planar_map() const;
+
+  /// Encode stripes [s0, s1) of `framed` into the matching slices of `out`
+  /// through the planar map (rows `row0 <= i*alpha+t < row1` only, so
+  /// encode_element can reuse it).  Pure compute; thread-safe for disjoint
+  /// stripe ranges.
+  void encode_stripe_range(const PlanarMap& map, const std::uint8_t* framed,
+                           std::size_t s0, std::size_t s1, std::size_t row0,
+                           std::size_t row1,
+                           std::span<Bytes> out) const;
+
+  std::vector<Bytes> encode_value_planar(const PlanarMap& map,
+                                         const Bytes& framed) const;
+  std::vector<Bytes> encode_value_lanes(const PlanarMap& map,
+                                        const Bytes& framed,
+                                        net::Engine& engine) const;
+
   std::shared_ptr<const RegeneratingCode> code_;
+  mutable std::shared_ptr<PlanarMap> planar_;
 };
 
 }  // namespace lds::codes

@@ -7,14 +7,33 @@
 // systems with up to n1 + n2 = 255 servers, comfortably covering the paper's
 // largest configuration (n1 = n2 = 100, Fig. 6).
 //
-// Implementation: the classic log/antilog tables over the AES polynomial
-// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), built once at static initialisation.
-// Vector kernels (axpy / dot / scale) are the hot path of encode, decode and
-// repair; they specialise the per-scalar multiply through the log table.
+// Scalar arithmetic uses the classic log/antilog tables over the AES
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), built once at static
+// initialisation.
+//
+// The vector kernels (axpy / mul_into / dot / scale) are the hot path of
+// encode, decode and repair.  They are runtime-dispatched over ISA-specific
+// implementations of the split-nibble shuffle-table technique (ISA-L /
+// "Screaming Fast Galois Field Arithmetic", Plank et al.):
+//
+//   product = T_lo[x & 0xF] ^ T_hi[x >> 4]
+//
+// where T_lo/T_hi are 16-entry tables of a*v and a*(v<<4).  With PSHUFB
+// (SSSE3), VPSHUFB (AVX2) or TBL (NEON) this multiplies 16/32 bytes per
+// instruction; the portable fallback walks the same 32-byte table one byte
+// at a time (branch-free, ~2-3x the old log/exp loop).  The best ISA is
+// selected once at startup via CPUID/HWCAP and can be overridden with
+// LDS_GF_ISA=scalar|ssse3|avx2|neon (or per-process via select_isa, used by
+// the equivalence tests).  Every path returns bit-identical results: GF
+// multiplication is exact, so dispatch NEVER changes any byte of any encode,
+// decode or repair output.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
+#include <vector>
 
 #include "common/assert.h"
 
@@ -25,13 +44,56 @@ using Elem = std::uint8_t;
 /// Order of the multiplicative group.
 inline constexpr int kGroupOrder = 255;
 
+/// Instruction sets a kernel build may target.  Scalar is always available;
+/// the rest require both compiler support (per-function target attributes)
+/// and runtime CPU support.
+enum class Isa : std::uint8_t { Scalar = 0, Ssse3 = 1, Avx2 = 2, Neon = 3 };
+
+const char* isa_name(Isa isa);
+std::optional<Isa> parse_isa(std::string_view name);
+
+/// The ISA the dispatched kernels currently run on.  First use selects the
+/// best supported ISA, unless the LDS_GF_ISA environment variable names a
+/// supported override.
+Isa active_isa();
+
+/// All ISAs usable on this machine (always contains Isa::Scalar).
+std::vector<Isa> supported_isas();
+
+/// Re-point the dispatched kernels at `isa`.  Returns false (and changes
+/// nothing) when the ISA is not supported here.  Intended for startup
+/// configuration and for the SIMD-vs-scalar equivalence tests; swapping
+/// while other threads run kernels is safe (atomic pointer) but the switch
+/// point is then unspecified.
+bool select_isa(Isa isa);
+
 namespace detail {
 struct Tables {
   Elem exp[512];   // exp[i] = g^i, doubled so exp[log a + log b] needs no mod
   std::uint16_t log[256];  // log[0] unused sentinel
+  // Split-nibble product tables: nib[a][v] = a * v and nib[a][16 + v] =
+  // a * (v << 4) for v in [0, 16).  One 32-byte row per multiplier is
+  // exactly the pair of shuffle tables the SIMD kernels need, and the
+  // scalar fallback walks the same row (8 KiB total, L1-resident).
+  alignas(16) Elem nib[256][32];
   Tables();
 };
 const Tables& tables();
+
+/// Raw kernel table one ISA implementation provides.  Pointers operate on
+/// `len` bytes; callers guarantee a != 0 (and a != 1 where it matters).
+struct Kernels {
+  Isa isa;
+  void (*axpy)(Elem* y, Elem a, const Elem* x, std::size_t len);
+  void (*mul_into)(Elem* z, Elem a, const Elem* x, std::size_t len);
+  Elem (*dot)(const Elem* a, const Elem* b, std::size_t len);
+};
+
+const Kernels* scalar_kernels();
+const Kernels* ssse3_kernels();  // null when unsupported (compile or CPU)
+const Kernels* avx2_kernels();   // null when unsupported
+const Kernels* neon_kernels();   // null when unsupported
+const Kernels& active_kernels();
 }  // namespace detail
 
 inline Elem add(Elem a, Elem b) { return a ^ b; }
@@ -61,6 +123,10 @@ Elem pow(Elem a, std::uint64_t e);
 
 /// y[i] += a * x[i].  The workhorse of matrix multiply and code kernels.
 void axpy(std::span<Elem> y, Elem a, std::span<const Elem> x);
+
+/// z[i] = a * x[i] (overwrite, no accumulate).  `z` may be exactly `x`
+/// (in-place) but must not partially overlap it.
+void mul_into(std::span<Elem> z, Elem a, std::span<const Elem> x);
 
 /// Inner product sum_i a[i] * b[i].
 Elem dot(std::span<const Elem> a, std::span<const Elem> b);

@@ -42,6 +42,7 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
 
   ctx_ = LdsContext::make(opt_.cfg);
   ctx_->meter = &meter_;
+  ctx_->encode_engine = engine_;
   for (std::size_t j = 0; j < opt_.cfg.n1; ++j) {
     ctx_->l1_ids.push_back(kL1IdBase + static_cast<NodeId>(j));
   }

@@ -4,7 +4,7 @@ namespace lds::core {
 
 const Bytes& LdsContext::initial_element(int code_index) const {
   if (initial_elements_.empty()) {
-    initial_elements_ = code.encode_value(cfg.initial_value);
+    initial_elements_ = code.encode_value(cfg.initial_value, encode_engine);
   }
   return initial_elements_.at(static_cast<std::size_t>(code_index));
 }
@@ -15,7 +15,8 @@ const std::vector<Bytes>& LdsContext::encoded_elements(
   auto it = encode_cache_.find(key);
   if (it != encode_cache_.end()) return it->second;
   if (encode_cache_.size() > 256) encode_cache_.clear();  // bound memory
-  return encode_cache_.emplace(key, code.encode_value(value)).first->second;
+  return encode_cache_.emplace(key, code.encode_value(value, encode_engine))
+      .first->second;
 }
 
 }  // namespace lds::core

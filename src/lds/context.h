@@ -16,6 +16,10 @@
 #include "lds/history.h"
 #include "lds/storage_meter.h"
 
+namespace lds::net {
+class Engine;
+}
+
 namespace lds::core {
 
 struct LdsContext {
@@ -26,6 +30,11 @@ struct LdsContext {
 
   /// Optional instrumentation (may be null).
   StorageMeter* meter = nullptr;
+
+  /// Optional engine for fanning large encodes out across lanes (may be
+  /// null = serial).  Set by LdsCluster from its own engine; harmless under
+  /// SimEngine (single lane => the striped code stays serial).
+  net::Engine* encode_engine = nullptr;
 
   LdsContext(LdsConfig c, codes::StripedCode striped)
       : cfg(std::move(c)), code(std::move(striped)) {

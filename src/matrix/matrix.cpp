@@ -30,9 +30,18 @@ Matrix Matrix::mul(const Matrix& other) const {
   Matrix out(rows_, other.cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
     auto out_row = out.row(i);
+    // First nonzero term writes through mul_into (no read of the zeroed
+    // destination); the rest accumulate with axpy.
+    bool first = true;
     for (std::size_t j = 0; j < cols_; ++j) {
       const Elem a = at(i, j);
-      if (a != 0) gf::axpy(out_row, a, other.row(j));
+      if (a == 0) continue;
+      if (first) {
+        gf::mul_into(out_row, a, other.row(j));
+        first = false;
+      } else {
+        gf::axpy(out_row, a, other.row(j));
+      }
     }
   }
   return out;
@@ -48,8 +57,15 @@ std::vector<Matrix::Elem> Matrix::mul_vec(std::span<const Elem> v) const {
 std::vector<Matrix::Elem> Matrix::lmul_vec(std::span<const Elem> v) const {
   LDS_REQUIRE(v.size() == rows_, "Matrix::lmul_vec: dimension mismatch");
   std::vector<Elem> out(cols_, 0);
+  bool first = true;
   for (std::size_t i = 0; i < rows_; ++i) {
-    if (v[i] != 0) gf::axpy(out, v[i], row(i));
+    if (v[i] == 0) continue;
+    if (first) {
+      gf::mul_into(out, v[i], row(i));
+      first = false;
+    } else {
+      gf::axpy(out, v[i], row(i));
+    }
   }
   return out;
 }

@@ -104,6 +104,11 @@ void ParallelEngine::post(std::size_t lane, Task fn) {
   ln.cv.notify_one();
 }
 
+std::optional<std::size_t> ParallelEngine::current_lane() const {
+  if (tls_engine == this) return tls_lane;
+  return std::nullopt;
+}
+
 void ParallelEngine::after_here(SimTime delay, Task fn) {
   LDS_REQUIRE(tls_engine == this,
               "ParallelEngine::after_here: not on a worker lane");

@@ -72,6 +72,13 @@ class Engine {
   /// lane's next scheduled event otherwise).
   virtual void post(std::size_t lane, Task fn) = 0;
 
+  /// The lane the calling thread is executing on, or nullopt when the caller
+  /// is not a lane of this engine (external threads, other engines).  Lets
+  /// compute fan-outs (codes::StripedCode's lane-parallel encode) post helper
+  /// tasks to every lane EXCEPT their own, keeping post()'s inline-on-own-lane
+  /// rule from serialising the fan-out.
+  virtual std::optional<std::size_t> current_lane() const = 0;
+
   /// Schedule `fn` `delay` virtual time units from now on the *calling*
   /// lane.  Must be called from lane context (any call site is lane context
   /// under SimEngine).
@@ -121,6 +128,7 @@ class SimEngine final : public Engine {
   Simulator& lane_sim(std::size_t lane) override;
   std::uint64_t lane_seed(std::size_t lane) const override;
   void post(std::size_t lane, Task fn) override;
+  std::optional<std::size_t> current_lane() const override { return 0; }
   void after_here(SimTime delay, Task fn) override;
   void drain() override { sim_->run(); }
   bool drain_until(const std::function<bool()>& settled) override;
@@ -162,6 +170,7 @@ class ParallelEngine final : public Engine {
   Simulator& lane_sim(std::size_t lane) override;
   std::uint64_t lane_seed(std::size_t lane) const override;
   void post(std::size_t lane, Task fn) override;
+  std::optional<std::size_t> current_lane() const override;
   void after_here(SimTime delay, Task fn) override;
   void hold(std::size_t lane) override;
   void release(std::size_t lane) override;

@@ -53,6 +53,9 @@ TcpTransport::~TcpTransport() { stop(); }
 
 Status TcpTransport::listen(std::uint16_t port, Handler on_message) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("TcpTransport::listen: transport stopped");
+  }
   LDS_REQUIRE(listen_fd_ < 0, "TcpTransport::listen: already listening");
   LDS_REQUIRE(on_message != nullptr, "TcpTransport::listen: null handler");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -87,6 +90,9 @@ Status TcpTransport::connect(const std::string& host, std::uint16_t port,
                              Handler on_message, NodeId* peer) {
   LDS_REQUIRE(on_message != nullptr, "TcpTransport::connect: null handler");
   LDS_REQUIRE(peer != nullptr, "TcpTransport::connect: null peer out-param");
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("TcpTransport::connect: transport stopped");
+  }
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -96,22 +102,70 @@ Status TcpTransport::connect(const std::string& host, std::uint16_t port,
   if (rc != 0 || res == nullptr) {
     return Status::Unavailable("resolve " + host + ": " + gai_strerror(rc));
   }
+  const std::string where = "connect " + host + ":" + std::to_string(port);
   int fd = -1;
-  Status err = Status::Unavailable("connect " + host + ": no address worked");
+  Status err = Status::Unavailable(where + ": no address worked");
   for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    err = sys_error("connect " + host + ":" + std::to_string(port));
-    ::close(fd);
-    fd = -1;
+    // Nonblocking BEFORE ::connect: a blocking connect to a black-holed
+    // address would sit in the kernel's retransmit schedule for minutes
+    // with no way to honor connect_timeout_ms.
+    if (!set_nonblocking(fd)) {
+      err = sys_error("fcntl " + host);
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;  // localhost
+    if (errno != EINPROGRESS) {
+      err = sys_error(where);
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    // Handshake in flight: wait for writability within the budget, then
+    // read the kernel's verdict from SO_ERROR.
+    pollfd pfd{fd, POLLOUT, 0};
+    int pn;
+    do {
+      pn = ::poll(&pfd, 1, opt_.connect_timeout_ms);
+    } while (pn < 0 && errno == EINTR);
+    if (pn == 0) {
+      err = Status::Unavailable(where + ": timed out after " +
+                                std::to_string(opt_.connect_timeout_ms) +
+                                "ms");
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    if (pn < 0) {
+      err = sys_error("poll " + where);
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    int soerr = 0;
+    socklen_t slen = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen);
+    if (soerr != 0) {
+      errno = soerr;
+      err = sys_error(where);
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    break;  // connected
   }
   ::freeaddrinfo(res);
   if (fd < 0) return err;
-  set_nonblocking(fd);
   set_nodelay(fd);
 
   std::lock_guard<std::mutex> lk(mu_);
+  if (stop_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return Status::Unavailable("TcpTransport::connect: transport stopped");
+  }
   const NodeId id = next_peer_++;
   Conn c;
   c.fd = fd;
@@ -223,11 +277,20 @@ void TcpTransport::loop() {
         ids.push_back(id);
       }
     }
-    const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                         opt_.poll_interval_ms);
+    int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   opt_.poll_interval_ms);
+    if (inject_poll_failure_.exchange(false, std::memory_order_acq_rel)) {
+      n = -1;
+      errno = EBADF;
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
-      break;  // poll itself failed: nothing sane left to do
+      // poll itself failed: the loop can no longer move anyone's bytes.
+      // Fail every connection through the disconnect handler (silently
+      // stranding them would leave callers waiting forever) and mark the
+      // transport stopped so listen()/connect() refuse the dead loop.
+      fail_loop();
+      return;
     }
     std::vector<Delivery> delivered;
     std::vector<NodeId> dropped;
@@ -282,6 +345,28 @@ void TcpTransport::loop() {
       for (const NodeId id : dropped) on_disconnect_(id);
     }
   }
+}
+
+void TcpTransport::fail_loop() {
+  stop_.store(true, std::memory_order_release);
+  std::vector<NodeId> dropped;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, c] : conns_) {
+      ::close(c.fd);
+      dropped.push_back(id);
+    }
+    conns_.clear();
+  }
+  if (on_disconnect_) {
+    for (const NodeId id : dropped) on_disconnect_(id);
+  }
+}
+
+void TcpTransport::inject_poll_failure_for_testing() {
+  inject_poll_failure_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(mu_);
+  wake();
 }
 
 bool TcpTransport::read_conn(

@@ -94,6 +94,12 @@ class TcpTransport final : public Transport {
     /// Poll timeout: the loop re-checks its stop flag at this cadence even
     /// when no fd is ready.
     int poll_interval_ms = 50;
+    /// Outbound connect budget: connect() returns Unavailable when the
+    /// handshake has not completed within this many milliseconds.  The
+    /// socket is nonblocking before ::connect, so an unroutable or
+    /// black-holed address costs at most this much (a blocking ::connect
+    /// would sit in the kernel's own retry schedule for minutes).
+    int connect_timeout_ms = 5000;
   };
   /// Called on the event-loop thread for every decoded incoming frame.
   using Handler = std::function<void(NodeId peer, MessagePtr msg)>;
@@ -138,8 +144,15 @@ class TcpTransport final : public Transport {
   std::uint64_t decode_errors() const { return decode_errors_.load(); }
   /// Outbound frames refused because they exceed Options::max_frame_bytes.
   std::uint64_t frames_dropped() const { return frames_dropped_.load(); }
-  /// True once stop() ran (or is running); the transport cannot restart.
+  /// True once stop() ran (or is running), or after the event loop died on
+  /// a poll failure; the transport cannot restart, and listen()/connect()
+  /// report Unavailable instead of queueing work onto a dead loop.
   bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  /// Make the event loop's next poll cycle fail as if poll(2) itself
+  /// errored, exercising the abnormal-exit path (every connection fails
+  /// through the disconnect handler, the transport marks itself stopped).
+  void inject_poll_failure_for_testing();
 
  private:
   struct Conn {
@@ -152,6 +165,9 @@ class TcpTransport final : public Transport {
 
   void ensure_loop();     // start the loop thread once (under mu_)
   void loop();
+  /// Abnormal loop exit: fail every connection through the disconnect
+  /// handler and mark the transport stopped (loop thread only).
+  void fail_loop();
   void wake();
   /// Close + erase under mu_; returns true when the peer existed.
   bool close_locked(NodeId peer);
@@ -164,6 +180,7 @@ class TcpTransport final : public Transport {
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> inject_poll_failure_{false};
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};
   std::uint16_t port_ = 0;

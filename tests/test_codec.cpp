@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -465,6 +466,126 @@ TEST(TcpTransport, HostileBytesDisconnectWithoutCrashing) {
   }
   EXPECT_EQ(received.load(std::memory_order_relaxed), 1);
   good.stop();
+  server.stop();
+}
+
+TEST(TcpTransport, ConnectTimeoutIsBounded) {
+  // A socket that never completes the handshake: listen with a full backlog
+  // and never accept, so further connects stay half-open.  The old blocking
+  // ::connect sat in the kernel retransmit schedule for minutes; the
+  // nonblocking path must give up within connect_timeout_ms.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  // Saturate the accept queue (backlog 1, nothing ever accepts).
+  std::vector<int> fillers;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  TcpTransport::Options opt;
+  opt.connect_timeout_ms = 300;
+  TcpTransport t(opt);
+  NodeId peer = kNoNode;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st =
+      t.connect("127.0.0.1", port, [](NodeId, MessagePtr) {}, &peer);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  if (!st.ok()) {
+    // The expected outcome: the overflowing SYN was dropped and the connect
+    // timed out within (roughly) the configured budget.
+    EXPECT_TRUE(st.is(StatusCode::kUnavailable)) << st.to_string();
+    EXPECT_LT(elapsed.count(), 5000) << "timeout not honored: " << st.to_string();
+  }
+  // Some kernels complete loopback handshakes past the backlog; then the
+  // connect legitimately succeeds, fast.  Either way it must not block for
+  // the kernel's minutes-long retry schedule.
+  EXPECT_LT(elapsed.count(), 5000);
+  t.stop();
+  for (const int fd : fillers) ::close(fd);
+  ::close(lfd);
+}
+
+TEST(TcpTransport, ConnectToClosedPortFailsFast) {
+  TcpTransport::Options opt;
+  opt.connect_timeout_ms = 2000;
+  TcpTransport t(opt);
+  // Grab an ephemeral port, close it again: nothing listens there, so the
+  // kernel answers the SYN with RST and connect must fail immediately (far
+  // inside the timeout), with a real error, not a hang.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &alen),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  NodeId peer = kNoNode;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st =
+      t.connect("127.0.0.1", port, [](NodeId, MessagePtr) {}, &peer);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_LT(elapsed.count(), 1000);
+  t.stop();
+}
+
+TEST(TcpTransport, PollFailureFailsConnsAndStopsTransport) {
+  // When poll(2) itself fails the loop can no longer move anyone's bytes.
+  // The old code silently broke out of the loop, stranding every connection
+  // with no disconnect callback; now each conn fails through the handler and
+  // the transport marks itself stopped.
+  TcpTransport server;
+  ASSERT_TRUE(server.listen(0, [](NodeId, MessagePtr) {}).ok());
+
+  TcpTransport client;
+  std::atomic<int> disconnects{0};
+  client.set_disconnect_handler(
+      [&](NodeId) { disconnects.fetch_add(1, std::memory_order_relaxed); });
+  NodeId peer = kNoNode;
+  ASSERT_TRUE(
+      client.connect("127.0.0.1", server.port(), [](NodeId, MessagePtr) {},
+                     &peer)
+          .ok());
+  ASSERT_FALSE(client.stopped());
+
+  client.inject_poll_failure_for_testing();
+  for (int i = 0; i < 400 && disconnects.load(std::memory_order_relaxed) < 1;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(disconnects.load(std::memory_order_relaxed), 1);
+  EXPECT_TRUE(client.stopped());
+
+  // The dead transport refuses new work instead of queueing onto a loop
+  // that no longer runs (the old behavior aborted or hung here).
+  NodeId peer2 = kNoNode;
+  const Status st = client.connect("127.0.0.1", server.port(),
+                                   [](NodeId, MessagePtr) {}, &peer2);
+  EXPECT_TRUE(st.is(StatusCode::kUnavailable)) << st.to_string();
+  client.stop();
   server.stop();
 }
 

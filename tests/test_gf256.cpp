@@ -139,6 +139,175 @@ TEST(Gf256, ScaleMatchesScalarLoop) {
   }
 }
 
+TEST(Gf256, PowHugeExponentMatchesSquareAndMultiply) {
+  // Regression: pow computed log[a] * e in u64, which wraps for e >= 2^56
+  // and silently returned a wrong element; the exponent must be reduced mod
+  // the group order first.  Square-and-multiply never forms the product, so
+  // it is immune and serves as the oracle.
+  const auto slow_pow = [](Elem a, std::uint64_t e) {
+    Elem result = 1;
+    Elem base = a;
+    while (e > 0) {
+      if (e & 1) result = mul(result, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return result;
+  };
+  const std::uint64_t exps[] = {0,
+                                1,
+                                254,
+                                255,
+                                256,
+                                (1ull << 56) - 1,
+                                1ull << 56,
+                                (1ull << 56) + 123,
+                                UINT64_MAX - 1,
+                                UINT64_MAX};
+  for (int a = 0; a < 256; a += 17) {
+    for (const std::uint64_t e : exps) {
+      EXPECT_EQ(pow(static_cast<Elem>(a), e),
+                slow_pow(static_cast<Elem>(a), e))
+          << "a=" << a << " e=" << e;
+    }
+  }
+}
+
+TEST(Gf256, ParseIsaNames) {
+  EXPECT_EQ(parse_isa("scalar"), Isa::Scalar);
+  EXPECT_EQ(parse_isa("ssse3"), Isa::Ssse3);
+  EXPECT_EQ(parse_isa("avx2"), Isa::Avx2);
+  EXPECT_EQ(parse_isa("neon"), Isa::Neon);
+  EXPECT_FALSE(parse_isa("avx512").has_value());
+  EXPECT_FALSE(parse_isa("").has_value());
+  for (const Isa isa : supported_isas()) {
+    EXPECT_EQ(parse_isa(isa_name(isa)), isa);
+  }
+}
+
+TEST(Gf256, SelectIsaRoundTrip) {
+  const Isa before = active_isa();
+  EXPECT_TRUE(select_isa(Isa::Scalar));
+  EXPECT_EQ(active_isa(), Isa::Scalar);
+  for (const Isa isa : supported_isas()) {
+    EXPECT_TRUE(select_isa(isa));
+    EXPECT_EQ(active_isa(), isa);
+  }
+  EXPECT_TRUE(select_isa(before));
+}
+
+// Every supported ISA path must be bit-identical to a plain mul/add loop for
+// every coefficient and for lengths straddling each kernel's vector widths
+// and unroll boundaries (the tails are where SIMD kernels go wrong).
+class GfIsaEquivalence : public ::testing::Test {
+ protected:
+  void TearDown() override { select_isa(best_); }
+  const Isa best_ = active_isa();
+  const std::vector<std::size_t> lens_{0,  1,  2,  3,    15,   16,  17, 31,
+                                       32, 33, 63, 64,   65,   100, 255,
+                                       4095, 4096, 4097};
+};
+
+TEST_F(GfIsaEquivalence, AxpyAllCoefficientsAllIsas) {
+  Rng rng(101);
+  for (const std::size_t len : lens_) {
+    const Bytes x = rng.bytes(len);
+    const Bytes y = rng.bytes(len);
+    for (int a = 0; a < 256; ++a) {
+      Bytes expect = y;
+      for (std::size_t i = 0; i < len; ++i) {
+        expect[i] = add(expect[i], mul(static_cast<Elem>(a), x[i]));
+      }
+      for (const Isa isa : supported_isas()) {
+        ASSERT_TRUE(select_isa(isa));
+        Bytes got = y;
+        axpy(got, static_cast<Elem>(a), x);
+        ASSERT_EQ(got, expect) << "isa=" << isa_name(isa) << " a=" << a
+                               << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST_F(GfIsaEquivalence, MulIntoAllCoefficientsAllIsas) {
+  Rng rng(103);
+  for (const std::size_t len : lens_) {
+    const Bytes x = rng.bytes(len);
+    for (int a = 0; a < 256; ++a) {
+      Bytes expect(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        expect[i] = mul(static_cast<Elem>(a), x[i]);
+      }
+      for (const Isa isa : supported_isas()) {
+        ASSERT_TRUE(select_isa(isa));
+        Bytes got(len, 0xAB);  // poison: mul_into must overwrite every byte
+        mul_into(got, static_cast<Elem>(a), x);
+        ASSERT_EQ(got, expect) << "isa=" << isa_name(isa) << " a=" << a
+                               << " len=" << len;
+        Bytes in_place = x;  // aliasing contract: z may be exactly x
+        mul_into(in_place, static_cast<Elem>(a), in_place);
+        ASSERT_EQ(in_place, expect)
+            << "in-place, isa=" << isa_name(isa) << " a=" << a
+            << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST_F(GfIsaEquivalence, ScaleAllCoefficientsAllIsas) {
+  Rng rng(107);
+  const Bytes x = rng.bytes(1023);
+  for (int a = 0; a < 256; ++a) {
+    Bytes expect(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      expect[i] = mul(static_cast<Elem>(a), x[i]);
+    }
+    for (const Isa isa : supported_isas()) {
+      ASSERT_TRUE(select_isa(isa));
+      Bytes got = x;
+      scale(got, static_cast<Elem>(a));
+      ASSERT_EQ(got, expect) << "isa=" << isa_name(isa) << " a=" << a;
+    }
+  }
+}
+
+TEST_F(GfIsaEquivalence, DotAllIsas) {
+  Rng rng(109);
+  for (const std::size_t len : lens_) {
+    const Bytes a = rng.bytes(len);
+    const Bytes b = rng.bytes(len);
+    Elem expect = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      expect = add(expect, mul(a[i], b[i]));
+    }
+    for (const Isa isa : supported_isas()) {
+      ASSERT_TRUE(select_isa(isa));
+      ASSERT_EQ(dot(a, b), expect) << "isa=" << isa_name(isa)
+                                   << " len=" << len;
+    }
+  }
+}
+
+TEST_F(GfIsaEquivalence, FullMultiplicationTableAllIsas) {
+  // The 256 x 256 multiply table via 256-long mul_into rows: every (a, b)
+  // product on every ISA must equal the log/exp scalar product.
+  Bytes all(256);
+  for (int b = 0; b < 256; ++b) all[static_cast<std::size_t>(b)] =
+      static_cast<Elem>(b);
+  for (const Isa isa : supported_isas()) {
+    ASSERT_TRUE(select_isa(isa));
+    for (int a = 0; a < 256; ++a) {
+      Bytes row(256);
+      mul_into(row, static_cast<Elem>(a), all);
+      for (int b = 0; b < 256; ++b) {
+        ASSERT_EQ(row[static_cast<std::size_t>(b)],
+                  mul(static_cast<Elem>(a), static_cast<Elem>(b)))
+            << "isa=" << isa_name(isa) << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
 TEST(Gf256Death, InverseOfZeroAborts) {
   EXPECT_DEATH(inv(0), "inverse of zero");
 }

@@ -1,9 +1,14 @@
 // Striping codec: arbitrary byte values through per-stripe codes.
 #include <gtest/gtest.h>
 
+#include <future>
+
 #include "codes/factory.h"
 #include "codes/pm_mbr.h"
+#include "codes/pm_msr.h"
 #include "common/rng.h"
+#include "gf/gf256.h"
+#include "net/engine.h"
 
 namespace lds::codes {
 namespace {
@@ -114,6 +119,98 @@ TEST(Striped, ReplicationElementIsValueSized) {
   const Bytes value = rng.bytes(64);
   // Replication stores the (framed) value at every node: 64 + 8 header.
   EXPECT_EQ(code.element_size(value.size()), 72u);
+}
+
+// ---- encode path equivalence ------------------------------------------------
+//
+// encode_value has four ways to produce the same bytes: the reference
+// stripe-by-stripe loop, the planar SIMD path, the planar path on the scalar
+// kernels, and the lane-parallel fan-out.  All must be byte-identical.
+
+TEST(StripedPaths, PlanarMatchesStripewiseAllBackends) {
+  std::vector<std::pair<std::string, StripedCode>> codes;
+  for (auto kind : {BackendKind::PmMbr, BackendKind::Rs,
+                    BackendKind::Replication}) {
+    codes.emplace_back(backend_name(kind), make_backend(kind, 8, 3, 5));
+  }
+  codes.emplace_back("pm_msr",
+                     StripedCode(std::make_shared<PmMsrCode>(8, 3)));
+  Rng rng(21);
+  for (auto& [name, code] : codes) {
+    for (const std::size_t size : {0u, 1u, 9u, 333u, 4096u, 70000u}) {
+      const Bytes value = rng.bytes(size);
+      EXPECT_EQ(code.encode_value(value), code.encode_value_stripewise(value))
+          << name << " size=" << size;
+    }
+  }
+}
+
+TEST(StripedPaths, ScalarAndSimdKernelsProduceIdenticalElements) {
+  StripedCode code = mbr(7, 3, 4);
+  Rng rng(23);
+  const Bytes value = rng.bytes(100000);
+  const gf::Isa best = gf::active_isa();
+  ASSERT_TRUE(gf::select_isa(gf::Isa::Scalar));
+  const auto scalar_elems = code.encode_value(value);
+  ASSERT_TRUE(gf::select_isa(best));
+  const auto simd_elems = code.encode_value(value);
+  EXPECT_EQ(scalar_elems, simd_elems);
+  EXPECT_EQ(simd_elems, code.encode_value_stripewise(value));
+}
+
+TEST(StripedPaths, EngineOverloadSerialFallbacks) {
+  StripedCode code = mbr(7, 3, 4);
+  Rng rng(29);
+  const Bytes small = rng.bytes(500);       // under the fan-out threshold
+  const Bytes large = rng.bytes(200000);    // over it
+  const auto small_ref = code.encode_value(small);
+  const auto large_ref = code.encode_value(large);
+  // Null engine and single-lane (Sim) engine both take the serial path.
+  EXPECT_EQ(code.encode_value(small, nullptr), small_ref);
+  EXPECT_EQ(code.encode_value(large, nullptr), large_ref);
+  net::SimEngine sim(42);
+  EXPECT_EQ(code.encode_value(large, &sim), large_ref);
+}
+
+TEST(StripedPaths, LaneParallelMatchesSerial) {
+  StripedCode code = mbr(7, 3, 4);
+  Rng rng(31);
+  const Bytes value = rng.bytes(300000);
+  const auto ref = code.encode_value_stripewise(value);
+
+  net::ParallelEngine::Options opt;
+  opt.lanes = 4;
+  net::ParallelEngine engine(opt);
+  engine.start();
+  // From an external (non-lane) thread.
+  EXPECT_EQ(code.encode_value(value, &engine), ref);
+  // From inside a lane (the production call site: an L1 server offloading).
+  std::promise<std::vector<Bytes>> done;
+  engine.post(0, [&] { done.set_value(code.encode_value(value, &engine)); });
+  EXPECT_EQ(done.get_future().get(), ref);
+  engine.stop();
+}
+
+TEST(StripedPaths, ConcurrentLaneEncodesDoNotDeadlock) {
+  // Two lanes encoding at once each post helpers at the other; the
+  // work-helping claim loop must let both finish.
+  StripedCode code = mbr(7, 3, 4);
+  Rng rng(37);
+  const Bytes v1 = rng.bytes(250000);
+  const Bytes v2 = rng.bytes(250000);
+  const auto ref1 = code.encode_value(v1);
+  const auto ref2 = code.encode_value(v2);
+
+  net::ParallelEngine::Options opt;
+  opt.lanes = 2;
+  net::ParallelEngine engine(opt);
+  engine.start();
+  std::promise<std::vector<Bytes>> p1, p2;
+  engine.post(0, [&] { p1.set_value(code.encode_value(v1, &engine)); });
+  engine.post(1, [&] { p2.set_value(code.encode_value(v2, &engine)); });
+  EXPECT_EQ(p1.get_future().get(), ref1);
+  EXPECT_EQ(p2.get_future().get(), ref2);
+  engine.stop();
 }
 
 }  // namespace
