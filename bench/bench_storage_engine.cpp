@@ -1,0 +1,188 @@
+// bench_storage_engine — durability-path microbench: WAL append throughput
+// under each SyncPolicy, and recovery (reopen) latency / replay throughput
+// as a function of surviving object count, with and without a checkpoint.
+//
+//   bench_storage_engine [--json BENCH_durability.json]
+//
+// The recovery numbers are the cost a durable L2 server pays at restart
+// BEFORE it can serve; the checkpoint rows show what the snapshot buys
+// (replay work bounded by the post-checkpoint tail instead of the full
+// history).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "storage/backend.h"
+
+namespace {
+
+using namespace lds;
+namespace fs = std::filesystem;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ScopedDir {
+  explicit ScopedDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("lds_bench_storage_" + std::to_string(::getpid()) + "_" + tag))
+               .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScopedDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+constexpr std::size_t kElementBytes = 1024;
+
+std::unique_ptr<storage::DurableBackend> must_open(
+    const std::string& dir, storage::DurabilityPolicy policy) {
+  auto be = storage::DurableBackend::open(dir, policy);
+  if (!be.ok()) {
+    std::fprintf(stderr, "bench: open %s: %s\n", dir.c_str(),
+                 be.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(be).value();
+}
+
+void bench_append(bench::JsonReporter& json) {
+  std::printf("WAL append path (%zu-byte elements)\n", kElementBytes);
+  bench::print_header({"sync", "appends", "appends/s", "MB/s"});
+  for (const storage::SyncPolicy sync :
+       {storage::SyncPolicy::Always, storage::SyncPolicy::GroupCommit,
+        storage::SyncPolicy::Never}) {
+    // Always pays one fdatasync per append: keep the op count modest so the
+    // bench stays fast on spinning metal, but identical across policies.
+    const std::size_t appends = 2000;
+    storage::DurabilityPolicy policy;
+    policy.sync = sync;
+    ScopedDir dir(std::string("append_") + storage::sync_policy_name(sync));
+    auto be = must_open(dir.path, policy);
+    Rng rng(1);
+    const Bytes element = rng.bytes(kElementBytes);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < appends; ++i) {
+      const Status st =
+          be->put(static_cast<ObjectId>(i % 64),
+                  Tag{i / 64 + 1, static_cast<NodeId>(1)}, element);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bench: put: %s\n", st.to_string().c_str());
+        std::exit(1);
+      }
+    }
+    if (const Status st = be->sync(); !st.ok()) {
+      std::fprintf(stderr, "bench: sync: %s\n", st.to_string().c_str());
+      std::exit(1);
+    }
+    const double dt = seconds_since(t0);
+    const double per_sec = static_cast<double>(appends) / dt;
+    const double mb_per_sec =
+        static_cast<double>(be->wal_stats().appended_bytes) / dt / 1e6;
+    bench::print_cell(storage::sync_policy_name(sync));
+    bench::print_cell(appends);
+    bench::print_cell(per_sec);
+    bench::print_cell(mb_per_sec);
+    std::printf("\n");
+    const std::string params =
+        std::string("sync=") + storage::sync_policy_name(sync) +
+        " element_bytes=" + std::to_string(kElementBytes);
+    json.add(params, "appends_per_sec", per_sec);
+    json.add(params, "append_mb_per_sec", mb_per_sec);
+  }
+  std::printf("\n");
+}
+
+void bench_recovery(bench::JsonReporter& json) {
+  std::printf("recovery at reopen (%zu-byte elements, sync=never while "
+              "populating)\n",
+              kElementBytes);
+  bench::print_header({"objects", "checkpoint", "recover_ms", "replay MB/s",
+                       "records"});
+  for (const std::size_t objects : {std::size_t{256}, std::size_t{1024},
+                                    std::size_t{4096}}) {
+    for (const bool checkpoint : {false, true}) {
+      storage::DurabilityPolicy policy;
+      policy.sync = storage::SyncPolicy::Never;  // populate fast
+      ScopedDir dir("recover_" + std::to_string(objects) +
+                    (checkpoint ? "_ckpt" : "_wal"));
+      std::map<ObjectId, storage::Backend::Entry> live;
+      {
+        auto be = must_open(dir.path, policy);
+        be->set_snapshot_source(
+            [&](const storage::Backend::SnapshotSink& sink) {
+              for (const auto& [obj, e] : live) sink(obj, e.tag, e.element);
+            });
+        Rng rng(2);
+        // Two generations per object: recovery replays overwrites too.
+        for (std::size_t gen = 1; gen <= 2; ++gen) {
+          for (std::size_t o = 0; o < objects; ++o) {
+            const auto obj = static_cast<ObjectId>(o);
+            live[obj] = {Tag{gen, 1}, rng.bytes(kElementBytes)};
+            const Status st = be->put(obj, live[obj].tag, live[obj].element);
+            if (!st.ok()) {
+              std::fprintf(stderr, "bench: put: %s\n",
+                           st.to_string().c_str());
+              std::exit(1);
+            }
+          }
+        }
+        const Status st = checkpoint ? be->checkpoint_now() : be->sync();
+        if (!st.ok()) {
+          std::fprintf(stderr, "bench: flush: %s\n", st.to_string().c_str());
+          std::exit(1);
+        }
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      auto be = must_open(dir.path, policy);
+      const double dt = seconds_since(t0);
+      if (be->recovered().size() != objects) {
+        std::fprintf(stderr, "bench: recovered %zu of %zu objects\n",
+                     be->recovered().size(), objects);
+        std::exit(1);
+      }
+      const auto records = be->wal_stats().replayed_records;
+      // Bytes brought back per second, snapshot load included.
+      const double recovered_bytes = static_cast<double>(
+          be->wal_stats().replayed_bytes +
+          (checkpoint ? objects * kElementBytes : 0));
+      const double mb_per_sec = recovered_bytes / dt / 1e6;
+      bench::print_cell(objects);
+      bench::print_cell(checkpoint ? "yes" : "no");
+      bench::print_cell(dt * 1e3);
+      bench::print_cell(mb_per_sec);
+      bench::print_cell(static_cast<std::size_t>(records));
+      std::printf("\n");
+      const std::string params =
+          "objects=" + std::to_string(objects) +
+          " checkpoint=" + (checkpoint ? "yes" : "no") +
+          " element_bytes=" + std::to_string(kElementBytes);
+      json.add(params, "recovery_ms", dt * 1e3);
+      json.add(params, "replay_mb_per_sec", mb_per_sec);
+      json.add(params, "replayed_records", static_cast<double>(records));
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "storage_engine");
+  bench_append(json);
+  bench_recovery(json);
+  return 0;
+}

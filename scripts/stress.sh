@@ -23,6 +23,10 @@
 #                 per soak round — lds_served on an ephemeral port driven by
 #                 lds_store_bench --remote, both verified (client-observed
 #                 history AND server-side histories at shutdown)
+#   KILL9         "1" adds one kill-9 crash-recovery round per soak round:
+#                 lds_stress --kill9 forks lds_served on a durable data_dir,
+#                 SIGKILLs it mid-churn, restarts it on the same directory
+#                 and re-verifies the merged client-observed history
 #   SERVED_BIN    lds_served binary (default build/lds_served)
 #   STORE_BENCH_BIN  lds_store_bench binary (default build/lds_store_bench)
 #
@@ -35,6 +39,7 @@ BACKENDS=${BACKENDS:-"lds abd cas store"}
 STORE_SHARDS=${STORE_SHARDS:-8}
 STORE_ENGINES=${STORE_ENGINES:-"sim parallel"}
 TRANSPORT=${TRANSPORT:-inproc}
+KILL9=${KILL9:-0}
 SERVED_BIN=${SERVED_BIN:-build/lds_served}
 STORE_BENCH_BIN=${STORE_BENCH_BIN:-build/lds_store_bench}
 
@@ -45,6 +50,10 @@ if [[ ! -x "$STRESS_BIN" ]]; then
 fi
 if [[ "$TRANSPORT" == "tcp" && ( ! -x "$SERVED_BIN" || ! -x "$STORE_BENCH_BIN" ) ]]; then
   echo "error: TRANSPORT=tcp needs $SERVED_BIN and $STORE_BENCH_BIN." >&2
+  exit 2
+fi
+if [[ "$KILL9" == "1" && ! -x "$SERVED_BIN" ]]; then
+  echo "error: KILL9=1 needs $SERVED_BIN." >&2
   exit 2
 fi
 
@@ -82,6 +91,23 @@ tcp_round() {
   fi
   served_pid=""
   rm -f "$port_file"
+}
+
+# One kill-9 crash-recovery round: SIGKILL the daemon mid-churn twice,
+# restart it on the same data_dir each time, and re-verify the merged
+# client-observed history plus the final server-side shutdown verification.
+kill9_round() {
+  local seed=$1 dir
+  dir=$(mktemp -d)
+  if ! "$STRESS_BIN" --kill9 --server-bin "$SERVED_BIN" --data-dir "$dir" \
+      --kills 2 --ops-per-round 300 --threads 4 --shards 2 \
+      --seed "$seed" > /dev/null; then
+    echo "VIOLATION — reproduce with:" >&2
+    echo "  $STRESS_BIN --kill9 --server-bin $SERVED_BIN --data-dir <dir>" \
+         "--kills 2 --ops-per-round 300 --threads 4 --shards 2 --seed $seed" >&2
+    exit 1
+  fi
+  rm -rf "$dir"
 }
 
 read -r -a backends <<< "$BACKENDS"
@@ -124,6 +150,10 @@ while ((SECONDS < deadline)); do
     tcp_round $((RANDOM * 32768 + RANDOM + round))
     runs=$((runs + 1))
   fi
+  if [[ "$KILL9" == "1" ]] && ((SECONDS < deadline)); then
+    kill9_round $((RANDOM * 32768 + RANDOM + round))
+    runs=$((runs + 1))
+  fi
 done
 
-echo "soak passed: $runs runs across ${backends[*]} (transport=$TRANSPORT) in ${SECONDS}s, 0 violations"
+echo "soak passed: $runs runs across ${backends[*]} (transport=$TRANSPORT kill9=$KILL9) in ${SECONDS}s, 0 violations"

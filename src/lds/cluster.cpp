@@ -1,5 +1,13 @@
 #include "lds/cluster.h"
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "codes/factory.h"
+#include "storage/fsutil.h"
+#include "storage/manifest.h"
+
 namespace lds::core {
 
 namespace {
@@ -50,11 +58,29 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
     ctx_->l2_ids.push_back(kL2IdBase + static_cast<NodeId>(i));
   }
 
+  const bool durable = !opt_.data_dir.empty();
+  if (durable) {
+    ctx_->durable_acks = true;
+    // Fail fast on a data_dir written by a different deployment: recovered
+    // coded elements are meaningless under another geometry or code.
+    storage::Manifest mf;
+    mf.set("format", "lds-cluster-v1");
+    mf.set("n1", static_cast<std::uint64_t>(opt_.cfg.n1));
+    mf.set("f1", static_cast<std::uint64_t>(opt_.cfg.f1));
+    mf.set("n2", static_cast<std::uint64_t>(opt_.cfg.n2));
+    mf.set("f2", static_cast<std::uint64_t>(opt_.cfg.f2));
+    mf.set("code", codes::backend_name(opt_.cfg.backend));
+    auto st = mf.verify_or_write(opt_.data_dir);
+    LDS_REQUIRE(st.ok(),
+                ("LdsCluster: " + std::string(st.message())).c_str());
+  }
+
   for (std::size_t j = 0; j < opt_.cfg.n1; ++j) {
     l1_.push_back(std::make_unique<ServerL1>(*net_, ctx_, j));
   }
   for (std::size_t i = 0; i < opt_.cfg.n2; ++i) {
-    l2_.push_back(std::make_unique<ServerL2>(*net_, ctx_, i));
+    l2_.push_back(std::make_unique<ServerL2>(
+        *net_, ctx_, i, durable ? open_l2_backend(i) : nullptr));
   }
   for (std::size_t w = 0; w < opt_.writers; ++w) {
     writers_.push_back(std::make_unique<Writer>(
@@ -73,6 +99,93 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
         kReaderIdBase + static_cast<NodeId>(opt_.readers + r), &history_,
         ReadConsistency::Regular));
   }
+
+  if (durable) recover_from_storage();
+}
+
+std::string LdsCluster::l2_dir(std::size_t i) const {
+  return opt_.data_dir + "/l2-" + std::to_string(i);
+}
+
+std::unique_ptr<storage::Backend> LdsCluster::open_l2_backend(std::size_t i) {
+  auto be = storage::DurableBackend::open(l2_dir(i), opt_.durability);
+  LDS_REQUIRE(be.ok(), ("LdsCluster: open L2 backend " + l2_dir(i) + ": " +
+                        be.status().message())
+                           .c_str());
+  return std::move(be).value();
+}
+
+void LdsCluster::recover_from_storage() {
+  // Gather every surviving (tag, element) version per object across all L2
+  // backends, keyed by tag descending, one element per code coordinate.
+  // Versions (not just each server's newest holding) matter: at SIGKILL the
+  // servers may hold several distinct in-flight tags, none with k live
+  // copies, while the newest *durably acknowledged* tag — the one some
+  // completed client operation may have observed — still has >= k copies
+  // among the overwritten WAL records.
+  struct Candidates {
+    std::map<Tag, std::map<int, Bytes>> by_tag;  // tag -> coord -> element
+  };
+  std::map<ObjectId, Candidates> objects;
+  for (std::size_t i = 0; i < l2_.size(); ++i) {
+    const storage::Backend* be = l2_[i]->storage_backend();
+    LDS_CHECK(be != nullptr, "recover_from_storage: RAM-only L2");
+    const int coord = static_cast<int>(opt_.cfg.n1 + i);
+    for (const auto& v : be->recovered_versions()) {
+      if (v.tag == kTag0) continue;
+      objects[v.obj].by_tag[v.tag].emplace(coord, v.element);
+    }
+  }
+
+  std::uint32_t seq = 0;
+  for (auto& [obj, cand] : objects) {
+    // Newest tag restorable from >= k distinct coordinates wins.  This is
+    // at least as new as any tag a pre-crash client operation completed on:
+    // completion required an l2_quorum (= f2 + d >= k) of synced acks.
+    Tag chosen = kTag0;
+    Bytes value;
+    for (auto it = cand.by_tag.rbegin(); it != cand.by_tag.rend(); ++it) {
+      if (it->second.size() < opt_.cfg.k()) continue;
+      std::vector<codes::IndexedBytes> elems;
+      elems.reserve(it->second.size());
+      for (auto& [coord, element] : it->second) {
+        elems.emplace_back(coord, element);
+      }
+      auto decoded = ctx_->code.decode_value(elems);
+      if (!decoded) continue;
+      chosen = it->first;
+      value = std::move(*decoded);
+      break;
+    }
+    if (chosen == kTag0) continue;
+
+    // Force the whole shard to exactly (chosen, value): re-encode and store
+    // at every L2 server, downgrading divergent newer tags — those never
+    // reached a quorum (else they would have been chosen), so no client saw
+    // them, and a uniform back layer is what keeps post-restart
+    // regeneration live with zero further writes.
+    const auto& coded = ctx_->encoded_elements(obj, chosen, value);
+    for (std::size_t i = 0; i < l2_.size(); ++i) {
+      if (l2_[i]->stored_tag(obj) != chosen) {
+        l2_[i]->recovery_store(obj, chosen, coded[opt_.cfg.n1 + i]);
+      }
+    }
+    for (auto& l1 : l1_) l1->recover_committed(obj, chosen);
+
+    // The checkers must see the recovered state as a write that actually
+    // happened (it did, in a previous incarnation): synthesize a completed
+    // write at t=now carrying the recovered tag and value.  The op id keys
+    // off the original writer id recorded in the tag, with a sequence block
+    // (0xEC0000) no live client uses.
+    const std::size_t idx =
+        history_.on_invoke(make_op_id(static_cast<NodeId>(chosen.w),
+                                      0xEC0000u + seq),
+                           OpKind::Write, obj, static_cast<NodeId>(chosen.w),
+                           sim_->now());
+    history_.on_response(idx, sim_->now(), chosen, Value(std::move(value)));
+    recovered_objects_.emplace_back(obj, chosen);
+    ++seq;
+  }
 }
 
 ServerL2& LdsCluster::replace_l2(std::size_t i) {
@@ -81,7 +194,19 @@ ServerL2& LdsCluster::replace_l2(std::size_t i) {
   // replacement constructs under the same id.  Keeping the two steps inside
   // this helper is what makes the assert sound for every repair path.
   l2_.at(i).reset();
-  l2_.at(i) = std::make_unique<ServerL2>(*net_, ctx_, i);
+  std::unique_ptr<storage::Backend> backend;
+  if (!opt_.data_dir.empty()) {
+    // A replacement models a NEW disk: wipe the old one (possibly poisoned
+    // or stale) and start from an empty backend.  The subsequent
+    // repair_object() round re-persists the regenerated element through the
+    // ordinary store path, so durability survives reconfiguration churn.
+    auto st = storage::wipe_dir(l2_dir(i));
+    LDS_REQUIRE(st.ok(), ("replace_l2: wipe " + l2_dir(i) + ": " +
+                          st.message())
+                             .c_str());
+    backend = open_l2_backend(i);
+  }
+  l2_.at(i) = std::make_unique<ServerL2>(*net_, ctx_, i, std::move(backend));
   return *l2_.at(i);
 }
 

@@ -17,6 +17,7 @@
 #include "lds/server_l2.h"
 #include "lds/writer.h"
 #include "net/network.h"
+#include "storage/backend.h"
 
 namespace lds::core {
 
@@ -54,6 +55,15 @@ class LdsCluster {
     /// clusters share one simulated time base.  Ignored when `engine` is
     /// set; the pointer must outlive the cluster.
     net::Simulator* sim = nullptr;
+    /// Durable L2 mode: when non-empty, every L2 server opens a
+    /// storage::DurableBackend under `<data_dir>/l2-<i>`, the cluster
+    /// verifies a geometry MANIFEST against any previous incarnation, L1
+    /// acks switch to durable timing (ctx.durable_acks), and construction
+    /// runs the crash-recovery sweep (see recover_from_storage).  Empty
+    /// (the default) keeps the cluster RAM-only and bit-identical to the
+    /// pre-durability behavior.
+    std::string data_dir;
+    storage::DurabilityPolicy durability;
   };
 
   explicit LdsCluster(Options opt);
@@ -88,6 +98,13 @@ class LdsCluster {
   /// from the surviving peers.
   ServerL2& replace_l2(std::size_t i);
 
+  /// Objects the construction-time recovery sweep restored (durable mode;
+  /// empty on a fresh data_dir or in RAM mode), with the tag each recovered
+  /// to.  Their synthetic writes are already in history().
+  const std::vector<std::pair<ObjectId, Tag>>& recovered_objects() const {
+    return recovered_objects_;
+  }
+
   /// Schedule an operation invocation at simulation time t (>= now).
   void write_at(net::SimTime t, std::size_t writer_idx, ObjectId obj,
                 Value value, Writer::Callback cb = {});
@@ -108,6 +125,18 @@ class LdsCluster {
   }
 
  private:
+  std::string l2_dir(std::size_t i) const;
+  /// Open the DurableBackend for L2 server i (aborts on I/O failure: a
+  /// cluster that cannot recover its own storage must not serve).
+  std::unique_ptr<storage::Backend> open_l2_backend(std::size_t i);
+  /// Durable-mode construction step: pick, per surviving object, the newest
+  /// tag with >= k decodable coded elements across all backends' recovered
+  /// versions, force every L2 server to exactly that (tag, element), seed
+  /// every L1 with it as the committed tag, and record a synthetic completed
+  /// write in history() so the checkers treat the recovered state as the
+  /// legitimate past it is.
+  void recover_from_storage();
+
   Options opt_;
   std::unique_ptr<net::SimEngine> owned_engine_;
   net::Engine* engine_ = nullptr;
@@ -121,6 +150,7 @@ class LdsCluster {
   std::vector<std::unique_ptr<Writer>> writers_;
   std::vector<std::unique_ptr<Reader>> readers_;
   std::vector<std::unique_ptr<Reader>> regular_readers_;
+  std::vector<std::pair<ObjectId, Tag>> recovered_objects_;
 };
 
 /// Node-id layout used by LdsCluster (stable, documented for tests):

@@ -36,6 +36,13 @@ struct LdsContext {
   /// SimEngine (single lane => the striped code stays serial).
   net::Engine* encode_engine = nullptr;
 
+  /// Durable-acknowledgement mode, set by LdsCluster when a data_dir is
+  /// configured.  L1 servers then defer writer ACKs and put-tag ACKs until
+  /// the tag's offload reached an l2_quorum of (durable) AckCodeElems, so
+  /// a client-visible completion certifies the data survives SIGKILL.
+  /// False (the default) keeps the paper's ack timing bit-for-bit.
+  bool durable_acks = false;
+
   LdsContext(LdsConfig c, codes::StripedCode striped)
       : cfg(std::move(c)), code(std::move(striped)) {
     cfg.validate();

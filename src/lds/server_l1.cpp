@@ -22,6 +22,45 @@ ServerL1::ObjectState& ServerL1::object(ObjectId obj) {
   return it->second;
 }
 
+void ServerL1::recover_committed(ObjectId obj, Tag t) {
+  LDS_REQUIRE(!objects_.contains(obj),
+              "recover_committed: object already has traffic");
+  ObjectState st;
+  st.list.emplace(kTag0, std::nullopt);
+  if (t > kTag0) st.list.emplace(t, std::nullopt);
+  st.tc = t;
+  st.durable_tag = t;
+  st.initialized = true;
+  objects_.emplace(obj, std::move(st));
+}
+
+// ---- durable-ack machinery --------------------------------------------------
+
+void ServerL1::ack_writer(ObjectState& st, ObjectId obj, OpId op, Tag tag,
+                          NodeId writer) {
+  if (st.acked.contains(tag)) return;
+  st.acked.insert(tag);
+  if (ctx_->durable_acks && st.durable_tag < tag) {
+    st.deferred.emplace(tag, DeferredAck{writer, op, false});
+    return;
+  }
+  send(writer, LdsMessage::make(obj, op, WriteAck{tag}));
+}
+
+void ServerL1::flush_deferred(ObjectId obj) {
+  ObjectState& st = object(obj);
+  auto it = st.deferred.begin();
+  while (it != st.deferred.end() && it->first <= st.durable_tag) {
+    const DeferredAck& d = it->second;
+    if (d.put_tag) {
+      send(d.to, LdsMessage::make(obj, d.op, PutTagAck{}));
+    } else {
+      send(d.to, LdsMessage::make(obj, d.op, WriteAck{it->first}));
+    }
+    it = st.deferred.erase(it);
+  }
+}
+
 // ---- introspection ----------------------------------------------------------
 
 Tag ServerL1::committed_tag(ObjectId obj) const {
@@ -152,11 +191,16 @@ void ServerL1::put_data_resp(ObjectId obj, OpId op, NodeId writer,
     list_put(st, m.tag, m.value);
     // The ACK is deferred to broadcast-resp (>= f1+k COMMIT-TAGs).
   } else {
-    // An older (possibly garbage-collected) tag: ACK immediately.
-    if (!st.acked.contains(m.tag)) {
-      st.acked.insert(m.tag);
-      send(writer, LdsMessage::make(obj, op, WriteAck{m.tag}));
+    // An older (possibly garbage-collected) tag.  Durable mode: the tag
+    // may have committed via the valueless put-tag path (Fig. 2 lines
+    // 62-65), which never offloads — and a deferred ack would then wait
+    // forever.  This server holds the value right here, so offload it
+    // (once) before acking; ack_writer defers until it is durable.
+    if (ctx_->durable_acks && st.durable_tag < m.tag &&
+        !st.offload_sent.contains(m.tag)) {
+      write_to_l2(obj, op, m.tag, m.value);
     }
+    ack_writer(st, obj, op, m.tag, writer);
   }
 }
 
@@ -175,11 +219,9 @@ void ServerL1::broadcast_resp(ObjectId obj, OpId op, const CommitTag& m) {
   const std::size_t count = ++st.commit_counter[m.tag];
   // Fig. 2 line 13: requires the tag key in L *and* a quorum of COMMIT-TAGs.
   if (!st.list.contains(m.tag) || count < ctx_->cfg.l1_quorum()) return;
-  if (!st.acked.contains(m.tag)) {
-    st.acked.insert(m.tag);
-    // "send ACK to writer w of tag tin": the writer id is the tag's w field.
-    send(m.tag.w, LdsMessage::make(obj, op, WriteAck{m.tag}));
-  }
+  // "send ACK to writer w of tag tin": the writer id is the tag's w field.
+  // Durable mode holds the ack until write-to-L2-complete for this tag.
+  ack_writer(st, obj, op, m.tag, m.tag.w);
   if (m.tag > st.tc) commit_tag(obj, op, m.tag);
 }
 
@@ -236,6 +278,7 @@ void ServerL1::write_to_l2(ObjectId obj, OpId op, Tag tag,
                            const Value& value) {
   // Fig. 2 lines 20-23: encode with C2 and send each coordinate to its L2
   // server.  The element for L2 server i is coordinate n1 + i of C.
+  object(obj).offload_sent.insert(tag);
   const auto& elems = ctx_->encoded_elements(obj, tag, value);
   const std::size_t n1 = ctx_->cfg.n1;
   for (std::size_t i = 0; i < ctx_->cfg.n2; ++i) {
@@ -252,6 +295,13 @@ void ServerL1::write_to_l2_complete(ObjectId obj, const AckCodeElem& m) {
   ObjectState& st = object(obj);
   const std::size_t count = ++st.write_counter[m.tag];
   if (count != ctx_->cfg.l2_quorum()) return;
+  if (ctx_->durable_acks && m.tag > st.durable_tag) {
+    // The durability watermark is monotone: a quorum for tag t certifies
+    // every tag <= t (L2 servers keep the newest tag), so all deferred
+    // acks at or below t can go out.
+    st.durable_tag = m.tag;
+    flush_deferred(obj);
+  }
   if (ctx_->cfg.proxy_cache && m.tag == st.tc) return;
   list_blank(st, m.tag);
 }
@@ -390,6 +440,15 @@ void ServerL1::put_tag_resp(ObjectId obj, OpId op, NodeId reader,
       }
       garbage_collect(obj);
     }
+  }
+  // Durable mode: a read must not complete while the tag it exposes could
+  // still vanish with a SIGKILL; hold the ack until the offload is durable
+  // here.  (The valueless-commit case cannot stall: the writer put-datas
+  // ALL of L1, and whichever server still holds the value offloads it from
+  // the put-data-resp older-tag branch.)
+  if (ctx_->durable_acks && object(obj).durable_tag < m.tag) {
+    object(obj).deferred.emplace(m.tag, DeferredAck{reader, op, true});
+    return;
   }
   send(reader, LdsMessage::make(obj, op, PutTagAck{}));
 }

@@ -43,6 +43,12 @@ class ServerL1 final : public net::Node {
 
   void on_message(NodeId from, const net::MessagePtr& msg) override;
 
+  /// Durable-recovery seeding (cluster construction, before any traffic):
+  /// initialize this object as if write `t` committed and offloaded — list
+  /// {(t0, bot), (t, bot)}, tc = t, durable watermark t.  Guarantees every
+  /// post-restart write tag exceeds t and every read returns at least t.
+  void recover_committed(ObjectId obj, Tag t);
+
   // ---- introspection for tests and the storage meter -----------------------
 
   /// Committed tag tc of one object (t0 if the object was never touched).
@@ -76,6 +82,13 @@ class ServerL1 final : public net::Node {
     std::vector<Helper> helpers;
   };
 
+  /// Durable mode: an ACK held back until the tag's offload is L2-durable.
+  struct DeferredAck {
+    NodeId to = kNoNode;
+    OpId op = kNoOp;
+    bool put_tag = false;  ///< PutTagAck (reader) vs WriteAck (writer)
+  };
+
   struct ObjectState {
     // L: ordered map tag -> optional value; nullopt encodes bot.  Values are
     // shared handles: the entry references the same buffer the PUT-DATA
@@ -84,14 +97,27 @@ class ServerL1 final : public net::Node {
     Tag tc = kTag0;
     std::vector<GammaEntry> gamma;
     std::map<Tag, std::size_t> commit_counter;
-    std::set<Tag> acked;             // writer-ACK sent for these tags
+    std::set<Tag> acked;             // writer-ACK sent (or deferred)
     std::map<Tag, OpId> tag_op;      // originating write op per tag
     std::map<Tag, std::size_t> write_counter;  // ACK-CODE-ELEM counts
     std::unordered_map<OpId, Regen> regen;     // K, keyed by read op
+    // Durable mode only: the local durability watermark (max tag whose
+    // offload reached an l2_quorum of acks here), offload dedup, and the
+    // acks waiting for the watermark to pass their tag.
+    Tag durable_tag = kTag0;
+    std::set<Tag> offload_sent;
+    std::multimap<Tag, DeferredAck> deferred;
     bool initialized = false;
   };
 
   ObjectState& object(ObjectId obj);
+
+  /// Send WriteAck now, or defer it (durable mode, tag not yet durable).
+  /// Marks the tag acked either way.
+  void ack_writer(ObjectState& st, ObjectId obj, OpId op, Tag tag,
+                  NodeId writer);
+  /// Send every deferred ack whose tag is now <= the durable watermark.
+  void flush_deferred(ObjectId obj);
 
   // Fig. 2 actions.
   void get_tag_resp(ObjectId obj, OpId op, NodeId writer);

@@ -6,15 +6,37 @@
 namespace lds::core {
 
 ServerL2::ServerL2(net::Network& net, std::shared_ptr<const LdsContext> ctx,
-                   std::size_t index)
+                   std::size_t index,
+                   std::unique_ptr<storage::Backend> backend)
     : Node(net, ctx->l2_ids.at(index), Role::ServerL2),
       ctx_(std::move(ctx)),
-      index_(index) {}
+      index_(index),
+      backend_(std::move(backend)) {
+  if (backend_ == nullptr) return;
+  // Adopt everything the backend recovered from checkpoint + WAL.
+  for (const auto& [obj, entry] : backend_->recovered()) {
+    ObjectState st;
+    st.tag = entry.tag;
+    st.element = entry.element;
+    stored_bytes_ += st.element.size();
+    if (ctx_->meter) ctx_->meter->add_l2(st.element.size());
+    objects_.emplace(obj, std::move(st));
+  }
+  // Checkpoints snapshot the live map, not the log being truncated.
+  backend_->set_snapshot_source([this](const storage::Backend::SnapshotSink&
+                                           sink) {
+    for (const auto& [obj, st] : objects_) sink(obj, st.tag, st.element);
+  });
+}
 
 ServerL2::~ServerL2() {
   // Keep the storage gauge consistent when a server object is torn down
   // (e.g. replaced after a crash).
   if (ctx_->meter) ctx_->meter->sub_l2(stored_bytes_);
+  // GroupCommit/Never: flush the unsynced tail on clean teardown so a
+  // graceful shutdown loses nothing (failure here just means the next
+  // recovery replays less; nothing to report on a destructor path).
+  if (backend_ != nullptr) backend_->sync();
 }
 
 ServerL2::ObjectState& ServerL2::object(ObjectId obj) {
@@ -35,7 +57,13 @@ const ServerL2::ObjectState& ServerL2::object(ObjectId obj) const {
   return it->second;
 }
 
-void ServerL2::store(ObjectId obj, Tag tag, Bytes element) {
+bool ServerL2::store(ObjectId obj, Tag tag, Bytes element) {
+  // Persist-before-apply: if the disk refuses, neither RAM nor the acker
+  // sees the element — the server simply behaves like one that never
+  // received the message, which the f2 fault budget already covers.
+  if (backend_ != nullptr && !backend_->put(obj, tag, element).ok()) {
+    return false;
+  }
   ObjectState& st = object(obj);
   const std::uint64_t old_size = st.element.size();
   st.tag = tag;
@@ -46,6 +74,30 @@ void ServerL2::store(ObjectId obj, Tag tag, Bytes element) {
     ctx_->meter->add_l2(st.element.size());
     ctx_->meter->sub_l2(old_size);
   }
+  return true;
+}
+
+void ServerL2::recovery_store(ObjectId obj, Tag tag, Bytes element) {
+  store(obj, tag, std::move(element));
+}
+
+std::vector<ObjectId> ServerL2::stored_objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [obj, st] : objects_) out.push_back(obj);
+  return out;
+}
+
+void ServerL2::broadcast_durable_ack(ObjectId obj, Tag tag) {
+  // Post-repair liveness (durable mode): deferred writer/reader acks at L1
+  // wait for an l2_quorum of AckCodeElems, and messages to a server that
+  // was down are gone.  The repaired server announces its newest durable
+  // tag to all of L1; write_to_l2_complete treats it as the missing ack and
+  // the durable watermark advances past every stuck older tag.
+  if (tag == kTag0) return;
+  for (NodeId l1 : ctx_->l1_ids) {
+    send(l1, LdsMessage::make(obj, kNoOp, AckCodeElem{tag}));
+  }
 }
 
 void ServerL2::forget_object(ObjectId obj) {
@@ -54,6 +106,9 @@ void ServerL2::forget_object(ObjectId obj) {
   stored_bytes_ -= it->second.element.size();
   if (ctx_->meter) ctx_->meter->sub_l2(it->second.element.size());
   objects_.erase(it);
+  // Tombstone so recovery does not resurrect the forgotten state.  A
+  // poisoned backend cannot persist it; the wipe in replace_l2 covers that.
+  if (backend_ != nullptr) backend_->forget(obj);
   // Re-materializing via object() would resurrect (t0, c0); a repaired
   // server instead fills the slot through repair_object().  Until then the
   // server answers helper queries from the (t0, c0) default, which is the
@@ -116,8 +171,12 @@ void ServerL2::finish_repair_round(ObjectId obj, OpId op) {
     if (!element) continue;
     const Tag tag = it->first;
     // Keep whichever of (repaired, locally stored) is newer - a concurrent
-    // write-to-L2 may have landed during the repair round.
+    // write-to-L2 may have landed during the repair round.  In durable mode
+    // the repaired element is re-persisted by store(), and the server
+    // announces its newest durable tag so acks lost to the pre-repair
+    // downtime cannot stall deferred durable acks at L1 (liveness).
     if (tag > object(obj).tag) store(obj, tag, std::move(*element));
+    if (ctx_->durable_acks) broadcast_durable_ack(obj, object(obj).tag);
     auto done = std::move(rep.done);
     repairs_.erase(obj);
     if (done) done(tag);
@@ -143,8 +202,10 @@ void ServerL2::on_message(NodeId from, const net::MessagePtr& msg) {
 
   if (const auto* w = std::get_if<WriteCodeElem>(&m->body())) {
     // write-to-L2-resp (Fig. 3 line 3): replace iff the incoming tag is
-    // strictly newer; ACK in all cases.
-    if (w->tag > object(obj).tag) store(obj, w->tag, w->element);
+    // strictly newer; ACK in all cases — except when durability was
+    // requested and the disk refused, in which case staying silent makes
+    // this an ordinary omission failure within the f2 budget.
+    if (w->tag > object(obj).tag && !store(obj, w->tag, w->element)) return;
     send(from, LdsMessage::make(obj, op, AckCodeElem{w->tag}));
     return;
   }

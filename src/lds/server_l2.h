@@ -33,15 +33,20 @@
 #include "lds/heartbeat.h"
 #include "lds/messages.h"
 #include "net/network.h"
+#include "storage/backend.h"
 
 namespace lds::core {
 
 class ServerL2 final : public net::Node {
  public:
   /// `index` is this server's position in L2; its code coordinate is
-  /// n1 + index.
+  /// n1 + index.  `backend` is the optional durability seam: when set, the
+  /// server adopts the backend's recovered state, persists every element
+  /// BEFORE acknowledging it, and stops acknowledging once the backend is
+  /// poisoned.  Null (the default) keeps the original RAM-only behavior.
   ServerL2(net::Network& net, std::shared_ptr<const LdsContext> ctx,
-           std::size_t index);
+           std::size_t index,
+           std::unique_ptr<storage::Backend> backend = nullptr);
   ~ServerL2() override;
 
   std::size_t index() const { return index_; }
@@ -62,6 +67,19 @@ class ServerL2 final : public net::Node {
   /// Drop all local state for one object (models a disk-replacement /
   /// restart-from-empty scenario before repair_object is called).
   void forget_object(ObjectId obj);
+
+  // ---- durability ----------------------------------------------------------
+
+  /// Cluster recovery sync: adopt (tag, element) directly (no messages),
+  /// persisting it if a backend is attached.  Construction-time only.
+  void recovery_store(ObjectId obj, Tag tag, Bytes element);
+
+  /// Objects with explicit local state (recovered or written; excludes
+  /// untouched objects whose (t0, c0) default is derivable).
+  std::vector<ObjectId> stored_objects() const;
+
+  /// The durability seam, null for RAM-only servers (tests, bench).
+  storage::Backend* storage_backend() { return backend_.get(); }
 
   // ---- introspection -------------------------------------------------------
   Tag stored_tag(ObjectId obj) const;
@@ -88,13 +106,18 @@ class ServerL2 final : public net::Node {
 
   ObjectState& object(ObjectId obj);
   const ObjectState& object(ObjectId obj) const;
-  void store(ObjectId obj, Tag tag, Bytes element);
+  /// Persist (durable mode) then apply in RAM.  False = the backend
+  /// refused (poisoned / injected fault); the caller must not acknowledge.
+  bool store(ObjectId obj, Tag tag, Bytes element);
+  /// Durable mode: tell every L1 server this element is durable here.
+  void broadcast_durable_ack(ObjectId obj, Tag tag);
 
   void start_repair_round(ObjectId obj);
   void finish_repair_round(ObjectId obj, OpId op);
 
   std::shared_ptr<const LdsContext> ctx_;
   std::size_t index_;
+  std::unique_ptr<storage::Backend> backend_;
   // Lazily materialized per-object state; mutable so that const
   // introspection can materialize the initial (t0, c0).
   mutable std::unordered_map<ObjectId, ObjectState> objects_;

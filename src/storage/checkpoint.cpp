@@ -1,0 +1,77 @@
+#include "storage/checkpoint.h"
+
+#include "net/codec.h"
+#include "storage/crc32c.h"
+#include "storage/fsutil.h"
+
+namespace lds::storage {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4b53444cu;  // "LDSK" little-endian
+constexpr std::uint8_t kVersion = 1;
+constexpr const char* kFileName = "CHECKPOINT";
+}  // namespace
+
+Status write_checkpoint(const std::string& dir, const CheckpointData& data) {
+  net::codec::Writer w(64 + data.entries.size() * 32);
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u64(data.wal_floor);
+  w.u32(static_cast<std::uint32_t>(data.entries.size()));
+  for (const auto& e : data.entries) {
+    w.u32(e.obj);
+    w.tag(e.tag);
+    w.blob(e.element);
+  }
+  Bytes body = std::move(w).take();
+  net::codec::Writer tail;
+  tail.u32(crc32c(body.data() + 4, body.size() - 4));
+  const Bytes crc = std::move(tail).take();
+  body.insert(body.end(), crc.begin(), crc.end());
+  return atomic_write_file(dir + "/" + kFileName, body);
+}
+
+Result<std::optional<CheckpointData>> read_checkpoint(const std::string& dir) {
+  const std::string path = dir + "/" + kFileName;
+  Bytes data;
+  if (auto st = read_file_bytes(path, &data); !st.ok()) {
+    if (st.code() == StatusCode::kNotFound) {
+      return std::optional<CheckpointData>(std::nullopt);
+    }
+    return st;
+  }
+  if (data.size() < 21) {
+    return Status::InvalidArgument("checkpoint: truncated " + path);
+  }
+  net::codec::Reader r(data.data(), data.size());
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  if (!r.u32(&magic) || magic != kMagic) {
+    return Status::InvalidArgument("checkpoint: bad magic in " + path);
+  }
+  if (!r.u8(&version) || version != kVersion) {
+    return Status::InvalidArgument("checkpoint: unsupported version in " +
+                                   path);
+  }
+  const std::uint32_t want = crc32c(data.data() + 4, data.size() - 8);
+  CheckpointData out;
+  std::uint32_t count = 0;
+  if (!r.u64(&out.wal_floor) || !r.u32(&count)) {
+    return Status::InvalidArgument("checkpoint: truncated header in " + path);
+  }
+  out.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CheckpointData::Entry e;
+    if (!r.u32(&e.obj) || !r.tag(&e.tag) || !r.blob(&e.element)) {
+      return Status::InvalidArgument("checkpoint: truncated entry in " + path);
+    }
+    out.entries.push_back(std::move(e));
+  }
+  std::uint32_t crc = 0;
+  if (!r.u32(&crc) || !r.exhausted() || crc != want) {
+    return Status::InvalidArgument("checkpoint: crc mismatch in " + path);
+  }
+  return std::optional<CheckpointData>(std::move(out));
+}
+
+}  // namespace lds::storage

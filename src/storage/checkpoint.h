@@ -1,0 +1,51 @@
+// storage::Checkpoint — an atomic point-in-time snapshot of one L2 server's
+// element map, paired with the WAL truncation protocol.
+//
+// On-disk layout (`CHECKPOINT`, published via write-temp-then-rename):
+//
+//   u32 magic 'LDSK' | u8 version | u64 wal_floor | u32 count
+//   count x ( u32 obj | u64 tag.z | i32 tag.w | u32 elen | element )
+//   u32 crc32c(everything after magic)
+//
+// `wal_floor` is the first WAL segment NOT subsumed by this snapshot.  The
+// checkpoint protocol (DurableBackend::checkpoint_now) is:
+//
+//   1. rotate the WAL (seal segment S; appends go to S+1),
+//   2. write the snapshot with wal_floor = S+1 (atomic rename),
+//   3. delete segments <= S.
+//
+// A crash between any two steps is safe: recovery loads the newest
+// CHECKPOINT, then replays only WAL segments >= wal_floor — segments that
+// step 3 never got to delete are skipped by the floor, and replaying a
+// record the snapshot already contains is idempotent (newer-tag-wins).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lds::storage {
+
+struct CheckpointData {
+  std::uint64_t wal_floor = 0;
+  struct Entry {
+    ObjectId obj = 0;
+    Tag tag;
+    Bytes element;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Atomically publish `dir`/CHECKPOINT.
+Status write_checkpoint(const std::string& dir, const CheckpointData& data);
+
+/// Load `dir`/CHECKPOINT.  Ok + nullopt when absent; InvalidArgument on a
+/// corrupt file (a torn tmp file never becomes CHECKPOINT, so corruption
+/// here means real damage, not a crash).
+Result<std::optional<CheckpointData>> read_checkpoint(const std::string& dir);
+
+}  // namespace lds::storage

@@ -1,0 +1,63 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace lds::storage {
+
+namespace {
+
+// Slicing-by-4 tables: table[0] is the classic byte-at-a-time table for the
+// reflected Castagnoli polynomial; table[k] folds a byte that sits k bytes
+// ahead of the current CRC window.  Built once, on first use.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Tables() {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (c >> 1) ^ kPoly : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t len) {
+  const auto& tb = tables().t;
+  std::uint32_t c = crc ^ 0xffffffffu;
+  while (len >= 4) {
+    c ^= static_cast<std::uint32_t>(data[0]) |
+         (static_cast<std::uint32_t>(data[1]) << 8) |
+         (static_cast<std::uint32_t>(data[2]) << 16) |
+         (static_cast<std::uint32_t>(data[3]) << 24);
+    c = tb[3][c & 0xffu] ^ tb[2][(c >> 8) & 0xffu] ^ tb[1][(c >> 16) & 0xffu] ^
+        tb[0][c >> 24];
+    data += 4;
+    len -= 4;
+  }
+  while (len--) {
+    c = (c >> 8) ^ tb[0][(c ^ *data++) & 0xffu];
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t len) {
+  return crc32c_extend(0, data, len);
+}
+
+}  // namespace lds::storage

@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// WAL record, checkpoint and manifest on disk.  Software slicing-by-4
+// implementation: fast enough that framing, not checksumming, dominates the
+// append path, and fully portable (no SSE4.2 requirement, unlike the
+// hardware `crc32` instruction).  Matches the standard reflected CRC32C
+// (RFC 3720 §B.4); test vectors in test_storage pin the constants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lds::storage {
+
+/// One-shot CRC32C of a buffer.
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t len);
+
+inline std::uint32_t crc32c(const Bytes& b) {
+  return crc32c(b.data(), b.size());
+}
+
+/// Incremental form: feed `crc` from a previous call (seed with 0).
+std::uint32_t crc32c_extend(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t len);
+
+}  // namespace lds::storage

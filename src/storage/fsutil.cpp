@@ -1,0 +1,102 @@
+#include "storage/fsutil.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace lds::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+std::string errno_msg(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+Status read_file_bytes(const std::string& path, Bytes* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path);
+    return Status::Unavailable(errno_msg("open"));
+  }
+  out->clear();
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable(errno_msg("read"));
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buf, buf + n);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status atomic_write_file(const std::string& path, const std::uint8_t* data,
+                         std::size_t len) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::Unavailable(errno_msg("open tmp"));
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable(errno_msg("write tmp"));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fdatasync(fd) != 0) {
+    ::close(fd);
+    return Status::Unavailable(errno_msg("fdatasync tmp"));
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Unavailable(errno_msg("rename"));
+  }
+  // fsync the directory so the rename itself survives power loss.
+  const std::string dir = fs::path(path).parent_path().string();
+  const int dfd =
+      ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::Ok();
+}
+
+Status atomic_write_file(const std::string& path, const Bytes& data) {
+  return atomic_write_file(path, data.data(), data.size());
+}
+
+Status atomic_write_file(const std::string& path, const std::string& text) {
+  return atomic_write_file(
+      path, reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+}
+
+Status wipe_dir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    fs::create_directories(dir, ec);
+    if (ec) return Status::Unavailable("wipe_dir: create: " + ec.message());
+    return Status::Ok();
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    fs::remove_all(entry.path(), ec);
+    if (ec) return Status::Unavailable("wipe_dir: remove: " + ec.message());
+  }
+  if (ec) return Status::Unavailable("wipe_dir: scan: " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace lds::storage

@@ -1,0 +1,29 @@
+// Small POSIX file helpers shared by the storage engine (checkpoint,
+// manifest) and tools (atomic port files): whole-file read, atomic
+// write-temp-then-rename publish, and directory wipe.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lds::storage {
+
+/// Read an entire file into `out`.  NotFound when the file does not exist.
+Status read_file_bytes(const std::string& path, Bytes* out);
+
+/// Publish `data` at `path` atomically: write `<path>.tmp`, fdatasync it,
+/// rename over `path`, fsync the directory.  A reader either sees the old
+/// complete file or the new complete file, never a partial write.
+Status atomic_write_file(const std::string& path, const std::uint8_t* data,
+                         std::size_t len);
+Status atomic_write_file(const std::string& path, const Bytes& data);
+Status atomic_write_file(const std::string& path, const std::string& text);
+
+/// Remove every entry inside `dir` (recursively), keeping/creating the
+/// directory itself — the replace_l2 wipe before a repaired server reopens
+/// its backend from empty.
+Status wipe_dir(const std::string& dir);
+
+}  // namespace lds::storage

@@ -1,0 +1,112 @@
+#include "storage/manifest.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "net/codec.h"
+#include "storage/crc32c.h"
+#include "storage/fsutil.h"
+
+namespace lds::storage {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d53444cu;  // "LDSM" little-endian
+constexpr std::uint8_t kVersion = 1;
+constexpr const char* kFileName = "MANIFEST";
+}  // namespace
+
+Result<std::optional<Manifest>> Manifest::load(const std::string& dir) {
+  Bytes data;
+  const std::string path = dir + "/" + kFileName;
+  if (auto st = read_file_bytes(path, &data); !st.ok()) {
+    if (st.code() == StatusCode::kNotFound) {
+      return std::optional<Manifest>(std::nullopt);
+    }
+    return st;
+  }
+  net::codec::Reader r(data.data(), data.size());
+  std::uint32_t magic = 0;
+  if (!r.u32(&magic) || magic != kMagic) {
+    return Status::InvalidArgument("manifest: bad magic in " + path);
+  }
+  if (data.size() < 8) {
+    return Status::InvalidArgument("manifest: truncated " + path);
+  }
+  const std::uint32_t want =
+      crc32c(data.data() + 4, data.size() - 8);  // after magic, before crc
+  std::uint8_t version = 0;
+  std::uint32_t count = 0;
+  if (!r.u8(&version) || version != kVersion) {
+    return Status::InvalidArgument("manifest: unsupported version in " + path);
+  }
+  if (!r.u32(&count)) {
+    return Status::InvalidArgument("manifest: truncated " + path);
+  }
+  Manifest m;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string k;
+    std::string v;
+    if (!r.blob(&k) || !r.blob(&v)) {
+      return Status::InvalidArgument("manifest: truncated entry in " + path);
+    }
+    m.entries_[std::move(k)] = std::move(v);
+  }
+  std::uint32_t crc = 0;
+  if (!r.u32(&crc) || !r.exhausted() || crc != want) {
+    return Status::InvalidArgument("manifest: crc mismatch in " + path);
+  }
+  return std::optional<Manifest>(std::move(m));
+}
+
+Status Manifest::store(const std::string& dir) const {
+  net::codec::Writer w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [k, v] : entries_) {
+    w.blob(k);
+    w.blob(v);
+  }
+  Bytes data = std::move(w).take();
+  net::codec::Writer tail;
+  tail.u32(crc32c(data.data() + 4, data.size() - 4));
+  const Bytes crc = std::move(tail).take();
+  data.insert(data.end(), crc.begin(), crc.end());
+  return atomic_write_file(dir + "/" + kFileName, data);
+}
+
+Status Manifest::verify_or_write(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable("manifest: create " + dir + ": " +
+                               ec.message());
+  }
+  auto loaded = load(dir);
+  if (!loaded.ok()) return loaded.status();
+  if (!loaded.value().has_value()) return store(dir);
+  const Manifest& disk = *loaded.value();
+  for (const auto& [k, v] : entries_) {
+    auto dv = disk.get(k);
+    if (!dv) {
+      return Status::InvalidArgument("manifest mismatch in " + dir + ": " + k +
+                                     " missing on disk (requested \"" + v +
+                                     "\")");
+    }
+    if (*dv != v) {
+      return Status::InvalidArgument("manifest mismatch in " + dir + ": " + k +
+                                     " recorded \"" + *dv +
+                                     "\", requested \"" + v + "\"");
+    }
+  }
+  for (const auto& [k, v] : disk.entries()) {
+    if (!entries_.contains(k)) {
+      return Status::InvalidArgument("manifest mismatch in " + dir + ": " + k +
+                                     " recorded \"" + v +
+                                     "\" but not requested");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lds::storage

@@ -1,0 +1,58 @@
+// storage::Manifest — a tiny immutable key/value file (`MANIFEST`) pinned
+// into every data directory, recording the deployment parameters the
+// on-disk state depends on (geometry n1/f1/n2/f2, code backend, shard
+// count, ...).  A restart whose options disagree with the manifest must
+// fail fast with InvalidArgument instead of replaying state into a
+// differently-shaped cluster and corrupting it.
+//
+// On-disk layout (CRC-guarded, published atomically via
+// write-temp-then-rename):
+//
+//   u32 magic 'LDSM' | u8 version | u32 count
+//   count x ( u32 klen | key | u32 vlen | value )      (sorted by key)
+//   u32 crc32c(everything after magic)
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lds::storage {
+
+class Manifest {
+ public:
+  void set(const std::string& key, const std::string& value) {
+    entries_[key] = value;
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    entries_[key] = std::to_string(value);
+  }
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  /// Load `dir`/MANIFEST.  Ok + nullopt when the file does not exist;
+  /// InvalidArgument on a corrupt or unversioned file.
+  static Result<std::optional<Manifest>> load(const std::string& dir);
+
+  /// Atomically publish this manifest as `dir`/MANIFEST.
+  Status store(const std::string& dir) const;
+
+  /// First run: write the manifest.  Restart: load and compare; any
+  /// missing/extra/differing key is InvalidArgument naming the mismatch.
+  /// Creates `dir` if needed.
+  Status verify_or_write(const std::string& dir) const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace lds::storage

@@ -1,0 +1,158 @@
+// storage::Wal — a generic append-only write-ahead log of opaque records.
+//
+// On-disk layout (see README "Durability" for the normative tables): a log
+// directory holds numbered segment files `wal-<seq>.log`; each segment is a
+// run of frames
+//
+//   u32 len | u32 crc32c(payload) | payload[len]
+//
+// built with the same little-endian net::codec::Writer primitives as the
+// wire protocol.  Every open() starts a FRESH segment (seq = max existing
+// + 1): a previous incarnation's torn tail is never appended after, so the
+// only incomplete frame a segment can contain is its last one.  Replay
+// therefore distinguishes two failure shapes:
+//
+//   * torn tail  — the final frame of a segment is incomplete (fewer than 8
+//     header bytes, fewer than `len` payload bytes, or a zero length from
+//     file-system pre-allocation).  This is the expected residue of a crash
+//     mid-append; replay stops that segment at the last whole record and
+//     continues with the next segment.
+//   * corruption — a frame is fully present but its CRC does not match.
+//     That is never produced by a crash of this code (appends are
+//     sequential) and replay refuses the log with InvalidArgument.
+//
+// Durability knob (SyncPolicy): Always fdatasyncs after every append (an
+// append that returned Ok survives SIGKILL); GroupCommit fdatasyncs once per
+// `group_commit_bytes` of appended frames (bounded loss window); Never
+// leaves syncing to the kernel (checkpoint/clean-close only).
+//
+// Fault injection (tests): fail-on-Nth-append, short-write (a torn frame is
+// left on disk, as a crash would), and fsync failure.  ANY injected or real
+// I/O failure poisons the log: every subsequent append returns Unavailable.
+// A log that may have lost a write must stop acknowledging new ones — the
+// caller treats the node as failed and lets the repair machinery take over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lds::storage {
+
+enum class SyncPolicy : std::uint8_t { Always, GroupCommit, Never };
+
+const char* sync_policy_name(SyncPolicy p);
+std::optional<SyncPolicy> parse_sync_policy(std::string_view name);
+
+/// The user-facing durability knob carried by LdsCluster::Options and
+/// store::StoreOptions; the Wal consumes sync/group_commit/segment fields,
+/// the backend consumes checkpoint_bytes.
+struct DurabilityPolicy {
+  SyncPolicy sync = SyncPolicy::Always;
+  /// GroupCommit: fdatasync once at least this many frame bytes are
+  /// unsynced.
+  std::uint64_t group_commit_bytes = 256 * 1024;
+  /// Rotate to a new segment once the current one reaches this size.
+  std::uint64_t segment_bytes = 8ull * 1024 * 1024;
+  /// Backend: checkpoint + truncate the WAL after this many appended bytes.
+  std::uint64_t checkpoint_bytes = 32ull * 1024 * 1024;
+};
+
+/// Test hooks.  Counters tick down per append; -1 disarms.
+struct WalFaults {
+  /// Fail the Nth append from now (0 = the very next one) with an injected
+  /// write error.
+  std::int64_t fail_append_after = -1;
+  /// The next append writes only half its frame, then fails — leaves a torn
+  /// record on disk exactly as a crash mid-write would.
+  bool short_write_next = false;
+  /// The next fdatasync fails (models EIO on flush).
+  bool fail_fsync_next = false;
+};
+
+struct WalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t appended_bytes = 0;  ///< frame bytes (header + payload)
+  std::uint64_t syncs = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t replayed_bytes = 0;
+  std::uint64_t torn_tail_bytes = 0;  ///< bytes discarded at segment tails
+};
+
+class Wal {
+ public:
+  /// Opens the log directory (creating it if absent), indexes existing
+  /// segments, and starts a fresh segment for new appends.  Call replay()
+  /// before the first append to read surviving records.
+  static Result<std::unique_ptr<Wal>> open(std::string dir,
+                                           DurabilityPolicy policy);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Append one record; on Ok the record is durable per the sync policy.
+  Status append(const std::uint8_t* payload, std::size_t len);
+  Status append(const Bytes& payload) {
+    return append(payload.data(), payload.size());
+  }
+
+  /// Explicit fdatasync of unsynced appends (GroupCommit/Never tails,
+  /// clean shutdown).  No-op when nothing is pending.
+  Status sync();
+
+  /// Deliver every surviving record in append order, skipping segments with
+  /// seq < floor_seq (records subsumed by a checkpoint).  Torn segment
+  /// tails are tolerated (see file comment); mid-log corruption returns
+  /// InvalidArgument.
+  using RecordFn = std::function<void(const std::uint8_t* payload,
+                                      std::size_t len)>;
+  Status replay(std::uint64_t floor_seq, const RecordFn& fn);
+
+  /// Sequence number of the segment new appends go to.
+  std::uint64_t current_segment() const { return seq_; }
+
+  /// Seal the current segment and start the next (checkpoint protocol:
+  /// rotate, snapshot, then drop_through(sealed)).  Syncs the sealed
+  /// segment first.
+  Status rotate();
+
+  /// Delete every sealed segment with seq <= `seq` (never the current one).
+  Status drop_through(std::uint64_t seq);
+
+  void inject_faults(const WalFaults& f) { faults_ = f; }
+  bool poisoned() const { return !poison_.ok(); }
+  const Status& poison_status() const { return poison_; }
+  const WalStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Wal(std::string dir, DurabilityPolicy policy)
+      : dir_(std::move(dir)), policy_(policy) {}
+
+  std::string segment_path(std::uint64_t seq) const;
+  Status open_segment(std::uint64_t seq);
+  Status do_sync();
+  Status poison(Status why);
+
+  std::string dir_;
+  DurabilityPolicy policy_;
+  std::vector<std::uint64_t> sealed_;  ///< sorted seqs of read-only segments
+  std::uint64_t seq_ = 1;              ///< segment receiving appends
+  int fd_ = -1;
+  std::uint64_t cur_bytes_ = 0;
+  std::uint64_t unsynced_bytes_ = 0;
+  WalFaults faults_;
+  Status poison_ = Status::Ok();
+  WalStats stats_;
+};
+
+}  // namespace lds::storage

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "storage/manifest.h"
 #include "store/async_util.h"
 #include "store/remote.h"
 
@@ -21,6 +22,18 @@ const char* protocol_name(ShardProtocol p) {
   return "?";
 }
 
+storage::Manifest StoreService::storage_manifest(const StoreOptions& opt) {
+  // Routing is a pure function of (shards, vnodes): a restart with a
+  // different split would silently look for keys on the wrong shard, so
+  // pin both and fail fast on mismatch.  Geometry and code are pinned per
+  // shard by each LdsCluster's own manifest in `shard-<s>/`.
+  storage::Manifest mf;
+  mf.set("format", "lds-store-v1");
+  mf.set("shards", static_cast<std::uint64_t>(opt.shards));
+  mf.set("vnodes", static_cast<std::uint64_t>(opt.vnodes));
+  return mf;
+}
+
 StoreService::StoreService(StoreOptions opt)
     : opt_(std::move(opt)),
       parallel_(opt_.engine_mode == net::EngineMode::Parallel),
@@ -32,6 +45,13 @@ StoreService::StoreService(StoreOptions opt)
               "StoreService: need writers and readers");
   LDS_REQUIRE(opt_.batch_window >= 0, "StoreService: negative batch window");
   LDS_REQUIRE(opt_.max_batch >= 1, "StoreService: max_batch must be >= 1");
+
+  const bool durable = !opt_.data_dir.empty();
+  if (durable) {
+    auto st = storage_manifest(opt_).verify_or_write(opt_.data_dir);
+    LDS_REQUIRE(st.ok(),
+                ("StoreService: " + std::string(st.message())).c_str());
+  }
 
   if (parallel_) {
     net::ParallelEngine::Options eopt;
@@ -54,6 +74,8 @@ StoreService::StoreService(StoreOptions opt)
                                                : opt_.backend;
     sh->lane = router_.lane_of(s);
     sh->sim = &engine_->lane_sim(sh->lane);
+    LDS_REQUIRE(!durable || sh->spec.protocol == ShardProtocol::Lds,
+                "StoreService: data_dir requires every shard to be LDS");
     const std::uint64_t shard_seed = mix_seed(opt_.seed, s + 1);
     switch (sh->spec.protocol) {
       case ShardProtocol::Lds: {
@@ -76,7 +98,25 @@ StoreService::StoreService(StoreOptions opt)
         copt.seed = shard_seed;
         copt.engine = engine_.get();
         copt.lane = sh->lane;
+        if (durable) {
+          copt.data_dir = opt_.data_dir + "/shard-" + std::to_string(s);
+          copt.durability = opt_.durability;
+        }
         sh->lds = std::make_unique<core::LdsCluster>(copt);
+        if (durable) {
+          auto kl = storage::KeyLog::open(copt.data_dir + "/keys",
+                                          opt_.durability);
+          LDS_REQUIRE(kl.ok(), ("StoreService: open keylog for shard " +
+                                std::to_string(s) + ": " +
+                                kl.status().message())
+                                   .c_str());
+          sh->keylog = std::move(kl).value();
+          // Replay reproduces the exact intern order of every previous
+          // incarnation: the i-th surviving record IS ObjectId i.
+          for (const std::string& key : sh->keylog->recovered()) {
+            sh->objects.emplace(key, static_cast<ObjectId>(sh->objects.size()));
+          }
+        }
         sh->l1_down.assign(sh->spec.n1, false);
         sh->l2_down.assign(sh->spec.n2, false);
         break;
@@ -170,6 +210,16 @@ StoreService::StoreService(StoreOptions opt)
           },
           /*lane=*/sh->lane);
     }
+    // Recovered objects never pass through intern(), so register them with
+    // the repair scheduler here (a post-restart L2 crash must regenerate
+    // them like any other object).
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard* sh = shards_[s].get();
+      if (sh->keylog == nullptr || !repair_->has_shard(s)) continue;
+      for (std::size_t o = 0; o < sh->objects.size(); ++o) {
+        repair_->track_object(s, static_cast<ObjectId>(o));
+      }
+    }
     // Workers are not running yet, so arming the heartbeat timers via the
     // post hook lands them in the lanes' inboxes / queues race-free.
     repair_->start();
@@ -224,10 +274,19 @@ const core::History& StoreService::shard_history(std::size_t s) const {
   return sh.lds->history();
 }
 
-ObjectId StoreService::intern(Shard& sh, std::size_t shard_idx,
-                              const std::string& key) {
+Result<ObjectId> StoreService::intern(Shard& sh, std::size_t shard_idx,
+                                      const std::string& key) {
   auto it = sh.objects.find(key);
   if (it != sh.objects.end()) return it->second;
+  // Persist-before-publish: the binding must survive before any write under
+  // this id can (the record's ordinal is the id — losing it would renumber
+  // every later object on the next restart).
+  if (sh.keylog != nullptr) {
+    if (auto st = sh.keylog->append(key); !st.ok()) {
+      return Status::Unavailable("shard " + std::to_string(shard_idx) +
+                                 " keylog: " + st.message());
+    }
+  }
   const auto obj = static_cast<ObjectId>(sh.objects.size());
   sh.objects.emplace(key, obj);
   metrics_.counter("objects_created", shard_idx).inc();
@@ -276,7 +335,13 @@ void StoreService::put(const std::string& key, Value value, PutCallback cb) {
 void StoreService::enqueue_put(std::size_t shard_idx, const std::string& key,
                                Value value, PutCallback cb) {
   Shard& sh = *shards_[shard_idx];
-  const ObjectId obj = intern(sh, shard_idx, key);
+  auto interned = intern(sh, shard_idx, key);
+  if (!interned.ok()) {
+    metrics_.counter("puts_unavailable", shard_idx).inc();
+    finish_put(shard_idx, cb, PutResult::failure(interned.status()));
+    return;
+  }
+  const ObjectId obj = interned.value();
 
   // Coalesce with a queued same-key put of the open window: the newer value
   // wins and the absorbed put completes alongside it with the same tag.
@@ -536,7 +601,13 @@ void StoreService::enqueue_put_if(std::size_t shard_idx,
     // Version(kTag0).  (No real write ever carries t0: writers always bump
     // z, so this cannot collide with a committed version.)
     if (expected == Version(kTag0)) {
-      commit(std::move(value), intern(sh, shard_idx, key), std::move(cb));
+      auto interned = intern(sh, shard_idx, key);
+      if (!interned.ok()) {
+        metrics_.counter("puts_unavailable", shard_idx).inc();
+        finish_put(shard_idx, cb, PutResult::failure(interned.status()));
+        return;
+      }
+      commit(std::move(value), interned.value(), std::move(cb));
     } else {
       metrics_.counter("puts_aborted", shard_idx).inc();
       finish_put(shard_idx, cb,

@@ -63,6 +63,7 @@
 #include "common/status.h"
 #include "lds/cluster.h"
 #include "net/engine.h"
+#include "storage/manifest.h"
 #include "store/metrics.h"
 #include "store/repair_scheduler.h"
 #include "store/shard_router.h"
@@ -116,6 +117,15 @@ struct StoreOptions {
   /// In Parallel mode the scheduler's budget is scoped per lane.
   bool enable_repair = true;
   RepairScheduler::Options repair;
+  /// Durable mode: when non-empty, every shard persists under
+  /// `<data_dir>/shard-<s>` — its LdsCluster opens per-L2 WAL+checkpoint
+  /// backends and recovers on construction, and the shard's key→ObjectId
+  /// intern table is persisted in an always-synced KeyLog (record ordinal =
+  /// ObjectId), so keys keep their objects across restarts.  A top-level
+  /// MANIFEST pins shards/vnodes (routing stability); a mismatched restart
+  /// aborts rather than scatter keys.  Requires every shard to be LDS.
+  std::string data_dir;
+  storage::DurabilityPolicy durability;
 };
 
 /// Per-read consistency choice.  Atomic is the paper's LDS (linearizable);
@@ -199,6 +209,12 @@ class StoreService {
 
   explicit StoreService(StoreOptions opt);
   ~StoreService();
+
+  /// The top-level storage manifest a durable service pins at
+  /// `opt.data_dir/MANIFEST`.  Exposed so a daemon can pre-check an
+  /// existing data_dir (verify_or_write) and turn a mismatch into a clean
+  /// InvalidArgument exit instead of the constructor's abort.
+  static storage::Manifest storage_manifest(const StoreOptions& opt);
 
   // ---- async client API -----------------------------------------------------
   // Deterministic mode: call from the owning thread; callbacks fire inline
@@ -346,6 +362,8 @@ class StoreService {
     std::unique_ptr<core::LdsCluster> lds;
     std::unique_ptr<baselines::AbdCluster> abd;
     std::unique_ptr<baselines::CasCluster> cas;
+    /// Durable mode: persisted key→ObjectId bindings (null in RAM mode).
+    std::unique_ptr<storage::KeyLog> keylog;
     std::unordered_map<std::string, ObjectId> objects;
     /// Conditional-put guards (lane-local): cluster writes currently in the
     /// window / queue / dispatched per object, and the newest tag a
@@ -378,7 +396,11 @@ class StoreService {
         srv_down_count{0};
   };
 
-  ObjectId intern(Shard& sh, std::size_t shard_idx, const std::string& key);
+  /// Bind `key` to a shard-local ObjectId, persisting the binding first in
+  /// durable mode.  Unavailable when the keylog cannot persist it (poisoned
+  /// disk): a put that cannot durably name its object must not proceed.
+  Result<ObjectId> intern(Shard& sh, std::size_t shard_idx,
+                          const std::string& key);
   void enqueue_put(std::size_t shard_idx, const std::string& key, Value value,
                    PutCallback cb);
   void enqueue_get(std::size_t shard_idx, const std::string& key,

@@ -23,6 +23,8 @@
 #include <thread>
 
 #include "harness/stress.h"
+#include "storage/fsutil.h"
+#include "storage/manifest.h"
 #include "store/remote.h"
 #include "store/store_service.h"
 
@@ -44,6 +46,8 @@ struct ServedOptions {
   double duration = 0;  ///< seconds; 0 = until signal
   std::uint64_t seed = 1;
   bool verify = true;
+  std::string data_dir;  ///< empty = RAM-only (the default)
+  storage::SyncPolicy sync = storage::SyncPolicy::Always;
 };
 
 void usage(const char* argv0) {
@@ -57,7 +61,10 @@ void usage(const char* argv0) {
       "  --batch-window X  put-coalescing window in engine units (0.5)\n"
       "  --duration SECS   auto-exit after SECS; 0 = until SIGTERM (0)\n"
       "  --seed N          master seed (1)\n"
-      "  --no-verify       skip the shutdown history verification\n",
+      "  --no-verify       skip the shutdown history verification\n"
+      "  --data-dir PATH   durable mode: WAL+checkpoint storage under PATH;\n"
+      "                    restarting on the same PATH recovers (lds only)\n"
+      "  --sync P          fdatasync policy: always|group|never (always)\n",
       argv0);
 }
 
@@ -146,6 +153,15 @@ int main(int argc, char** argv) {
       if (ok) opt.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--no-verify") {
       opt.verify = false;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      ok = v != nullptr && *v != '\0';
+      if (ok) opt.data_dir = v;
+    } else if (arg == "--sync") {
+      const char* v = next();
+      auto p = v != nullptr ? storage::parse_sync_policy(v) : std::nullopt;
+      ok = p.has_value();
+      if (ok) opt.sync = *p;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -164,6 +180,23 @@ int main(int argc, char** argv) {
   sopt.seed = opt.seed;
   sopt.engine_mode = net::EngineMode::Parallel;
   sopt.engine_threads = opt.threads;
+  if (!opt.data_dir.empty()) {
+    if (opt.backend != store::ShardProtocol::Lds) {
+      std::fprintf(stderr, "lds_served: --data-dir requires --backend lds\n");
+      return 2;
+    }
+    sopt.data_dir = opt.data_dir;
+    sopt.durability.sync = opt.sync;
+    // Pre-check the manifest so a restart against a data_dir written with a
+    // different shard/vnode split exits cleanly (the service constructor
+    // would abort on the same mismatch).
+    if (const Status st = store::StoreService::storage_manifest(sopt)
+                              .verify_or_write(sopt.data_dir);
+        !st.ok()) {
+      std::fprintf(stderr, "lds_served: %s\n", st.to_string().c_str());
+      return 2;
+    }
+  }
   store::StoreService svc(sopt);
 
   if (const Status st = svc.listen(opt.port); !st.ok()) {
@@ -177,12 +210,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt.seed));
   std::fflush(stdout);
   if (!opt.port_file.empty()) {
-    if (std::FILE* f = std::fopen(opt.port_file.c_str(), "w")) {
-      std::fprintf(f, "%u\n", svc.listen_port());
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "lds_served: cannot write %s\n",
-                   opt.port_file.c_str());
+    // Atomic (write-temp-then-rename): a harness polling for this file never
+    // reads a half-written port number, and a crashed predecessor's stale
+    // file is replaced in one step.
+    const std::string body = std::to_string(svc.listen_port()) + "\n";
+    if (const Status st = storage::atomic_write_file(opt.port_file, body);
+        !st.ok()) {
+      std::fprintf(stderr, "lds_served: cannot write %s: %s\n",
+                   opt.port_file.c_str(), st.to_string().c_str());
       return 2;
     }
   }

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "harness/kill9.h"
 #include "harness/stress.h"
 
 namespace {
@@ -46,7 +47,18 @@ void usage(const char* argv0) {
       "repair)\n"
       "  --seed N                master seed; 0 = pick from entropy (0)\n"
       "  --verbose               per-shard progress lines on stderr\n"
-      "  --help                  this text\n",
+      "  --help                  this text\n"
+      "kill-9 crash-recovery mode (forks a real lds_served daemon):\n"
+      "  --kill9                 enable; requires --server-bin and --data-dir\n"
+      "  --server-bin PATH       path to the lds_served binary\n"
+      "  --data-dir PATH         durable data_dir (wiped unless --keep-data)\n"
+      "  --kills N               SIGKILL rounds; N+1 incarnations total (2)\n"
+      "  --ops-per-round N       client ops per incarnation (400)\n"
+      "  --keys N                distinct keys (16)\n"
+      "  --sync P                always|group|never fdatasync policy "
+      "(always)\n"
+      "  --keep-data             reuse the data_dir instead of wiping\n"
+      "  (--threads/--value-size/--read-fraction/--shards/--seed apply too)\n",
       argv0);
 }
 
@@ -79,6 +91,8 @@ bool parse_double(const char* s, double* out) {
 
 int main(int argc, char** argv) {
   lds::harness::StressOptions opt;
+  bool kill9 = false;
+  lds::harness::Kill9Options k9;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -168,6 +182,33 @@ int main(int argc, char** argv) {
       ok = v && parse_u64(v, &opt.seed);
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--kill9") {
+      kill9 = true;
+    } else if (arg == "--server-bin") {
+      const char* v = next();
+      ok = v != nullptr && *v != '\0';
+      if (ok) k9.server_bin = v;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      ok = v != nullptr && *v != '\0';
+      if (ok) k9.data_dir = v;
+    } else if (arg == "--kills") {
+      const char* v = next();
+      ok = v && parse_size(v, &k9.kills);
+    } else if (arg == "--ops-per-round") {
+      const char* v = next();
+      ok = v && parse_size(v, &k9.ops_per_round);
+    } else if (arg == "--keys") {
+      const char* v = next();
+      ok = v && parse_size(v, &k9.keys);
+    } else if (arg == "--sync") {
+      const char* v = next();
+      auto p = v != nullptr ? lds::storage::parse_sync_policy(v)
+                            : std::nullopt;
+      ok = p.has_value();
+      if (ok) k9.sync = *p;
+    } else if (arg == "--keep-data") {
+      k9.keep_data = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -177,6 +218,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad or missing value for '%s'\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (kill9) {
+    k9.threads = opt.threads;
+    k9.value_size = opt.value_size;
+    k9.read_fraction = opt.read_fraction;
+    k9.shards = opt.store_shards;
+    k9.seed = opt.seed != 0 ? opt.seed : lds::entropy_seed();
+    k9.verbose = opt.verbose;
+    std::printf("kill9: seed %llu\n",
+                static_cast<unsigned long long>(k9.seed));
+    const auto rep = lds::harness::run_kill9(k9);
+    std::fputs(lds::harness::format_kill9_report(k9, rep).c_str(), stdout);
+    return rep.ok() ? 0 : 1;
   }
 
   if (const auto err = lds::harness::validate_options(opt)) {
