@@ -99,14 +99,14 @@ class LdsCodec final : public FamilyCodec {
             [](const QueryTag&) -> std::uint64_t { return kBase; },
             [](const TagResp&) -> std::uint64_t { return kBase + kTag; },
             [](const PutData& b) -> std::uint64_t {
-              return kBase + kTag + 4 + b.value.size();
+              return kBase + kTag + b.value.size();
             },
             [](const WriteAck&) -> std::uint64_t { return kBase + kTag; },
             [](const QueryCommTag&) -> std::uint64_t { return kBase; },
             [](const CommTagResp&) -> std::uint64_t { return kBase + kTag; },
             [](const QueryData&) -> std::uint64_t { return kBase + kTag; },
             [](const DataRespValue& b) -> std::uint64_t {
-              return kBase + kTag + 4 + b.value.size();
+              return kBase + kTag + b.value.size();
             },
             [](const DataRespCoded& b) -> std::uint64_t {
               return kBase + kTag + 4 + 4 + b.element.size();
@@ -283,10 +283,10 @@ class AbdCodec final : public FamilyCodec {
         overloaded{
             [](const AbdQuery&) -> std::uint64_t { return kBase + 1; },
             [](const AbdQueryResp& b) -> std::uint64_t {
-              return kBase + kTag + 4 + b.value.size();
+              return kBase + kTag + b.value.size();
             },
             [](const AbdUpdate& b) -> std::uint64_t {
-              return kBase + kTag + 4 + b.value.size();
+              return kBase + kTag + b.value.size();
             },
             [](const AbdUpdateAck&) -> std::uint64_t { return kBase + kTag; },
         },
@@ -544,7 +544,9 @@ Frame encode(const Payload& msg) {
     WireInfo info;
     if (!fc->encode_body(msg, fixed, &info)) continue;
     const Bytes fields = std::move(fixed).take();
-    Writer w(kFrameOverheadBytes + fields.size() + 8);
+    Frame frame;
+    frame.body = info.has_body ? info.body : Value{};
+    Writer w(kFrameOverheadBytes + fields.size());
     w.u32(0);  // frame-length placeholder, patched below
     w.u16(kMagic);
     w.u8(kWireVersion);
@@ -552,12 +554,8 @@ Frame encode(const Payload& msg) {
     w.u8(info.type);
     w.u32(info.obj);
     w.u64(info.op);
+    w.u32(static_cast<std::uint32_t>(frame.body.size()));
     w.append(fields.data(), fields.size());
-    if (info.has_body) {
-      w.u32(static_cast<std::uint32_t>(info.body.size()));
-    }
-    Frame frame;
-    frame.body = info.has_body ? info.body : Value{};
     const std::size_t total = w.size() + frame.body.size();
     w.patch_u32(0, static_cast<std::uint32_t>(total - kLenPrefixBytes));
     frame.head = std::move(w).take();
@@ -593,21 +591,35 @@ Status frame_length(const std::uint8_t* data, std::size_t len,
   return Status::Ok();
 }
 
-Status decode(const std::uint8_t* data, std::size_t len, MessagePtr* out,
-              std::size_t* consumed) {
-  ensure_builtins();
-  std::size_t total = 0;
-  if (Status s = frame_length(data, len, &total); !s.ok()) return s;
-  if (total == 0 || len < total) {
-    return truncated("have " + std::to_string(len) + " bytes");
-  }
-  Reader r(data + kLenPrefixBytes, total - kLenPrefixBytes);
-  std::uint16_t magic = 0;
-  std::uint8_t version = 0, family = 0, type = 0;
+namespace {
+
+/// Parsed generic header of one frame (prefix included in `total`).
+struct FrameHeader {
+  std::uint8_t family = 0;
+  std::uint8_t type = 0;
   ObjectId obj = 0;
   OpId op = kNoOp;
-  if (!r.u16(&magic) || !r.u8(&version) || !r.u8(&family) || !r.u8(&type) ||
-      !r.u32(&obj) || !r.u64(&op)) {
+  std::size_t total = 0;    ///< full frame size, prefix included
+  std::size_t payload = 0;  ///< trailing payload bytes within `total`
+};
+
+/// Parse and validate the fixed header.  Requires len >= kFrameOverheadBytes
+/// (the caller gates on frame_length / buffered bytes first).
+Status parse_header(const std::uint8_t* data, std::size_t len,
+                    FrameHeader* h) {
+  std::size_t total = 0;
+  if (Status s = frame_length(data, len, &total); !s.ok()) return s;
+  if (total < kFrameOverheadBytes) {
+    return Status::InvalidArgument("runt frame: " + std::to_string(total) +
+                                   " bytes");
+  }
+  Reader r(data + kLenPrefixBytes, kHeaderBytes);
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint32_t payload = 0;
+  if (!r.u16(&magic) || !r.u8(&version) || !r.u8(&h->family) ||
+      !r.u8(&h->type) || !r.u32(&h->obj) || !r.u64(&h->op) ||
+      !r.u32(&payload)) {
     return truncated("header");
   }
   if (magic != kMagic) {
@@ -617,25 +629,106 @@ Status decode(const std::uint8_t* data, std::size_t len, MessagePtr* out,
     return Status::InvalidArgument("unknown wire version " +
                                    std::to_string(version));
   }
-  const FamilyCodec* fc = family_codec(family);
+  if (kFrameOverheadBytes + payload > total) {
+    return Status::InvalidArgument(
+        "payload of " + std::to_string(payload) +
+        " bytes overruns frame of " + std::to_string(total));
+  }
+  h->total = total;
+  h->payload = payload;
+  return Status::Ok();
+}
+
+/// Shared tail of both decode paths: fields reader (payload pre-installed),
+/// family dispatch, exact-consumption checks.
+Status decode_fields(const FrameHeader& h, Reader& r, MessagePtr* out) {
+  const FamilyCodec* fc = family_codec(h.family);
   if (fc == nullptr) {
     return Status::InvalidArgument("unknown family id " +
-                                   std::to_string(family));
+                                   std::to_string(h.family));
   }
   MessagePtr msg;
-  if (Status s = fc->decode_body(type, obj, op, r, &msg); !s.ok()) return s;
+  if (Status s = fc->decode_body(h.type, h.obj, h.op, r, &msg); !s.ok()) {
+    return s;
+  }
   if (!r.exhausted()) {
     return Status::InvalidArgument("frame has " +
                                    std::to_string(r.remaining()) +
                                    " trailing bytes");
   }
+  if (r.payload_pending() && h.payload > 0) {
+    return Status::InvalidArgument("type carries no payload but frame has " +
+                                   std::to_string(h.payload) +
+                                   " payload bytes");
+  }
   *out = std::move(msg);
-  if (consumed != nullptr) *consumed = total;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status decode(const std::uint8_t* data, std::size_t len, MessagePtr* out,
+              std::size_t* consumed) {
+  ensure_builtins();
+  std::size_t total = 0;
+  if (Status s = frame_length(data, len, &total); !s.ok()) return s;
+  if (total == 0 || len < total) {
+    return truncated("have " + std::to_string(len) + " bytes");
+  }
+  FrameHeader h;
+  if (Status s = parse_header(data, len, &h); !s.ok()) return s;
+  const std::size_t fields_len = h.total - kFrameOverheadBytes - h.payload;
+  Reader r(data + kFrameOverheadBytes, fields_len);
+  const std::uint8_t* pay = data + kFrameOverheadBytes + fields_len;
+  r.set_payload(Value(Bytes(pay, pay + h.payload)));
+  if (Status s = decode_fields(h, r, out); !s.ok()) return s;
+  if (consumed != nullptr) *consumed = h.total;
   return Status::Ok();
 }
 
 Status decode(const Bytes& frame, MessagePtr* out) {
   return decode(frame.data(), frame.size(), out);
+}
+
+Status decode_with_payload(const std::uint8_t* head, std::size_t head_len,
+                           Value payload, MessagePtr* out) {
+  ensure_builtins();
+  if (head_len < kFrameOverheadBytes) return truncated("header");
+  FrameHeader h;
+  if (Status s = parse_header(head, head_len, &h); !s.ok()) return s;
+  if (h.payload != payload.size() || head_len != h.total - h.payload) {
+    return Status::InvalidArgument(
+        "head/payload split disagrees with header: head " +
+        std::to_string(head_len) + " + payload " +
+        std::to_string(payload.size()) + " vs frame " +
+        std::to_string(h.total) + "/" + std::to_string(h.payload));
+  }
+  Reader r(head + kFrameOverheadBytes, head_len - kFrameOverheadBytes);
+  r.set_payload(std::move(payload));
+  return decode_fields(h, r, out);
+}
+
+Status frame_layout(const std::uint8_t* data, std::size_t len,
+                    std::size_t* total, std::size_t* payload) {
+  *total = 0;
+  *payload = 0;
+  if (len < kLenPrefixBytes) return Status::Ok();  // need more bytes
+  std::size_t t = 0;
+  if (Status s = frame_length(data, len, &t); !s.ok()) return s;
+  if (len < kFrameOverheadBytes) {
+    // Frame extent known but header incomplete: a runt total is already
+    // decidable, otherwise ask for more bytes.
+    if (t < kFrameOverheadBytes) {
+      return Status::InvalidArgument("runt frame: " + std::to_string(t) +
+                                     " bytes");
+    }
+    return Status::Ok();
+  }
+  FrameHeader h;
+  if (Status s = parse_header(data, len, &h); !s.ok()) return s;
+  *total = h.total;
+  *payload = h.payload;
+  return Status::Ok();
 }
 
 }  // namespace lds::net::codec

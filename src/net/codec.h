@@ -22,13 +22,21 @@
 //   8       1     type id within the family (the variant index — frozen)
 //   9       4     ObjectId
 //   13      8     OpId
-//   21      ...   fixed body fields (tags, counters, flags), then at most one
-//                 trailing length-prefixed payload (u32 length + bytes)
+//   21      4     payload length P (bytes of trailing Value payload; 0 = none)
+//   25      ...   fixed body fields (tags, counters, flags), then exactly P
+//                 trailing payload bytes closing the frame
+//
+// Since v2 the payload length lives in the fixed header (not as a u32 glued
+// to the body fields): a streaming receiver knows the payload extent after
+// kFrameOverheadBytes bytes and can recv a large payload straight into its
+// own exact-size buffer — zero-copy on BOTH sides of the wire.
 //
 // Encoding is zero-copy for `Value` payloads: encode() returns a Frame whose
-// `head` holds everything up to and including the payload length, and whose
-// `body` is a shared handle onto the value buffer — a transport writes the
-// two spans back to back without ever copying the value.
+// `head` holds the prefix + header + fixed fields, and whose `body` is a
+// shared handle onto the value buffer — a transport writes the two spans
+// back to back without ever copying the value.  decode_with_payload() is the
+// receive-side mirror: the transport hands the payload bytes in as a Value
+// it recv'd directly, and the decoder installs the handle instead of copying.
 //
 // Versioning rules: the header is frozen; unknown versions, families and
 // type ids are rejected with Status::InvalidArgument (decode never crashes
@@ -47,11 +55,12 @@
 namespace lds::net::codec {
 
 inline constexpr std::uint16_t kMagic = 0x4C53;  // "LS"
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 /// Bytes of the u32 frame-length prefix.
 inline constexpr std::size_t kLenPrefixBytes = 4;
-/// Fixed header after the prefix: magic, version, family, type, obj, op.
-inline constexpr std::size_t kHeaderBytes = 2 + 1 + 1 + 1 + 4 + 8;
+/// Fixed header after the prefix: magic, version, family, type, obj, op,
+/// payload length.
+inline constexpr std::size_t kHeaderBytes = 2 + 1 + 1 + 1 + 4 + 8 + 4;
 /// Every frame costs this much before its body fields.
 inline constexpr std::size_t kFrameOverheadBytes =
     kLenPrefixBytes + kHeaderBytes;
@@ -160,12 +169,25 @@ class Reader {
     cur_ += len;
     return true;
   }
+  /// Pop the frame's out-of-band payload (header field P names its extent;
+  /// the generic decoder installs it via set_payload before decode_body runs).
+  /// False when the frame carried no payload region at all.
   bool value(Value* out) {
-    Bytes b;
-    if (!blob(&b)) return false;
-    *out = Value(std::move(b));
+    if (!payload_set_) return false;
+    *out = std::move(payload_);
+    payload_ = Value{};
+    payload_set_ = false;
     return true;
   }
+
+  /// Install the frame's payload for the next value() call.  Called once by
+  /// the generic decoder (copying path) or decode_with_payload (zero-copy).
+  void set_payload(Value v) {
+    payload_ = std::move(v);
+    payload_set_ = true;
+  }
+  /// True while an installed payload has not been popped by value().
+  bool payload_pending() const { return payload_set_; }
 
   std::size_t remaining() const { return static_cast<std::size_t>(end_ - cur_); }
   bool exhausted() const { return cur_ == end_; }
@@ -180,13 +202,15 @@ class Reader {
 
   const std::uint8_t* cur_;
   const std::uint8_t* end_;
+  Value payload_;
+  bool payload_set_ = false;
 };
 
 // ---- frames -----------------------------------------------------------------
 
 /// One encoded frame, split so the trailing value payload stays zero-copy:
-/// `head` is the length prefix + header + fixed fields (+ the payload's u32
-/// length when the type carries one); `body` shares the value buffer.
+/// `head` is the length prefix + header (which names the payload length) +
+/// fixed fields; `body` shares the value buffer.
 struct Frame {
   Bytes head;
   Value body;
@@ -256,11 +280,27 @@ Status decode(const std::uint8_t* data, std::size_t len, MessagePtr* out,
               std::size_t* consumed = nullptr);
 Status decode(const Bytes& frame, MessagePtr* out);
 
+/// Zero-copy receive path: decode a frame whose trailing payload was recv'd
+/// out-of-band.  `head` spans the length prefix + header + fixed fields
+/// (exactly `head_len = total - P` bytes); `payload` holds the P payload
+/// bytes the transport already owns — the handle is installed, not copied.
+/// Rejects head/payload splits that disagree with the header.
+Status decode_with_payload(const std::uint8_t* head, std::size_t head_len,
+                           Value payload, MessagePtr* out);
+
 /// Stream-reassembly helper: with >= kLenPrefixBytes available, sets
 /// `*total` to the full frame size and returns Ok (oversized prefixes are
 /// rejected here, before a hostile peer can make us buffer 4 GiB).  With
 /// fewer bytes available sets `*total` to 0 and returns Ok ("need more").
 Status frame_length(const std::uint8_t* data, std::size_t len,
                     std::size_t* total);
+
+/// Deeper reassembly probe: with >= kFrameOverheadBytes available, validates
+/// magic / version / length sanity and splits the frame extent into
+/// `*total` (full frame size) and `*payload` (trailing payload bytes).  A
+/// streaming receiver uses this to recv the payload directly into its own
+/// buffer.  With fewer bytes available sets both to 0 and returns Ok.
+Status frame_layout(const std::uint8_t* data, std::size_t len,
+                    std::size_t* total, std::size_t* payload);
 
 }  // namespace lds::net::codec

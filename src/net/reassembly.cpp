@@ -1,0 +1,143 @@
+#include "net/reassembly.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace lds::net {
+
+FrameReassembler::FrameReassembler(BufferPool* pool, Options opt)
+    : pool_(pool),
+      own_pool_(pool != nullptr ? pool->block_bytes() : std::size_t{64} << 10,
+                2),
+      opt_(opt) {
+  LDS_REQUIRE(opt_.max_frame_bytes >= codec::kFrameOverheadBytes,
+              "FrameReassembler: max_frame_bytes below a frame header");
+}
+
+FrameReassembler::~FrameReassembler() {
+  if (!buf_.empty()) {
+    (pool_ != nullptr ? *pool_ : own_pool_).release(std::move(buf_));
+  }
+}
+
+void FrameReassembler::ensure_block() {
+  if (buf_.empty()) {
+    buf_ = (pool_ != nullptr ? *pool_ : own_pool_).acquire();
+    rd_ = wr_ = 0;
+  }
+}
+
+void FrameReassembler::ensure_room(std::size_t need) {
+  ensure_block();
+  if (buf_.size() - rd_ >= need) return;
+  if (rd_ > 0) {  // compact: slide the partial frame to the front
+    std::memmove(buf_.data(), buf_.data() + rd_, wr_ - rd_);
+    wr_ -= rd_;
+    rd_ = 0;
+  }
+  if (buf_.size() < need) buf_.resize(need);  // jumbo in-block frame
+}
+
+std::pair<std::uint8_t*, std::size_t> FrameReassembler::recv_span() {
+  if (phase_ == Phase::Payload) {
+    return {payload_.data() + payload_wr_, payload_len_ - payload_wr_};
+  }
+  ensure_block();
+  if (wr_ == buf_.size()) {
+    // Block full behind a partial frame: compact, or grow for a frame
+    // bigger than one block (drain() already vetted its declared size).
+    ensure_room(buf_.size() - rd_ + 1);
+  }
+  return {buf_.data() + wr_, buf_.size() - wr_};
+}
+
+void FrameReassembler::commit(std::size_t n) {
+  if (phase_ == Phase::Payload) {
+    payload_wr_ += n;
+    zero_copy_bytes_ += n;
+    LDS_REQUIRE(payload_wr_ <= payload_len_,
+                "FrameReassembler: payload overcommit");
+    return;
+  }
+  wr_ += n;
+  LDS_REQUIRE(wr_ <= buf_.size(), "FrameReassembler: block overcommit");
+}
+
+Status FrameReassembler::drain(std::vector<MessagePtr>* out) {
+  while (true) {
+    if (phase_ == Phase::Payload) {
+      if (payload_wr_ < payload_len_) return Status::Ok();  // need more
+      MessagePtr msg;
+      Bytes payload = std::move(payload_);
+      payload_ = Bytes{};
+      if (Status s = codec::decode_with_payload(
+              buf_.data() + rd_, head_len_, Value(std::move(payload)), &msg);
+          !s.ok()) {
+        return s;
+      }
+      out->push_back(std::move(msg));
+      ++frames_;
+      // The head was the only live region (everything past it moved into
+      // the payload buffer when streaming began).
+      rd_ = wr_ = 0;
+      payload_len_ = payload_wr_ = head_len_ = 0;
+      phase_ = Phase::Head;
+      continue;
+    }
+
+    const std::size_t avail = wr_ - rd_;
+    if (avail == 0) {
+      rd_ = wr_ = 0;
+      return Status::Ok();
+    }
+    std::size_t total = 0, payload = 0;
+    if (Status s =
+            codec::frame_layout(buf_.data() + rd_, avail, &total, &payload);
+        !s.ok()) {
+      return s;  // hostile prefix/header
+    }
+    if (total == 0) {  // header incomplete; make room for it and wait
+      ensure_room(codec::kFrameOverheadBytes);
+      return Status::Ok();
+    }
+    if (total > opt_.max_frame_bytes) {
+      return Status::InvalidArgument(
+          "frame of " + std::to_string(total) + " bytes exceeds limit of " +
+          std::to_string(opt_.max_frame_bytes));
+    }
+    const std::size_t head = total - payload;
+    // Large payload, not yet fully buffered: stream the rest of it straight
+    // into its own exact-size buffer (zero-copy into the Value).  A frame
+    // already complete in the block is decoded in place instead — copying
+    // what we already have is cheaper than moving it twice.
+    if (payload >= opt_.zero_copy_threshold && avail < total) {
+      if (avail < head) {  // need the whole head contiguous first
+        ensure_room(head);
+        return Status::Ok();
+      }
+      payload_.resize(payload);
+      const std::size_t surplus = avail - head;  // payload bytes in-block
+      std::memcpy(payload_.data(), buf_.data() + rd_ + head, surplus);
+      payload_len_ = payload;
+      payload_wr_ = surplus;
+      head_len_ = head;
+      wr_ = rd_ + head;  // the head is now the only live block region
+      phase_ = Phase::Payload;
+      continue;
+    }
+    if (avail < total) {  // small frame, incomplete: buffer it whole
+      ensure_room(total);
+      return Status::Ok();
+    }
+    MessagePtr msg;
+    if (Status s = codec::decode(buf_.data() + rd_, total, &msg); !s.ok()) {
+      return s;
+    }
+    out->push_back(std::move(msg));
+    ++frames_;
+    rd_ += total;
+  }
+}
+
+}  // namespace lds::net

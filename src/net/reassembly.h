@@ -1,0 +1,143 @@
+// Pooled, zero-copy frame reassembly for streaming transports.
+//
+// The old TcpTransport receive path paid three per-frame costs: recv into a
+// stack buffer, append into a growing `inbuf` vector (allocation + copy),
+// and an erase-front memmove after every carve.  This layer removes all
+// three, LCI-packet-pool style:
+//
+//   * BufferPool — fixed-size recv blocks recycled across connections, so a
+//     steady-state connection performs ZERO allocations on the receive path
+//     for frames that fit one block.
+//   * FrameReassembler — recv()s straight into the pooled block at a write
+//     offset (no intermediate copy), carves complete frames in place at a
+//     read offset (no erase-front), and for frames whose header announces a
+//     payload of >= Options::zero_copy_threshold bytes switches to PAYLOAD
+//     STREAMING: the remaining payload is recv'd directly into an exact-size
+//     buffer that becomes the message's `Value` via
+//     codec::decode_with_payload — large values cross the socket into the
+//     store with no reassembly copy at all (the wire-v2 header makes the
+//     payload extent known after kFrameOverheadBytes bytes).
+//
+// Single-threaded by design: each instance belongs to one connection, which
+// belongs to one progress-engine shard (see net/transport.h).  The pool is
+// likewise per-shard and is only touched under the shard's lock.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/codec.h"
+
+namespace lds::net {
+
+/// Recycles fixed-capacity recv blocks.  acquire() reuses a released block
+/// when one is retained, so steady-state connection churn stops allocating.
+class BufferPool {
+ public:
+  BufferPool(std::size_t block_bytes, std::size_t max_retained)
+      : block_bytes_(block_bytes), max_retained_(max_retained) {}
+
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  /// A block of exactly block_bytes() (size, not just capacity).
+  Bytes acquire() {
+    if (!free_.empty()) {
+      Bytes b = std::move(free_.back());
+      free_.pop_back();
+      ++reuses_;
+      return b;
+    }
+    ++allocations_;
+    return Bytes(block_bytes_);
+  }
+
+  /// Return a block.  Oversized blocks (grown for a jumbo frame) and blocks
+  /// beyond the retention cap are dropped — the pool's footprint is bounded
+  /// by max_retained * block_bytes.
+  void release(Bytes b) {
+    if (b.size() != block_bytes_ || free_.size() >= max_retained_) return;
+    free_.push_back(std::move(b));
+  }
+
+  std::uint64_t allocations() const { return allocations_; }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::size_t block_bytes_;
+  std::size_t max_retained_;
+  std::vector<Bytes> free_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Streaming frame reassembly over a pooled block, with large-payload
+/// zero-copy streaming.  Usage per readiness event:
+///
+///   while (true) {
+///     auto [p, cap] = rx.recv_span();
+///     ssize_t n = recv(fd, p, cap, 0);
+///     if (n <= 0) break;                  // EAGAIN / EOF / error
+///     rx.commit(n);
+///     if (!rx.drain(&msgs).ok()) { /* hostile peer: disconnect */ }
+///   }
+class FrameReassembler {
+ public:
+  struct Options {
+    /// Frames larger than this are hostile (drain returns InvalidArgument).
+    std::size_t max_frame_bytes = codec::kMaxFrameBytes;
+    /// Payloads at least this large are recv'd straight into their own
+    /// exact-size Value buffer instead of through the block.
+    std::size_t zero_copy_threshold = 4096;
+  };
+
+  /// `pool` must outlive the reassembler; null = private blocks (tests).
+  FrameReassembler(BufferPool* pool, Options opt);
+  ~FrameReassembler();
+  FrameReassembler(const FrameReassembler&) = delete;
+  FrameReassembler& operator=(const FrameReassembler&) = delete;
+
+  /// Writable destination for the next recv: block tail, or the payload
+  /// buffer while streaming one.  Never empty.
+  std::pair<std::uint8_t*, std::size_t> recv_span();
+  /// Account `n` bytes written into the last recv_span().
+  void commit(std::size_t n);
+  /// Carve every complete frame into `*out` (decoded messages, appended).
+  /// InvalidArgument = hostile stream; the connection must be dropped.
+  Status drain(std::vector<MessagePtr>* out);
+
+  /// True when no partial frame is pending (EOF here is a clean close).
+  bool idle() const { return phase_ == Phase::Head && rd_ == wr_; }
+
+  std::uint64_t frames() const { return frames_; }
+  /// Payload bytes that never touched the reassembly block.
+  std::uint64_t zero_copy_bytes() const { return zero_copy_bytes_; }
+
+ private:
+  enum class Phase : std::uint8_t { Head, Payload };
+
+  void ensure_block();
+  /// Make `need` contiguous bytes addressable at rd_ (compact, then grow).
+  void ensure_room(std::size_t need);
+
+  BufferPool* pool_;        ///< may be null (owned blocks only)
+  BufferPool own_pool_;     ///< used when pool_ == nullptr
+  Options opt_;
+  Bytes buf_;               ///< pooled block; live bytes are [rd_, wr_)
+  std::size_t rd_ = 0;
+  std::size_t wr_ = 0;
+  Phase phase_ = Phase::Head;
+  // Payload-streaming state: buf_[rd_, rd_+head_len_) holds the complete
+  // frame head; payload_ fills to payload_len_ then both decode zero-copy.
+  Bytes payload_;
+  std::size_t payload_len_ = 0;
+  std::size_t payload_wr_ = 0;
+  std::size_t head_len_ = 0;
+
+  std::uint64_t frames_ = 0;
+  std::uint64_t zero_copy_bytes_ = 0;
+};
+
+}  // namespace lds::net

@@ -6,10 +6,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 
 #include "common/assert.h"
@@ -27,6 +31,10 @@ void InProcTransport::deliver(NodeId from, NodeId to, MessagePtr msg,
 // ---- TcpTransport -----------------------------------------------------------
 
 namespace {
+
+/// epoll user-data tags for the two non-connection fds of a shard.
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+constexpr std::uint64_t kListenTag = ~std::uint64_t{0} - 1;
 
 Status sys_error(const std::string& what) {
   return Status::Unavailable(what + ": " + std::strerror(errno));
@@ -47,12 +55,46 @@ void set_nodelay(int fd) {
 TcpTransport::TcpTransport(Options opt) : opt_(opt) {
   LDS_REQUIRE(opt_.max_frame_bytes >= codec::kFrameOverheadBytes,
               "TcpTransport: max_frame_bytes smaller than a frame header");
+  if (opt_.progress_threads == 0) opt_.progress_threads = 1;
+  opt_.backlog_low_watermark =
+      std::min(opt_.backlog_low_watermark, opt_.backlog_high_watermark);
 }
 
 TcpTransport::~TcpTransport() { stop(); }
 
+Status TcpTransport::ensure_engine() {
+  if (running_.load(std::memory_order_acquire)) return Status::Ok();
+  LDS_REQUIRE(!stop_.load(std::memory_order_acquire),
+              "TcpTransport: reuse after stop()");
+  shards_.reserve(opt_.progress_threads);
+  for (std::size_t i = 0; i < opt_.progress_threads; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->epfd = ::epoll_create1(0);
+    if (sh->epfd < 0) return sys_error("epoll_create1");
+    sh->wakefd = ::eventfd(0, EFD_NONBLOCK);
+    if (sh->wakefd < 0) {
+      const Status s = sys_error("eventfd");
+      ::close(sh->epfd);
+      return s;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    LDS_REQUIRE(::epoll_ctl(sh->epfd, EPOLL_CTL_ADD, sh->wakefd, &ev) == 0,
+                "TcpTransport: cannot register wake fd");
+    sh->pool = std::make_unique<BufferPool>(opt_.recv_block_bytes,
+                                            opt_.pool_retain_blocks);
+    shards_.push_back(std::move(sh));
+  }
+  running_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { shard_loop(i); });
+  }
+  return Status::Ok();
+}
+
 Status TcpTransport::listen(std::uint16_t port, Handler on_message) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(engine_mu_);
   if (stop_.load(std::memory_order_acquire)) {
     return Status::Unavailable("TcpTransport::listen: transport stopped");
   }
@@ -80,9 +122,21 @@ Status TcpTransport::listen(std::uint16_t port, Handler on_message) {
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
   set_nonblocking(fd);
-  listen_fd_ = fd;
   accept_handler_ = std::move(on_message);
-  ensure_loop();
+  if (const Status s = ensure_engine(); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  listen_fd_ = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(shards_[0]->epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    const Status s = sys_error("epoll_ctl listen");
+    ::close(fd);
+    listen_fd_ = -1;
+    return s;
+  }
   return Status::Ok();
 }
 
@@ -161,20 +215,48 @@ Status TcpTransport::connect(const std::string& host, std::uint16_t port,
   if (fd < 0) return err;
   set_nodelay(fd);
 
-  std::lock_guard<std::mutex> lk(mu_);
-  if (stop_.load(std::memory_order_acquire)) {
-    ::close(fd);
+  {
+    std::lock_guard<std::mutex> lk(engine_mu_);
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return Status::Unavailable("TcpTransport::connect: transport stopped");
+    }
+    if (const Status s = ensure_engine(); !s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  const NodeId id = adopt_fd(fd, std::move(on_message));
+  if (id == kNoNode) {
     return Status::Unavailable("TcpTransport::connect: transport stopped");
   }
-  const NodeId id = next_peer_++;
-  Conn c;
-  c.fd = fd;
-  c.handler = std::move(on_message);
-  conns_.emplace(id, std::move(c));
   *peer = id;
-  ensure_loop();
-  wake();
   return Status::Ok();
+}
+
+NodeId TcpTransport::adopt_fd(int fd, Handler handler) {
+  const NodeId id = next_peer_.fetch_add(1, std::memory_order_relaxed);
+  Shard& sh = shard_of(id);
+  FrameReassembler::Options ropt;
+  ropt.max_frame_bytes = opt_.max_frame_bytes;
+  ropt.zero_copy_threshold = opt_.zero_copy_threshold;
+  std::lock_guard<std::mutex> lk(sh.mu);
+  if (stop_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return kNoNode;
+  }
+  auto conn = std::make_unique<Conn>(sh.pool.get(), ropt);
+  conn->fd = fd;
+  conn->handler = std::move(handler);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+  if (::epoll_ctl(sh.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return kNoNode;
+  }
+  sh.conns.emplace(id, std::move(conn));
+  return id;
 }
 
 void TcpTransport::deliver(NodeId from, NodeId to, MessagePtr msg,
@@ -190,153 +272,244 @@ void TcpTransport::deliver(NodeId from, NodeId to, MessagePtr msg,
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  const auto it = conns_.find(to);
-  if (it == conns_.end()) return;  // disconnected peer: drop, like Network
-  it->second.outq.push_back(std::move(frame));
-  wake();
+  if (!running_.load(std::memory_order_acquire)) return;  // no peers exist
+  const std::size_t frame_bytes = frame.size();
+  Shard& sh = shard_of(to);
+  std::unique_lock<std::mutex> lk(sh.mu);
+  auto it = sh.conns.find(to);
+  if (it == sh.conns.end()) return;  // disconnected peer: drop, like Network
+  Conn* c = it->second.get();
+  // Backlog flow control: application threads block at the high watermark
+  // until the progress thread drains the queue below the low watermark.
+  // The shard's own progress thread is exempt — a handler-generated reply
+  // blocking on its own unflushed queue would deadlock the drain.
+  if (std::this_thread::get_id() != sh.thread_id &&
+      c->outq_bytes + frame_bytes > opt_.backlog_high_watermark) {
+    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+    sh.cv.wait(lk, [&] {
+      if (stop_.load(std::memory_order_acquire)) return true;
+      const auto it2 = sh.conns.find(to);
+      return it2 == sh.conns.end() ||
+             it2->second->outq_bytes <= opt_.backlog_low_watermark;
+    });
+    it = sh.conns.find(to);
+    if (stop_.load(std::memory_order_acquire) || it == sh.conns.end()) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;  // the peer died while we waited: drop, like Network
+    }
+    c = it->second.get();
+  }
+  c->outq.push_back(std::move(frame));
+  c->outq_bytes += frame_bytes;
+  // Eager send on the caller's thread: an idle socket takes the bytes now
+  // instead of waiting for the next progress tick.
+  if (!flush_conn(*c)) {
+    // The socket broke under us.  Force readiness so the owning progress
+    // thread reaps the connection through its normal error path (teardown
+    // + disconnect handler happen there, never on an application thread).
+    ::shutdown(c->fd, SHUT_RDWR);
+    wake(sh);
+    return;
+  }
+  update_write_interest(sh, to, *c);
+}
+
+void TcpTransport::update_write_interest(Shard& sh, NodeId peer, Conn& c) {
+  const bool want = !c.outq.empty();
+  if (want == c.want_write) return;
+  epoll_event ev{};
+  ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.u64 = static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer));
+  if (::epoll_ctl(sh.epfd, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.want_write = want;
+  }
 }
 
 void TcpTransport::close_peer(NodeId peer) {
-  std::lock_guard<std::mutex> lk(mu_);
-  close_locked(peer);
-  wake();
-}
-
-bool TcpTransport::close_locked(NodeId peer) {
-  const auto it = conns_.find(peer);
-  if (it == conns_.end()) return false;
-  ::close(it->second.fd);
-  conns_.erase(it);
-  return true;
+  if (!running_.load(std::memory_order_acquire)) return;
+  Shard& sh = shard_of(peer);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const auto it = sh.conns.find(peer);
+  if (it == sh.conns.end()) return;
+  ::close(it->second->fd);
+  sh.conns.erase(it);
+  sh.cv.notify_all();  // waiters on this peer's backlog: it is gone
 }
 
 void TcpTransport::stop() {
   stop_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    wake();
+  std::lock_guard<std::mutex> elk(engine_mu_);
+  for (auto& sh : shards_) {
+    {
+      std::lock_guard<std::mutex> lk(sh->mu);
+      sh->cv.notify_all();
+    }
+    wake(*sh);
   }
-  if (loop_thread_.joinable()) loop_thread_.join();
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& [id, c] : conns_) ::close(c.fd);
-  conns_.clear();
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) sh->thread.join();
+  }
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    for (auto& [id, c] : sh->conns) ::close(c->fd);
+    sh->conns.clear();
+    if (sh->wakefd >= 0) {
+      ::close(sh->wakefd);
+      sh->wakefd = -1;
+    }
+    if (sh->epfd >= 0) {
+      ::close(sh->epfd);
+      sh->epfd = -1;
+    }
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  for (int& fd : wake_fds_) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
+  {
+    std::lock_guard<std::mutex> tlk(timer_mu_);
+    while (!timers_.empty()) timers_.pop();  // discarded, per the contract
   }
   running_.store(false, std::memory_order_release);
 }
 
-void TcpTransport::ensure_loop() {
-  if (running_.load(std::memory_order_acquire)) return;
-  LDS_REQUIRE(!stop_.load(std::memory_order_acquire),
-              "TcpTransport: reuse after stop()");
-  LDS_REQUIRE(::pipe(wake_fds_) == 0, "TcpTransport: pipe() failed");
-  set_nonblocking(wake_fds_[0]);
-  set_nonblocking(wake_fds_[1]);
-  running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { loop(); });
+bool TcpTransport::after(double delay_s, std::function<void()> fn) {
+  LDS_REQUIRE(fn != nullptr, "TcpTransport::after: null callback");
+  if (stop_.load(std::memory_order_acquire) ||
+      !running_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const auto when =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(delay_s > 0 ? delay_s : 0));
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    timers_.push(Timer{when, timer_seq_++, std::move(fn)});
+  }
+  if (!shards_.empty()) wake(*shards_[0]);  // re-derive the epoll timeout
+  return true;
 }
 
-void TcpTransport::wake() {
-  if (wake_fds_[1] < 0) return;
-  const char b = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &b, 1);
+int TcpTransport::next_timer_delay_ms() {
+  std::lock_guard<std::mutex> lk(timer_mu_);
+  if (timers_.empty()) return INT_MAX;
+  const auto now = std::chrono::steady_clock::now();
+  const auto& top = timers_.top();
+  if (top.when <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      top.when - now)
+                      .count();
+  return static_cast<int>(std::min<long long>(ms + 1, INT_MAX));
 }
 
-void TcpTransport::loop() {
+void TcpTransport::run_due_timers() {
+  std::vector<std::function<void()>> due;
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    while (!timers_.empty() && timers_.top().when <= now) {
+      // priority_queue::top is const; the function object is moved out via
+      // const_cast, which is safe because pop() follows immediately.
+      due.push_back(std::move(const_cast<Timer&>(timers_.top()).fn));
+      timers_.pop();
+    }
+  }
+  for (auto& fn : due) fn();  // outside every lock: timers may call deliver()
+}
+
+void TcpTransport::wake(Shard& sh) {
+  if (sh.wakefd < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(sh.wakefd, &one, sizeof one);
+}
+
+void TcpTransport::accept_ready() {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lk(engine_mu_);
+    handler = accept_handler_;
+  }
+  while (true) {
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) break;  // EAGAIN: accepted everything pending
+    set_nonblocking(cfd);
+    set_nodelay(cfd);
+    adopt_fd(cfd, handler);  // round-robins across shards by peer id
+  }
+}
+
+void TcpTransport::shard_loop(std::size_t shard_index) {
+  Shard& sh = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.thread_id = std::this_thread::get_id();
+  }
   struct Delivery {
     Handler handler;
     NodeId peer;
     MessagePtr msg;
   };
-  std::vector<pollfd> fds;
-  std::vector<NodeId> ids;
+  std::vector<epoll_event> events(128);
+  std::vector<std::pair<Handler, MessagePtr>> msgs;  // reused scratch
+  std::vector<Delivery> delivered;                   // reused across ticks
+  std::vector<NodeId> dropped;
+  const bool timer_owner = shard_index == 0;
   while (!stop_.load(std::memory_order_acquire)) {
-    fds.clear();
-    ids.clear();
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      fds.push_back({wake_fds_[0], POLLIN, 0});
-      ids.push_back(kNoNode);
-      if (listen_fd_ >= 0) {
-        fds.push_back({listen_fd_, POLLIN, 0});
-        ids.push_back(kNoNode);
-      }
-      for (auto& [id, c] : conns_) {
-        short events = POLLIN;
-        if (!c.outq.empty()) events |= POLLOUT;
-        fds.push_back({c.fd, events, 0});
-        ids.push_back(id);
-      }
-    }
-    int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                   opt_.poll_interval_ms);
+    int timeout = opt_.poll_interval_ms;
+    if (timer_owner) timeout = std::min(timeout, next_timer_delay_ms());
+    int n = ::epoll_wait(sh.epfd, events.data(),
+                         static_cast<int>(events.size()), timeout);
     if (inject_poll_failure_.exchange(false, std::memory_order_acq_rel)) {
       n = -1;
       errno = EBADF;
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      // poll itself failed: the loop can no longer move anyone's bytes.
-      // Fail every connection through the disconnect handler (silently
-      // stranding them would leave callers waiting forever) and mark the
-      // transport stopped so listen()/connect() refuse the dead loop.
+      // epoll itself failed: this engine can no longer move anyone's
+      // bytes.  Fail every connection through the disconnect handler
+      // (silently stranding them would leave callers waiting forever) and
+      // mark the transport stopped so listen()/connect() refuse it.
       fail_loop();
       return;
     }
-    std::vector<Delivery> delivered;
-    std::vector<NodeId> dropped;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      std::size_t i = 0;
-      if (fds[i].revents & POLLIN) {  // drain the wakeup pipe
-        char buf[256];
-        while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+    if (timer_owner) run_due_timers();
+    delivered.clear();
+    dropped.clear();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        std::uint64_t drainv = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(sh.wakefd, &drainv, sizeof drainv);
+        continue;
+      }
+      if (tag == kListenTag) {
+        accept_ready();
+        continue;
+      }
+      const NodeId id = static_cast<NodeId>(static_cast<std::uint32_t>(tag));
+      std::lock_guard<std::mutex> lk(sh.mu);
+      const auto it = sh.conns.find(id);
+      if (it == sh.conns.end()) continue;  // closed between wait and here
+      Conn& c = *it->second;
+      bool alive = true;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        msgs.clear();
+        alive = read_conn(id, c, &msgs);
+        for (auto& [h, m] : msgs) {
+          delivered.push_back({std::move(h), id, std::move(m)});
         }
       }
-      ++i;
-      if (listen_fd_ >= 0) {
-        if (fds[i].revents & POLLIN) {
-          while (true) {
-            const int cfd = ::accept(listen_fd_, nullptr, nullptr);
-            if (cfd < 0) break;  // EAGAIN: accepted everything pending
-            set_nonblocking(cfd);
-            set_nodelay(cfd);
-            Conn c;
-            c.fd = cfd;
-            c.handler = accept_handler_;
-            conns_.emplace(next_peer_++, std::move(c));
-          }
-        }
-        ++i;
-      }
-      for (; i < fds.size(); ++i) {
-        const NodeId id = ids[i];
-        const auto it = conns_.find(id);
-        if (it == conns_.end()) continue;  // closed while we polled
-        Conn& c = it->second;
-        bool alive = true;
-        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-          std::vector<std::pair<Handler, MessagePtr>> msgs;
-          alive = read_conn(id, c, &msgs);
-          for (auto& [h, m] : msgs) {
-            delivered.push_back({std::move(h), id, std::move(m)});
-          }
-        }
-        if (alive && (fds[i].revents & POLLOUT)) alive = flush_conn(c);
-        if (!alive) {
-          ::close(c.fd);
-          conns_.erase(it);
-          dropped.push_back(id);
-        }
+      if (alive && (events[i].events & EPOLLOUT)) alive = flush_conn(c);
+      if (alive) {
+        update_write_interest(sh, id, c);
+        if (c.outq_bytes <= opt_.backlog_low_watermark) sh.cv.notify_all();
+      } else {
+        ::close(c.fd);
+        sh.conns.erase(it);
+        dropped.push_back(id);
+        sh.cv.notify_all();  // backlog waiters on this peer: it is gone
       }
     }
     // Handlers run unlocked: they may call deliver()/close_peer() back in.
@@ -349,14 +522,17 @@ void TcpTransport::loop() {
 
 void TcpTransport::fail_loop() {
   stop_.store(true, std::memory_order_release);
+  if (failed_.exchange(true, std::memory_order_acq_rel)) return;
   std::vector<NodeId> dropped;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [id, c] : conns_) {
-      ::close(c.fd);
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    for (auto& [id, c] : sh->conns) {
+      ::close(c->fd);
       dropped.push_back(id);
     }
-    conns_.clear();
+    sh->conns.clear();
+    sh->cv.notify_all();
+    wake(*sh);  // the other progress threads observe stop_ and exit
   }
   if (on_disconnect_) {
     for (const NodeId id : dropped) on_disconnect_(id);
@@ -365,57 +541,47 @@ void TcpTransport::fail_loop() {
 
 void TcpTransport::inject_poll_failure_for_testing() {
   inject_poll_failure_.store(true, std::memory_order_release);
-  std::lock_guard<std::mutex> lk(mu_);
-  wake();
+  for (auto& sh : shards_) wake(*sh);
 }
 
 bool TcpTransport::read_conn(
     NodeId peer, Conn& c,
     std::vector<std::pair<Handler, MessagePtr>>* delivered) {
   (void)peer;
-  char buf[65536];
+  const std::uint64_t zc_before = c.rx.zero_copy_bytes();
+  const std::size_t before = delivered->size();
   bool eof = false;
+  bool broken = false;
+  std::vector<MessagePtr> out;
   while (true) {
-    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+    const auto [p, cap] = c.rx.recv_span();
+    const ssize_t n = ::recv(c.fd, p, cap, 0);
     if (n > 0) {
       bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
-      c.inbuf.insert(c.inbuf.end(), buf, buf + n);
+      c.rx.commit(static_cast<std::size_t>(n));
+      if (const Status s = c.rx.drain(&out); !s.ok()) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        broken = true;  // hostile stream: disconnect
+        break;
+      }
       continue;
     }
     if (n == 0) {
-      eof = true;  // deliver frames already buffered, then drop the conn
+      eof = true;  // deliver frames already decoded, then drop the conn
       break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    return false;
+    broken = true;
+    break;
   }
-  std::size_t off = 0;
-  while (off < c.inbuf.size()) {
-    std::size_t total = 0;
-    const Status s =
-        codec::frame_length(c.inbuf.data() + off, c.inbuf.size() - off, &total);
-    if (!s.ok() || (total != 0 && total > opt_.max_frame_bytes)) {
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
-      return false;  // hostile length prefix: disconnect
-    }
-    if (total == 0 || c.inbuf.size() - off < total) break;  // need more bytes
-    MessagePtr msg;
-    if (const Status ds = codec::decode(c.inbuf.data() + off, total, &msg);
-        !ds.ok()) {
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
-      return false;  // malformed frame: disconnect
-    }
-    frames_received_.fetch_add(1, std::memory_order_relaxed);
-    delivered->emplace_back(c.handler, std::move(msg));
-    off += total;
-  }
-  if (off > 0) {
-    c.inbuf.erase(c.inbuf.begin(),
-                  c.inbuf.begin() + static_cast<std::ptrdiff_t>(off));
-  }
-  return !eof;
+  for (auto& m : out) delivered->emplace_back(c.handler, std::move(m));
+  frames_received_.fetch_add(delivered->size() - before,
+                             std::memory_order_relaxed);
+  zero_copy_bytes_.fetch_add(c.rx.zero_copy_bytes() - zc_before,
+                             std::memory_order_relaxed);
+  return !eof && !broken;
 }
 
 bool TcpTransport::flush_conn(Conn& c) {
@@ -438,6 +604,7 @@ bool TcpTransport::flush_conn(Conn& c) {
       if (w > 0) {
         bytes_sent_.fetch_add(static_cast<std::uint64_t>(w),
                               std::memory_order_relaxed);
+        c.outq_bytes -= static_cast<std::size_t>(w);
         c.out_off += static_cast<std::size_t>(w);
         continue;
       }

@@ -23,16 +23,44 @@ std::string deadline_msg(double deadline) {
 
 Client::Client(StoreService& service) : svc_(&service) {}
 
-Client::Client(std::unique_ptr<RemoteSession> remote)
-    : remote_(std::move(remote)) {}
+Client::Client(std::vector<std::unique_ptr<RemoteSession>> remotes)
+    : remotes_(std::move(remotes)) {}
 
-Client::~Client() = default;
+Client::~Client() {
+  // Close before members die: cancelled async completions push into cq_,
+  // which outlives the sessions only while `this` is still whole.
+  close();
+}
+
+void Client::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // Dropping the pool fails every in-flight remote op with Unavailable;
+  // their completions drain through cq_ / their callbacks as usual.
+  for (auto& s : remotes_) s->close();
+}
 
 std::unique_ptr<Client> Client::connect(const std::string& host,
                                         std::uint16_t port, Status* status) {
-  auto session = RemoteSession::open(host, port, status);
-  if (session == nullptr) return nullptr;
-  return std::unique_ptr<Client>(new Client(std::move(session)));
+  return connect(host, port, status, ConnectOptions());
+}
+
+std::unique_ptr<Client> Client::connect(const std::string& host,
+                                        std::uint16_t port, Status* status,
+                                        ConnectOptions copts) {
+  if (copts.connections == 0) copts.connections = 1;
+  std::vector<std::unique_ptr<RemoteSession>> sessions;
+  sessions.reserve(copts.connections);
+  for (std::size_t i = 0; i < copts.connections; ++i) {
+    auto s = RemoteSession::open(host, port, status, copts.transport);
+    if (s == nullptr) return nullptr;  // *status carries the reason
+    sessions.push_back(std::move(s));
+  }
+  return std::unique_ptr<Client>(new Client(std::move(sessions)));
+}
+
+RemoteSession& Client::pick() {
+  return *remotes_[rr_.fetch_add(1, std::memory_order_relaxed) %
+                   remotes_.size()];
 }
 
 PutResult Client::remote_put_op(
@@ -98,11 +126,236 @@ struct Client::GetOp {
   bool settle() { return !settled.exchange(true, std::memory_order_acq_rel); }
 };
 
+// ---- async remote attempt chain ---------------------------------------------
+
+/// One async remote operation across its retries.  The request body is kept
+/// for re-sending (Value copies are refcounted handles, not payload copies);
+/// `done` fires exactly once with the final outcome.  Retries are scheduled
+/// on the session's timer thread, so no caller thread ever sleeps.
+struct Client::AsyncOp {
+  RemoteSession* sess = nullptr;
+  RemoteBody req;
+  OpOptions opts;
+  std::size_t attempt = 1;
+  double backoff = 0;
+  std::chrono::steady_clock::time_point start;
+  std::function<void(Status, RemoteReply)> done;
+
+  double remaining() const {
+    const double used = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    return opts.deadline - used;
+  }
+};
+
+void Client::remote_attempt(std::shared_ptr<AsyncOp> op) {
+  double budget = 0;  // 0 = unbounded
+  if (op->opts.deadline > 0) {
+    budget = op->remaining();
+    if (budget <= 0) {
+      op->done(Status::DeadlineExceeded(deadline_msg(op->opts.deadline)),
+               RemoteReply{});
+      return;
+    }
+  }
+  op->sess->async_call(
+      RemoteBody(op->req), budget, [this, op](Status st, RemoteReply r) {
+        const bool retriable =
+            st.ok() &&
+            op->opts.retry.retriable(Status::FromCode(r.code, r.message)) &&
+            op->attempt < op->opts.retry.max_attempts;
+        if (!retriable) {
+          op->done(std::move(st), std::move(r));
+          return;
+        }
+        ++op->attempt;
+        double delay = op->backoff;
+        op->backoff *= op->opts.retry.backoff_multiplier;
+        if (op->opts.deadline > 0) {
+          const double rem = op->remaining();
+          if (rem <= 0) {
+            op->done(
+                Status::DeadlineExceeded(deadline_msg(op->opts.deadline)),
+                RemoteReply{});
+            return;
+          }
+          // Never sleep past the deadline; the attempt after the capped
+          // backoff reports DeadlineExceeded on time.
+          delay = std::min(delay, rem);
+        }
+        if (!op->sess->after(delay, [this, op] { remote_attempt(op); })) {
+          op->done(Status::Unavailable("session closed"), RemoteReply{});
+        }
+      });
+}
+
+// ---- async submission cores --------------------------------------------------
+
+void Client::submit_put(const std::string& key, Value value, PutCallback cb,
+                        OpOptions opts) {
+  if (closed()) {
+    cb(PutResult::failure(Status::Unavailable("client closed")));
+    return;
+  }
+  if (key.empty()) {
+    cb(PutResult::failure(Status::InvalidArgument("empty key")));
+    return;
+  }
+  if (remote()) {
+    auto op = std::make_shared<AsyncOp>();
+    op->sess = &pick();
+    op->req = RemotePut{key, std::move(value)};
+    op->opts = opts;
+    op->backoff = opts.retry.backoff;
+    op->start = std::chrono::steady_clock::now();
+    op->done = [cb = std::move(cb)](Status st, RemoteReply r) {
+      cb(st.ok() ? to_put_result(r) : PutResult::failure(std::move(st)));
+    };
+    remote_attempt(std::move(op));
+    return;
+  }
+  run_put_op(key, std::move(value), opts, std::move(cb),
+             [this](const std::string& k, Value v,
+                    StoreService::PutCallback pcb) {
+               svc_->put(k, std::move(v), std::move(pcb));
+             });
+}
+
+void Client::submit_put_if(const std::string& key, Value value,
+                           Version expected, PutCallback cb, OpOptions opts) {
+  if (closed()) {
+    cb(PutResult::failure(Status::Unavailable("client closed")));
+    return;
+  }
+  if (key.empty()) {
+    cb(PutResult::failure(Status::InvalidArgument("empty key")));
+    return;
+  }
+  if (remote()) {
+    auto op = std::make_shared<AsyncOp>();
+    op->sess = &pick();
+    op->req = RemotePutIf{key, std::move(value), expected};
+    op->opts = opts;
+    op->backoff = opts.retry.backoff;
+    op->start = std::chrono::steady_clock::now();
+    op->done = [cb = std::move(cb)](Status st, RemoteReply r) {
+      cb(st.ok() ? to_put_result(r) : PutResult::failure(std::move(st)));
+    };
+    remote_attempt(std::move(op));
+    return;
+  }
+  run_put_op(key, std::move(value), opts, std::move(cb),
+             [this, expected](const std::string& k, Value v,
+                              StoreService::PutCallback pcb) {
+               svc_->put_if(k, std::move(v), expected, std::move(pcb));
+             });
+}
+
+void Client::submit_get(const std::string& key, GetCallback cb,
+                        OpOptions opts) {
+  if (closed()) {
+    cb(GetResult::failure(Status::Unavailable("client closed")));
+    return;
+  }
+  if (key.empty()) {
+    cb(GetResult::failure(Status::InvalidArgument("empty key")));
+    return;
+  }
+  if (remote()) {
+    // Gets have no retriable failure: one pipelined RPC under the deadline.
+    pick().async_call(RemoteGet{key, opts.read_mode}, opts.deadline,
+                      [cb = std::move(cb)](Status st, RemoteReply r) {
+                        cb(st.ok() ? to_get_result(r)
+                                   : GetResult::failure(std::move(st)));
+                      });
+    return;
+  }
+  get(key, std::move(cb), opts);  // local path is already lane-async
+}
+
+// ---- completion-queue API ----------------------------------------------------
+
+std::uint64_t Client::async_put(const std::string& key, Value value,
+                                PutCallback cb, OpOptions opts) {
+  LDS_REQUIRE(cb != nullptr, "Client::async_put: null callback");
+  const std::uint64_t h = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  submit_put(key, std::move(value), std::move(cb), opts);
+  return h;
+}
+
+std::uint64_t Client::async_get(const std::string& key, GetCallback cb,
+                                OpOptions opts) {
+  LDS_REQUIRE(cb != nullptr, "Client::async_get: null callback");
+  const std::uint64_t h = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  submit_get(key, std::move(cb), opts);
+  return h;
+}
+
+std::uint64_t Client::async_put_if(const std::string& key, Value value,
+                                   Version expected, PutCallback cb,
+                                   OpOptions opts) {
+  LDS_REQUIRE(cb != nullptr, "Client::async_put_if: null callback");
+  const std::uint64_t h = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  submit_put_if(key, std::move(value), expected, std::move(cb), opts);
+  return h;
+}
+
+std::uint64_t Client::async_put(const std::string& key, Value value,
+                                OpOptions opts) {
+  const std::uint64_t h = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  cq_.start();
+  submit_put(key, std::move(value),
+             [this, h, key](const PutResult& r) {
+               Completion c;
+               c.handle = h;
+               c.kind = Completion::Kind::Put;
+               c.key = key;
+               c.put = r;
+               cq_.push(std::move(c));
+             },
+             opts);
+  return h;
+}
+
+std::uint64_t Client::async_get(const std::string& key, OpOptions opts) {
+  const std::uint64_t h = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  cq_.start();
+  submit_get(key,
+             [this, h, key](const GetResult& r) {
+               Completion c;
+               c.handle = h;
+               c.kind = Completion::Kind::Get;
+               c.key = key;
+               c.get = r;
+               cq_.push(std::move(c));
+             },
+             opts);
+  return h;
+}
+
+std::uint64_t Client::async_put_if(const std::string& key, Value value,
+                                   Version expected, OpOptions opts) {
+  const std::uint64_t h = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  cq_.start();
+  submit_put_if(key, std::move(value), expected,
+                [this, h, key](const PutResult& r) {
+                  Completion c;
+                  c.handle = h;
+                  c.kind = Completion::Kind::PutIf;
+                  c.key = key;
+                  c.put = r;
+                  cq_.push(std::move(c));
+                },
+                opts);
+  return h;
+}
+
 // ---- puts (plain and conditional share one deadline/retry driver) -----------
 
 void Client::put(const std::string& key, Value value, PutCallback cb,
                  OpOptions opts) {
-  if (remote_) {
+  if (remote()) {
     PutResult r;
     if (closed()) {
       r = PutResult::failure(Status::Unavailable("client closed"));
@@ -110,7 +363,7 @@ void Client::put(const std::string& key, Value value, PutCallback cb,
       r = PutResult::failure(Status::InvalidArgument("empty key"));
     } else {
       r = remote_put_op(opts, [&](double deadline_s) {
-        return remote_->put(key, value, deadline_s);
+        return pick().put(key, value, deadline_s);
       });
     }
     if (cb) cb(r);
@@ -125,7 +378,7 @@ void Client::put(const std::string& key, Value value, PutCallback cb,
 
 void Client::put_if_version(const std::string& key, Value value,
                             Version expected, PutCallback cb, OpOptions opts) {
-  if (remote_) {
+  if (remote()) {
     PutResult r;
     if (closed()) {
       r = PutResult::failure(Status::Unavailable("client closed"));
@@ -133,7 +386,7 @@ void Client::put_if_version(const std::string& key, Value value,
       r = PutResult::failure(Status::InvalidArgument("empty key"));
     } else {
       r = remote_put_op(opts, [&](double deadline_s) {
-        return remote_->put_if(key, value, expected, deadline_s);
+        return pick().put_if(key, value, expected, deadline_s);
       });
     }
     if (cb) cb(r);
@@ -216,9 +469,9 @@ void Client::get(const std::string& key, GetCallback cb, OpOptions opts) {
     if (cb) cb(GetResult::failure(Status::InvalidArgument("empty key")));
     return;
   }
-  if (remote_) {
+  if (remote()) {
     // Gets have no retriable failure; one blocking RPC under the deadline.
-    const GetResult r = remote_->get(key, opts.read_mode, opts.deadline);
+    const GetResult r = pick().get(key, opts.read_mode, opts.deadline);
     if (cb) cb(r);
     return;
   }
@@ -254,6 +507,32 @@ void Client::multi_get(std::vector<std::string> keys, MultiGetCallback cb,
     cb({});
     return;
   }
+  if (remote()) {
+    // Concurrent fan-out over the connection pool: every sub-get is
+    // pipelined before the first reply is awaited, so the batch costs one
+    // round-trip, not keys.size() of them.  The callback still fires
+    // inline on this thread (the documented remote contract).
+    const std::size_t n = keys.size();
+    std::vector<GetResult> results(n);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t left = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      submit_get(
+          keys[i],
+          [&, i](const GetResult& r) {
+            std::lock_guard<std::mutex> lk(mu);
+            results[i] = r;
+            if (--left == 0) cv.notify_one();
+          },
+          opts);
+    }
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return left == 0; });
+    lk.unlock();
+    cb(std::move(results));
+    return;
+  }
   auto gather = detail::make_gather<GetResult>(keys.size(), std::move(cb));
   for (std::size_t i = 0; i < keys.size(); ++i) {
     get(keys[i],
@@ -269,6 +548,28 @@ void Client::multi_put(std::vector<KeyValue> entries, MultiPutCallback cb,
   LDS_REQUIRE(cb != nullptr, "Client::multi_put: null callback");
   if (entries.empty()) {
     cb({});
+    return;
+  }
+  if (remote()) {
+    const std::size_t n = entries.size();
+    std::vector<PutResult> results(n);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t left = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      submit_put(
+          entries[i].key, std::move(entries[i].value),
+          [&, i](const PutResult& r) {
+            std::lock_guard<std::mutex> lk(mu);
+            results[i] = r;
+            if (--left == 0) cv.notify_one();
+          },
+          opts);
+    }
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return left == 0; });
+    lk.unlock();
+    cb(std::move(results));
     return;
   }
   auto gather = detail::make_gather<PutResult>(entries.size(), std::move(cb));
@@ -287,7 +588,7 @@ using detail::run_op_sync;
 
 Result<Version> Client::put_sync(const std::string& key, Value value,
                                  OpOptions opts) {
-  if (remote_) {
+  if (remote()) {
     // Remote async ops block inline, so the callback has fired by return.
     PutResult rr;
     put(key, std::move(value), [&rr](const PutResult& pr) { rr = pr; }, opts);
@@ -308,7 +609,7 @@ Result<Version> Client::put_sync(const std::string& key, Value value,
 
 Result<VersionedValue> Client::get_sync(const std::string& key,
                                         OpOptions opts) {
-  if (remote_) {
+  if (remote()) {
     GetResult rr;
     get(key, [&rr](const GetResult& gr) { rr = gr; }, opts);
     if (!rr.ok) return rr.status;
@@ -328,7 +629,7 @@ Result<VersionedValue> Client::get_sync(const std::string& key,
 Result<Version> Client::put_if_version_sync(const std::string& key,
                                             Value value, Version expected,
                                             OpOptions opts) {
-  if (remote_) {
+  if (remote()) {
     PutResult rr;
     put_if_version(key, std::move(value), expected,
                    [&rr](const PutResult& pr) { rr = pr; }, opts);
@@ -349,7 +650,7 @@ Result<Version> Client::put_if_version_sync(const std::string& key,
 
 std::vector<GetResult> Client::multi_get_sync(std::vector<std::string> keys,
                                               OpOptions opts) {
-  if (remote_) {
+  if (remote()) {
     std::vector<GetResult> rr;
     multi_get(std::move(keys), [&rr](std::vector<GetResult> v) {
       rr = std::move(v);
@@ -364,7 +665,7 @@ std::vector<GetResult> Client::multi_get_sync(std::vector<std::string> keys,
 
 std::vector<PutResult> Client::multi_put_sync(std::vector<KeyValue> entries,
                                               OpOptions opts) {
-  if (remote_) {
+  if (remote()) {
     std::vector<PutResult> rr;
     multi_put(std::move(entries), [&rr](std::vector<PutResult> v) {
       rr = std::move(v);

@@ -21,14 +21,19 @@
 //   * Status-returning sync wrappers — Result<Version> / Result<
 //     VersionedValue> in the RocksDB Status idiom (common/status.h).
 //
-// Remote-connect mode (Client::connect): the same API over a TCP connection
-// to a served StoreService (store/remote.h, tools/lds_served.cpp).  The
-// differences are inherent to leaving the address space: OpOptions::deadline
-// and RetryPolicy backoffs are wall-clock SECONDS (engine time does not
-// exist on this side of the socket), async callbacks are invoked inline
-// after the blocking RPC completes, multi_get/multi_put issue their
-// sub-operations sequentially over the one connection, and nothing is
-// deterministic.  ReadMode still applies (the mode rides the request).
+// Remote-connect mode (Client::connect): the same API over a pool of TCP
+// connections to a served StoreService (store/remote.h, tools/lds_served.cpp).
+// The differences are inherent to leaving the address space:
+// OpOptions::deadline and RetryPolicy backoffs are wall-clock SECONDS
+// (engine time does not exist on this side of the socket), put/get/
+// put_if_version callbacks are invoked inline after the blocking RPC
+// completes, and nothing is deterministic.  ReadMode still applies (the
+// mode rides the request).  multi_get/multi_put pipeline their
+// sub-operations concurrently across the pool — a batch costs one round
+// trip — and the completion-queue API below (async_put/async_get/
+// async_put_if + CompletionQueue) submits without blocking at all:
+// completions surface on the transport's progress threads, deadlines on
+// its timer thread, retries without occupying a caller thread.
 //
 // Values are zero-copy handles end to end: the buffer a caller puts is the
 // buffer the batch window queues, the writer fans out, and the L1 servers
@@ -40,11 +45,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "net/transport.h"
 #include "store/store_service.h"
 
 namespace lds::store {
@@ -80,6 +90,87 @@ struct VersionedValue {
   Value value;
 };
 
+/// One finished async operation, retrieved from a CompletionQueue.  `kind`
+/// selects which result field is meaningful.
+struct Completion {
+  enum class Kind : std::uint8_t { Put, Get, PutIf };
+  std::uint64_t handle = 0;  ///< what async_put/async_get returned
+  Kind kind = Kind::Put;
+  std::string key;
+  PutResult put;  ///< Kind::Put / Kind::PutIf
+  GetResult get;  ///< Kind::Get
+};
+
+/// Where async operations complete.  Producers are the client's transport
+/// progress threads; any number of consumer threads may poll/wait/drain.
+/// An operation is OUTSTANDING from submission until its completion event
+/// is retrieved — so `while (cq.outstanding() > 0) cq.wait(&c);` drains a
+/// pipeline exactly.
+class CompletionQueue {
+ public:
+  /// Ready events plus operations still in flight.
+  std::size_t outstanding() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return inflight_ + ready_.size();
+  }
+
+  /// Nonblocking: pop one ready completion.  False when none is ready.
+  bool poll(Completion* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pop_locked(out);
+  }
+
+  /// Block until a completion is ready and pop it.  `timeout_s` bounds the
+  /// wait (0 = unbounded).  Returns false on timeout — or immediately when
+  /// nothing is outstanding (a wait with no producers cannot complete).
+  bool wait(Completion* out, double timeout_s = 0) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto ready = [&] { return !ready_.empty() || inflight_ == 0; };
+    if (timeout_s > 0) {
+      if (!cv_.wait_for(lk, std::chrono::duration<double>(timeout_s), ready)) {
+        return false;
+      }
+    } else {
+      cv_.wait(lk, ready);
+    }
+    return pop_locked(out);
+  }
+
+  /// Nonblocking: append every ready completion to `*out`; returns how many.
+  std::size_t drain(std::vector<Completion>* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t n = ready_.size();
+    for (auto& c : ready_) out->push_back(std::move(c));
+    ready_.clear();
+    return n;
+  }
+
+ private:
+  friend class Client;
+
+  void start() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++inflight_;
+  }
+  void push(Completion c) {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+    ready_.push_back(std::move(c));
+    cv_.notify_all();
+  }
+  bool pop_locked(Completion* out) {
+    if (ready_.empty()) return false;
+    *out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Completion> ready_;
+  std::size_t inflight_ = 0;
+};
+
 class Client {
  public:
   using PutCallback = StoreService::PutCallback;
@@ -91,6 +182,17 @@ class Client {
   explicit Client(StoreService& service);
   ~Client();
 
+  /// Remote-connect tuning.  Defaults reproduce the classic single-
+  /// connection client.
+  struct ConnectOptions {
+    /// TCP connections in the pool; async operations and multi_get/
+    /// multi_put fan out across them round-robin.
+    std::size_t connections = 1;
+    /// Per-connection transport knobs (progress threads, recv pool,
+    /// backlog watermarks, ... — see net::TcpTransport::Options).
+    net::TcpTransport::Options transport;
+  };
+
   /// Remote-connect mode: a client whose operations travel over TCP to a
   /// served StoreService at host:port (see the header note for the semantic
   /// differences).  Returns nullptr on connection failure, with the reason
@@ -98,7 +200,10 @@ class Client {
   static std::unique_ptr<Client> connect(const std::string& host,
                                          std::uint16_t port,
                                          Status* status = nullptr);
-  bool remote() const { return remote_ != nullptr; }
+  static std::unique_ptr<Client> connect(const std::string& host,
+                                         std::uint16_t port, Status* status,
+                                         ConnectOptions copts);
+  bool remote() const { return !remotes_.empty(); }
 
   // ---- async API ------------------------------------------------------------
   void put(const std::string& key, Value value, PutCallback cb,
@@ -117,6 +222,34 @@ class Client {
   void multi_put(std::vector<KeyValue> entries, MultiPutCallback cb,
                  OpOptions opts = {});
 
+  // ---- completion-queue API --------------------------------------------------
+  // Submit without blocking; the result arrives in completions() (or the
+  // given callback) once the operation finishes.  Remote mode: the request
+  // is pipelined onto a pool connection and the submitting thread returns
+  // as soon as the frame is queued (it may block only at the transport's
+  // backlog watermark).  Local mode: rides the normal lane-async path.
+  // OpOptions::deadline and retry apply per operation; expiry/cancellation
+  // complete the op with DeadlineExceeded/Unavailable like the sync API.
+
+  /// The queue async completions land on (when submitted without callback).
+  CompletionQueue& completions() { return cq_; }
+
+  std::uint64_t async_put(const std::string& key, Value value,
+                          OpOptions opts = {});
+  std::uint64_t async_get(const std::string& key, OpOptions opts = {});
+  std::uint64_t async_put_if(const std::string& key, Value value,
+                             Version expected, OpOptions opts = {});
+
+  /// Callback-style variants: `cb` fires on a transport progress thread
+  /// (remote) or the key's shard lane (local) instead of the queue.
+  std::uint64_t async_put(const std::string& key, Value value, PutCallback cb,
+                          OpOptions opts = {});
+  std::uint64_t async_get(const std::string& key, GetCallback cb,
+                          OpOptions opts = {});
+  std::uint64_t async_put_if(const std::string& key, Value value,
+                             Version expected, PutCallback cb,
+                             OpOptions opts = {});
+
   // ---- sync wrappers (Status idiom) -----------------------------------------
   // Deterministic mode drives the simulator until the op settles; Parallel
   // mode blocks the calling thread.
@@ -131,9 +264,12 @@ class Client {
                                         OpOptions opts = {});
 
   // ---- lifecycle ------------------------------------------------------------
-  /// After close(), every operation completes immediately with Unavailable.
-  /// In-flight operations are unaffected.  Idempotent, thread-safe.
-  void close() { closed_.store(true, std::memory_order_release); }
+  /// After close(), every new operation completes immediately with
+  /// Unavailable.  Remote mode also drops the pool's connections, which
+  /// CANCELS in-flight async operations: each pending completion is
+  /// delivered with Unavailable (local in-flight operations are
+  /// unaffected).  Idempotent, thread-safe.
+  void close();
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Local mode only (remote clients have no in-process service).
@@ -150,15 +286,30 @@ class Client {
   using PutSubmit =
       std::function<void(const std::string&, Value, StoreService::PutCallback)>;
 
-  explicit Client(std::unique_ptr<RemoteSession> remote);
+  /// Async remote attempt chain (retry state; see client.cpp).
+  struct AsyncOp;
+
+  explicit Client(std::vector<std::unique_ptr<RemoteSession>> remotes);
 
   std::size_t lane_of_key(const std::string& key) const {
     return svc_->shard_lane(svc_->router().shard_of(key));
   }
+  /// Round-robin over the connection pool (remote mode only).
+  RemoteSession& pick();
   /// Remote path shared by put and put_if_version: wall-clock deadline +
   /// bounded-backoff retries around one blocking RPC per attempt.
   PutResult remote_put_op(OpOptions opts,
                           const std::function<PutResult(double)>& attempt);
+  /// Fire one attempt of an async remote op (and its retries, scheduled on
+  /// the session's timer thread).
+  void remote_attempt(std::shared_ptr<AsyncOp> op);
+  /// Nonblocking submission cores shared by the async_* overloads and the
+  /// remote multi_* fan-out.  `cb` always fires exactly once.
+  void submit_put(const std::string& key, Value value, PutCallback cb,
+                  OpOptions opts);
+  void submit_get(const std::string& key, GetCallback cb, OpOptions opts);
+  void submit_put_if(const std::string& key, Value value, Version expected,
+                     PutCallback cb, OpOptions opts);
   /// Shared driver for put and put_if_version: closed/empty-key prechecks,
   /// lane hop, deadline arming, bounded-backoff retries.
   void run_put_op(const std::string& key, Value value, OpOptions opts,
@@ -167,8 +318,11 @@ class Client {
                       std::shared_ptr<PutOp> op, std::size_t attempt,
                       double backoff, std::shared_ptr<PutSubmit> submit);
 
-  StoreService* svc_ = nullptr;            ///< local mode
-  std::unique_ptr<RemoteSession> remote_;  ///< remote mode
+  StoreService* svc_ = nullptr;  ///< local mode
+  std::vector<std::unique_ptr<RemoteSession>> remotes_;  ///< remote pool
+  std::atomic<std::size_t> rr_{0};  ///< round-robin cursor over remotes_
+  CompletionQueue cq_;
+  std::atomic<std::uint64_t> next_handle_{1};
   std::atomic<bool> closed_{false};
 };
 

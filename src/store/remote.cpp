@@ -21,12 +21,13 @@ Status truncated(const std::string& what) {
   return net::codec::truncated_frame(what);
 }
 
-/// Wire layouts (after the generic header; value payloads trail):
-///   0 RemotePut    key-blob | u32 len + value
+/// Wire layouts (after the generic header, whose payload-length field names
+/// the trailing value extent):
+///   0 RemotePut    key-blob | value payload
 ///   1 RemoteGet    u8 mode | key-blob
-///   2 RemotePutIf  u8 expected_known | tag | key-blob | u32 len + value
+///   2 RemotePutIf  u8 expected_known | tag | key-blob | value payload
 ///   3 RemoteReply  u8 code | msg-blob | u8 version_known | tag |
-///                  u8 coalesced | u8 has_value | u32 len + value
+///                  u8 coalesced | u8 has_value | value payload
 class StoreCodec final : public FamilyCodec {
  public:
   const char* name() const override { return "store"; }
@@ -78,16 +79,16 @@ class StoreCodec final : public FamilyCodec {
     *size = std::visit(
         overloaded{
             [](const RemotePut& b) -> std::uint64_t {
-              return kBase + 4 + b.key.size() + 4 + b.value.size();
+              return kBase + 4 + b.key.size() + b.value.size();
             },
             [](const RemoteGet& b) -> std::uint64_t {
               return kBase + 1 + 4 + b.key.size();
             },
             [](const RemotePutIf& b) -> std::uint64_t {
-              return kBase + 1 + kTag + 4 + b.key.size() + 4 + b.value.size();
+              return kBase + 1 + kTag + 4 + b.key.size() + b.value.size();
             },
             [](const RemoteReply& b) -> std::uint64_t {
-              return kBase + 1 + 4 + b.message.size() + 1 + kTag + 1 + 1 + 4 +
+              return kBase + 1 + 4 + b.message.size() + 1 + kTag + 1 + 1 +
                      b.value.size();
             },
         },
@@ -163,25 +164,6 @@ class StoreCodec final : public FamilyCodec {
   }
 };
 
-PutResult to_put_result(const RemoteReply& r) {
-  if (r.code == StatusCode::kOk) {
-    PutResult p = PutResult::success(r.tag);
-    p.coalesced = r.coalesced;
-    return p;
-  }
-  PutResult p = PutResult::failure(Status::FromCode(r.code, r.message));
-  if (r.version_known) {  // Aborted surfaces the observed version
-    p.tag = r.tag;
-    p.version = Version(r.tag);
-  }
-  return p;
-}
-
-GetResult to_get_result(const RemoteReply& r) {
-  if (r.code == StatusCode::kOk) return GetResult::success(r.tag, r.value);
-  return GetResult::failure(Status::FromCode(r.code, r.message));
-}
-
 RemoteReply reply_of_put(const PutResult& pr) {
   RemoteReply r;
   r.code = pr.status.code();
@@ -204,6 +186,27 @@ RemoteReply reply_of_get(const GetResult& gr) {
 }
 
 }  // namespace
+
+// ---- reply conversions -------------------------------------------------------
+
+PutResult to_put_result(const RemoteReply& r) {
+  if (r.code == StatusCode::kOk) {
+    PutResult p = PutResult::success(r.tag);
+    p.coalesced = r.coalesced;
+    return p;
+  }
+  PutResult p = PutResult::failure(Status::FromCode(r.code, r.message));
+  if (r.version_known) {  // Aborted surfaces the observed version
+    p.tag = r.tag;
+    p.version = Version(r.tag);
+  }
+  return p;
+}
+
+GetResult to_get_result(const RemoteReply& r) {
+  if (r.code == StatusCode::kOk) return GetResult::success(r.tag, r.value);
+  return GetResult::failure(Status::FromCode(r.code, r.message));
+}
 
 // ---- RemoteMessage -----------------------------------------------------------
 
@@ -248,7 +251,8 @@ void register_store_wire() {
 
 // ---- RemoteServer ------------------------------------------------------------
 
-RemoteServer::RemoteServer(StoreService& svc) : svc_(svc) {
+RemoteServer::RemoteServer(StoreService& svc, net::TcpTransport::Options topt)
+    : svc_(svc), transport_(topt) {
   register_store_wire();
 }
 
@@ -322,18 +326,15 @@ void RemoteServer::on_message(NodeId peer, const net::MessagePtr& msg) {
 
 // ---- RemoteSession -----------------------------------------------------------
 
-std::unique_ptr<RemoteSession> RemoteSession::open(const std::string& host,
-                                                   std::uint16_t port,
-                                                   Status* status) {
+std::unique_ptr<RemoteSession> RemoteSession::open(
+    const std::string& host, std::uint16_t port, Status* status,
+    net::TcpTransport::Options topt) {
   register_store_wire();
   // No make_unique: the constructor is private.
-  std::unique_ptr<RemoteSession> s(new RemoteSession());
+  std::unique_ptr<RemoteSession> s(new RemoteSession(topt));
   RemoteSession* raw = s.get();
-  s->transport_.set_disconnect_handler([raw](NodeId) {
-    std::lock_guard<std::mutex> lk(raw->mu_);
-    raw->disconnected_ = true;
-    raw->cv_.notify_all();
-  });
+  s->transport_.set_disconnect_handler(
+      [raw](NodeId) { raw->fail_all(Status::Unavailable("connection lost")); });
   const Status st = s->transport_.connect(
       host, port,
       [raw](NodeId peer, net::MessagePtr msg) { raw->on_message(peer, msg); },
@@ -346,11 +347,36 @@ std::unique_ptr<RemoteSession> RemoteSession::open(const std::string& host,
   return s;
 }
 
-RemoteSession::~RemoteSession() { transport_.stop(); }
+RemoteSession::~RemoteSession() { close(); }
+
+void RemoteSession::close() {
+  // Stop first: joins the progress threads, so no reply/timer/disconnect
+  // callback can race the sweep below.  Whatever is still pending after the
+  // join lost its chance at a reply.
+  transport_.stop();
+  fail_all(Status::Unavailable("session closed"));
+}
 
 bool RemoteSession::connected() const {
   std::lock_guard<std::mutex> lk(mu_);
   return !disconnected_;
+}
+
+std::size_t RemoteSession::inflight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+void RemoteSession::fail_all(const Status& why) {
+  std::vector<ReplyCallback> victims;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    disconnected_ = true;
+    victims.reserve(pending_.size());
+    for (auto& [id, cb] : pending_) victims.push_back(std::move(cb));
+    pending_.clear();
+  }
+  for (auto& cb : victims) cb(why, RemoteReply{});
 }
 
 void RemoteSession::on_message(NodeId peer, const net::MessagePtr& msg) {
@@ -359,54 +385,94 @@ void RemoteSession::on_message(NodeId peer, const net::MessagePtr& msg) {
   if (m == nullptr) return;
   const auto* reply = std::get_if<RemoteReply>(&m->body());
   if (reply == nullptr) return;  // requests don't flow server -> client
-  std::lock_guard<std::mutex> lk(mu_);
-  const auto it = pending_.find(m->op());
-  if (it == pending_.end()) return;  // deadline already gave up on this id
-  it->second.reply = *reply;
-  it->second.done = true;
-  cv_.notify_all();
-}
-
-Status RemoteSession::call(RemoteBody req, double deadline_s,
-                           RemoteReply* out) {
-  OpId id = 0;
+  ReplyCallback cb;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (disconnected_) return Status::Unavailable("connection lost");
-    id = next_id_++;
+    const auto it = pending_.find(m->op());
+    if (it == pending_.end()) return;  // deadline already gave up on this id
+    cb = std::move(it->second);
+    pending_.erase(it);
+  }
+  cb(Status::Ok(), *reply);  // unlocked: the callback may issue new calls
+}
+
+void RemoteSession::async_call(RemoteBody req, double deadline_s,
+                               ReplyCallback cb) {
+  LDS_REQUIRE(cb != nullptr, "RemoteSession::async_call: null callback");
+  OpId id = 0;  // next_id_ starts at 1: 0 still means "disconnected"
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!disconnected_) id = next_id_++;
+  }
+  if (id == 0) {
+    cb(Status::Unavailable("connection lost"), RemoteReply{});
+    return;
   }
   auto msg = RemoteMessage::make(id, std::move(req));
   // A request that cannot fit one frame would be dropped by the transport
   // (and treated as hostile by the server); fail it as a caller error.
   const std::uint64_t frame = net::codec::encoded_size(*msg);
   if (frame > net::codec::kMaxFrameBytes) {
-    return Status::InvalidArgument(
-        "request of " + std::to_string(frame) +
-        " bytes exceeds the frame limit of " +
-        std::to_string(net::codec::kMaxFrameBytes));
+    cb(Status::InvalidArgument("request of " + std::to_string(frame) +
+                               " bytes exceeds the frame limit of " +
+                               std::to_string(net::codec::kMaxFrameBytes)),
+       RemoteReply{});
+    return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (disconnected_) return Status::Unavailable("connection lost");
-    pending_.emplace(id, Pending{});
-  }
-  transport_.deliver(0, server_, std::move(msg), 0);
-  std::unique_lock<std::mutex> lk(mu_);
-  const auto ready = [&] { return pending_.at(id).done || disconnected_; };
-  if (deadline_s > 0) {
-    if (!cv_.wait_for(lk, std::chrono::duration<double>(deadline_s), ready)) {
-      pending_.erase(id);  // late reply will be dropped by on_message
-      return Status::DeadlineExceeded("deadline " +
-                                      std::to_string(deadline_s) +
-                                      "s expired");
+    std::unique_lock<std::mutex> lk(mu_);
+    if (disconnected_) {
+      lk.unlock();  // never invoke a callback under mu_
+      cb(Status::Unavailable("connection lost"), RemoteReply{});
+      return;
     }
-  } else {
-    cv_.wait(lk, ready);
+    pending_.emplace(id, std::move(cb));
   }
-  Pending p = std::move(pending_.at(id));
-  pending_.erase(id);
-  if (!p.done) return Status::Unavailable("connection lost");
-  *out = std::move(p.reply);
+  if (deadline_s > 0) {
+    // The expiry races the reply for the pending entry; the loser finds
+    // the map empty and walks away.  A false return (session closing) is
+    // fine: close()'s fail_all sweeps the entry instead.
+    transport_.after(deadline_s, [this, id, deadline_s] {
+      ReplyCallback late;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = pending_.find(id);
+        if (it == pending_.end()) return;  // reply won the race
+        late = std::move(it->second);
+        pending_.erase(it);
+      }
+      late(Status::DeadlineExceeded("deadline " + std::to_string(deadline_s) +
+                                    "s expired"),
+           RemoteReply{});
+    });
+  }
+  // May block at the transport's backlog watermark; the deadline timer
+  // above still fires on schedule while we wait.
+  transport_.deliver(0, server_, std::move(msg), 0);
+}
+
+Status RemoteSession::call(RemoteBody req, double deadline_s,
+                           RemoteReply* out) {
+  struct Cell {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status st = Status::Ok();
+    RemoteReply reply;
+  };
+  auto cell = std::make_shared<Cell>();
+  async_call(std::move(req), deadline_s,
+             [cell](Status st, RemoteReply reply) {
+               std::lock_guard<std::mutex> lk(cell->mu);
+               cell->st = std::move(st);
+               cell->reply = std::move(reply);
+               cell->done = true;
+               cell->cv.notify_one();
+             });
+  std::unique_lock<std::mutex> lk(cell->mu);
+  cell->cv.wait(lk, [&] { return cell->done; });
+  if (!cell->st.ok()) return std::move(cell->st);
+  *out = std::move(cell->reply);
   return Status::Ok();
 }
 

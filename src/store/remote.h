@@ -97,6 +97,11 @@ class RemoteMessage final : public net::Payload {
 /// RemoteMessages to a transport directly, e.g. bench_codec).
 void register_store_wire();
 
+/// Convert a RemoteReply into the client-visible result types (used by the
+/// session's blocking wrappers and Client's async completion path).
+PutResult to_put_result(const RemoteReply& r);
+GetResult to_get_result(const RemoteReply& r);
+
 // ---- server ------------------------------------------------------------------
 
 /// Accepts remote store clients and bridges them onto a StoreService.
@@ -104,7 +109,8 @@ void register_store_wire();
 /// tests.  The service must be in Parallel mode and must outlive the server.
 class RemoteServer {
  public:
-  explicit RemoteServer(StoreService& svc);
+  explicit RemoteServer(StoreService& svc,
+                        net::TcpTransport::Options topt = {});
   ~RemoteServer();
 
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and start serving.
@@ -133,15 +139,31 @@ class RemoteServer {
 // ---- client session ----------------------------------------------------------
 
 /// One TCP connection to a RemoteServer, shared by any number of caller
-/// threads: requests are pipelined under per-connection ids and each caller
-/// blocks on its own reply.  Deadlines are wall-clock seconds — engine time
-/// does not exist on this side of the socket.
+/// threads: requests are pipelined under per-connection ids.  The session is
+/// ASYNC-FIRST — async_call() sends a request and later invokes a callback
+/// with the reply (on the transport's progress thread), a deadline expiry
+/// (transport timer thread), or a disconnect failure.  Exactly one of those
+/// wins per request: whichever fires first pops the pending entry.  The
+/// blocking put/get/put_if are thin cell-and-wait wrappers over async_call.
+/// Deadlines are wall-clock seconds — engine time does not exist on this
+/// side of the socket.
 class RemoteSession {
  public:
-  static std::unique_ptr<RemoteSession> open(const std::string& host,
-                                             std::uint16_t port,
-                                             Status* status = nullptr);
+  /// Reply delivery: Ok + the reply, or the failure (DeadlineExceeded /
+  /// Unavailable / InvalidArgument) with a default reply.  Runs on a
+  /// transport progress thread — never block in it on another RPC's
+  /// completion; chaining a NEW async_call from inside is fine.
+  using ReplyCallback = std::function<void(Status, RemoteReply)>;
+
+  static std::unique_ptr<RemoteSession> open(
+      const std::string& host, std::uint16_t port, Status* status = nullptr,
+      net::TcpTransport::Options topt = {});
   ~RemoteSession();
+
+  /// Send one request; `cb` fires exactly once with the outcome.  Failures
+  /// detected before the wire (oversized frame, already disconnected)
+  /// invoke `cb` synchronously on the caller's thread.
+  void async_call(RemoteBody req, double deadline_s, ReplyCallback cb);
 
   PutResult put(const std::string& key, Value value, double deadline_s = 0);
   GetResult get(const std::string& key, ReadMode mode = ReadMode::Atomic,
@@ -150,25 +172,35 @@ class RemoteSession {
                    double deadline_s = 0);
 
   bool connected() const;
+  /// Drop the connection and fail every in-flight request with Unavailable
+  /// (callbacks run on the calling thread).  Idempotent; the dtor calls it.
+  void close();
+
+  /// Requests sent whose outcome callback has not fired yet.
+  std::size_t inflight() const;
+  /// Transport stats (zero-copy bytes, backpressure stalls, ...).
+  const net::TcpTransport& transport() const { return transport_; }
+  /// Run `fn` on the transport timer thread after `delay_s` seconds; false
+  /// once the session is closed.  Retry/backoff timers live here.
+  bool after(double delay_s, std::function<void()> fn) {
+    return transport_.after(delay_s, std::move(fn));
+  }
 
  private:
-  RemoteSession() = default;
-
-  struct Pending {
-    bool done = false;
-    RemoteReply reply;
-  };
+  explicit RemoteSession(net::TcpTransport::Options topt)
+      : transport_(topt) {}
 
   /// Send one request and block for its reply (or deadline/disconnect).
   Status call(RemoteBody req, double deadline_s, RemoteReply* out);
   void on_message(NodeId peer, const net::MessagePtr& msg);
+  /// Pop every pending request and fail it with `why` (unlocked callbacks).
+  void fail_all(const Status& why);
 
   net::TcpTransport transport_;
   NodeId server_ = kNoNode;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::uint64_t next_id_ = 1;
-  std::unordered_map<OpId, Pending> pending_;
+  std::unordered_map<OpId, ReplyCallback> pending_;
   bool disconnected_ = false;
 };
 

@@ -239,6 +239,10 @@ StoreService::~StoreService() {
 }
 
 Status StoreService::listen(std::uint16_t port) {
+  return listen(port, ListenOptions());
+}
+
+Status StoreService::listen(std::uint16_t port, ListenOptions lo) {
   if (remote_ != nullptr && remote_->listening()) {
     return Status::InvalidArgument("already listening on port " +
                                    std::to_string(remote_->port()));
@@ -251,7 +255,11 @@ Status StoreService::listen(std::uint16_t port) {
   if (remote_ != nullptr && remote_->stopped()) {
     retired_remotes_.push_back(std::move(remote_));
   }
-  if (remote_ == nullptr) remote_ = std::make_unique<RemoteServer>(*this);
+  if (remote_ == nullptr) {
+    net::TcpTransport::Options topt;
+    topt.progress_threads = lo.net_threads == 0 ? 1 : lo.net_threads;
+    remote_ = std::make_unique<RemoteServer>(*this, topt);
+  }
   return remote_->listen(port);
 }
 

@@ -270,7 +270,16 @@ class StoreService {
   /// else InvalidArgument.  InvalidArgument while already listening;
   /// listen() after stop_listening() starts a fresh server.  Not
   /// deterministic (see net/transport.h).
+  ///
+  /// ListenOptions tunes the serving transport without dragging
+  /// net/transport.h into this header; net_threads maps to
+  /// TcpTransport::Options::progress_threads (connections shard across
+  /// them round-robin).
+  struct ListenOptions {
+    std::size_t net_threads = 1;
+  };
   Status listen(std::uint16_t port);
+  Status listen(std::uint16_t port, ListenOptions lo);
   /// The bound port after a successful listen(); 0 when not listening.
   std::uint16_t listen_port() const;
   /// Drop every remote connection and stop accepting; in-flight operations

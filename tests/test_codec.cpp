@@ -270,15 +270,88 @@ TEST(Codec, RejectsCorruptFramesInEveryFamily) {
 
 TEST(Codec, RejectsInteriorLengthOverrun) {
   // A blob length field pointing past the end of its frame must not read
-  // out of bounds.  PutData: [..header..][tag][u32 len][payload].
+  // out of bounds.  DataRespCoded: [..header..][tag][i32][u32 len][element].
   Rng rng(11);
   const auto msg = core::LdsMessage::make(
-      1, make_op_id(2, 3), core::PutData{Tag{5, 1}, Value(rng.bytes(64))});
+      1, make_op_id(2, 3), core::DataRespCoded{Tag{5, 1}, 3, rng.bytes(64)});
   Bytes wire = encode(*msg).to_bytes();
-  const std::size_t len_off = kFrameOverheadBytes + kTagWireBytes;
+  const std::size_t len_off = kFrameOverheadBytes + kTagWireBytes + 4;
   const std::uint32_t overrun = 1u << 30;
   std::memcpy(wire.data() + len_off, &overrun, 4);
   expect_rejected(wire, "interior length overrun");
+}
+
+TEST(Codec, RejectsHeaderPayloadOverrunAndMisplacedPayload) {
+  // The header's payload-length field is what the streaming receiver trusts
+  // for zero-copy recv: a value past the frame end must be rejected before
+  // any buffer is sized from it, and payload bytes on a payload-free type
+  // must not be silently swallowed.
+  Rng rng(13);
+  const auto msg = core::LdsMessage::make(
+      1, make_op_id(2, 3), core::PutData{Tag{5, 1}, Value(rng.bytes(64))});
+  Bytes wire = encode(*msg).to_bytes();
+  const std::size_t pay_off = kLenPrefixBytes + kHeaderBytes - 4;
+  std::uint32_t evil = static_cast<std::uint32_t>(wire.size());  // > frame
+  std::memcpy(wire.data() + pay_off, &evil, 4);
+  expect_rejected(wire, "header payload overrun");
+
+  // frame_layout (the transport's probe) must reject it too.
+  std::size_t total = 0, payload = 0;
+  EXPECT_FALSE(frame_layout(wire.data(), wire.size(), &total, &payload).ok());
+
+  // A QueryTag (no payload) whose header claims payload bytes: the bytes
+  // would go unconsumed, which decode treats as hostile.
+  const auto bare =
+      core::LdsMessage::make(1, make_op_id(2, 3), core::QueryTag{});
+  Bytes w2 = encode(*bare).to_bytes();
+  w2.push_back(0xcd);
+  w2.push_back(0xcd);
+  const auto n = static_cast<std::uint32_t>(w2.size() - kLenPrefixBytes);
+  std::memcpy(w2.data(), &n, 4);
+  evil = 2;
+  std::memcpy(w2.data() + pay_off, &evil, 4);
+  expect_rejected(w2, "payload on payload-free type");
+}
+
+TEST(Codec, FrameLayoutSplitsPayloadExtent) {
+  Rng rng(17);
+  const Value v(rng.bytes(4096));
+  const auto msg = core::LdsMessage::make(
+      1, make_op_id(2, 3), core::PutData{Tag{5, 1}, v});
+  const Bytes wire = encode(*msg).to_bytes();
+  std::size_t total = 0, payload = 0;
+  // Too short to know: Ok with zeros.
+  ASSERT_TRUE(frame_layout(wire.data(), kFrameOverheadBytes - 1, &total,
+                           &payload)
+                  .ok());
+  EXPECT_EQ(total, 0u);
+  ASSERT_TRUE(frame_layout(wire.data(), wire.size(), &total, &payload).ok());
+  EXPECT_EQ(total, wire.size());
+  EXPECT_EQ(payload, v.size());
+
+  // decode_with_payload over the head/payload split is the zero-copy mirror
+  // of decode: same message, and the Value handle is shared, not copied.
+  const std::size_t head_len = total - payload;
+  Value pay(Bytes(wire.begin() + static_cast<std::ptrdiff_t>(head_len),
+                  wire.end()));
+  MessagePtr back;
+  ASSERT_TRUE(
+      decode_with_payload(wire.data(), head_len, pay, &back).ok());
+  const auto* m = dynamic_cast<const core::LdsMessage*>(back.get());
+  ASSERT_NE(m, nullptr);
+  const auto* pd = std::get_if<core::PutData>(&m->body());
+  ASSERT_NE(pd, nullptr);
+  EXPECT_TRUE(pd->value.same_buffer(pay));
+  EXPECT_EQ(static_cast<const Bytes&>(pd->value),
+            static_cast<const Bytes&>(v));
+
+  // A split that disagrees with the header is hostile.
+  MessagePtr out;
+  EXPECT_FALSE(
+      decode_with_payload(wire.data(), head_len + 1, pay, &out).ok());
+  EXPECT_FALSE(decode_with_payload(wire.data(), head_len,
+                                   Value(rng.bytes(payload - 1)), &out)
+                   .ok());
 }
 
 // ---- TcpTransport loopback --------------------------------------------------

@@ -40,7 +40,8 @@ struct ServedOptions {
   std::uint16_t port = 7777;  ///< 0 = ephemeral
   std::string port_file;
   std::size_t shards = 4;
-  std::size_t threads = 0;  ///< engine lanes; 0 = min(shards, hw)
+  std::size_t threads = 0;      ///< engine lanes; 0 = min(shards, hw)
+  std::size_t net_threads = 1;  ///< transport progress threads
   store::ShardProtocol backend = store::ShardProtocol::Lds;
   double batch_window = 0.5;
   double duration = 0;  ///< seconds; 0 = until signal
@@ -57,6 +58,8 @@ void usage(const char* argv0) {
       "  --port-file PATH  write the bound port here once listening\n"
       "  --shards N        consistent-hash shards (4)\n"
       "  --threads N       engine lanes; 0 = min(shards, hw threads) (0)\n"
+      "  --net-threads N   transport progress threads; connections shard\n"
+      "                    across them round-robin (1)\n"
       "  --backend B       lds|abd|cas shard protocol (lds)\n"
       "  --batch-window X  put-coalescing window in engine units (0.5)\n"
       "  --duration SECS   auto-exit after SECS; 0 = until SIGTERM (0)\n"
@@ -125,6 +128,9 @@ int main(int argc, char** argv) {
       const char* v = next();
       ok = v != nullptr;
       if (ok) opt.threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--net-threads") {
+      const char* v = next();
+      ok = v && (opt.net_threads = std::strtoull(v, nullptr, 10)) >= 1;
     } else if (arg == "--backend") {
       const char* v = next();
       ok = v != nullptr;
@@ -199,7 +205,9 @@ int main(int argc, char** argv) {
   }
   store::StoreService svc(sopt);
 
-  if (const Status st = svc.listen(opt.port); !st.ok()) {
+  store::StoreService::ListenOptions lo;
+  lo.net_threads = opt.net_threads;
+  if (const Status st = svc.listen(opt.port, lo); !st.ok()) {
     std::fprintf(stderr, "lds_served: %s\n", st.to_string().c_str());
     return 2;
   }

@@ -26,14 +26,32 @@
 // the non-deterministic parallel engine).
 //
 // --remote host:port drives a running lds_served instance instead of an
-// in-process service: --threads OS threads each hold one TCP connection
-// (store::Client::connect) and run a closed-loop put/get mix — every fourth
-// read is a multi_get — while recording a CLIENT-OBSERVED history with
-// wall-clock invocation/response times.  That history goes through the same
-// atomicity + freshness verifiers, so the linearizability gate holds across
-// a real network hop (NotFound reads are recorded as the initial value, so
-// a stale NotFound after a completed put is a violation, not a skip).
-// Shard count and backend are whatever the server was started with.
+// in-process service: --threads OS threads each hold one client (whose
+// connection-pool size sweeps over --connections) and run a put/get mix —
+// every fourth closed-loop read is a multi_get — while recording a
+// CLIENT-OBSERVED history with wall-clock invocation/response times.  That
+// history goes through the same atomicity + freshness verifiers, so the
+// linearizability gate holds across a real network hop (NotFound reads are
+// recorded as the initial value, so a stale NotFound after a completed put
+// is a violation, not a skip).  Shard count and backend are whatever the
+// server was started with.
+//
+// Two remote load modes:
+//   closed loop (default)  — each thread waits for every reply before the
+//                            next request; latency is pure service time.
+//   open loop (--rate R)   — requests arrive at R ops/s total, spread over
+//                            the threads and submitted through the ASYNC
+//                            completion-queue API regardless of how long
+//                            replies take.  Latency is measured from the
+//                            INTENDED arrival time (immune to coordinated
+//                            omission), so the p99-vs-offered-load curve is
+//                            honest once the server saturates.  --bursty
+//                            draws exponential interarrivals (Poisson
+//                            process) instead of a fixed spacing.
+// Per-op latency histograms (p50/p99/p999, milliseconds) are printed per
+// configuration and embedded in --json.  --require-scaling X fails the run
+// unless remote throughput at the largest --connections value is at least
+// X times the smallest's (the CI gate for connection-count scaling).
 //
 // The JSON output carries one record per configuration (params, throughput,
 // wall time) plus the full MetricsRegistry snapshot of the first replica of
@@ -45,6 +63,7 @@
 #include <cstring>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -80,6 +99,10 @@ struct BenchOptions {
   std::string json_path;
   std::string remote_host;  ///< non-empty = drive a served instance
   std::uint16_t remote_port = 0;
+  std::vector<std::size_t> connections = {1};  ///< remote: pool-size sweep
+  double rate = 0;        ///< remote: open-loop offered load, ops/s (0 = closed)
+  bool bursty = false;    ///< remote: Poisson arrivals instead of fixed spacing
+  double require_scaling = 0;  ///< remote: min tput ratio largest/smallest pool
 };
 
 struct ReplicaResult {
@@ -89,7 +112,20 @@ struct ReplicaResult {
   std::uint64_t coalesced = 0;
   bool verified = true;  ///< every shard history passed both checkers
   std::string metrics_json;
+  std::string latency_json;  ///< remote: {"put_ms":{...},"get_ms":{...}}
+  double p99_ms = 0;         ///< remote: worse of put/get p99, for the table
 };
+
+std::string histogram_json(const lds::store::Histogram& h) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f,"
+                "\"p999\":%.3f,\"max\":%.3f}",
+                static_cast<unsigned long long>(h.count()), h.mean(),
+                h.percentile(0.5), h.percentile(0.99), h.percentile(0.999),
+                h.max());
+  return buf;
+}
 
 /// Replay every shard history through the atomicity + freshness verifiers.
 bool verify_service(StoreService& svc) {
@@ -208,10 +244,10 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
   return out;
 }
 
-/// One --remote configuration: opt.threads connections in closed loops,
-/// verified against the client-observed history.
+/// One --remote configuration: opt.threads clients (each a `connections`-wide
+/// pool), closed- or open-loop, verified against the client-observed history.
 ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
-                         std::uint64_t seed) {
+                         std::size_t connections, std::uint64_t seed) {
   struct SharedHistory {
     std::mutex mu;
     core::History history;
@@ -240,11 +276,14 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
   };
 
   SharedHistory shared;
+  store::Histogram put_lat_ms, get_lat_ms;  // thread-safe (internal lock)
   const auto t0 = std::chrono::steady_clock::now();
   const auto now_s = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
         .count();
   };
+  store::Client::ConnectOptions copts;
+  copts.connections = connections;
 
   // Priming pass: the server may be long-lived, holding versions from
   // sessions this history never saw.  Writing every key once — strictly
@@ -286,8 +325,8 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
   for (std::size_t t = 0; t < opt.threads; ++t) {
     workers.emplace_back([&, t] {
       Status st;
-      const auto client =
-          store::Client::connect(opt.remote_host, opt.remote_port, &st);
+      const auto client = store::Client::connect(opt.remote_host,
+                                                 opt.remote_port, &st, copts);
       if (client == nullptr) {
         std::fprintf(stderr, "remote connect failed: %s\n",
                      st.to_string().c_str());
@@ -317,6 +356,77 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
           shared.error();
         }
       };
+      auto record_put = [&](const std::string& key, double inv, double resp,
+                            const store::PutResult& r, const Value& value) {
+        if (r.status.ok()) {
+          // A coalesced put was absorbed by a newer same-key write: its
+          // value is never readable and its tag belongs to the survivor,
+          // so it has no linearization-visible record (exactly as the
+          // server-side history skips absorbed puts by design).
+          if (!r.coalesced) {
+            shared.record(make_op_id(me, ++seq), core::OpKind::Write, key,
+                          me, inv, resp, r.tag, value);
+          }
+        } else {
+          shared.error();
+        }
+      };
+
+      if (opt.rate > 0) {
+        // Open loop over the async completion-queue API: arrivals come due
+        // on the offered-load clock, never gated on replies.  Latency is
+        // (completion - INTENDED arrival), so queueing delay at saturation
+        // is charged to the server, not hidden by a stalled submitter.
+        struct Pending {
+          std::string key;
+          double sched = 0;
+          Value value;
+          bool is_put = false;
+        };
+        std::unordered_map<std::uint64_t, Pending> pend;
+        auto& cq = client->completions();
+        auto on_completion = [&](const store::Completion& c) {
+          const double resp = now_s();
+          const auto it = pend.find(c.handle);
+          if (it == pend.end()) return;
+          const Pending& p = it->second;
+          const double lat = (resp - p.sched) * 1e3;
+          if (p.is_put) {
+            put_lat_ms.record(lat);
+            record_put(p.key, p.sched, resp, c.put, p.value);
+          } else {
+            get_lat_ms.record(lat);
+            record_get(p.key, p.sched, resp, c.get);
+          }
+          pend.erase(it);
+        };
+        const double interarrival =
+            static_cast<double>(opt.threads) / opt.rate;
+        double due = now_s();
+        store::Completion c;
+        for (std::size_t i = 0; i < my_ops; ++i) {
+          due += opt.bursty ? rng.exponential(interarrival) : interarrival;
+          while (now_s() < due) {
+            if (cq.poll(&c)) {
+              on_completion(c);
+            } else {
+              std::this_thread::sleep_for(std::chrono::microseconds(100));
+            }
+          }
+          const std::string key = key_of();
+          if (rng.bernoulli(opt.read_fraction)) {
+            pend.emplace(client->async_get(key),
+                         Pending{key, due, Value{}, false});
+          } else {
+            Value value(rng.bytes(value_size));
+            const auto h = client->async_put(key, value);
+            pend.emplace(h, Pending{key, due, std::move(value), true});
+          }
+        }
+        while (cq.outstanding() > 0 && cq.wait(&c, 60.0)) on_completion(c);
+        return;
+      }
+
       for (std::size_t i = 0; i < my_ops; ++i) {
         const double inv = now_s();
         if (rng.bernoulli(opt.read_fraction)) {
@@ -324,6 +434,7 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
             std::vector<std::string> keys = {key_of(), key_of()};
             const auto rs = client->multi_get_sync(keys);
             const double resp = now_s();
+            get_lat_ms.record((resp - inv) * 1e3);
             for (std::size_t k = 0; k < keys.size(); ++k) {
               record_get(keys[k], inv, resp, rs[k]);
             }
@@ -332,7 +443,9 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
             store::GetResult r;
             client->get(key,
                         [&r](const store::GetResult& gr) { r = gr; });
-            record_get(key, inv, now_s(), r);
+            const double resp = now_s();
+            get_lat_ms.record((resp - inv) * 1e3);
+            record_get(key, inv, resp, r);
           }
         } else {
           const std::string key = key_of();
@@ -341,18 +454,8 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
           client->put(key, value,
                       [&r](const store::PutResult& pr) { r = pr; });
           const double resp = now_s();
-          if (r.status.ok()) {
-            // A coalesced put was absorbed by a newer same-key write: its
-            // value is never readable and its tag belongs to the survivor,
-            // so it has no linearization-visible record (exactly as the
-            // server-side history skips absorbed puts by design).
-            if (!r.coalesced) {
-              shared.record(make_op_id(me, ++seq), core::OpKind::Write, key,
-                            me, inv, resp, r.tag, value);
-            }
-          } else {
-            shared.error();
-          }
+          put_lat_ms.record((resp - inv) * 1e3);
+          record_put(key, inv, resp, r, value);
         }
       }
     });
@@ -381,6 +484,10 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
                  freshness.violation.c_str());
   }
   out.verified = atomicity.ok && freshness.ok && shared.errors == 0;
+  out.latency_json = "{\"put_ms\":" + histogram_json(put_lat_ms) +
+                     ",\"get_ms\":" + histogram_json(get_lat_ms) + "}";
+  out.p99_ms = std::max(put_lat_ms.percentile(0.99),
+                        get_lat_ms.percentile(0.99));
   return out;
 }
 
@@ -419,8 +526,17 @@ void usage(const char* argv0) {
       "  --engine sim|parallel sim: one deterministic replica per thread;\n"
       "                        parallel: one service over --threads lanes\n"
       "  --remote HOST:PORT    drive a running lds_served instance instead\n"
-      "                        (--threads TCP connections; shards/backend\n"
-      "                        come from the server)\n"
+      "                        (--threads clients; shards/backend come from\n"
+      "                        the server)\n"
+      "  --connections LIST    remote: per-client connection-pool sizes to\n"
+      "                        sweep (1)\n"
+      "  --rate R              remote: open-loop offered load, total ops/s\n"
+      "                        over the async API (0 = closed loop)\n"
+      "  --bursty              remote open loop: Poisson arrivals instead\n"
+      "                        of fixed interarrival spacing\n"
+      "  --require-scaling X   remote: fail unless throughput at the\n"
+      "                        largest --connections value is >= X times\n"
+      "                        the smallest's\n"
       "  --shards LIST         comma-separated shard counts (1,2,4,8)\n"
       "  --value-sizes LIST    comma-separated value sizes in bytes (256)\n"
       "  --threads N           service replicas on OS threads (1)\n"
@@ -472,6 +588,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards") {
       const char* v = next();
       ok = v && parse_size_list(v, &opt.shards);
+    } else if (arg == "--connections") {
+      const char* v = next();
+      ok = v && parse_size_list(v, &opt.connections);
+    } else if (arg == "--rate") {
+      const char* v = next();
+      ok = v != nullptr && (opt.rate = std::strtod(v, nullptr)) > 0;
+    } else if (arg == "--bursty") {
+      opt.bursty = true;
+    } else if (arg == "--require-scaling") {
+      const char* v = next();
+      ok = v != nullptr && (opt.require_scaling = std::strtod(v, nullptr)) > 0;
     } else if (arg == "--value-sizes") {
       const char* v = next();
       ok = v && parse_size_list(v, &opt.value_sizes);
@@ -530,11 +657,17 @@ int main(int argc, char** argv) {
     std::printf("remote target: %s:%u (server chooses shards/backend; "
                 "verification is client-observed)\n",
                 opt.remote_host.c_str(), opt.remote_port);
+    if (opt.rate > 0) {
+      std::printf("open loop: %.0f ops/s offered%s, async completion-queue "
+                  "API, latency from intended arrival\n",
+                  opt.rate, opt.bursty ? ", Poisson arrivals" : "");
+    }
   }
   std::printf("\n");
-  std::printf("%8s %12s %12s %14s %10s %10s %10s %12s %9s\n", "shards",
-              "value_size", "sim_dur", "ops_per_unit", "batches", "coalesced",
-              "wall_s", "wall_ops_s", "verified");
+  std::printf("%8s %6s %12s %12s %14s %10s %10s %10s %12s %8s %9s\n",
+              "shards", "conns", "value_size", "sim_dur", "ops_per_unit",
+              "batches", "coalesced", "wall_s", "wall_ops_s", "p99_ms",
+              "verified");
 
   std::string json = "{\"bench\":\"lds_store_bench\",\"configs\":[";
   bool all_verified = true;
@@ -543,15 +676,21 @@ int main(int argc, char** argv) {
   std::string snapshot_metrics;
   std::size_t snapshot_shards = 0;
   bool first_cfg = true;
-  // Remote mode sweeps value sizes only: the shard count lives server-side.
+  // Remote mode sweeps value sizes x connections: the shard count lives
+  // server-side.  Local engines ignore the connections dimension.
   const std::vector<std::size_t> shard_sweep =
       remote ? std::vector<std::size_t>{0} : opt.shards;
+  const std::vector<std::size_t> conn_sweep =
+      remote ? opt.connections : std::vector<std::size_t>{1};
+  // value_size -> (connections -> wall ops/s), for --require-scaling.
+  std::map<std::size_t, std::map<std::size_t, double>> scaling;
   for (std::size_t value_size : opt.value_sizes) {
     for (std::size_t shards : shard_sweep) {
+     for (std::size_t conns : conn_sweep) {
       const auto wall_start = std::chrono::steady_clock::now();
       std::vector<ReplicaResult> results;
       if (remote) {
-        results.push_back(run_remote(opt, value_size, opt.seed));
+        results.push_back(run_remote(opt, value_size, conns, opt.seed));
       } else if (parallel) {
         results.push_back(run_parallel(opt, shards, value_size, opt.seed));
       } else {
@@ -587,24 +726,28 @@ int main(int argc, char** argv) {
         verified = verified && r.verified;
       }
       const double wall_ops_s = static_cast<double>(total_ops) / wall;
+      const double p99_ms = results.empty() ? 0 : results[0].p99_ms;
       std::printf(
-          "%8zu %12zu %12.1f %14.3f %10llu %10llu %10.2f %12.0f %9s\n",
-          shards, value_size, max_dur, agg_tput,
+          "%8zu %6zu %12zu %12.1f %14.3f %10llu %10llu %10.2f %12.0f "
+          "%8.2f %9s\n",
+          shards, conns, value_size, max_dur, agg_tput,
           static_cast<unsigned long long>(batches),
           static_cast<unsigned long long>(coalesced), wall, wall_ops_s,
-          verified ? "yes" : "NO");
+          p99_ms, verified ? "yes" : "NO");
       all_verified = all_verified && verified;
+      if (remote) scaling[value_size][conns] = wall_ops_s;
 
-      char buf[320];
+      char buf[448];
       std::snprintf(buf, sizeof(buf),
                     "%s{\"engine\":\"%s\",\"shards\":%zu,\"threads\":%zu,"
+                    "\"connections\":%zu,\"rate\":%.1f,"
                     "\"value_size\":%zu,"
                     "\"ops\":%zu,\"metric\":\"%s\","
                     "\"value\":%.6f,\"batches\":%llu,\"coalesced\":%llu,"
                     "\"wall_seconds\":%.3f,\"wall_ops_per_sec\":%.3f,"
-                    "\"verified\":%s}",
+                    "\"verified\":%s",
                     first_cfg ? "" : ",", engine_name, shards,
-                    opt.threads, value_size, total_ops,
+                    opt.threads, conns, opt.rate, value_size, total_ops,
                     parallel || remote ? "ops_per_sec_wall"
                                        : "ops_per_sim_unit",
                     parallel || remote ? wall_ops_s : agg_tput,
@@ -612,11 +755,16 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(coalesced), wall,
                     wall_ops_s, verified ? "true" : "false");
       json += buf;
+      if (remote && !results.empty() && !results[0].latency_json.empty()) {
+        json += ",\"latency\":" + results[0].latency_json;
+      }
+      json += "}";
       first_cfg = false;
       if (shards >= snapshot_shards) {
         snapshot_shards = shards;
         snapshot_metrics = results[0].metrics_json;
       }
+     }
     }
   }
   json += "],\"metrics_snapshot\":" +
@@ -636,6 +784,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "VERIFICATION FAILED: a shard history violated "
                          "atomicity/freshness\n");
     return 1;
+  }
+  if (remote && opt.require_scaling > 0) {
+    for (const auto& [vs, by_conns] : scaling) {
+      if (by_conns.size() < 2) continue;
+      const double lo = by_conns.begin()->second;
+      const double hi = by_conns.rbegin()->second;
+      const double ratio = lo > 0 ? hi / lo : 0;
+      std::printf("scaling value_size=%zu: %zu conns -> %zu conns = %.2fx "
+                  "(require >= %.2fx)\n",
+                  vs, by_conns.begin()->first, by_conns.rbegin()->first,
+                  ratio, opt.require_scaling);
+      if (ratio < opt.require_scaling) {
+        std::fprintf(stderr, "SCALING FAILED: %.2fx < required %.2fx\n",
+                     ratio, opt.require_scaling);
+        return 1;
+      }
+    }
   }
   return 0;
 }
