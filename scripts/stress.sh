@@ -27,6 +27,11 @@
 #                 lds_stress --kill9 forks lds_served on a durable data_dir,
 #                 SIGKILLs it mid-churn, restarts it on the same directory
 #                 and re-verifies the merged client-observed history
+#   RECONFIG      "1" adds one reconfiguration-churn round per soak round:
+#                 lds_stress --reconfig forks a 3-process member cluster
+#                 (head + two peers), moves L2 servers between processes
+#                 through several epochs, SIGKILLs a peer mid-move, and
+#                 verifies the merged cross-epoch history with both checkers
 #   SERVED_BIN    lds_served binary (default build/lds_served)
 #   STORE_BENCH_BIN  lds_store_bench binary (default build/lds_store_bench)
 #
@@ -40,6 +45,7 @@ STORE_SHARDS=${STORE_SHARDS:-8}
 STORE_ENGINES=${STORE_ENGINES:-"sim parallel"}
 TRANSPORT=${TRANSPORT:-inproc}
 KILL9=${KILL9:-0}
+RECONFIG=${RECONFIG:-0}
 SERVED_BIN=${SERVED_BIN:-build/lds_served}
 STORE_BENCH_BIN=${STORE_BENCH_BIN:-build/lds_store_bench}
 
@@ -54,6 +60,10 @@ if [[ "$TRANSPORT" == "tcp" && ( ! -x "$SERVED_BIN" || ! -x "$STORE_BENCH_BIN" )
 fi
 if [[ "$KILL9" == "1" && ! -x "$SERVED_BIN" ]]; then
   echo "error: KILL9=1 needs $SERVED_BIN." >&2
+  exit 2
+fi
+if [[ "$RECONFIG" == "1" && ! -x "$SERVED_BIN" ]]; then
+  echo "error: RECONFIG=1 needs $SERVED_BIN." >&2
   exit 2
 fi
 
@@ -110,6 +120,24 @@ kill9_round() {
   rm -rf "$dir"
 }
 
+# One reconfiguration-churn round: 3-process member cluster, L2 servers
+# moved between the head and a peer across several epochs, one peer
+# SIGKILLed mid-move and restarted.  Both verifiers gate the merged
+# cross-epoch history; the head's SIGTERM self-check and the durably
+# persisted final view gate the server side.
+reconfig_round() {
+  local seed=$1 dir
+  dir=$(mktemp -d)
+  if ! "$STRESS_BIN" --reconfig --server-bin "$SERVED_BIN" --work-dir "$dir" \
+      --moves 2 --ops-per-round 200 --threads 4 --seed "$seed" > /dev/null; then
+    echo "VIOLATION — reproduce with:" >&2
+    echo "  $STRESS_BIN --reconfig --server-bin $SERVED_BIN --work-dir <dir>" \
+         "--moves 2 --ops-per-round 200 --threads 4 --seed $seed" >&2
+    exit 1
+  fi
+  rm -rf "$dir"
+}
+
 read -r -a backends <<< "$BACKENDS"
 deadline=$((SECONDS + SOAK_SECONDS))
 round=0
@@ -154,6 +182,10 @@ while ((SECONDS < deadline)); do
     kill9_round $((RANDOM * 32768 + RANDOM + round))
     runs=$((runs + 1))
   fi
+  if [[ "$RECONFIG" == "1" ]] && ((SECONDS < deadline)); then
+    reconfig_round $((RANDOM * 32768 + RANDOM + round))
+    runs=$((runs + 1))
+  fi
 done
 
-echo "soak passed: $runs runs across ${backends[*]} (transport=$TRANSPORT kill9=$KILL9) in ${SECONDS}s, 0 violations"
+echo "soak passed: $runs runs across ${backends[*]} (transport=$TRANSPORT kill9=$KILL9 reconfig=$RECONFIG) in ${SECONDS}s, 0 violations"

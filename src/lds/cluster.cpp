@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "codes/factory.h"
+#include "net/transport.h"
 #include "storage/fsutil.h"
 #include "storage/manifest.h"
 
@@ -47,6 +48,22 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
   sim_ = &engine_->lane_sim(opt_.lane);
   net_ = std::make_unique<net::Network>(*engine_, opt_.lane, make_latency(opt_),
                                         opt_.seed);
+  if (opt_.transport_factory) {
+    net_->set_transport(opt_.transport_factory(*net_));
+  }
+  LDS_REQUIRE(opt_.remote_l1.empty() && opt_.remote_l2.empty()
+                  ? true
+                  : static_cast<bool>(opt_.transport_factory),
+              "LdsCluster: remote placement requires a transport_factory");
+  LDS_REQUIRE((opt_.remote_l1.empty() && opt_.remote_l2.empty()) ||
+                  opt_.data_dir.empty(),
+              "LdsCluster: remote placement is RAM-only (no data_dir)");
+  for (const std::size_t j : opt_.remote_l1) {
+    LDS_REQUIRE(j < opt_.cfg.n1, "LdsCluster: remote_l1 index out of range");
+  }
+  for (const std::size_t i : opt_.remote_l2) {
+    LDS_REQUIRE(i < opt_.cfg.n2, "LdsCluster: remote_l2 index out of range");
+  }
 
   ctx_ = LdsContext::make(opt_.cfg);
   ctx_->meter = &meter_;
@@ -76,11 +93,16 @@ LdsCluster::LdsCluster(Options opt) : opt_(std::move(opt)) {
   }
 
   for (std::size_t j = 0; j < opt_.cfg.n1; ++j) {
-    l1_.push_back(std::make_unique<ServerL1>(*net_, ctx_, j));
+    l1_.push_back(opt_.remote_l1.contains(j)
+                      ? nullptr
+                      : std::make_unique<ServerL1>(*net_, ctx_, j));
   }
   for (std::size_t i = 0; i < opt_.cfg.n2; ++i) {
-    l2_.push_back(std::make_unique<ServerL2>(
-        *net_, ctx_, i, durable ? open_l2_backend(i) : nullptr));
+    l2_.push_back(opt_.remote_l2.contains(i)
+                      ? nullptr
+                      : std::make_unique<ServerL2>(
+                            *net_, ctx_, i,
+                            durable ? open_l2_backend(i) : nullptr));
   }
   for (std::size_t w = 0; w < opt_.writers; ++w) {
     writers_.push_back(std::make_unique<Writer>(
@@ -188,11 +210,43 @@ void LdsCluster::recover_from_storage() {
   }
 }
 
+ServerL1& LdsCluster::l1(std::size_t j) {
+  ServerL1* s = l1_.at(j).get();
+  LDS_REQUIRE(s != nullptr, "LdsCluster::l1: server is placed remotely");
+  return *s;
+}
+
+ServerL2& LdsCluster::l2(std::size_t i) {
+  ServerL2* s = l2_.at(i).get();
+  LDS_REQUIRE(s != nullptr, "LdsCluster::l2: server is placed remotely");
+  return *s;
+}
+
+void LdsCluster::release_l1(std::size_t j) { l1_.at(j).reset(); }
+
+void LdsCluster::release_l2(std::size_t i) { l2_.at(i).reset(); }
+
+ServerL1& LdsCluster::adopt_l1(std::size_t j) {
+  LDS_REQUIRE(l1_.at(j) == nullptr, "adopt_l1: server already local");
+  l1_.at(j) = std::make_unique<ServerL1>(*net_, ctx_, j);
+  return *l1_.at(j);
+}
+
+ServerL2& LdsCluster::adopt_l2(std::size_t i) {
+  LDS_REQUIRE(l2_.at(i) == nullptr, "adopt_l2: server already local");
+  // RAM-only, like every remote-placement slot (construction enforces it):
+  // the follow-up repair_object round regenerates state from quorum peers.
+  l2_.at(i) = std::make_unique<ServerL2>(*net_, ctx_, i, nullptr);
+  return *l2_.at(i);
+}
+
 ServerL2& LdsCluster::replace_l2(std::size_t i) {
   // Id-reuse protocol: Network::attach asserts that an id is attached at
   // most once, so the crashed instance must detach (destruct) before the
   // replacement constructs under the same id.  Keeping the two steps inside
   // this helper is what makes the assert sound for every repair path.
+  LDS_REQUIRE(l2_.at(i) != nullptr,
+              "replace_l2: server is placed remotely (use adopt_l2)");
   l2_.at(i).reset();
   std::unique_ptr<storage::Backend> backend;
   if (!opt_.data_dir.empty()) {

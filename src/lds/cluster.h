@@ -7,8 +7,10 @@
 // and then inspect history, costs and storage.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "lds/context.h"
@@ -64,6 +66,18 @@ class LdsCluster {
     /// pre-durability behavior.
     std::string data_dir;
     storage::DurabilityPolicy durability;
+    /// Multi-process deployment (member subsystem): server indices whose
+    /// NodeIds the membership view places in ANOTHER process.  Those servers
+    /// are not constructed here — their ids stay addressable (the replaced
+    /// transport routes frames to the hosting process) and the local slots
+    /// hold nullptr until adopt_l1/adopt_l2 moves them home.  Requires a
+    /// transport_factory; incompatible with durable mode (RAM-only for now).
+    std::set<std::size_t> remote_l1;
+    std::set<std::size_t> remote_l2;
+    /// Replace the Network's transport right after construction (before any
+    /// traffic): the member fabric installs its RemoteTransport here.
+    std::function<std::unique_ptr<net::Transport>(net::Network&)>
+        transport_factory;
   };
 
   explicit LdsCluster(Options opt);
@@ -81,13 +95,28 @@ class LdsCluster {
   Writer& writer(std::size_t i) { return *writers_.at(i); }
   Reader& reader(std::size_t i) { return *readers_.at(i); }
   Reader& regular_reader(std::size_t i) { return *regular_readers_.at(i); }
-  ServerL1& l1(std::size_t j) { return *l1_.at(j); }
-  ServerL2& l2(std::size_t i) { return *l2_.at(i); }
+  ServerL1& l1(std::size_t j);
+  ServerL2& l2(std::size_t i);
   std::size_t num_writers() const { return writers_.size(); }
   std::size_t num_readers() const { return readers_.size(); }
 
-  void crash_l1(std::size_t j) { l1_.at(j)->crash(); }
-  void crash_l2(std::size_t i) { l2_.at(i)->crash(); }
+  /// True when server j/i is constructed in THIS process (false for slots a
+  /// membership view places elsewhere).
+  bool l1_local(std::size_t j) const { return l1_.at(j) != nullptr; }
+  bool l2_local(std::size_t i) const { return l2_.at(i) != nullptr; }
+
+  /// Membership surgery (view-change hooks; must run on the cluster's lane).
+  /// release: destruct the local server — its id detaches from the Network
+  /// and frames route to the process the new view places it in.  adopt: the
+  /// mirror image — construct a FRESH server under the id (state-sync via
+  /// repair_object follows, exactly the replace_l2 id-reuse path).
+  void release_l1(std::size_t j);
+  void release_l2(std::size_t i);
+  ServerL1& adopt_l1(std::size_t j);
+  ServerL2& adopt_l2(std::size_t i);
+
+  void crash_l1(std::size_t j) { l1(j).crash(); }
+  void crash_l2(std::size_t i) { l2(i).crash(); }
 
   /// Repair extension (paper, Section VI future work): replace L2 server i
   /// with a fresh, empty process under the same id, returning the

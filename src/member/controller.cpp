@@ -1,0 +1,78 @@
+#include "member/controller.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace lds::member {
+
+Result<std::uint64_t> Controller::call(store::RemoteReconfig req,
+                                       double deadline_s) {
+  struct Cell {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status st = Status::Ok();
+    std::uint64_t epoch = 0;
+  };
+  auto cell = std::make_shared<Cell>();
+  session_.async_call(
+      std::move(req), deadline_s,
+      [cell](Status st, store::RemoteReply reply) {
+        std::lock_guard<std::mutex> lk(cell->mu);
+        if (st.ok() && reply.code != StatusCode::kOk) {
+          st = Status::FromCode(reply.code, reply.message);
+        }
+        cell->st = std::move(st);
+        cell->epoch = reply.tag.z;  // RemoteReconfig replies: tag.z = epoch
+        cell->done = true;
+        cell->cv.notify_one();
+      });
+  std::unique_lock<std::mutex> lk(cell->mu);
+  cell->cv.wait(lk, [&] { return cell->done; });
+  if (!cell->st.ok()) return std::move(cell->st);
+  return cell->epoch;
+}
+
+Result<std::uint64_t> Controller::epoch(double deadline_s) {
+  store::RemoteReconfig req;
+  req.op = 0;
+  return call(std::move(req), deadline_s);
+}
+
+Result<std::uint64_t> Controller::move_l2(std::vector<std::uint32_t> indices,
+                                          const std::string& host,
+                                          std::uint16_t port,
+                                          double deadline_s) {
+  store::RemoteReconfig req;
+  req.op = 1;
+  req.l2_indices = std::move(indices);
+  req.host = host;
+  req.port = port;
+  return call(std::move(req), deadline_s);
+}
+
+Result<std::uint64_t> Controller::move_l2_home(
+    std::vector<std::uint32_t> indices, double deadline_s) {
+  return move_l2(std::move(indices), "", 0, deadline_s);
+}
+
+void Controller::async_move_l2(std::vector<std::uint32_t> indices,
+                               const std::string& host, std::uint16_t port,
+                               std::function<void(Status, std::uint64_t)> done,
+                               double deadline_s) {
+  store::RemoteReconfig req;
+  req.op = 1;
+  req.l2_indices = std::move(indices);
+  req.host = host;
+  req.port = port;
+  session_.async_call(std::move(req), deadline_s,
+                      [done = std::move(done)](Status st,
+                                               store::RemoteReply reply) {
+                        if (st.ok() && reply.code != StatusCode::kOk) {
+                          st = Status::FromCode(reply.code, reply.message);
+                        }
+                        if (done) done(std::move(st), reply.tag.z);
+                      });
+}
+
+}  // namespace lds::member

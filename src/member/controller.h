@@ -1,0 +1,52 @@
+// member::Controller — the client-side handle for driving reconfiguration
+// at runtime: a thin wrapper over a store::RemoteSession that speaks the
+// RemoteReconfig admin frame (store/remote.h) to a head `lds_served`
+// process.  Add/remove/replace compose from moves: joining a process is
+// `lds_served --join` (the process asks for itself); moving an L2 into a
+// process replaces the old incarnation (the id-reuse path); moving every L2
+// off a process removes it from the data path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/remote.h"
+
+namespace lds::member {
+
+class Controller {
+ public:
+  /// The session must outlive the controller.
+  explicit Controller(store::RemoteSession& session) : session_(session) {}
+
+  /// The head's active membership epoch.
+  Result<std::uint64_t> epoch(double deadline_s = 10.0);
+
+  /// Move L2 servers `indices` to the member process at host:port (it must
+  /// have joined already).  Blocks through quiesce + activate + state-sync;
+  /// returns the resulting epoch.
+  Result<std::uint64_t> move_l2(std::vector<std::uint32_t> indices,
+                                const std::string& host, std::uint16_t port,
+                                double deadline_s = 60.0);
+  /// Move L2 servers back into the head process.
+  Result<std::uint64_t> move_l2_home(std::vector<std::uint32_t> indices,
+                                     double deadline_s = 60.0);
+
+  /// Fire-and-forget move (reconfig churn under failure injection: the
+  /// caller may SIGKILL a member while this is in flight).  `done` runs on
+  /// the session's progress thread with the outcome.
+  void async_move_l2(std::vector<std::uint32_t> indices,
+                     const std::string& host, std::uint16_t port,
+                     std::function<void(Status, std::uint64_t)> done,
+                     double deadline_s = 60.0);
+
+ private:
+  Result<std::uint64_t> call(store::RemoteReconfig req, double deadline_s);
+
+  store::RemoteSession& session_;
+};
+
+}  // namespace lds::member

@@ -1,0 +1,183 @@
+#include "member/view.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "net/codec.h"
+#include "storage/manifest.h"
+
+namespace lds::member {
+
+namespace {
+
+constexpr std::uint8_t kViewWireVersion = 1;
+
+std::optional<codes::BackendKind> parse_backend(const std::string& name) {
+  for (const auto kind :
+       {codes::BackendKind::PmMbr, codes::BackendKind::Rs,
+        codes::BackendKind::Replication}) {
+    if (name == codes::backend_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_endpoint(const std::string& s, Endpoint* out) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  std::uint64_t port = 0;
+  if (!parse_u64(s.substr(colon + 1), &port) || port > 0xffff) return false;
+  out->host = s.substr(0, colon);
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+}  // namespace
+
+Bytes View::encode_bytes() const {
+  net::codec::Writer w;
+  w.u8(kViewWireVersion);
+  w.u64(epoch);
+  w.u32(n1);
+  w.u32(f1);
+  w.u32(n2);
+  w.u32(f2);
+  w.blob(std::string(codes::backend_name(code)));
+  w.u32(static_cast<std::uint32_t>(processes.size()));
+  for (const auto& [pid, ep] : processes) {
+    w.u32(pid);
+    w.blob(ep.host);
+    w.u16(ep.port);
+  }
+  w.u32(static_cast<std::uint32_t>(placement.size()));
+  for (const auto& [node, pid] : placement) {
+    w.i32(node);
+    w.u32(pid);
+  }
+  return std::move(w).take();
+}
+
+Result<View> View::decode_bytes(const Bytes& b) {
+  net::codec::Reader r(b.data(), b.size());
+  const auto bad = [](const std::string& what) {
+    return Status::InvalidArgument("view: " + what);
+  };
+  std::uint8_t version = 0;
+  if (!r.u8(&version)) return bad("truncated");
+  if (version != kViewWireVersion) return bad("unknown wire version");
+  View v;
+  std::string code_name;
+  if (!r.u64(&v.epoch) || !r.u32(&v.n1) || !r.u32(&v.f1) || !r.u32(&v.n2) ||
+      !r.u32(&v.f2) || !r.blob(&code_name)) {
+    return bad("truncated geometry");
+  }
+  const auto kind = parse_backend(code_name);
+  if (!kind) return bad("unknown code backend \"" + code_name + "\"");
+  v.code = *kind;
+  std::uint32_t nprocs = 0;
+  if (!r.u32(&nprocs)) return bad("truncated process table");
+  for (std::uint32_t i = 0; i < nprocs; ++i) {
+    ProcessId pid = 0;
+    Endpoint ep;
+    if (!r.u32(&pid) || !r.blob(&ep.host) || !r.u16(&ep.port)) {
+      return bad("truncated process entry");
+    }
+    v.processes[pid] = std::move(ep);
+  }
+  std::uint32_t nplace = 0;
+  if (!r.u32(&nplace)) return bad("truncated placement table");
+  for (std::uint32_t i = 0; i < nplace; ++i) {
+    NodeId node = kNoNode;
+    ProcessId pid = 0;
+    if (!r.i32(&node) || !r.u32(&pid)) return bad("truncated placement entry");
+    v.placement[node] = pid;
+  }
+  if (!r.exhausted()) return bad("trailing bytes");
+  return v;
+}
+
+Status View::save(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable("view: create " + dir + ": " + ec.message());
+  }
+  storage::Manifest mf;
+  mf.set("format", "lds-view-v1");
+  mf.set("epoch", epoch);
+  mf.set("n1", static_cast<std::uint64_t>(n1));
+  mf.set("f1", static_cast<std::uint64_t>(f1));
+  mf.set("n2", static_cast<std::uint64_t>(n2));
+  mf.set("f2", static_cast<std::uint64_t>(f2));
+  mf.set("code", codes::backend_name(code));
+  for (const auto& [pid, ep] : processes) {
+    mf.set("process." + std::to_string(pid), ep.str());
+  }
+  for (const auto& [node, pid] : placement) {
+    mf.set("node." + std::to_string(node),
+           static_cast<std::uint64_t>(pid));
+  }
+  return mf.store(dir, kViewFileName);
+}
+
+Result<std::optional<View>> View::load(const std::string& dir) {
+  auto loaded = storage::Manifest::load(dir, kViewFileName);
+  if (!loaded.ok()) return loaded.status();
+  if (!loaded.value().has_value()) return std::optional<View>(std::nullopt);
+  const storage::Manifest& mf = *loaded.value();
+  const auto bad = [&](const std::string& what) {
+    return Status::InvalidArgument("view: " + dir + "/" + kViewFileName +
+                                   ": " + what);
+  };
+  const auto format = mf.get("format");
+  if (!format || *format != "lds-view-v1") return bad("unknown format");
+  View v;
+  std::uint64_t u = 0;
+  const auto geom = [&](const char* key, std::uint32_t* out) {
+    const auto s = mf.get(key);
+    if (!s || !parse_u64(*s, &u) || u > 0xffffffffu) return false;
+    *out = static_cast<std::uint32_t>(u);
+    return true;
+  };
+  const auto epoch_s = mf.get("epoch");
+  if (!epoch_s || !parse_u64(*epoch_s, &v.epoch)) return bad("bad epoch");
+  if (!geom("n1", &v.n1) || !geom("f1", &v.f1) || !geom("n2", &v.n2) ||
+      !geom("f2", &v.f2)) {
+    return bad("bad geometry");
+  }
+  const auto code_s = mf.get("code");
+  const auto kind = code_s ? parse_backend(*code_s) : std::nullopt;
+  if (!kind) return bad("unknown code backend");
+  v.code = *kind;
+  for (const auto& [key, value] : mf.entries()) {
+    if (key.rfind("process.", 0) == 0) {
+      std::uint64_t pid = 0;
+      Endpoint ep;
+      if (!parse_u64(key.substr(8), &pid) || pid > 0xffffffffu ||
+          !parse_endpoint(value, &ep)) {
+        return bad("bad process entry " + key);
+      }
+      v.processes[static_cast<ProcessId>(pid)] = std::move(ep);
+    } else if (key.rfind("node.", 0) == 0) {
+      std::uint64_t node = 0, pid = 0;
+      if (!parse_u64(key.substr(5), &node) || node > 0x7fffffffu ||
+          !parse_u64(value, &pid) || pid > 0xffffffffu) {
+        return bad("bad placement entry " + key);
+      }
+      v.placement[static_cast<NodeId>(node)] = static_cast<ProcessId>(pid);
+    }
+  }
+  return std::optional<View>(std::move(v));
+}
+
+}  // namespace lds::member

@@ -1,0 +1,82 @@
+// member::View — one epoch of the membership configuration.
+//
+// The paper (Section II-a) fixes the server sets of both layers for the whole
+// execution; this subsystem relaxes that with epoch-numbered views.  A view
+// pins (1) the deployment geometry n1/f1/n2/f2 + code backend — every process
+// must build the SAME LdsContext or coded elements would be meaningless
+// across the wire — (2) the member processes and their TCP endpoints, and
+// (3) the node→process placement: which process hosts each protocol NodeId
+// (L1/L2 servers; clients always live in the coordinator process).  A node
+// absent from the placement table belongs to the coordinator (process 0), so
+// the all-local epoch-1 bootstrap view has an empty table.
+//
+// Views move over the wire inside ViewPropose frames (encode_bytes) and are
+// persisted as `<dir>/VIEW` through the storage::Manifest machinery — the
+// same CRC32C-guarded, atomically-renamed key/value file that pins cluster
+// geometry, under a different file name — so the active epoch survives
+// SIGKILL and a restarted coordinator resumes from the epoch it last
+// activated, never an older one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "codes/factory.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lds::member {
+
+/// Index of one process in a view.  Process 0 is the coordinator (the
+/// process running the StoreService front door and all protocol clients).
+using ProcessId = std::uint32_t;
+inline constexpr ProcessId kCoordinatorProcess = 0;
+inline constexpr ProcessId kNoProcess = 0xffffffffu;
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+  std::string str() const { return host + ":" + std::to_string(port); }
+};
+
+struct View {
+  std::uint64_t epoch = 0;
+
+  /// Deployment geometry, identical in every epoch of one deployment.
+  std::uint32_t n1 = 0, f1 = 0, n2 = 0, f2 = 0;
+  codes::BackendKind code = codes::BackendKind::PmMbr;
+
+  /// Member processes by id.  Always contains the coordinator.
+  std::map<ProcessId, Endpoint> processes;
+
+  /// Node → hosting process.  Unlisted nodes belong to the coordinator.
+  std::map<NodeId, ProcessId> placement;
+
+  ProcessId process_of(NodeId id) const {
+    const auto it = placement.find(id);
+    return it == placement.end() ? kCoordinatorProcess : it->second;
+  }
+  bool same_geometry(const View& o) const {
+    return n1 == o.n1 && f1 == o.f1 && n2 == o.n2 && f2 == o.f2 &&
+           code == o.code;
+  }
+
+  /// Wire form (rides inside ViewPropose member frames).
+  Bytes encode_bytes() const;
+  /// Rejects truncated/unknown-version bytes with InvalidArgument.
+  static Result<View> decode_bytes(const Bytes& b);
+
+  /// Persist as `<dir>/VIEW` (creates `dir` if needed).
+  Status save(const std::string& dir) const;
+  /// Ok + nullopt when no VIEW file exists; InvalidArgument on corruption.
+  static Result<std::optional<View>> load(const std::string& dir);
+};
+
+/// Name of the persisted view file inside a member data directory.
+inline constexpr const char* kViewFileName = "VIEW";
+
+}  // namespace lds::member

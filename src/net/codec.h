@@ -70,13 +70,15 @@ inline constexpr std::size_t kTagWireBytes = 12;
 inline constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
 
 /// Protocol family carried in the frame header.  Lds/Abd/Cas/Heartbeat are
-/// built in; Store is registered by the store RPC layer (store/remote.h).
+/// built in; Store is registered by the store RPC layer (store/remote.h),
+/// Member by the membership fabric (member/wire.h).
 enum class Family : std::uint8_t {
   Lds = 0,
   Abd = 1,
   Cas = 2,
   Heartbeat = 3,
   Store = 4,
+  Member = 5,
 };
 inline constexpr std::size_t kMaxFamilies = 8;
 

@@ -584,39 +584,80 @@ bool TcpTransport::read_conn(
   return !eof && !broken;
 }
 
+std::size_t TcpTransport::gather_frames(const std::deque<codec::Frame>& q,
+                                        std::size_t front_off,
+                                        struct iovec* iov,
+                                        std::size_t max_iov) {
+  std::size_t n = 0;
+  std::size_t off = front_off;  // nonzero only for the front frame
+  for (const codec::Frame& f : q) {
+    if (n >= max_iov) break;
+    const std::size_t head = f.head.size();
+    if (off < head) {
+      iov[n].iov_base = const_cast<std::uint8_t*>(f.head.data() + off);
+      iov[n].iov_len = head - off;
+      ++n;
+    }
+    const std::size_t body_off = off > head ? off - head : 0;
+    if (body_off < f.body.size() && n < max_iov) {
+      iov[n].iov_base = const_cast<std::uint8_t*>(f.body.data() + body_off);
+      iov[n].iov_len = f.body.size() - body_off;
+      ++n;
+    }
+    off = 0;
+  }
+  return n;
+}
+
+namespace {
+/// iovec spans per sendmsg call: enough to gather tens of queued frames
+/// (head + body each) into one syscall, small enough to live on the stack.
+constexpr std::size_t kSendIovMax = 64;
+}  // namespace
+
 bool TcpTransport::flush_conn(Conn& c) {
   while (!c.outq.empty()) {
-    const codec::Frame& f = c.outq.front();
-    const std::size_t head_size = f.head.size();
-    const std::size_t total = f.size();
-    while (c.out_off < total) {
-      const std::uint8_t* p;
-      std::size_t len;
-      if (c.out_off < head_size) {
-        p = f.head.data() + c.out_off;
-        len = head_size - c.out_off;
-      } else {
-        const std::size_t body_off = c.out_off - head_size;
-        p = f.body.data() + body_off;
-        len = f.body.size() - body_off;
+    iovec iov[kSendIovMax];
+    const std::size_t niov =
+        gather_frames(c.outq, c.out_off, iov, kSendIovMax);
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    const ssize_t w = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL);
+    if (w > 0) {
+      bytes_sent_.fetch_add(static_cast<std::uint64_t>(w),
+                            std::memory_order_relaxed);
+      c.outq_bytes -= static_cast<std::size_t>(w);
+      // Retire every frame the gather write fully covered; a partial tail
+      // advances the front frame's offset.
+      std::size_t rem = static_cast<std::size_t>(w);
+      while (rem > 0) {
+        const codec::Frame& f = c.outq.front();
+        const std::size_t left = f.size() - c.out_off;
+        if (rem < left) {
+          c.out_off += rem;
+          break;
+        }
+        rem -= left;
+        c.out_off = 0;
+        c.outq.pop_front();
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
       }
-      const ssize_t w = ::send(c.fd, p, len, MSG_NOSIGNAL);
-      if (w > 0) {
-        bytes_sent_.fetch_add(static_cast<std::uint64_t>(w),
-                              std::memory_order_relaxed);
-        c.outq_bytes -= static_cast<std::size_t>(w);
-        c.out_off += static_cast<std::size_t>(w);
-        continue;
-      }
-      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-      if (w < 0 && errno == EINTR) continue;
-      return false;
+      continue;  // the socket took bytes: try for more
     }
-    frames_sent_.fetch_add(1, std::memory_order_relaxed);
-    c.outq.pop_front();
-    c.out_off = 0;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (w < 0 && errno == EINTR) continue;
+    return false;
   }
   return true;
+}
+
+std::size_t TcpTransport::backlog_bytes(NodeId peer) const {
+  if (!running_.load(std::memory_order_acquire)) return 0;
+  const Shard& sh = *shards_[static_cast<std::size_t>(peer) % shards_.size()];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const auto it = sh.conns.find(peer);
+  return it == sh.conns.end() ? 0 : it->second->outq_bytes;
 }
 
 }  // namespace lds::net

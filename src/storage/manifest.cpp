@@ -12,12 +12,12 @@ namespace lds::storage {
 namespace {
 constexpr std::uint32_t kMagic = 0x4d53444cu;  // "LDSM" little-endian
 constexpr std::uint8_t kVersion = 1;
-constexpr const char* kFileName = "MANIFEST";
 }  // namespace
 
-Result<std::optional<Manifest>> Manifest::load(const std::string& dir) {
+Result<std::optional<Manifest>> Manifest::load(const std::string& dir,
+                                               const std::string& file) {
   Bytes data;
-  const std::string path = dir + "/" + kFileName;
+  const std::string path = dir + "/" + file;
   if (auto st = read_file_bytes(path, &data); !st.ok()) {
     if (st.code() == StatusCode::kNotFound) {
       return std::optional<Manifest>(std::nullopt);
@@ -58,7 +58,8 @@ Result<std::optional<Manifest>> Manifest::load(const std::string& dir) {
   return std::optional<Manifest>(std::move(m));
 }
 
-Status Manifest::store(const std::string& dir) const {
+Status Manifest::store(const std::string& dir,
+                       const std::string& file) const {
   net::codec::Writer w;
   w.u32(kMagic);
   w.u8(kVersion);
@@ -72,19 +73,20 @@ Status Manifest::store(const std::string& dir) const {
   tail.u32(crc32c(data.data() + 4, data.size() - 4));
   const Bytes crc = std::move(tail).take();
   data.insert(data.end(), crc.begin(), crc.end());
-  return atomic_write_file(dir + "/" + kFileName, data);
+  return atomic_write_file(dir + "/" + file, data);
 }
 
-Status Manifest::verify_or_write(const std::string& dir) const {
+Status Manifest::verify_or_write(const std::string& dir,
+                                 const std::string& file) const {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::Unavailable("manifest: create " + dir + ": " +
                                ec.message());
   }
-  auto loaded = load(dir);
+  auto loaded = load(dir, file);
   if (!loaded.ok()) return loaded.status();
-  if (!loaded.value().has_value()) return store(dir);
+  if (!loaded.value().has_value()) return store(dir, file);
   const Manifest& disk = *loaded.value();
   for (const auto& [k, v] : entries_) {
     auto dv = disk.get(k);

@@ -39,17 +39,23 @@ class Manifest {
     return entries_;
   }
 
-  /// Load `dir`/MANIFEST.  Ok + nullopt when the file does not exist;
-  /// InvalidArgument on a corrupt or unversioned file.
-  static Result<std::optional<Manifest>> load(const std::string& dir);
+  /// Load `dir`/`file`.  Ok + nullopt when the file does not exist;
+  /// InvalidArgument on a corrupt or unversioned file.  The default file
+  /// name is the deployment manifest; other subsystems (member views) reuse
+  /// the same CRC-guarded machinery under their own name.
+  static Result<std::optional<Manifest>> load(const std::string& dir,
+                                              const std::string& file =
+                                                  "MANIFEST");
 
-  /// Atomically publish this manifest as `dir`/MANIFEST.
-  Status store(const std::string& dir) const;
+  /// Atomically publish this manifest as `dir`/`file`.
+  Status store(const std::string& dir,
+               const std::string& file = "MANIFEST") const;
 
   /// First run: write the manifest.  Restart: load and compare; any
   /// missing/extra/differing key is InvalidArgument naming the mismatch.
   /// Creates `dir` if needed.
-  Status verify_or_write(const std::string& dir) const;
+  Status verify_or_write(const std::string& dir,
+                         const std::string& file = "MANIFEST") const;
 
  private:
   std::map<std::string, std::string> entries_;

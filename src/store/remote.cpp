@@ -28,6 +28,8 @@ Status truncated(const std::string& what) {
 ///   2 RemotePutIf  u8 expected_known | tag | key-blob | value payload
 ///   3 RemoteReply  u8 code | msg-blob | u8 version_known | tag |
 ///                  u8 coalesced | u8 has_value | value payload
+///   4 RemoteReconfig u8 op | u16 port | host-blob | u32 count |
+///                  count x u32 l2-index
 class StoreCodec final : public FamilyCodec {
  public:
   const char* name() const override { return "store"; }
@@ -66,6 +68,13 @@ class StoreCodec final : public FamilyCodec {
               info->has_body = true;
               info->body = b.value;
             },
+            [&](const RemoteReconfig& b) {
+              w.u8(b.op);
+              w.u16(b.port);
+              w.blob(b.host);
+              w.u32(static_cast<std::uint32_t>(b.l2_indices.size()));
+              for (const std::uint32_t i : b.l2_indices) w.u32(i);
+            },
         },
         m->body());
     return true;
@@ -90,6 +99,10 @@ class StoreCodec final : public FamilyCodec {
             [](const RemoteReply& b) -> std::uint64_t {
               return kBase + 1 + 4 + b.message.size() + 1 + kTag + 1 + 1 +
                      b.value.size();
+            },
+            [](const RemoteReconfig& b) -> std::uint64_t {
+              return kBase + 1 + 2 + 4 + b.host.size() + 4 +
+                     4 * b.l2_indices.size();
             },
         },
         m->body());
@@ -155,6 +168,23 @@ class StoreCodec final : public FamilyCodec {
         body = std::move(b);
         break;
       }
+      case 4: {
+        RemoteReconfig b;
+        std::uint32_t count = 0;
+        if (!r.u8(&b.op) || !r.u16(&b.port) || !r.blob(&b.host) ||
+            !r.u32(&count)) {
+          return truncated("RemoteReconfig");
+        }
+        if (count > r.remaining() / 4) return truncated("RemoteReconfig.l2");
+        b.l2_indices.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          std::uint32_t idx = 0;
+          if (!r.u32(&idx)) return truncated("RemoteReconfig.l2");
+          b.l2_indices.push_back(idx);
+        }
+        body = std::move(b);
+        break;
+      }
       default:
         return Status::InvalidArgument("unknown store type id " +
                                        std::to_string(type));
@@ -214,7 +244,8 @@ std::uint64_t RemoteMessage::data_bytes() const {
   return std::visit(
       [](const auto& b) -> std::uint64_t {
         using T = std::decay_t<decltype(b)>;
-        if constexpr (std::is_same_v<T, RemoteGet>) {
+        if constexpr (std::is_same_v<T, RemoteGet> ||
+                      std::is_same_v<T, RemoteReconfig>) {
           return 0;
         } else {
           return b.value.size();
@@ -235,6 +266,8 @@ const char* RemoteMessage::type_name() const {
         else if constexpr (std::is_same_v<T, RemoteGet>) return "STORE-GET";
         else if constexpr (std::is_same_v<T, RemotePutIf>)
           return "STORE-PUT-IF";
+        else if constexpr (std::is_same_v<T, RemoteReconfig>)
+          return "STORE-RECONFIG";
         else return "STORE-REPLY";
       },
       body_);
@@ -319,6 +352,18 @@ void RemoteServer::on_message(NodeId peer, const net::MessagePtr& msg) {
           [&](const RemoteReply&) {
             // A reply sent *to* the server is a protocol violation; ignoring
             // it is safer than trusting a hostile peer with more state.
+          },
+          [&](const RemoteReconfig& b) {
+            svc_.admin_reconfig(
+                b.op, b.l2_indices, b.host, b.port,
+                [this, peer, id](Status st, std::uint64_t epoch) {
+                  RemoteReply r;
+                  r.code = st.code();
+                  r.message = std::string(st.message());
+                  r.version_known = true;
+                  r.tag = Tag{epoch, 0};
+                  reply(peer, id, std::move(r));
+                });
           },
       },
       m->body());

@@ -3,10 +3,11 @@
 // Four wire messages (codec Family::Store, net/codec.h) carry the client API
 // over a TcpTransport (net/transport.h):
 //
-//   RemotePut    { key, value }                 -> RemoteReply
-//   RemoteGet    { key, read mode }             -> RemoteReply (value)
-//   RemotePutIf  { key, value, expected }       -> RemoteReply
-//   RemoteReply  { status code+message, version, optional value }
+//   RemotePut      { key, value }               -> RemoteReply
+//   RemoteGet      { key, read mode }           -> RemoteReply (value)
+//   RemotePutIf    { key, value, expected }     -> RemoteReply
+//   RemoteReply    { status code+message, version, optional value }
+//   RemoteReconfig { op, l2 indices, endpoint } -> RemoteReply (tag.z=epoch)
 //
 // Every request carries a per-connection request id in the frame's OpId
 // field; the reply echoes it, so one connection multiplexes any number of
@@ -66,9 +67,22 @@ struct RemoteReply {
   Value value;
 };
 
+/// Admin: drive the service's membership coordinator (member/coordinator.h).
+/// op 0 queries the active epoch; op 1 moves L2 servers `l2_indices` to the
+/// member process listening at host:port (empty host = back to the head
+/// process).  The reply's `tag.z` carries the resulting epoch.  Services
+/// without a fabric answer InvalidArgument.
+struct RemoteReconfig {
+  std::uint8_t op = 0;
+  std::vector<std::uint32_t> l2_indices;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
 /// Alternative order frozen: the wire codec uses the variant index as the
 /// frame's type id.  Append, never reorder.
-using RemoteBody = std::variant<RemotePut, RemoteGet, RemotePutIf, RemoteReply>;
+using RemoteBody =
+    std::variant<RemotePut, RemoteGet, RemotePutIf, RemoteReply, RemoteReconfig>;
 
 class RemoteMessage final : public net::Payload {
  public:

@@ -1,12 +1,17 @@
 #include "store/store_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/assert.h"
+#include "lds/cluster.h"
+#include "member/coordinator.h"
+#include "member/fabric.h"
 #include "storage/manifest.h"
 #include "store/async_util.h"
 #include "store/remote.h"
@@ -53,6 +58,37 @@ StoreService::StoreService(StoreOptions opt)
                 ("StoreService: " + std::string(st.message())).c_str());
   }
 
+  member::Fabric* fabric = opt_.fabric;
+  if (fabric != nullptr) {
+    LDS_REQUIRE(parallel_,
+                "StoreService: membership fabric requires EngineMode::Parallel");
+    LDS_REQUIRE(opt_.shards == 1,
+                "StoreService: membership fabric requires exactly one shard");
+    LDS_REQUIRE(!durable,
+                "StoreService: membership fabric is RAM-only (no data_dir)");
+    LDS_REQUIRE(fabric->listening(),
+                "StoreService: fabric must be listening before construction");
+    // Epoch-1 bootstrap: everything local.  A restarting daemon installs its
+    // own successor view (persisted epoch + 1) before constructing the
+    // service, in which case the fabric's epoch is already non-zero.
+    if (fabric->epoch() == 0) {
+      const ShardBackend& spec =
+          opt_.shard_overrides.empty() ? opt_.backend : opt_.shard_overrides[0];
+      LDS_REQUIRE(spec.protocol == ShardProtocol::Lds,
+                  "StoreService: membership fabric requires an LDS shard");
+      member::View v;
+      v.epoch = 1;
+      v.n1 = static_cast<std::uint32_t>(spec.n1);
+      v.f1 = static_cast<std::uint32_t>(spec.f1);
+      v.n2 = static_cast<std::uint32_t>(spec.n2);
+      v.f2 = static_cast<std::uint32_t>(spec.f2);
+      v.code = spec.code;
+      v.processes[member::kCoordinatorProcess] =
+          member::Endpoint{"127.0.0.1", fabric->port()};
+      fabric->set_initial_view(std::move(v));
+    }
+  }
+
   if (parallel_) {
     net::ParallelEngine::Options eopt;
     const unsigned hw = std::thread::hardware_concurrency();
@@ -76,6 +112,8 @@ StoreService::StoreService(StoreOptions opt)
     sh->sim = &engine_->lane_sim(sh->lane);
     LDS_REQUIRE(!durable || sh->spec.protocol == ShardProtocol::Lds,
                 "StoreService: data_dir requires every shard to be LDS");
+    LDS_REQUIRE(fabric == nullptr || sh->spec.protocol == ShardProtocol::Lds,
+                "StoreService: membership fabric requires an LDS shard");
     const std::uint64_t shard_seed = mix_seed(opt_.seed, s + 1);
     switch (sh->spec.protocol) {
       case ShardProtocol::Lds: {
@@ -101,6 +139,21 @@ StoreService::StoreService(StoreOptions opt)
         if (durable) {
           copt.data_dir = opt_.data_dir + "/shard-" + std::to_string(s);
           copt.durability = opt_.durability;
+        }
+        if (fabric != nullptr) {
+          copt.transport_factory = [fabric](net::Network& n) {
+            return std::unique_ptr<net::Transport>(
+                std::make_unique<member::RemoteTransport>(*fabric, n));
+          };
+          const member::View v = fabric->view();
+          for (std::size_t j = 0; j < sh->spec.n1; ++j) {
+            const NodeId id = core::kL1IdBase + static_cast<NodeId>(j);
+            if (v.process_of(id) != fabric->self()) copt.remote_l1.insert(j);
+          }
+          for (std::size_t i = 0; i < sh->spec.n2; ++i) {
+            const NodeId id = core::kL2IdBase + static_cast<NodeId>(i);
+            if (v.process_of(id) != fabric->self()) copt.remote_l2.insert(i);
+          }
         }
         sh->lds = std::make_unique<core::LdsCluster>(copt);
         if (durable) {
@@ -166,7 +219,10 @@ StoreService::StoreService(StoreOptions opt)
     shards_.push_back(std::move(sh));
   }
 
-  if (opt_.enable_repair && any_lds) {
+  // Under a membership fabric the reconfiguration state-sync path owns L2
+  // regeneration; the heartbeat-driven scheduler would race view surgery
+  // (its "crashed" verdict cannot tell a moved server from a dead one).
+  if (opt_.enable_repair && any_lds && fabric == nullptr) {
     RepairScheduler::Options ropt = opt_.repair;
     // Per-lane budgets keep repair admission engine-local: one lane's
     // backlog never delays another lane's regeneration.
@@ -225,6 +281,27 @@ StoreService::StoreService(StoreOptions opt)
     repair_->start();
   }
 
+  if (fabric != nullptr) {
+    Shard* sh = shards_[0].get();
+    fabric->bind(&sh->lds->net(), engine_.get(), sh->lane);
+    fabric->set_view_change_hook(
+        [this](const member::View& prev, const member::View& next) {
+          apply_member_view(prev, next);
+        });
+    member::Coordinator::Hooks hooks;
+    hooks.pause = [this] { pause_dispatch(); };
+    hooks.drain = [this](double t) { return drain_dispatched(t); };
+    hooks.resume = [this] { resume_dispatch(); };
+    hooks.objects = [this] { return member_objects(); };
+    hooks.repair_local =
+        [this](std::size_t i,
+               std::function<void(std::uint32_t, std::uint32_t)> done) {
+          member_repair_local(i, std::move(done));
+        };
+    coordinator_ =
+        std::make_unique<member::Coordinator>(*fabric, std::move(hooks));
+  }
+
   engine_->start();  // no-op in Deterministic mode
 }
 
@@ -235,6 +312,13 @@ StoreService::~StoreService() {
   // the RemoteServer object itself outlives the drain (member destruction
   // order), so no callback dangles.
   stop_listening();
+  if (opt_.fabric != nullptr) {
+    // Member teardown order: the fabric's transport joins its progress
+    // threads first (no more control frames or lane posts from the wire),
+    // then the coordinator's worker — only then may the engine stop.
+    opt_.fabric->stop();
+    coordinator_.reset();
+  }
   engine_->stop();  // join lane workers before shard state is destroyed
 }
 
@@ -399,6 +483,7 @@ void StoreService::flush_window(std::size_t shard_idx) {
 }
 
 void StoreService::pump_puts(std::size_t shard_idx) {
+  if (dispatch_paused_.load(std::memory_order_acquire)) return;
   Shard& sh = *shards_[shard_idx];
   while (!sh.put_queue.empty() && !sh.free_writers.empty()) {
     PendingPut p = std::move(sh.put_queue.front());
@@ -502,6 +587,7 @@ void StoreService::enqueue_get(std::size_t shard_idx, const std::string& key,
 }
 
 void StoreService::pump_gets(std::size_t shard_idx) {
+  if (dispatch_paused_.load(std::memory_order_acquire)) return;
   Shard& sh = *shards_[shard_idx];
   while (!sh.get_queue.empty() && !sh.free_readers.empty()) {
     PendingGet g = std::move(sh.get_queue.front());
@@ -912,6 +998,157 @@ void StoreService::quiesce(const std::function<bool()>& drained) {
               "StoreService::quiesce: stalled with work pending");
   if (repair_ != nullptr) repair_->stop();  // posted to each shard's lane
   engine_->drain();
+}
+
+// ---- membership (Options::fabric) --------------------------------------------
+
+void StoreService::admin_reconfig(
+    std::uint8_t op, std::vector<std::uint32_t> l2_indices, std::string host,
+    std::uint16_t port, std::function<void(Status, std::uint64_t)> done) {
+  if (coordinator_ == nullptr) {
+    if (done) {
+      done(Status::InvalidArgument("service has no membership fabric"), 0);
+    }
+    return;
+  }
+  if (op == 0) {
+    if (done) done(Status::Ok(), opt_.fabric->epoch());
+    return;
+  }
+  if (op == 1) {
+    coordinator_->move_l2(std::move(l2_indices), std::move(host), port,
+                          [done = std::move(done)](Status st,
+                                                   std::uint64_t epoch) {
+                            if (done) done(std::move(st), epoch);
+                          });
+    return;
+  }
+  if (done) {
+    done(Status::InvalidArgument("unknown reconfig op " + std::to_string(op)),
+         0);
+  }
+}
+
+void StoreService::pause_dispatch() {
+  dispatch_paused_.store(true, std::memory_order_release);
+}
+
+void StoreService::resume_dispatch() {
+  dispatch_paused_.store(false, std::memory_order_release);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    engine_->post(shards_[s]->lane, [this, s] {
+      pump_puts(s);
+      pump_gets(s);
+    });
+  }
+}
+
+bool StoreService::drain_dispatched(double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    bool idle = true;
+    for (std::size_t s = 0; s < shards_.size() && idle; ++s) {
+      Shard* sh = shards_[s].get();
+      auto done = std::make_shared<std::promise<bool>>();
+      auto fut = done->get_future();
+      engine_->post(sh->lane, [this, sh, done] {
+        const std::size_t regular =
+            sh->spec.protocol == ShardProtocol::Lds
+                ? opt_.regular_readers_per_shard
+                : 0;
+        done->set_value(sh->free_writers.size() == opt_.writers_per_shard &&
+                        sh->free_readers.size() == opt_.readers_per_shard &&
+                        sh->free_regular_readers.size() == regular);
+      });
+      if (fut.wait_for(std::chrono::seconds(5)) !=
+          std::future_status::ready) {
+        return false;
+      }
+      if (!fut.get()) idle = false;
+    }
+    if (idle) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void StoreService::apply_member_view(const member::View&,
+                                     const member::View& next) {
+  // Placement surgery, on shard 0's lane (the fabric's view-change hook).
+  // Adopted L2s come up EMPTY; the coordinator's state-sync step repairs
+  // them right after dispatch resumes.
+  Shard& sh = *shards_[0];
+  core::LdsCluster& c = *sh.lds;
+  const member::ProcessId self = opt_.fabric->self();
+  for (std::size_t j = 0; j < sh.spec.n1; ++j) {
+    const NodeId id = core::kL1IdBase + static_cast<NodeId>(j);
+    const bool mine = next.process_of(id) == self;
+    if (mine && !c.l1_local(j)) {
+      c.adopt_l1(j);
+    } else if (!mine && c.l1_local(j)) {
+      c.release_l1(j);
+    }
+  }
+  for (std::size_t i = 0; i < sh.spec.n2; ++i) {
+    const NodeId id = core::kL2IdBase + static_cast<NodeId>(i);
+    const bool mine = next.process_of(id) == self;
+    if (mine && !c.l2_local(i)) {
+      c.adopt_l2(i);
+    } else if (!mine && c.l2_local(i)) {
+      c.release_l2(i);
+    }
+  }
+}
+
+std::vector<ObjectId> StoreService::member_objects() {
+  Shard* sh = shards_[0].get();
+  auto done = std::make_shared<std::promise<std::vector<ObjectId>>>();
+  auto fut = done->get_future();
+  engine_->post(sh->lane, [sh, done] {
+    std::vector<ObjectId> out;
+    out.reserve(sh->objects.size());
+    for (const auto& [key, obj] : sh->objects) out.push_back(obj);
+    done->set_value(std::move(out));
+  });
+  if (fut.wait_for(std::chrono::seconds(5)) != std::future_status::ready) {
+    return {};
+  }
+  return fut.get();
+}
+
+void StoreService::member_repair_local(
+    std::size_t l2_index,
+    std::function<void(std::uint32_t, std::uint32_t)> done) {
+  Shard* sh = shards_[0].get();
+  engine_->post(sh->lane, [this, sh, l2_index, done = std::move(done)]() mutable {
+    auto objects = std::make_shared<std::vector<ObjectId>>();
+    objects->reserve(sh->objects.size());
+    for (const auto& [key, obj] : sh->objects) objects->push_back(obj);
+    member_repair_step(l2_index, std::move(objects), 0, 0, 0, std::move(done));
+  });
+}
+
+void StoreService::member_repair_step(
+    std::size_t l2_index, std::shared_ptr<std::vector<ObjectId>> objects,
+    std::size_t next, std::uint32_t repaired, std::uint32_t failed,
+    std::function<void(std::uint32_t, std::uint32_t)> done) {
+  Shard* sh = shards_[0].get();
+  if (next >= objects->size() || !sh->lds->l2_local(l2_index)) {
+    if (done) done(repaired, failed);
+    return;
+  }
+  sh->lds->l2(l2_index).repair_object(
+      (*objects)[next],
+      [this, l2_index, objects, next, repaired, failed,
+       done = std::move(done)](std::optional<Tag> tag) mutable {
+        member_repair_step(l2_index, objects, next + 1,
+                           repaired + (tag.has_value() ? 1 : 0),
+                           failed + (tag.has_value() ? 0 : 1),
+                           std::move(done));
+      });
 }
 
 }  // namespace lds::store

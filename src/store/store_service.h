@@ -68,6 +68,12 @@
 #include "store/repair_scheduler.h"
 #include "store/shard_router.h"
 
+namespace lds::member {
+class Coordinator;  // member/coordinator.h: the head's view-change driver
+class Fabric;       // member/fabric.h: per-process membership runtime
+struct View;        // member/view.h: epoch + node->process placement
+}  // namespace lds::member
+
 namespace lds::store {
 
 class RemoteServer;  // store/remote.h: serves remote store::Clients over TCP
@@ -126,6 +132,16 @@ struct StoreOptions {
   /// aborts rather than scatter keys.  Requires every shard to be LDS.
   std::string data_dir;
   storage::DurabilityPolicy durability;
+  /// Multi-process membership (member subsystem): a LISTENING Fabric whose
+  /// view may place this service's L1/L2 servers in other processes.  The
+  /// service installs the fabric's RemoteTransport on its shard cluster,
+  /// applies view changes (placement surgery on the shard lane) and owns a
+  /// member::Coordinator driving joins and moves.  Requires Parallel mode,
+  /// exactly one LDS shard, no data_dir (remote placement is RAM-only for
+  /// now); the repair scheduler is disabled (reconfiguration state-sync
+  /// replaces it).  The fabric must outlive the service; the service's
+  /// destructor stops it.
+  member::Fabric* fabric = nullptr;
 };
 
 /// Per-read consistency choice.  Atomic is the paper's LDS (linearizable);
@@ -334,6 +350,24 @@ class StoreService {
   void inject_crash_async(std::size_t shard, std::uint64_t seed,
                           std::function<void(bool)> done = {});
 
+  // ---- membership (Options::fabric) ------------------------------------------
+  /// The coordinator driving joins/moves; null without a fabric.
+  member::Coordinator* coordinator() { return coordinator_.get(); }
+  /// Admin entry point behind RemoteReconfig (store/remote.h): op 0 reports
+  /// the epoch, op 1 moves `l2_indices` to the member process at host:port
+  /// (empty host = back here).  `done(status, epoch)` fires on the
+  /// coordinator's worker thread once state-sync completed.
+  void admin_reconfig(std::uint8_t op, std::vector<std::uint32_t> l2_indices,
+                      std::string host, std::uint16_t port,
+                      std::function<void(Status, std::uint64_t)> done);
+  /// View-change quiesce seams (the coordinator's hooks; public for tests).
+  /// pause stops handing queued ops to cluster clients — accepted ops keep
+  /// queueing; drain waits until every DISPATCHED op completed (all client
+  /// pools idle); resume re-opens dispatch and pumps the queues.
+  void pause_dispatch();
+  bool drain_dispatched(double timeout_s);
+  void resume_dispatch();
+
   /// True when no client op or queued injection is in flight and (with
   /// repair enabled) every injected L2 crash has been repaired.  Safe to
   /// poll from the driving thread in Parallel mode.
@@ -430,6 +464,18 @@ class StoreService {
   void finish_put(std::size_t shard_idx, const PutCallback& cb,
                   const PutResult& r);
   bool inject_crash_on_lane(std::size_t shard, Rng& rng);
+  /// Membership plumbing (Options::fabric; all act on shard 0).
+  void apply_member_view(const member::View& prev, const member::View& next);
+  std::vector<ObjectId> member_objects();
+  void member_repair_local(std::size_t l2_index,
+                           std::function<void(std::uint32_t, std::uint32_t)>
+                               done);
+  void member_repair_step(std::size_t l2_index,
+                          std::shared_ptr<std::vector<ObjectId>> objects,
+                          std::size_t next, std::uint32_t repaired,
+                          std::uint32_t failed,
+                          std::function<void(std::uint32_t, std::uint32_t)>
+                              done);
 
   StoreOptions opt_;
   bool parallel_ = false;
@@ -442,6 +488,10 @@ class StoreService {
   /// Stopped servers kept alive until the engine drains: reply callbacks of
   /// requests still completing in the service reference them (see listen()).
   std::vector<std::unique_ptr<RemoteServer>> retired_remotes_;
+  std::unique_ptr<member::Coordinator> coordinator_;
+  /// View-change quiesce: pump_puts/pump_gets stop dispatching while set
+  /// (checked on the shard lanes; accepted ops keep queueing).
+  std::atomic<bool> dispatch_paused_{false};
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<std::size_t> pending_injections_{0};
 };

@@ -131,6 +131,13 @@ std::vector<MessagePtr> sample_store(Rng& rng, std::size_t n) {
       RemoteMessage::make(op, RemotePutIf{key, Value(rng.bytes(n)),
                                           Version()}),  // unknown expected
       RemoteMessage::make(op, std::move(reply)),
+      RemoteMessage::make(
+          op, RemoteReconfig{1,
+                             {0, 3, static_cast<std::uint32_t>(
+                                        rng.next_u64() % 8)},
+                             "127.0.0.1",
+                             static_cast<std::uint16_t>(rng.next_u64())}),
+      RemoteMessage::make(op, RemoteReconfig{0, {}, "", 0}),  // epoch query
   };
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "harness/kill9.h"
+#include "harness/reconfig.h"
 #include "harness/stress.h"
 
 namespace {
@@ -58,7 +59,15 @@ void usage(const char* argv0) {
       "  --sync P                always|group|never fdatasync policy "
       "(always)\n"
       "  --keep-data             reuse the data_dir instead of wiping\n"
-      "  (--threads/--value-size/--read-fraction/--shards/--seed apply too)\n",
+      "  (--threads/--value-size/--read-fraction/--shards/--seed apply too)\n"
+      "reconfiguration churn mode (forks a 3-process member cluster):\n"
+      "  --reconfig              enable; requires --server-bin and --work-dir\n"
+      "  --work-dir PATH         scratch dir for ports + the view dir "
+      "(wiped)\n"
+      "  --moves N               blocking head<->peer move rounds (4)\n"
+      "  --no-kill               skip the SIGKILL-mid-move scenario\n"
+      "  (--threads/--keys/--ops-per-round/--value-size/--read-fraction/\n"
+      "   --seed/--verbose apply too)\n",
       argv0);
 }
 
@@ -93,6 +102,8 @@ int main(int argc, char** argv) {
   lds::harness::StressOptions opt;
   bool kill9 = false;
   lds::harness::Kill9Options k9;
+  bool reconfig = false;
+  lds::harness::ReconfigOptions rc;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -209,6 +220,17 @@ int main(int argc, char** argv) {
       if (ok) k9.sync = *p;
     } else if (arg == "--keep-data") {
       k9.keep_data = true;
+    } else if (arg == "--reconfig") {
+      reconfig = true;
+    } else if (arg == "--work-dir") {
+      const char* v = next();
+      ok = v != nullptr && *v != '\0';
+      if (ok) rc.work_dir = v;
+    } else if (arg == "--moves") {
+      const char* v = next();
+      ok = v && parse_size(v, &rc.moves);
+    } else if (arg == "--no-kill") {
+      rc.kill_mid_move = false;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -218,6 +240,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad or missing value for '%s'\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (reconfig) {
+    rc.server_bin = k9.server_bin;
+    rc.ops_per_round = k9.ops_per_round != 400 ? k9.ops_per_round : 300;
+    rc.threads = opt.threads;
+    rc.keys = k9.keys;
+    rc.value_size = opt.value_size;
+    rc.read_fraction = opt.read_fraction;
+    rc.seed = opt.seed != 0 ? opt.seed : lds::entropy_seed();
+    rc.verbose = opt.verbose;
+    std::printf("reconfig: seed %llu\n",
+                static_cast<unsigned long long>(rc.seed));
+    const auto rep = lds::harness::run_reconfig(rc);
+    std::fputs(lds::harness::format_reconfig_report(rc, rep).c_str(), stdout);
+    return rep.ok() ? 0 : 1;
   }
 
   if (kill9) {
