@@ -19,6 +19,11 @@
 #   STORE_SHARDS  consistent-hash shards per store service (default 8)
 #   STORE_ENGINES store engine list soaked per round (default "sim parallel";
 #                 parallel = one service over ParallelEngine worker lanes)
+#   WORKLOAD      "uniform" (default) or "zipf": zipf soaks every backend
+#                 under YCSB-skewed key popularity (--zipf-theta 0.99) and
+#                 additionally turns on the client read cache, two tenants
+#                 and a mixed value-size distribution for store rounds, so
+#                 the verifiers gate the validated-cache fast path too
 #   TRANSPORT     "inproc" (default) or "tcp": tcp adds one loopback round
 #                 per soak round — lds_served on an ephemeral port driven by
 #                 lds_store_bench --remote, both verified (client-observed
@@ -44,6 +49,7 @@ BACKENDS=${BACKENDS:-"lds abd cas store"}
 STORE_SHARDS=${STORE_SHARDS:-8}
 STORE_ENGINES=${STORE_ENGINES:-"sim parallel"}
 TRANSPORT=${TRANSPORT:-inproc}
+WORKLOAD=${WORKLOAD:-uniform}
 KILL9=${KILL9:-0}
 RECONFIG=${RECONFIG:-0}
 SERVED_BIN=${SERVED_BIN:-build/lds_served}
@@ -143,7 +149,7 @@ deadline=$((SECONDS + SOAK_SECONDS))
 round=0
 runs=0
 
-echo "soak: ${SOAK_SECONDS}s budget, binary=$STRESS_BIN, backends: ${backends[*]}, extra args: $*"
+echo "soak: ${SOAK_SECONDS}s budget, binary=$STRESS_BIN, backends: ${backends[*]}, workload=$WORKLOAD, extra args: $*"
 while ((SECONDS < deadline)); do
   round=$((round + 1))
   for backend in "${backends[@]}"; do
@@ -151,6 +157,9 @@ while ((SECONDS < deadline)); do
     seed=$((RANDOM * 32768 + RANDOM + round))
     cmd=("$STRESS_BIN" --backend "$backend" --threads 4 --ops 2000
          --crash-rate 0.05 --seed "$seed")
+    if [[ "$WORKLOAD" == "zipf" ]]; then
+      cmd+=(--zipf-theta 0.99)
+    fi
     case "$backend" in
       lds)
         # Also soak the repair-churn path on alternating rounds.
@@ -164,6 +173,11 @@ while ((SECONDS < deadline)); do
         read -r -a engines <<< "$STORE_ENGINES"
         engine=${engines[$((round % ${#engines[@]}))]}
         cmd+=(--shards "$STORE_SHARDS" --ops 1000 --engine "$engine")
+        if [[ "$WORKLOAD" == "zipf" ]]; then
+          # Skewed store rounds also exercise the validated read cache,
+          # multi-tenant key namespaces and mixed value sizes under churn.
+          cmd+=(--client-cache --tenants 2 --value-dist uniform:32:128)
+        fi
         ;;
     esac
     cmd+=("$@")
@@ -188,4 +202,4 @@ while ((SECONDS < deadline)); do
   fi
 done
 
-echo "soak passed: $runs runs across ${backends[*]} (transport=$TRANSPORT kill9=$KILL9 reconfig=$RECONFIG) in ${SECONDS}s, 0 violations"
+echo "soak passed: $runs runs across ${backends[*]} (workload=$WORKLOAD transport=$TRANSPORT kill9=$KILL9 reconfig=$RECONFIG) in ${SECONDS}s, 0 violations"

@@ -11,6 +11,7 @@
 #include "baselines/abd.h"
 #include "baselines/cas.h"
 #include "common/rng.h"
+#include "harness/workload.h"
 #include "lds/cluster.h"
 #include "store/client.h"
 
@@ -300,6 +301,37 @@ ShardEnv make_cas_env(const StressOptions& opt, std::uint64_t shard_seed) {
   return make_single_layer_env(std::move(cluster), opt.n, opt.f);
 }
 
+/// Project the stress options onto the shared workload model.  The
+/// permutation seed is the shard seed, so a solo replay of one shard keeps
+/// its hot-key layout.  An unparseable --value-dist falls back to the fixed
+/// --value-size (validate_options rejects it before we get here).
+WorkloadOptions workload_options(const StressOptions& opt,
+                                 std::uint64_t seed) {
+  WorkloadOptions w;
+  w.keys = opt.objects;
+  w.read_fraction = opt.read_fraction;
+  w.zipf_theta = opt.zipf_theta;
+  if (!opt.value_dist.empty()) {
+    if (const auto d = ValueSizeDist::parse(opt.value_dist); d.has_value()) {
+      w.value_dist = *d;
+    }
+  } else {
+    w.value_dist.kind = ValueSizeDist::Kind::Fixed;
+    w.value_dist.a = w.value_dist.b = opt.value_size;
+  }
+  w.tenants = opt.tenants;
+  w.seed = seed;
+  return w;
+}
+
+store::CacheOptions cache_options(const StressOptions& opt) {
+  store::CacheOptions c;
+  c.enabled = opt.client_cache;
+  c.ttl = opt.cache_ttl;
+  c.capacity = opt.cache_capacity;
+  return c;
+}
+
 store::StoreOptions make_store_options(const StressOptions& opt,
                                        std::uint64_t shard_seed) {
   store::StoreOptions sopt;
@@ -326,26 +358,31 @@ store::StoreOptions make_store_options(const StressOptions& opt,
   return sopt;
 }
 
-ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
+ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed,
+                        const WorkloadModel* model) {
   const store::StoreOptions sopt = make_store_options(opt, shard_seed);
   auto service = std::make_shared<store::StoreService>(sopt);
   // All client traffic goes through the unified store::Client facade; the
   // raw service stays for introspection (histories, metrics, injection).
-  auto client = std::make_shared<store::Client>(*service);
+  // The read cache, when enabled, lives in this client and validates with
+  // tag-only rounds.  `model` maps (client, object) to the tenant-prefixed
+  // key name; it outlives the env (owned by run_shard's frame).
+  auto client = std::make_shared<store::Client>(*service, cache_options(opt));
 
   ShardEnv env;
   env.sim = &service->sim();
   for (std::size_t s = 0; s < service->num_shards(); ++s) {
     env.histories.push_back(&service->shard_history(s));
   }
-  env.write = [client](std::size_t, ObjectId obj, Value v,
-                       std::function<void()> done) {
-    client->put("key-" + std::to_string(obj), std::move(v),
+  env.write = [client, model](std::size_t w, ObjectId obj, Value v,
+                              std::function<void()> done) {
+    client->put(model->key_name(model->tenant_of_client(w), obj),
+                std::move(v),
                 [done = std::move(done)](const store::PutResult&) { done(); });
   };
-  env.read = [client](std::size_t, ObjectId obj,
-                      std::function<void()> done) {
-    client->get("key-" + std::to_string(obj),
+  env.read = [client, model](std::size_t r, ObjectId obj,
+                             std::function<void()> done) {
+    client->get(model->key_name(model->tenant_of_client(r), obj),
                 [done = std::move(done)](const store::GetResult&) { done(); });
   };
   env.try_crash = [service, shards = opt.store_shards](Rng& rng) {
@@ -361,12 +398,14 @@ ShardEnv make_store_env(const StressOptions& opt, std::uint64_t shard_seed) {
     service->quiesce(std::move(drained));
   };
   env.outstanding = [service] { return service->outstanding(); };
-  env.fill_store_stats = [service](ShardReport& rep) {
+  env.fill_store_stats = [service, client](ShardReport& rep) {
     rep.repairs = service->repair() != nullptr
                       ? service->repair()->servers_repaired()
                       : 0;
     rep.batches = service->metrics().counter_total("batches");
     rep.coalesced = service->metrics().counter_total("puts_coalesced");
+    rep.cache_hits = client->metrics().counter_total("cache_hits");
+    rep.cache_misses = client->metrics().counter_total("cache_misses");
   };
   struct Keep {
     std::shared_ptr<store::StoreService> service;
@@ -389,13 +428,16 @@ ShardReport run_shard(const ThreadState& ts) {
   rep.shard = ts.shard;
   rep.seed = ts.seed;
   auto rng = std::make_shared<Rng>(ts.seed);
+  // Key popularity / value sizes / tenant naming; env closures hold a raw
+  // pointer into this frame (they only run inside env.sim->run() below).
+  const WorkloadModel model(workload_options(opt, ts.seed));
 
   ShardEnv env;
   switch (opt.backend) {
     case Backend::Lds: env = make_lds_env(opt, ts.seed); break;
     case Backend::Abd: env = make_abd_env(opt, ts.seed); break;
     case Backend::Cas: env = make_cas_env(opt, ts.seed); break;
-    case Backend::Store: env = make_store_env(opt, ts.seed); break;
+    case Backend::Store: env = make_store_env(opt, ts.seed, &model); break;
   }
 
   // Split this shard's ops into per-client closed-loop budgets.
@@ -427,26 +469,24 @@ ShardReport run_shard(const ThreadState& ts) {
     }
   };
 
-  write_next = [writes_left, rng, &env, &rep, opt, &on_done,
+  write_next = [writes_left, rng, &env, &rep, &model, &on_done,
                 &write_next](std::size_t w) {
     if ((*writes_left)[w] == 0) return;
     --(*writes_left)[w];
-    const auto obj = static_cast<ObjectId>(
-        rng->uniform_int(0, static_cast<std::int64_t>(opt.objects) - 1));
+    const auto obj = static_cast<ObjectId>(model.key_index(*rng));
     ++rep.writes;
-    env.write(w, obj, rng->bytes(opt.value_size),
+    env.write(w, obj, rng->bytes(model.value_size(*rng)),
               [&env, rng, &on_done, &write_next, w] {
                 on_done();
                 env.sim->after(rng->exponential(1.0) + 1e-6,
                                [&write_next, w] { write_next(w); });
               });
   };
-  read_next = [reads_left, rng, &env, &rep, opt, &on_done,
+  read_next = [reads_left, rng, &env, &rep, &model, &on_done,
                &read_next](std::size_t r) {
     if ((*reads_left)[r] == 0) return;
     --(*reads_left)[r];
-    const auto obj = static_cast<ObjectId>(
-        rng->uniform_int(0, static_cast<std::int64_t>(opt.objects) - 1));
+    const auto obj = static_cast<ObjectId>(model.key_index(*rng));
     ++rep.reads;
     env.read(r, obj, [&env, rng, &on_done, &read_next, r] {
       on_done();
@@ -541,12 +581,14 @@ StressReport run_parallel_store(const StressOptions& opt,
   sopt.engine_mode = net::EngineMode::Parallel;
   sopt.engine_threads = opt.threads;
   store::StoreService svc(sopt);
-  store::Client client(svc);
+  store::Client client(svc, cache_options(opt));
+  const WorkloadModel model(workload_options(opt, master_seed));
 
   struct Chain {
     Rng rng{1};
     std::size_t left = 0;  ///< chain-serialized; hops lanes with the chain
     bool reader = false;
+    std::size_t tenant = 0;
   };
   std::size_t reads = static_cast<std::size_t>(
       static_cast<double>(opt.ops) * opt.read_fraction + 0.5);
@@ -557,6 +599,7 @@ StressReport run_parallel_store(const StressOptions& opt,
     auto c = std::make_unique<Chain>();
     c->rng = Rng(mix_seed(master_seed, 100 + w));
     c->left = writes / opt.writers + (w < writes % opt.writers ? 1 : 0);
+    c->tenant = model.tenant_of_client(w);
     chains.push_back(std::move(c));
   }
   for (std::size_t r = 0; r < opt.readers; ++r) {
@@ -564,6 +607,7 @@ StressReport run_parallel_store(const StressOptions& opt,
     c->rng = Rng(mix_seed(master_seed, 200 + r));
     c->left = reads / opt.readers + (r < reads % opt.readers ? 1 : 0);
     c->reader = true;
+    c->tenant = model.tenant_of_client(r);
     chains.push_back(std::move(c));
   }
   std::atomic<std::size_t> to_issue{opt.ops};
@@ -575,9 +619,8 @@ StressReport run_parallel_store(const StressOptions& opt,
     if (c->left == 0) return;
     --c->left;
     to_issue.fetch_sub(1, std::memory_order_acq_rel);
-    const auto obj = static_cast<ObjectId>(
-        c->rng.uniform_int(0, static_cast<std::int64_t>(opt.objects) - 1));
-    const std::string key = "key-" + std::to_string(obj);
+    const auto obj = static_cast<ObjectId>(model.key_index(c->rng));
+    const std::string key = model.key_name(c->tenant, obj);
     auto done = [&, c] {
       if (opt.crash_rate > 0 && c->rng.bernoulli(opt.crash_rate)) {
         const auto shard = static_cast<std::size_t>(c->rng.uniform_int(
@@ -592,7 +635,7 @@ StressReport run_parallel_store(const StressOptions& opt,
     if (c->reader) {
       client.get(key, [done](const store::GetResult&) { done(); });
     } else {
-      client.put(key, c->rng.bytes(opt.value_size),
+      client.put(key, c->rng.bytes(model.value_size(c->rng)),
                  [done](const store::PutResult&) { done(); });
     }
   };
@@ -619,6 +662,11 @@ StressReport run_parallel_store(const StressOptions& opt,
     rep.coalesced = shard_counter(s, "puts_coalesced");
     // Engine-wide event total, reported once (lanes are shared by shards).
     rep.sim_events = s == 0 ? svc.engine().events_executed() : 0;
+    // The client (and so the cache) spans shards; report its counters once.
+    if (s == 0) {
+      rep.cache_hits = client.metrics().counter_total("cache_hits");
+      rep.cache_misses = client.metrics().counter_total("cache_misses");
+    }
 
     const History& history = svc.shard_history(s);
     rep.liveness_ok = history.all_complete();
@@ -689,6 +737,16 @@ std::size_t StressReport::total_coalesced() const {
   for (const auto& s : shards) n += s.coalesced;
   return n;
 }
+std::size_t StressReport::total_cache_hits() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.cache_hits;
+  return n;
+}
+std::size_t StressReport::total_cache_misses() const {
+  std::size_t n = 0;
+  for (const auto& s : shards) n += s.cache_misses;
+  return n;
+}
 std::size_t StressReport::violations() const {
   std::size_t n = 0;
   for (const auto& s : shards) n += s.ok() ? 0 : 1;
@@ -708,6 +766,20 @@ std::optional<std::string> validate_options(const StressOptions& opt) {
     return "--crash-rate must be in [0, 1]";
   if (!(opt.repair_rate >= 0.0 && opt.repair_rate <= 1.0))
     return "--repair-rate must be in [0, 1]";
+  if (!(opt.zipf_theta >= 0.0 && opt.zipf_theta < 1.0))
+    return "--zipf-theta must be in [0, 1) (0 = uniform)";
+  if (!opt.value_dist.empty() &&
+      !ValueSizeDist::parse(opt.value_dist).has_value())
+    return "--value-dist must be fixed:N, uniform:LO:HI or "
+           "bimodal:SMALL:LARGE:PCT";
+  if (opt.tenants == 0) return "--tenants must be >= 1";
+  if (opt.tenants > 1 && opt.backend != Backend::Store)
+    return "--tenants > 1 requires --backend store (tenant key namespaces)";
+  if (opt.client_cache && opt.backend != Backend::Store)
+    return "--client-cache requires --backend store";
+  if (opt.client_cache && opt.cache_capacity == 0)
+    return "--cache-capacity must be >= 1";
+  if (!(opt.cache_ttl >= 0.0)) return "--cache-ttl must be >= 0";
   if (opt.engine == net::EngineMode::Parallel && opt.backend != Backend::Store)
     return "--engine=parallel requires --backend store (single-cluster "
            "backends already scale one independent shard per OS thread)";
@@ -815,6 +887,24 @@ std::string format_report(const StressOptions& opt, const StressReport& rep) {
                   opt.store_shards, rep.total_batches(),
                   rep.total_coalesced());
     out += line;
+  }
+  if (opt.zipf_theta > 0.0 || opt.tenants > 1 || !opt.value_dist.empty() ||
+      opt.client_cache) {
+    std::snprintf(line, sizeof(line),
+                  "workload: zipf-theta=%g tenants=%zu value-dist=%s "
+                  "cache=%s",
+                  opt.zipf_theta, opt.tenants,
+                  opt.value_dist.empty()
+                      ? ("fixed:" + std::to_string(opt.value_size)).c_str()
+                      : opt.value_dist.c_str(),
+                  opt.client_cache ? "on" : "off");
+    out += line;
+    if (opt.client_cache) {
+      std::snprintf(line, sizeof(line), " (%zu hits / %zu misses)",
+                    rep.total_cache_hits(), rep.total_cache_misses());
+      out += line;
+    }
+    out += '\n';
   }
   std::snprintf(line, sizeof(line),
                 "total: %zu writes, %zu reads, %zu crashes, %zu repairs, "

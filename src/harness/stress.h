@@ -59,6 +59,20 @@ struct StressOptions {
   std::size_t value_size = 64;
   /// Fraction of a shard's ops that are reads.
   double read_fraction = 0.5;
+  /// Key popularity skew: 0 = uniform, (0, 1) = YCSB Zipfian (0.99 = YCSB
+  /// default).  Applies to every backend.
+  double zipf_theta = 0.0;
+  /// Value-size distribution spec ("fixed:N" / "uniform:LO:HI" /
+  /// "bimodal:SMALL:LARGE:PCT"); empty = fixed at --value-size.
+  std::string value_dist;
+  /// Store backend only: clients partition round-robin over this many
+  /// tenants, each with a disjoint "t<i>:"-prefixed key namespace.
+  std::size_t tenants = 1;
+  /// Store backend only: enable the client read cache (version-validated
+  /// tag-only rounds) on the driving store::Client.
+  bool client_cache = false;
+  double cache_ttl = 0.0;  ///< seconds a validated entry stays hot (0 = off)
+  std::size_t cache_capacity = 4096;
   /// Per-operation probability of injecting a server crash (bounded by the
   /// backend's failure budget: f1/f2 for LDS, f for ABD, (n-k)/2 for CAS).
   double crash_rate = 0.0;
@@ -98,6 +112,10 @@ struct ShardReport {
   /// Store backend: dispatched write batches / puts absorbed by coalescing.
   std::size_t batches = 0;
   std::size_t coalesced = 0;
+  /// Store backend with --client-cache: reads served from / missed by the
+  /// client read cache (parallel engine reports these once, on shard 0).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
   std::uint64_t sim_events = 0;
   bool liveness_ok = false;
   bool atomicity_ok = false;
@@ -117,6 +135,8 @@ struct StressReport {
   std::size_t total_repairs() const;
   std::size_t total_batches() const;
   std::size_t total_coalesced() const;
+  std::size_t total_cache_hits() const;
+  std::size_t total_cache_misses() const;
   std::size_t violations() const;
   bool ok() const { return violations() == 0 && !shards.empty(); }
 };

@@ -1,0 +1,108 @@
+// Workload model shared by lds_stress and lds_store_bench: which keys ops
+// touch (uniform or Zipfian popularity), the read/write mix, how big values
+// are (fixed / uniform / bimodal), and how clients map onto tenants.
+//
+// The model is a pure function of (options, the caller's Rng): it owns no
+// Rng of its own, so per-chain / per-thread generators keep their existing
+// determinism story — same seed, same op sequence, engine mode independent.
+//
+// Zipfian ranks come from the YCSB inverse-CDF generator (Gray et al.'s
+// formula): rank 0 is the hottest key, rank n-1 the coldest.  Ranks are
+// scattered over the key space through a seeded Fisher-Yates permutation —
+// an exact bijection, so `keys_coldest_first()` can enumerate the key space
+// in strict coldest-to-hottest order (the priming order that leaves
+// hot-key cache warm-up to the measured run itself).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lds::harness {
+
+/// Value-size distribution: "fixed:N", "uniform:LO:HI" (inclusive), or
+/// "bimodal:SMALL:LARGE:PCT" (PCT percent of values are LARGE bytes).
+struct ValueSizeDist {
+  enum class Kind : std::uint8_t { Fixed, Uniform, Bimodal };
+  Kind kind = Kind::Fixed;
+  std::size_t a = 64;       ///< fixed size / uniform lo / bimodal small
+  std::size_t b = 64;       ///< uniform hi / bimodal large
+  double large_pct = 10.0;  ///< bimodal: percent of LARGE values
+
+  /// Parse the spec above; nullopt on malformed input.
+  static std::optional<ValueSizeDist> parse(const std::string& spec);
+  std::size_t sample(Rng& rng) const;
+  /// Canonical spec string (for JSON/report labels).
+  std::string spec() const;
+  /// Largest size the distribution can produce.
+  std::size_t max_size() const { return kind == Kind::Fixed ? a : b; }
+};
+
+/// YCSB-style Zipfian rank generator over [0, n).  theta in (0, 1); higher
+/// = more skew (0.99 is the YCSB default).  Stateless draw: thread-safe as
+/// long as each thread brings its own Rng.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::size_t n, double theta);
+  std::size_t next_rank(Rng& rng) const;
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double threshold1_;  ///< uz < 1 + 0.5^theta => rank 1
+};
+
+struct WorkloadOptions {
+  std::size_t keys = 64;       ///< key-space size per tenant
+  double read_fraction = 0.5;  ///< P(op is a read)
+  /// 0 = uniform key popularity; in (0, 1) = Zipfian skew (0.99 = YCSB).
+  double zipf_theta = 0.0;
+  ValueSizeDist value_dist;
+  std::size_t tenants = 1;  ///< disjoint key namespaces ("t<i>:" prefixes)
+  /// Seeds the rank->key permutation only (op draws use the caller's Rng).
+  std::uint64_t seed = 1;
+};
+
+/// Validate ranges; nullopt when fine, else a message for the CLI.
+std::optional<std::string> validate_workload(const WorkloadOptions& opt);
+
+class WorkloadModel {
+ public:
+  explicit WorkloadModel(WorkloadOptions opt);
+
+  const WorkloadOptions& options() const { return opt_; }
+
+  bool is_read(Rng& rng) const { return rng.bernoulli(opt_.read_fraction); }
+  /// Key index in [0, keys): Zipfian rank scattered through the seeded
+  /// permutation, or plain uniform when zipf_theta == 0.
+  std::size_t key_index(Rng& rng) const;
+  std::size_t value_size(Rng& rng) const {
+    return opt_.value_dist.sample(rng);
+  }
+
+  /// Tenants partition clients round-robin and prefix their key space.
+  std::size_t tenant_of_client(std::size_t client) const {
+    return client % opt_.tenants;
+  }
+  std::string key_name(std::size_t tenant, std::size_t index) const;
+
+  /// Every key index, coldest popularity rank first (hottest last): the
+  /// priming order that does not pre-warm hot keys ahead of measurement.
+  /// Uniform workloads get the identity order.
+  std::vector<std::size_t> keys_coldest_first() const;
+
+ private:
+  WorkloadOptions opt_;
+  std::optional<ZipfianGenerator> zipf_;
+  std::vector<std::size_t> perm_;  ///< rank -> key index (bijection)
+};
+
+}  // namespace lds::harness

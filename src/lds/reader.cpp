@@ -11,7 +11,7 @@ Reader::Reader(net::Network& net, std::shared_ptr<const LdsContext> ctx,
 
 void Reader::finish() {
   phase_ = Phase::Idle;
-  if (history_ != nullptr) {
+  if (history_ != nullptr && !tag_only_) {
     history_->on_response(history_index_, net_.sim().now(), result_tag_,
                           result_value_);
   }
@@ -29,9 +29,18 @@ void Reader::send_to_l1(const LdsBody& body) {
 }
 
 void Reader::read(ObjectId obj, Callback cb) {
+  start(obj, std::move(cb), /*tag_only=*/false);
+}
+
+void Reader::read_tag(ObjectId obj, Callback cb) {
+  start(obj, std::move(cb), /*tag_only=*/true);
+}
+
+void Reader::start(ObjectId obj, Callback cb, bool tag_only) {
   LDS_REQUIRE(!busy(), "Reader: client must be well-formed (one op at a time)");
   LDS_REQUIRE(!crashed(), "Reader: crashed client cannot invoke");
   phase_ = Phase::GetCommittedTag;
+  tag_only_ = tag_only;
   op_ = make_op_id(id(), ++seq_);
   obj_ = obj;
   cb_ = std::move(cb);
@@ -41,7 +50,9 @@ void Reader::read(ObjectId obj, Callback cb) {
   best_value_tag_ = kTag0;
   best_value_ = Value();
   coded_.clear();
-  if (history_ != nullptr) {
+  // Tag-only rounds carry no value and are not history reads; the caller
+  // (the client cache) records the operation it actually serves.
+  if (history_ != nullptr && !tag_only_) {
     history_index_ =
         history_->on_invoke(op_, OpKind::Read, obj_, id(), net_.sim().now());
   }
@@ -108,6 +119,14 @@ void Reader::on_message(NodeId from, const net::MessagePtr& msg) {
     if (!responders_.insert(from).second) return;
     if (t->tag > treq_) treq_ = t->tag;
     if (responders_.size() < quorum) return;
+    if (tag_only_) {
+      // Validation round complete: treq is a committed-tag floor over a
+      // full quorum.  Skip get-data and put-tag entirely.
+      result_tag_ = treq_;
+      result_value_ = Value();
+      finish();
+      return;
+    }
     phase_ = Phase::GetData;
     responders_.clear();
     send_to_l1(QueryData{treq_});

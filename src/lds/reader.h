@@ -47,6 +47,15 @@ class Reader final : public net::Node {
   /// returned tag and value).  Requires no operation in progress.
   void read(ObjectId obj, Callback cb = {});
 
+  /// Tag-only validation round: run ONLY the get-committed-tag phase and
+  /// return (treq, empty Value).  Because treq is the max committed tag over
+  /// an f1 + k quorum, it is >= the tag of any read/write that completed
+  /// before this call started — exactly the currency check a client-side
+  /// cache needs.  No reader registration happens during QUERY-COMM-TAG, so
+  /// no cleanup round is required, and the operation is not a history read
+  /// (it returns no value; the caller decides what to serve).
+  void read_tag(ObjectId obj, Callback cb = {});
+
   bool busy() const { return phase_ != Phase::Idle; }
   std::uint32_t ops_started() const { return seq_; }
 
@@ -56,6 +65,7 @@ class Reader final : public net::Node {
   enum class Phase { Idle, GetCommittedTag, GetData, PutTag };
 
   void send_to_l1(const LdsBody& body);
+  void start(ObjectId obj, Callback cb, bool tag_only);
   /// Check the get-data completion condition; if met, enter put-tag.
   void maybe_finish_get_data();
 
@@ -66,6 +76,7 @@ class Reader final : public net::Node {
   ReadConsistency consistency_;
 
   Phase phase_ = Phase::Idle;
+  bool tag_only_ = false;
   std::uint32_t seq_ = 0;
   OpId op_ = kNoOp;
   ObjectId obj_ = 0;

@@ -21,10 +21,19 @@ std::string deadline_msg(double deadline) {
 
 // ---- lifecycle / remote mode ------------------------------------------------
 
-Client::Client(StoreService& service) : svc_(&service) {}
+Client::Client(StoreService& service, CacheOptions cache) : svc_(&service) {
+  if (cache.enabled && cache.capacity > 0) {
+    cache_ = std::make_unique<ReadCache>(cache);
+  }
+}
 
-Client::Client(std::vector<std::unique_ptr<RemoteSession>> remotes)
-    : remotes_(std::move(remotes)) {}
+Client::Client(std::vector<std::unique_ptr<RemoteSession>> remotes,
+               CacheOptions cache)
+    : remotes_(std::move(remotes)) {
+  if (cache.enabled && cache.capacity > 0) {
+    cache_ = std::make_unique<ReadCache>(cache);
+  }
+}
 
 Client::~Client() {
   // Close before members die: cancelled async completions push into cq_,
@@ -55,7 +64,7 @@ std::unique_ptr<Client> Client::connect(const std::string& host,
     if (s == nullptr) return nullptr;  // *status carries the reason
     sessions.push_back(std::move(s));
   }
-  return std::unique_ptr<Client>(new Client(std::move(sessions)));
+  return std::unique_ptr<Client>(new Client(std::move(sessions), copts.cache));
 }
 
 RemoteSession& Client::pick() {
@@ -194,6 +203,7 @@ void Client::remote_attempt(std::shared_ptr<AsyncOp> op) {
 
 void Client::submit_put(const std::string& key, Value value, PutCallback cb,
                         OpOptions opts) {
+  if (cache_ != nullptr) cb = wrap_put_cb(key, value, std::move(cb));
   if (closed()) {
     cb(PutResult::failure(Status::Unavailable("client closed")));
     return;
@@ -224,6 +234,7 @@ void Client::submit_put(const std::string& key, Value value, PutCallback cb,
 
 void Client::submit_put_if(const std::string& key, Value value,
                            Version expected, PutCallback cb, OpOptions opts) {
+  if (cache_ != nullptr) cb = wrap_put_cb(key, value, std::move(cb));
   if (closed()) {
     cb(PutResult::failure(Status::Unavailable("client closed")));
     return;
@@ -262,16 +273,11 @@ void Client::submit_get(const std::string& key, GetCallback cb,
     cb(GetResult::failure(Status::InvalidArgument("empty key")));
     return;
   }
-  if (remote()) {
-    // Gets have no retriable failure: one pipelined RPC under the deadline.
-    pick().async_call(RemoteGet{key, opts.read_mode}, opts.deadline,
-                      [cb = std::move(cb)](Status st, RemoteReply r) {
-                        cb(st.ok() ? to_get_result(r)
-                                   : GetResult::failure(std::move(st)));
-                      });
+  if (cache_applies(opts.read_mode)) {
+    cached_get(key, std::move(cb), opts);
     return;
   }
-  get(key, std::move(cb), opts);  // local path is already lane-async
+  raw_get(key, std::move(cb), opts);
 }
 
 // ---- completion-queue API ----------------------------------------------------
@@ -355,6 +361,7 @@ std::uint64_t Client::async_put_if(const std::string& key, Value value,
 
 void Client::put(const std::string& key, Value value, PutCallback cb,
                  OpOptions opts) {
+  if (cache_ != nullptr) cb = wrap_put_cb(key, value, std::move(cb));
   if (remote()) {
     PutResult r;
     if (closed()) {
@@ -378,6 +385,7 @@ void Client::put(const std::string& key, Value value, PutCallback cb,
 
 void Client::put_if_version(const std::string& key, Value value,
                             Version expected, PutCallback cb, OpOptions opts) {
+  if (cache_ != nullptr) cb = wrap_put_cb(key, value, std::move(cb));
   if (remote()) {
     PutResult r;
     if (closed()) {
@@ -470,11 +478,45 @@ void Client::get(const std::string& key, GetCallback cb, OpOptions opts) {
     return;
   }
   if (remote()) {
+    if (cache_applies(opts.read_mode)) {
+      // Preserve the documented blocking contract around the async cache
+      // path (TTL hits complete inline; validation/fill rounds complete on
+      // transport threads).
+      GetResult out;
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      cached_get(
+          key,
+          [&](const GetResult& r) {
+            {
+              std::lock_guard<std::mutex> lk(mu);
+              out = r;
+              done = true;
+            }
+            cv.notify_one();
+          },
+          opts);
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return done; });
+      lk.unlock();
+      if (cb) cb(out);
+      return;
+    }
     // Gets have no retriable failure; one blocking RPC under the deadline.
     const GetResult r = pick().get(key, opts.read_mode, opts.deadline);
     if (cb) cb(r);
     return;
   }
+  if (cache_applies(opts.read_mode)) {
+    cached_get(key, std::move(cb), opts);
+    return;
+  }
+  local_get(key, std::move(cb), opts);
+}
+
+void Client::local_get(const std::string& key, GetCallback cb,
+                       OpOptions opts) {
   auto op = std::make_shared<GetOp>();
   op->cb = std::move(cb);
   const std::size_t lane = lane_of_key(key);
@@ -496,6 +538,124 @@ void Client::get(const std::string& key, GetCallback cb, OpOptions opts) {
         },
         opts.read_mode);
   });
+}
+
+// ---- read cache -------------------------------------------------------------
+
+void Client::raw_get(const std::string& key, GetCallback cb, OpOptions opts) {
+  if (remote()) {
+    // Gets have no retriable failure: one pipelined RPC under the deadline.
+    pick().async_call(RemoteGet{key, opts.read_mode}, opts.deadline,
+                      [cb = std::move(cb)](Status st, RemoteReply r) {
+                        if (!cb) return;
+                        cb(st.ok() ? to_get_result(r)
+                                   : GetResult::failure(std::move(st)));
+                      });
+    return;
+  }
+  local_get(key, std::move(cb), opts);
+}
+
+double Client::cache_now() const {
+  if (svc_ != nullptr && !svc_->parallel()) return svc_->sim().now();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Client::cached_get(const std::string& key, GetCallback cb,
+                        OpOptions opts) {
+  auto entry = cache_->lookup(key);
+  if (!entry.has_value()) {
+    client_metrics_.counter("cache_misses").inc();
+    fill_get(key, std::move(cb), opts);
+    return;
+  }
+  if (cache_->options().ttl > 0 && cache_now() < entry->fresh_until) {
+    // Opt-in bounded staleness: serve without any round until the ttl.
+    client_metrics_.counter("cache_hits").inc();
+    client_metrics_.counter("cache_ttl_hits").inc();
+    client_metrics_.counter("wire_value_bytes_saved").inc(entry->value.size());
+    if (cb) cb(GetResult::success(entry->version.tag(),
+                                  std::move(entry->value)));
+    return;
+  }
+  // Validation round: a tag-only read through the normal get path.  The
+  // returned committed tag is >= any operation that completed before the
+  // round started, so tag == cached version certifies currency.
+  client_metrics_.counter("cache_validation_rounds").inc();
+  OpOptions vopts = opts;
+  vopts.read_mode = ReadMode::TagOnly;
+  raw_get(
+      key,
+      [this, key, opts, cb = std::move(cb),
+       cached = std::move(*entry)](const GetResult& r) mutable {
+        if (r.ok) {
+          if (r.version == cached.version) {
+            client_metrics_.counter("cache_hits").inc();
+            client_metrics_.counter("wire_value_bytes_saved")
+                .inc(cached.value.size());
+            cache_->revalidate(key, cached.version, cache_now());
+            if (cb) {
+              cb(GetResult::success(cached.version.tag(),
+                                    std::move(cached.value)));
+            }
+            return;
+          }
+          // Stale entry: fall through to a full get, which refreshes it.
+          client_metrics_.counter("cache_misses").inc();
+          client_metrics_.counter("cache_stale_validations").inc();
+          fill_get(key, std::move(cb), opts);
+          return;
+        }
+        if (r.status.is(StatusCode::kInvalidArgument)) {
+          // The shard cannot serve tag-only rounds (non-LDS protocol):
+          // stop consulting the cache for good and serve the plain read.
+          if (cache_usable_.exchange(false, std::memory_order_acq_rel)) {
+            client_metrics_.counter("cache_disabled").inc();
+          }
+          raw_get(key, std::move(cb), opts);
+          return;
+        }
+        if (r.status.is(StatusCode::kNotFound) && cache_->invalidate(key)) {
+          client_metrics_.counter("cache_invalidations").inc();
+        }
+        if (cb) cb(r);  // NotFound / DeadlineExceeded / ... propagate
+      },
+      vopts);
+}
+
+void Client::fill_get(const std::string& key, GetCallback cb, OpOptions opts) {
+  raw_get(key,
+          [this, key, cb = std::move(cb)](const GetResult& r) {
+            if (r.ok) cache_->update(key, r.version, r.value, cache_now());
+            if (cb) cb(r);
+          },
+          opts);
+}
+
+Client::PutCallback Client::wrap_put_cb(const std::string& key,
+                                        const Value& value, PutCallback cb) {
+  return [this, key, value, cb = std::move(cb)](const PutResult& r) {
+    if (r.ok) {
+      if (r.coalesced) {
+        // Durable, but a newer same-key put of the same batch window won:
+        // a read returns the survivor's value, not ours.  Drop the entry.
+        if (cache_->invalidate(key)) {
+          client_metrics_.counter("cache_invalidations").inc();
+        }
+      } else {
+        cache_->update(key, r.version, value, cache_now());
+      }
+    } else if (r.status.is(StatusCode::kAborted)) {
+      // A conditional put lost against observed version r.version; the
+      // entry is known stale but the winner's value is unknown.
+      if (cache_->invalidate(key)) {
+        client_metrics_.counter("cache_invalidations").inc();
+      }
+    }
+    if (cb) cb(r);
+  };
 }
 
 // ---- multi-key scatter-gather -----------------------------------------------

@@ -20,6 +20,20 @@
 //     expected Version (Aborted on mismatch).
 //   * Status-returning sync wrappers — Result<Version> / Result<
 //     VersionedValue> in the RocksDB Status idiom (common/status.h).
+//   * Read cache (opt-in, CacheOptions) — atomic-mode gets consult an LRU
+//     of (key -> Version, zero-copy Value).  A hit costs one TAG-ONLY
+//     validation round (ReadMode::TagOnly: the LDS committed-tag quorum
+//     phase, no value bytes on the wire); version match serves the cached
+//     Value, mismatch falls through to a full get and refreshes the entry.
+//     The client's own puts update the entry (or invalidate it when the put
+//     coalesced or a put_if_version aborted).  Hits stay linearizable:
+//     the validation tag is >= any operation that completed before the
+//     round began.  CacheOptions::ttl > 0 additionally serves entries with
+//     NO round until the ttl expires — opt-in bounded staleness (reads may
+//     lag other clients' writes by up to ttl; this client's OWN writes
+//     still invalidate/update immediately), default off.  Cache counters
+//     (cache_hits/misses/validation_rounds/invalidations,
+//     wire_value_bytes_saved, ...) land in metrics().
 //
 // Remote-connect mode (Client::connect): the same API over a pool of TCP
 // connections to a served StoreService (store/remote.h, tools/lds_served.cpp).
@@ -55,6 +69,8 @@
 
 #include "common/status.h"
 #include "net/transport.h"
+#include "store/cache.h"
+#include "store/metrics.h"
 #include "store/store_service.h"
 
 namespace lds::store {
@@ -178,8 +194,10 @@ class Client {
   using MultiGetCallback = StoreService::MultiGetCallback;
   using MultiPutCallback = StoreService::MultiPutCallback;
 
-  /// The service must outlive the client.
-  explicit Client(StoreService& service);
+  /// The service must outlive the client.  `cache` opts into the client-
+  /// side read cache (default: disabled — byte-identical to the uncached
+  /// client).
+  explicit Client(StoreService& service, CacheOptions cache = {});
   ~Client();
 
   /// Remote-connect tuning.  Defaults reproduce the classic single-
@@ -191,6 +209,8 @@ class Client {
     /// Per-connection transport knobs (progress threads, recv pool,
     /// backlog watermarks, ... — see net::TcpTransport::Options).
     net::TcpTransport::Options transport;
+    /// Client-side read cache (see the header note); default disabled.
+    CacheOptions cache;
   };
 
   /// Remote-connect mode: a client whose operations travel over TCP to a
@@ -275,6 +295,20 @@ class Client {
   /// Local mode only (remote clients have no in-process service).
   StoreService& service() { return *svc_; }
 
+  // ---- read cache -----------------------------------------------------------
+  /// Client-side counters: cache_hits, cache_ttl_hits, cache_misses,
+  /// cache_validation_rounds, cache_stale_validations, cache_invalidations,
+  /// cache_disabled, wire_value_bytes_saved.  Empty registry when the cache
+  /// was never enabled.
+  const MetricsRegistry& metrics() const { return client_metrics_; }
+  bool cache_enabled() const { return cache_ != nullptr; }
+  /// Entries currently cached (0 when disabled).
+  std::size_t cache_size() const { return cache_ ? cache_->size() : 0; }
+  /// Drop every cached entry (the options stay in force).
+  void cache_clear() {
+    if (cache_) cache_->clear();
+  }
+
  private:
   /// Mutable per-op coordination: lives on the op's lane; `settled` is
   /// atomic only because multi-op gathers read results across lanes.
@@ -289,7 +323,8 @@ class Client {
   /// Async remote attempt chain (retry state; see client.cpp).
   struct AsyncOp;
 
-  explicit Client(std::vector<std::unique_ptr<RemoteSession>> remotes);
+  Client(std::vector<std::unique_ptr<RemoteSession>> remotes,
+         CacheOptions cache);
 
   std::size_t lane_of_key(const std::string& key) const {
     return svc_->shard_lane(svc_->router().shard_of(key));
@@ -318,12 +353,39 @@ class Client {
                       std::shared_ptr<PutOp> op, std::size_t attempt,
                       double backoff, std::shared_ptr<PutSubmit> submit);
 
+  // ---- read-cache internals (all no-ops when cache_ is null) ----------------
+  /// Whether this (already prechecked) get should consult the cache.
+  bool cache_applies(ReadMode mode) const {
+    return cache_ != nullptr && mode == ReadMode::Atomic &&
+           cache_usable_.load(std::memory_order_acquire);
+  }
+  /// The uncached async get core: remote = pipelined RPC, local = lane hop
+  /// + deadline + service get.  No prechecks (callers did them).
+  void raw_get(const std::string& key, GetCallback cb, OpOptions opts);
+  void local_get(const std::string& key, GetCallback cb, OpOptions opts);
+  /// Cache-consulting async get: TTL hit / validation round / fill.
+  void cached_get(const std::string& key, GetCallback cb, OpOptions opts);
+  /// Full get that refreshes the cache entry on success.
+  void fill_get(const std::string& key, GetCallback cb, OpOptions opts);
+  /// Fold a put outcome into the cache (update on commit, invalidate on
+  /// coalesce/abort) and forward to `cb`.  Identity when the cache is off.
+  PutCallback wrap_put_cb(const std::string& key, const Value& value,
+                          PutCallback cb);
+  /// Freshness clock: engine time under the deterministic engine (so TTL
+  /// tests replay bit-identically), wall clock otherwise.
+  double cache_now() const;
+
   StoreService* svc_ = nullptr;  ///< local mode
   std::vector<std::unique_ptr<RemoteSession>> remotes_;  ///< remote pool
   std::atomic<std::size_t> rr_{0};  ///< round-robin cursor over remotes_
   CompletionQueue cq_;
   std::atomic<std::uint64_t> next_handle_{1};
   std::atomic<bool> closed_{false};
+  std::unique_ptr<ReadCache> cache_;  ///< null = cache disabled
+  /// Cleared permanently when the service answers a tag-only round with
+  /// InvalidArgument (non-LDS shards): every later get takes the raw path.
+  std::atomic<bool> cache_usable_{true};
+  MetricsRegistry client_metrics_;
 };
 
 }  // namespace lds::store

@@ -4,7 +4,9 @@
 // over a TcpTransport (net/transport.h):
 //
 //   RemotePut      { key, value }               -> RemoteReply
-//   RemoteGet      { key, read mode }           -> RemoteReply (value)
+//   RemoteGet      { key, read mode }           -> RemoteReply (value; mode
+//                    TagOnly = cache validation round: the reply carries the
+//                    committed tag and a ZERO-length value payload)
 //   RemotePutIf    { key, value, expected }     -> RemoteReply
 //   RemoteReply    { status code+message, version, optional value }
 //   RemoteReconfig { op, l2 indices, endpoint } -> RemoteReply (tag.z=epoch)

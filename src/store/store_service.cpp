@@ -548,7 +548,20 @@ void StoreService::get(const std::string& key, GetCallback cb, ReadMode mode) {
     }
     return;
   }
-  metrics_.counter("gets", s).inc();
+  // Tag-only validation rounds are an LDS protocol feature (the committed-tag
+  // quorum phase); other shard protocols have no equivalent, so the client
+  // learns to stop trying via InvalidArgument.
+  if (mode == ReadMode::TagOnly && sh.spec.protocol != ShardProtocol::Lds) {
+    metrics_.counter("gets_invalid", s).inc();
+    if (cb) {
+      cb(GetResult::failure(Status::InvalidArgument(
+          "tag-only reads require an LDS shard (shard " + std::to_string(s) +
+          ")")));
+    }
+    return;
+  }
+  metrics_.counter(mode == ReadMode::TagOnly ? "gets_tag_only" : "gets", s)
+      .inc();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   if (!parallel_) {
     enqueue_get(s, key, std::move(cb), mode);
@@ -615,7 +628,10 @@ void StoreService::dispatch_get(std::size_t shard_idx, std::size_t reader,
                submitted = g.submitted](Tag tag, Value value) {
     Shard& done_sh = *shards_[shard_idx];
     if (!internal) {
-      metrics_.histogram("get_latency", shard_idx)
+      metrics_
+          .histogram(
+              mode == ReadMode::TagOnly ? "validate_latency" : "get_latency",
+              shard_idx)
           .record(done_sh.sim->now() - submitted);
       // Gauge drops before the callback runs, as in dispatch_put.
       outstanding_.fetch_sub(1, std::memory_order_acq_rel);
@@ -818,6 +834,10 @@ void StoreService::cluster_read(Shard& sh, std::size_t reader, ObjectId obj,
                                 ReadMode mode) {
   switch (sh.spec.protocol) {
     case ShardProtocol::Lds:
+      if (mode == ReadMode::TagOnly) {
+        sh.lds->reader(reader).read_tag(obj, std::move(done));
+        return;
+      }
       (mode == ReadMode::Regular ? sh.lds->regular_reader(reader)
                                  : sh.lds->reader(reader))
           .read(obj, std::move(done));

@@ -148,8 +148,13 @@ struct StoreOptions {
 /// Regular skips the put-tag write-back (Section VI extension, LDS shards
 /// only) — one round trip fewer, but reads are no longer mutually monotone,
 /// so histories containing regular reads must be verified with
-/// History::check_regularity, not check_atomicity.
-enum class ReadMode : std::uint8_t { Atomic, Regular };
+/// History::check_regularity, not check_atomicity.  TagOnly (LDS shards
+/// only) runs just the get-committed-tag quorum phase and returns the
+/// committed tag with an EMPTY value: the client read cache's validation
+/// round.  The returned tag is >= the tag of any operation that completed
+/// before the round started, so "cached version == returned tag" certifies
+/// the cached value is still current.
+enum class ReadMode : std::uint8_t { Atomic, Regular, TagOnly };
 
 /// Outcome of a put.  `status` is authoritative (see common/status.h for the
 /// taxonomy); `ok`/`error` are derived at construction so seed-era call
@@ -246,6 +251,8 @@ class StoreService {
   /// with NotFound (and are NOT interned, so probing reads cannot grow
   /// per-shard state).  ReadMode::Regular requires an LDS shard and
   /// regular_readers_per_shard > 0, else InvalidArgument.
+  /// ReadMode::TagOnly requires an LDS shard; it completes with the
+  /// committed tag and an empty Value (the cache validation round).
   void get(const std::string& key, GetCallback cb = {},
            ReadMode mode = ReadMode::Atomic);
   /// Conditional put: commits iff the key's current version equals

@@ -446,5 +446,209 @@ TEST(StoreClient, RegularReadModeWithoutPoolIsInvalidArgument) {
       << get.status().to_string();
 }
 
+TEST(StoreClient, TagOnlyReadReturnsCommittedTagAndNoValueBytes) {
+  StoreService svc(small_options(1));
+  Client client(svc);
+  const auto put = client.put_sync("k", Bytes{1, 2});
+  ASSERT_TRUE(put.ok());
+
+  OpOptions opts;
+  opts.read_mode = ReadMode::TagOnly;
+  const auto g = client.get_sync("k", opts);
+  ASSERT_TRUE(g.ok()) << g.status().to_string();
+  EXPECT_EQ(g.value().version.tag(), put.value().tag());
+  EXPECT_TRUE(g.value().value.empty());
+  EXPECT_GE(svc.metrics().counter_total("gets_tag_only"), 1u);
+  EXPECT_EQ(svc.metrics().counter_total("gets"), 0u);
+  svc.quiesce();
+  // Tag-only reads carry no value and are not linearization-visible: the
+  // shard history holds only the put.
+  expect_all_histories_clean(svc);
+}
+
+// ---- client read cache ------------------------------------------------------
+
+CacheOptions cache_opts(std::size_t capacity = 64, double ttl = 0.0) {
+  CacheOptions c;
+  c.enabled = true;
+  c.capacity = capacity;
+  c.ttl = ttl;
+  return c;
+}
+
+TEST(StoreClientCache, ValidatedHitServesCachedValueWithoutValueBytes) {
+  StoreService svc(small_options(2));
+  Client client(svc, cache_opts());
+  ASSERT_TRUE(client.cache_enabled());
+  ASSERT_TRUE(client.put_sync("k", Bytes{1, 2, 3}).ok());
+  EXPECT_EQ(client.cache_size(), 1u);  // write-through populated it
+
+  const auto g = client.get_sync("k");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().value, (Bytes{1, 2, 3}));
+  // Served from cache after one tag-only validation round: no full get
+  // reached the server, and the 3 value bytes never crossed the boundary.
+  EXPECT_EQ(client.metrics().counter_total("cache_hits"), 1u);
+  EXPECT_EQ(client.metrics().counter_total("cache_validation_rounds"), 1u);
+  EXPECT_EQ(client.metrics().counter_total("wire_value_bytes_saved"), 3u);
+  EXPECT_GE(svc.metrics().counter_total("gets_tag_only"), 1u);
+  EXPECT_EQ(svc.metrics().counter_total("gets"), 0u);
+  svc.quiesce();
+  expect_all_histories_clean(svc);
+}
+
+TEST(StoreClientCache, StaleVersionFallsThroughToFullReadAndRefreshes) {
+  StoreService svc(small_options(2));
+  Client cached(svc, cache_opts());
+  Client other(svc);
+  ASSERT_TRUE(cached.put_sync("k", Bytes{1}).ok());
+  ASSERT_TRUE(other.put_sync("k", Bytes{2}).ok());  // cached entry now stale
+
+  const auto g = cached.get_sync("k");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().value, Bytes{2});  // never the stale cached value
+  EXPECT_EQ(cached.metrics().counter_total("cache_stale_validations"), 1u);
+  EXPECT_EQ(cached.metrics().counter_total("cache_hits"), 0u);
+
+  // The fallthrough refilled the entry: the next read validates and hits.
+  const auto g2 = cached.get_sync("k");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2.value().value, Bytes{2});
+  EXPECT_EQ(cached.metrics().counter_total("cache_hits"), 1u);
+  svc.quiesce();
+  expect_all_histories_clean(svc);
+}
+
+TEST(StoreClientCache, LocalWritesKeepTheCacheCurrent) {
+  StoreService svc(small_options(1));
+  Client client(svc, cache_opts());
+  ASSERT_TRUE(client.put_sync("k", Bytes{1}).ok());
+  ASSERT_TRUE(client.put_sync("k", Bytes{2}).ok());
+
+  const auto g = client.get_sync("k");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().value, Bytes{2});
+  EXPECT_EQ(client.metrics().counter_total("cache_hits"), 1u);
+  EXPECT_EQ(client.metrics().counter_total("cache_stale_validations"), 0u);
+  svc.quiesce();
+}
+
+TEST(StoreClientCache, AbortedConditionalPutInvalidatesTheEntry) {
+  StoreService svc(small_options(1));
+  Client client(svc, cache_opts());
+  Client other(svc);
+  const auto v1 = client.put_sync("doc", Bytes{1});
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(other.put_if_version_sync("doc", Bytes{2}, v1.value()).ok());
+
+  // Our conditional put against the outdated v1 aborts; the local entry
+  // (still v1) is no longer trustworthy and is dropped, not served.
+  const auto stale = client.put_if_version_sync("doc", Bytes{3}, v1.value());
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().is(StatusCode::kAborted));
+  EXPECT_GE(client.metrics().counter_total("cache_invalidations"), 1u);
+  EXPECT_EQ(client.cache_size(), 0u);
+
+  const auto g = client.get_sync("doc");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().value, Bytes{2});
+  EXPECT_EQ(client.metrics().counter_total("cache_misses"), 1u);
+  svc.quiesce();
+  expect_all_histories_clean(svc);
+}
+
+TEST(StoreClientCache, TtlSkipsValidationUntilExpiry) {
+  StoreService svc(small_options(1));
+  Client client(svc, cache_opts(64, 5.0));
+  ASSERT_TRUE(client.put_sync("k", Bytes{4}).ok());
+
+  // Within the TTL: served locally, no round trip at all.
+  const auto g1 = client.get_sync("k");
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(g1.value().value, Bytes{4});
+  EXPECT_EQ(client.metrics().counter_total("cache_ttl_hits"), 1u);
+  EXPECT_EQ(client.metrics().counter_total("cache_validation_rounds"), 0u);
+
+  // Let the simulated clock pass the expiry: the next read validates again
+  // (version unchanged, so still a hit) and restamps the freshness window.
+  svc.sim().after(10.0, [] {});
+  svc.quiesce();
+  const auto g2 = client.get_sync("k");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(client.metrics().counter_total("cache_validation_rounds"), 1u);
+  EXPECT_EQ(client.metrics().counter_total("cache_hits"), 2u);
+  EXPECT_EQ(svc.metrics().counter_total("gets"), 0u);  // never a full get
+  svc.quiesce();
+}
+
+TEST(StoreClientCache, CapacityEvictsLeastRecentlyUsed) {
+  StoreService svc(small_options(1));
+  Client client(svc, cache_opts(2));
+  ASSERT_TRUE(client.put_sync("a", Bytes{1}).ok());
+  ASSERT_TRUE(client.put_sync("b", Bytes{2}).ok());
+  ASSERT_TRUE(client.get_sync("a").ok());           // touch: "a" is MRU
+  ASSERT_TRUE(client.put_sync("c", Bytes{3}).ok());  // evicts "b"
+  EXPECT_EQ(client.cache_size(), 2u);
+
+  const auto misses = client.metrics().counter_total("cache_misses");
+  ASSERT_TRUE(client.get_sync("a").ok());  // survived the eviction
+  EXPECT_EQ(client.metrics().counter_total("cache_misses"), misses);
+  ASSERT_TRUE(client.get_sync("b").ok());  // evicted: miss, then refill
+  EXPECT_EQ(client.metrics().counter_total("cache_misses"), misses + 1);
+  svc.quiesce();
+}
+
+TEST(StoreClientCache, NonAtomicReadsBypassTheCache) {
+  auto opt = small_options(1);
+  opt.regular_readers_per_shard = 2;
+  StoreService svc(opt);
+  Client client(svc, cache_opts());
+  ASSERT_TRUE(client.put_sync("r", Bytes{1}).ok());
+
+  OpOptions opts;
+  opts.read_mode = ReadMode::Regular;
+  const auto g = client.get_sync("r", opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(client.metrics().counter_total("cache_hits"), 0u);
+  EXPECT_EQ(client.metrics().counter_total("cache_validation_rounds"), 0u);
+  EXPECT_GE(svc.metrics().counter_total("gets"), 1u);
+  svc.quiesce();
+}
+
+TEST(StoreClientCache, DisabledCacheIsBitIdenticalToNoCacheClient) {
+  // A client constructed with cache options left disabled must drive the
+  // service exactly like a client that never heard of the cache: same op
+  // results, same simulated event count.
+  auto run = [](bool pass_disabled_options) {
+    StoreService svc(small_options(2));
+    Client client = pass_disabled_options ? Client(svc, CacheOptions{})
+                                          : Client(svc);
+    std::vector<Tag> tags;
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_TRUE(client.put_sync("k" + std::to_string(k), Bytes{9}).ok());
+    }
+    for (int i = 0; i < 8; ++i) {
+      const std::string key = "k" + std::to_string(i % 3);
+      if (i % 2 == 0) {
+        const auto p =
+            client.put_sync(key, Bytes{static_cast<std::uint8_t>(i)});
+        EXPECT_TRUE(p.ok());
+        tags.push_back(p.value().tag());
+      } else {
+        const auto g = client.get_sync(key);
+        EXPECT_TRUE(g.ok());
+        tags.push_back(g.value().version.tag());
+      }
+    }
+    svc.quiesce();
+    EXPECT_FALSE(client.cache_enabled());
+    return std::pair{tags, svc.sim().events_executed()};
+  };
+  const auto base = run(false);
+  const auto disabled = run(true);
+  EXPECT_EQ(base.first, disabled.first);
+  EXPECT_EQ(base.second, disabled.second);
+}
+
 }  // namespace
 }  // namespace lds::store

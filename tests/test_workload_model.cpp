@@ -1,0 +1,185 @@
+// Workload-model unit tests: value-size distribution parsing/sampling, the
+// YCSB Zipfian rank generator, the rank->key permutation (bijection and the
+// exact coldest-first priming order), tenant key naming, option validation,
+// and seed-determinism of the whole model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "harness/workload.h"
+
+namespace lds::harness {
+namespace {
+
+TEST(ValueSizeDist, ParseRoundTripsAndSamplesInRange) {
+  const auto fixed = ValueSizeDist::parse("fixed:128");
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_EQ(fixed->spec(), "fixed:128");
+  EXPECT_EQ(fixed->max_size(), 128u);
+  Rng rng(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fixed->sample(rng), 128u);
+
+  const auto uni = ValueSizeDist::parse("uniform:16:64");
+  ASSERT_TRUE(uni.has_value());
+  EXPECT_EQ(uni->spec(), "uniform:16:64");
+  EXPECT_EQ(uni->max_size(), 64u);
+  for (int i = 0; i < 256; ++i) {
+    const auto s = uni->sample(rng);
+    EXPECT_GE(s, 16u);
+    EXPECT_LE(s, 64u);
+  }
+
+  const auto bi = ValueSizeDist::parse("bimodal:64:4096:10");
+  ASSERT_TRUE(bi.has_value());
+  EXPECT_EQ(bi->max_size(), 4096u);
+  std::size_t large = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = bi->sample(rng);
+    EXPECT_TRUE(s == 64u || s == 4096u);
+    if (s == 4096u) ++large;
+  }
+  // 10% of 2000 = 200 expected; generous +-100 bounds (~7 sigma).
+  EXPECT_GT(large, 100u);
+  EXPECT_LT(large, 400u);
+}
+
+TEST(ValueSizeDist, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(ValueSizeDist::parse("").has_value());
+  EXPECT_FALSE(ValueSizeDist::parse("fixed").has_value());
+  EXPECT_FALSE(ValueSizeDist::parse("fixed:").has_value());
+  EXPECT_FALSE(ValueSizeDist::parse("fixed:abc").has_value());
+  EXPECT_FALSE(ValueSizeDist::parse("uniform:64:16").has_value());
+  EXPECT_FALSE(ValueSizeDist::parse("bimodal:1:2:150").has_value());
+  EXPECT_FALSE(ValueSizeDist::parse("gauss:3").has_value());
+}
+
+TEST(Zipfian, RanksAreSkewedTowardZeroAndInRange) {
+  const ZipfianGenerator z(100, 0.99);
+  Rng rng(42);
+  std::vector<std::size_t> counts(100, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const auto r = z.next_rank(rng);
+    ASSERT_LT(r, 100u);
+    ++counts[r];
+  }
+  // YCSB theta=0.99 over 100 keys gives rank 0 ~18% of the mass while the
+  // coldest half of the ranks together draw ~14%.
+  EXPECT_GT(counts[0], static_cast<std::size_t>(draws) / 10);
+  std::size_t cold_half = 0;
+  for (std::size_t r = 50; r < 100; ++r) cold_half += counts[r];
+  EXPECT_LT(cold_half, static_cast<std::size_t>(draws) / 5);
+  // Popularity is (statistically) monotone in rank.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1] + counts[2], counts[50] + counts[51]);
+}
+
+TEST(Zipfian, HigherThetaIsMoreSkewed) {
+  Rng rng(7);
+  const auto head_mass = [&rng](double theta) {
+    const ZipfianGenerator z(64, theta);
+    std::size_t head = 0;
+    for (int i = 0; i < 10000; ++i) head += z.next_rank(rng) < 4 ? 1 : 0;
+    return head;
+  };
+  const auto mild = head_mass(0.5);
+  const auto hot = head_mass(0.99);
+  EXPECT_GT(hot, mild);
+}
+
+TEST(WorkloadModel, PermutationIsABijectionWithExactColdestOrder) {
+  WorkloadOptions opt;
+  opt.keys = 57;
+  opt.zipf_theta = 0.9;
+  opt.seed = 1234;
+  const WorkloadModel m(opt);
+  const auto order = m.keys_coldest_first();
+  ASSERT_EQ(order.size(), 57u);
+  std::vector<bool> seen(57, false);
+  for (const auto k : order) {
+    ASSERT_LT(k, 57u);
+    EXPECT_FALSE(seen[k]);  // bijection: no key listed twice
+    seen[k] = true;
+  }
+  // The last key in coldest-first order is rank 0 — it must be the single
+  // most frequently drawn key.
+  Rng rng(7);
+  std::map<std::size_t, std::size_t> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[m.key_index(rng)];
+  std::size_t hottest = 0, best = 0;
+  for (const auto& [k, n] : counts) {
+    if (n > best) {
+      best = n;
+      hottest = k;
+    }
+  }
+  EXPECT_EQ(hottest, order.back());
+}
+
+TEST(WorkloadModel, UniformWhenThetaZero) {
+  WorkloadOptions opt;
+  opt.keys = 8;
+  const WorkloadModel m(opt);
+  // Identity priming order and roughly even key coverage.
+  const auto order = m.keys_coldest_first();
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+  Rng rng(3);
+  std::vector<std::size_t> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[m.key_index(rng)];
+  for (const auto n : counts) {
+    EXPECT_GT(n, 700u);
+    EXPECT_LT(n, 1300u);
+  }
+}
+
+TEST(WorkloadModel, TenantNamingAndClientMapping) {
+  WorkloadOptions opt;
+  opt.keys = 4;
+  opt.tenants = 3;
+  const WorkloadModel m(opt);
+  EXPECT_EQ(m.tenant_of_client(0), 0u);
+  EXPECT_EQ(m.tenant_of_client(4), 1u);
+  EXPECT_EQ(m.key_name(2, 1), "t2:key-1");
+  // Single-tenant workloads keep the historical unprefixed names, so
+  // default runs stay byte-compatible with earlier benchmarks.
+  WorkloadOptions single = opt;
+  single.tenants = 1;
+  EXPECT_EQ(WorkloadModel(single).key_name(0, 1), "key-1");
+}
+
+TEST(WorkloadModel, ValidateRejectsOutOfRangeOptions) {
+  WorkloadOptions opt;
+  EXPECT_FALSE(validate_workload(opt).has_value());
+  opt.keys = 0;
+  EXPECT_TRUE(validate_workload(opt).has_value());
+  opt.keys = 4;
+  opt.zipf_theta = 1.0;  // theta must stay below 1
+  EXPECT_TRUE(validate_workload(opt).has_value());
+  opt.zipf_theta = 0.5;
+  opt.read_fraction = 1.5;
+  EXPECT_TRUE(validate_workload(opt).has_value());
+  opt.read_fraction = 0.5;
+  opt.tenants = 0;
+  EXPECT_TRUE(validate_workload(opt).has_value());
+}
+
+TEST(WorkloadModel, SameSeedSameSequence) {
+  WorkloadOptions opt;
+  opt.keys = 32;
+  opt.zipf_theta = 0.99;
+  opt.seed = 99;
+  const WorkloadModel a(opt);
+  const WorkloadModel b(opt);
+  Rng ra(5), rb(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.key_index(ra), b.key_index(rb));
+    EXPECT_EQ(a.is_read(ra), b.is_read(rb));
+    EXPECT_EQ(a.value_size(ra), b.value_size(rb));
+  }
+}
+
+}  // namespace
+}  // namespace lds::harness

@@ -73,6 +73,7 @@
 #include <vector>
 
 #include "harness/stress.h"
+#include "harness/workload.h"
 #include "store/client.h"
 
 namespace {
@@ -103,6 +104,17 @@ struct BenchOptions {
   double rate = 0;        ///< remote: open-loop offered load, ops/s (0 = closed)
   bool bursty = false;    ///< remote: Poisson arrivals instead of fixed spacing
   double require_scaling = 0;  ///< remote: min tput ratio largest/smallest pool
+  // Workload engine (shared with lds_stress via harness/workload.h).
+  double zipf_theta = 0;    ///< key skew: 0 uniform, 0.99 = YCSB default
+  std::string value_dist;   ///< "" = fixed at the swept value size
+  std::size_t tenants = 1;  ///< disjoint key namespaces, threads round-robin
+  std::size_t tenant_inflight = 0;  ///< open loop: per-client admission (0=∞)
+  // Client read cache (version-validated tag-only rounds).
+  bool cache = false;
+  double cache_ttl = 0;
+  std::size_t cache_capacity = 4096;
+  std::string compare_cache_path;  ///< remote: cache off-vs-on A/B, JSON out
+  bool multi_get_mix = true;  ///< closed loop: every 4th read is a multi_get
 };
 
 struct ReplicaResult {
@@ -114,7 +126,49 @@ struct ReplicaResult {
   std::string metrics_json;
   std::string latency_json;  ///< remote: {"put_ms":{...},"get_ms":{...}}
   double p99_ms = 0;         ///< remote: worse of put/get p99, for the table
+  double get_p50_ms = 0, get_p99_ms = 0;  ///< remote: get-only percentiles
+  /// Client read-cache counters, summed over the driving clients.
+  std::uint64_t cache_hits = 0, cache_misses = 0, cache_validations = 0,
+                cache_invalidations = 0, bytes_saved = 0;
+  std::string client_metrics_json;  ///< one client's registry, cache runs
 };
+
+harness::WorkloadModel make_model(const BenchOptions& opt,
+                                  std::size_t value_size) {
+  harness::WorkloadOptions w;
+  w.keys = opt.keys;
+  w.read_fraction = opt.read_fraction;
+  w.zipf_theta = opt.zipf_theta;
+  if (!opt.value_dist.empty()) {
+    if (const auto d = harness::ValueSizeDist::parse(opt.value_dist);
+        d.has_value()) {
+      w.value_dist = *d;
+    }
+  } else {
+    w.value_dist.kind = harness::ValueSizeDist::Kind::Fixed;
+    w.value_dist.a = w.value_dist.b = value_size;
+  }
+  w.tenants = opt.tenants;
+  w.seed = opt.seed;
+  return harness::WorkloadModel(w);
+}
+
+store::CacheOptions bench_cache(const BenchOptions& opt) {
+  store::CacheOptions c;
+  c.enabled = opt.cache;
+  c.ttl = opt.cache_ttl;
+  c.capacity = opt.cache_capacity;
+  return c;
+}
+
+void add_cache_stats(const Client& client, ReplicaResult* out) {
+  const auto& m = client.metrics();
+  out->cache_hits += m.counter_total("cache_hits");
+  out->cache_misses += m.counter_total("cache_misses");
+  out->cache_validations += m.counter_total("cache_validation_rounds");
+  out->cache_invalidations += m.counter_total("cache_invalidations");
+  out->bytes_saved += m.counter_total("wire_value_bytes_saved");
+}
 
 std::string histogram_json(const lds::store::Histogram& h) {
   char buf[192];
@@ -146,33 +200,34 @@ ReplicaResult run_replica(const BenchOptions& opt, std::size_t shards,
   sopt.exponential_latency = opt.exponential_latency;
   sopt.seed = seed;
   StoreService svc(sopt);
-  Client client(svc);
+  Client client(svc, bench_cache(opt));
+  const harness::WorkloadModel model = make_model(opt, value_size);
   Rng rng(mix_seed(seed, 0xb0));
 
   std::size_t remaining = opt.ops;
   std::size_t done = 0;
   double done_time = 0;
-  std::function<void()> next = [&] {
+  // `next` carries the issuing client's tenant so its ops stay inside that
+  // tenant's key namespace (clients round-robin over tenants).
+  std::function<void(std::size_t)> next = [&](std::size_t tenant) {
     if (remaining == 0) return;
     --remaining;
-    const std::string key =
-        "key-" + std::to_string(rng.uniform_int(
-                     0, static_cast<std::int64_t>(opt.keys) - 1));
-    auto complete = [&] {
+    const std::string key = model.key_name(tenant, model.key_index(rng));
+    auto complete = [&, tenant] {
       ++done;
       if (done == opt.ops) done_time = svc.sim().now();
-      next();
+      next(tenant);
     };
     if (rng.bernoulli(opt.read_fraction)) {
       client.get(key, [complete](const GetResult&) { complete(); });
     } else {
-      client.put(key, rng.bytes(value_size),
+      client.put(key, rng.bytes(model.value_size(rng)),
                  [complete](const PutResult&) { complete(); });
     }
   };
   const std::size_t clients = opt.clients_per_shard * shards;
   for (std::size_t c = 0; c < clients; ++c) {
-    svc.sim().at(0.0, [&next] { next(); });
+    svc.sim().at(0.0, [&next, t = model.tenant_of_client(c)] { next(t); });
   }
   svc.quiesce([&] { return remaining == 0; });
 
@@ -183,6 +238,10 @@ ReplicaResult run_replica(const BenchOptions& opt, std::size_t shards,
   out.coalesced = svc.metrics().counter_total("puts_coalesced");
   out.verified = verify_service(svc);
   out.metrics_json = svc.metrics().to_json();
+  if (opt.cache) {
+    add_cache_stats(client, &out);
+    out.client_metrics_json = client.metrics().to_json();
+  }
   return out;
 }
 
@@ -200,11 +259,13 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
   sopt.engine_mode = lds::net::EngineMode::Parallel;
   sopt.engine_threads = opt.threads;
   StoreService svc(sopt);
-  Client client(svc);
+  Client client(svc, bench_cache(opt));
+  const harness::WorkloadModel model = make_model(opt, value_size);
 
   struct Chain {
     Rng rng{1};
     std::size_t left = 0;
+    std::size_t tenant = 0;
   };
   const std::size_t clients = opt.clients_per_shard * shards;
   std::vector<std::unique_ptr<Chain>> chains;
@@ -212,6 +273,7 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
     auto chain = std::make_unique<Chain>();
     chain->rng = Rng(mix_seed(seed, 0xb0 + c));
     chain->left = opt.ops / clients + (c < opt.ops % clients ? 1 : 0);
+    chain->tenant = model.tenant_of_client(c);
     chains.push_back(std::move(chain));
   }
   std::atomic<std::size_t> to_issue{opt.ops};
@@ -220,13 +282,12 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
     --c->left;
     to_issue.fetch_sub(1, std::memory_order_acq_rel);
     const std::string key =
-        "key-" + std::to_string(c->rng.uniform_int(
-                     0, static_cast<std::int64_t>(opt.keys) - 1));
+        model.key_name(c->tenant, model.key_index(c->rng));
     auto complete = [&, c] { next(c); };
     if (c->rng.bernoulli(opt.read_fraction)) {
       client.get(key, [complete](const GetResult&) { complete(); });
     } else {
-      client.put(key, c->rng.bytes(value_size),
+      client.put(key, c->rng.bytes(model.value_size(c->rng)),
                  [complete](const PutResult&) { complete(); });
     }
   };
@@ -241,11 +302,20 @@ ReplicaResult run_parallel(const BenchOptions& opt, std::size_t shards,
   out.coalesced = svc.metrics().counter_total("puts_coalesced");
   out.verified = verify_service(svc);
   out.metrics_json = svc.metrics().to_json();
+  if (opt.cache) {
+    add_cache_stats(client, &out);
+    out.client_metrics_json = client.metrics().to_json();
+  }
   return out;
 }
 
 /// One --remote configuration: opt.threads clients (each a `connections`-wide
 /// pool), closed- or open-loop, verified against the client-observed history.
+/// Verification is per tenant: each tenant's clients record into that
+/// tenant's own history (tenant key namespaces are disjoint, so the split
+/// loses no cross-op ordering), and every tenant must pass both checkers —
+/// including runs with the read cache enabled, where cache-served reads are
+/// recorded with their validated tags.
 ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
                          std::size_t connections, std::uint64_t seed) {
   struct SharedHistory {
@@ -275,7 +345,11 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
     }
   };
 
-  SharedHistory shared;
+  const harness::WorkloadModel model = make_model(opt, value_size);
+  std::vector<std::unique_ptr<SharedHistory>> tenants;
+  for (std::size_t t = 0; t < opt.tenants; ++t) {
+    tenants.push_back(std::make_unique<SharedHistory>());
+  }
   store::Histogram put_lat_ms, get_lat_ms;  // thread-safe (internal lock)
   const auto t0 = std::chrono::steady_clock::now();
   const auto now_s = [&t0] {
@@ -284,12 +358,19 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
   };
   store::Client::ConnectOptions copts;
   copts.connections = connections;
+  copts.cache = bench_cache(opt);
 
   // Priming pass: the server may be long-lived, holding versions from
   // sessions this history never saw.  Writing every key once — strictly
   // before the concurrent phase — gives each a session-known baseline, so
   // every later read must return a recorded tag (freshness) and the
-  // verifiers are exact despite the unknown prior state.
+  // verifiers are exact despite the unknown prior state.  Keys are visited
+  // in the workload's coldest-popularity-first order (not ascending index):
+  // a uniform ascending walk would both ignore tenant namespaces and leave
+  // the hottest keys primed *last*, right before measurement starts — a
+  // warm-up bias the Zipfian workloads exist to avoid.  The primer client
+  // never enables the cache; warming the measured clients' caches is the
+  // measured run's own job.
   {
     Status st;
     const auto primer =
@@ -304,23 +385,29 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
     }
     Rng prng(mix_seed(seed, 0x9417));
     std::uint32_t seq = 0;
-    for (std::size_t k = 0; k < opt.keys; ++k) {
-      const std::string key = "key-" + std::to_string(k);
-      const Value value(prng.bytes(value_size));
-      const double inv = now_s();
-      store::PutResult r;
-      primer->put(key, value, [&r](const store::PutResult& pr) { r = pr; });
-      const double resp = now_s();
-      if (r.status.ok() && !r.coalesced) {
-        shared.record(make_op_id(0, ++seq), core::OpKind::Write, key, 0, inv,
-                      resp, r.tag, value);
-      } else if (!r.status.ok()) {
-        shared.error();
+    for (const std::size_t k : model.keys_coldest_first()) {
+      for (std::size_t t = 0; t < opt.tenants; ++t) {
+        const std::string key = model.key_name(t, k);
+        const Value value(prng.bytes(model.value_size(prng)));
+        const double inv = now_s();
+        store::PutResult r;
+        primer->put(key, value, [&r](const store::PutResult& pr) { r = pr; });
+        const double resp = now_s();
+        if (r.status.ok() && !r.coalesced) {
+          tenants[t]->record(make_op_id(0, ++seq), core::OpKind::Write, key,
+                             0, inv, resp, r.tag, value);
+        } else if (!r.status.ok()) {
+          tenants[t]->error();
+        }
       }
     }
   }
 
   std::atomic<bool> connect_failed{false};
+  std::atomic<std::uint64_t> agg_hits{0}, agg_misses{0}, agg_validations{0},
+      agg_invalidations{0}, agg_saved{0};
+  std::mutex cm_mu;
+  std::string client_metrics_json;
   std::vector<std::thread> workers;
   for (std::size_t t = 0; t < opt.threads; ++t) {
     workers.emplace_back([&, t] {
@@ -335,12 +422,24 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
       }
       Rng rng(mix_seed(seed, 0xec0 + t));
       const NodeId me = static_cast<NodeId>(t + 1);
+      const std::size_t tenant = model.tenant_of_client(t);
+      SharedHistory& shared = *tenants[tenant];
       std::uint32_t seq = 0;
       const std::size_t my_ops =
           opt.ops / opt.threads + (t < opt.ops % opt.threads ? 1 : 0);
-      auto key_of = [&] {
-        return "key-" + std::to_string(rng.uniform_int(
-                            0, static_cast<std::int64_t>(opt.keys) - 1));
+      auto key_of = [&] { return model.key_name(tenant, model.key_index(rng)); };
+      auto harvest = [&] {
+        if (!opt.cache) return;
+        const auto& m = client->metrics();
+        agg_hits += m.counter_total("cache_hits");
+        agg_misses += m.counter_total("cache_misses");
+        agg_validations += m.counter_total("cache_validation_rounds");
+        agg_invalidations += m.counter_total("cache_invalidations");
+        agg_saved += m.counter_total("wire_value_bytes_saved");
+        std::lock_guard<std::mutex> lk(cm_mu);
+        if (client_metrics_json.empty()) {
+          client_metrics_json = m.to_json();
+        }
       };
       auto record_get = [&](const std::string& key, double inv, double resp,
                             const store::GetResult& r) {
@@ -413,24 +512,40 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
               std::this_thread::sleep_for(std::chrono::microseconds(100));
             }
           }
+          // Per-tenant admission: a tenant's client stops submitting past
+          // its inflight cap and drains instead, so one hot tenant cannot
+          // queue unboundedly ahead of the others.  Late arrivals are still
+          // charged from their INTENDED time (the due clock keeps running).
+          while (opt.tenant_inflight > 0 &&
+                 pend.size() >= opt.tenant_inflight) {
+            if (cq.poll(&c)) {
+              on_completion(c);
+            } else {
+              std::this_thread::sleep_for(std::chrono::microseconds(100));
+            }
+          }
           const std::string key = key_of();
           if (rng.bernoulli(opt.read_fraction)) {
             pend.emplace(client->async_get(key),
                          Pending{key, due, Value{}, false});
           } else {
-            Value value(rng.bytes(value_size));
+            Value value(rng.bytes(model.value_size(rng)));
             const auto h = client->async_put(key, value);
             pend.emplace(h, Pending{key, due, std::move(value), true});
           }
         }
         while (cq.outstanding() > 0 && cq.wait(&c, 60.0)) on_completion(c);
+        harvest();
         return;
       }
 
       for (std::size_t i = 0; i < my_ops; ++i) {
         const double inv = now_s();
         if (rng.bernoulli(opt.read_fraction)) {
-          if (rng.bernoulli(0.25)) {  // a quarter of reads are multi_gets
+          // A quarter of reads are multi_gets (they bypass the read cache);
+          // cache A/B comparisons disable the mix so both runs measure the
+          // same single-get path.
+          if (opt.multi_get_mix && rng.bernoulli(0.25)) {
             std::vector<std::string> keys = {key_of(), key_of()};
             const auto rs = client->multi_get_sync(keys);
             const double resp = now_s();
@@ -449,7 +564,7 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
           }
         } else {
           const std::string key = key_of();
-          const Value value(rng.bytes(value_size));
+          const Value value(rng.bytes(model.value_size(rng)));
           store::PutResult r;
           client->put(key, value,
                       [&r](const store::PutResult& pr) { r = pr; });
@@ -458,6 +573,7 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
           record_put(key, inv, resp, r, value);
         }
       }
+      harvest();
     });
   }
   for (auto& w : workers) w.join();
@@ -469,26 +585,193 @@ ReplicaResult run_remote(const BenchOptions& opt, std::size_t value_size,
     out.verified = false;
     return out;
   }
-  if (shared.errors > 0) {
-    std::fprintf(stderr, "remote run: %zu operations failed\n",
-                 shared.errors);
+  out.verified = true;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    SharedHistory& shared = *tenants[t];
+    const std::string who =
+        tenants.size() > 1 ? "tenant " + std::to_string(t) : "remote run";
+    if (shared.errors > 0) {
+      std::fprintf(stderr, "%s: %zu operations failed\n", who.c_str(),
+                   shared.errors);
+    }
+    const auto atomicity = shared.history.check_atomicity(Bytes{});
+    if (!atomicity.ok) {
+      std::fprintf(stderr, "%s: ATOMICITY VIOLATION: %s\n", who.c_str(),
+                   atomicity.violation.c_str());
+    }
+    const auto freshness =
+        lds::harness::verify_read_freshness(shared.history);
+    if (!freshness.ok) {
+      std::fprintf(stderr, "%s: FRESHNESS VIOLATION: %s\n", who.c_str(),
+                   freshness.violation.c_str());
+    }
+    out.verified = out.verified && atomicity.ok && freshness.ok &&
+                   shared.errors == 0;
   }
-  const auto atomicity = shared.history.check_atomicity(Bytes{});
-  if (!atomicity.ok) {
-    std::fprintf(stderr, "remote run: ATOMICITY VIOLATION: %s\n",
-                 atomicity.violation.c_str());
-  }
-  const auto freshness = lds::harness::verify_read_freshness(shared.history);
-  if (!freshness.ok) {
-    std::fprintf(stderr, "remote run: FRESHNESS VIOLATION: %s\n",
-                 freshness.violation.c_str());
-  }
-  out.verified = atomicity.ok && freshness.ok && shared.errors == 0;
   out.latency_json = "{\"put_ms\":" + histogram_json(put_lat_ms) +
                      ",\"get_ms\":" + histogram_json(get_lat_ms) + "}";
   out.p99_ms = std::max(put_lat_ms.percentile(0.99),
                         get_lat_ms.percentile(0.99));
+  out.get_p50_ms = get_lat_ms.percentile(0.5);
+  out.get_p99_ms = get_lat_ms.percentile(0.99);
+  out.cache_hits = agg_hits.load();
+  out.cache_misses = agg_misses.load();
+  out.cache_validations = agg_validations.load();
+  out.cache_invalidations = agg_invalidations.load();
+  out.bytes_saved = agg_saved.load();
+  out.client_metrics_json = std::move(client_metrics_json);
   return out;
+}
+
+/// --compare-cache PATH: same-seed cache-off vs cache-on A/B against a
+/// running lds_served instance.  Both runs replay the identical op stream
+/// (keys, mix, sizes — the cache consumes no Rng draws), so every delta is
+/// attributable to the cache.  Emits one JSON document with hit rate,
+/// get p50/p99 deltas, wire bytes saved, per-run verifier verdicts, and —
+/// when the workload qualifies (zipf-theta >= 0.99, reads >= 90%) — the
+/// pass/fail perf gate (hit rate >= 80%, p99 get improvement >= 30%,
+/// bytes saved > 0).  Exit status reflects the gate.
+int run_compare_cache(BenchOptions opt) {
+  opt.multi_get_mix = false;  // measure the cached single-get path only
+  const std::size_t value_size = opt.value_sizes.front();
+  const std::size_t conns = opt.connections.front();
+
+  BenchOptions off = opt;
+  off.cache = false;
+  BenchOptions on = opt;
+  on.cache = true;
+
+  std::printf("compare-cache: zipf-theta=%.2f read-fraction=%.2f keys=%zu "
+              "tenants=%zu threads=%zu ops=%zu value-size=%zu ttl=%g "
+              "capacity=%zu seed=%llu\n",
+              opt.zipf_theta, opt.read_fraction, opt.keys, opt.tenants,
+              opt.threads, opt.ops, value_size, opt.cache_ttl,
+              opt.cache_capacity,
+              static_cast<unsigned long long>(opt.seed));
+
+  auto timed = [&](const BenchOptions& o, double* wall) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ReplicaResult r = run_remote(o, value_size, conns, opt.seed);
+    *wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+    return r;
+  };
+  double wall_off = 0, wall_on = 0;
+  const ReplicaResult roff = timed(off, &wall_off);
+  const ReplicaResult ron = timed(on, &wall_on);
+
+  const std::uint64_t lookups = ron.cache_hits + ron.cache_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(ron.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0;
+  auto improvement = [](double base, double now) {
+    return base > 0 ? (base - now) / base : 0.0;
+  };
+  const double p50_improv = improvement(roff.get_p50_ms, ron.get_p50_ms);
+  const double p99_improv = improvement(roff.get_p99_ms, ron.get_p99_ms);
+  const bool gate_applicable =
+      opt.zipf_theta >= 0.99 - 1e-9 && opt.read_fraction >= 0.9 - 1e-9;
+  bool pass = roff.verified && ron.verified;
+  if (gate_applicable) {
+    pass = pass && hit_rate >= 0.8 && p99_improv >= 0.3 &&
+           ron.bytes_saved > 0;
+  }
+
+  std::printf("\n%12s %12s %12s %12s %10s\n", "run", "get_p50_ms",
+              "get_p99_ms", "wall_ops_s", "verified");
+  std::printf("%12s %12.3f %12.3f %12.0f %10s\n", "cache-off",
+              roff.get_p50_ms, roff.get_p99_ms,
+              static_cast<double>(opt.ops) / wall_off,
+              roff.verified ? "yes" : "NO");
+  std::printf("%12s %12.3f %12.3f %12.0f %10s\n", "cache-on", ron.get_p50_ms,
+              ron.get_p99_ms, static_cast<double>(opt.ops) / wall_on,
+              ron.verified ? "yes" : "NO");
+  std::printf("\ncache: %llu hits / %llu misses (hit rate %.1f%%), "
+              "%llu validation rounds, %llu value bytes kept off the wire\n",
+              static_cast<unsigned long long>(ron.cache_hits),
+              static_cast<unsigned long long>(ron.cache_misses),
+              hit_rate * 100.0,
+              static_cast<unsigned long long>(ron.cache_validations),
+              static_cast<unsigned long long>(ron.bytes_saved));
+  std::printf("get latency: p50 %+.1f%%, p99 %+.1f%% vs cache-off\n",
+              -p50_improv * 100.0, -p99_improv * 100.0);
+  std::printf("gate (%s): %s\n",
+              gate_applicable ? "hit>=80%, p99 cut>=30%, bytes>0, verified"
+                              : "verifiers only; workload below gate "
+                                "thresholds",
+              pass ? "PASS" : "FAIL");
+
+  char buf[512];
+  std::string json = "{\"bench\":\"lds_store_bench_workloads\",";
+  std::snprintf(buf, sizeof(buf),
+                "\"workload\":{\"zipf_theta\":%.3f,\"read_fraction\":%.3f,"
+                "\"keys\":%zu,\"tenants\":%zu,\"value_size\":%zu,"
+                "\"value_dist\":\"%s\",\"rate\":%.1f,\"bursty\":%s,"
+                "\"threads\":%zu,\"connections\":%zu,\"ops\":%zu,"
+                "\"seed\":%llu},",
+                opt.zipf_theta, opt.read_fraction, opt.keys, opt.tenants,
+                value_size,
+                make_model(opt, value_size).options().value_dist.spec()
+                    .c_str(),
+                opt.rate, opt.bursty ? "true" : "false", opt.threads, conns,
+                opt.ops, static_cast<unsigned long long>(opt.seed));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"cache\":{\"ttl\":%g,\"capacity\":%zu},", opt.cache_ttl,
+                opt.cache_capacity);
+  json += buf;
+  auto run_json = [&](const char* name, const ReplicaResult& r,
+                      double wall) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"get_p50_ms\":%.4f,\"get_p99_ms\":%.4f,"
+                  "\"wall_seconds\":%.3f,\"wall_ops_per_sec\":%.1f,"
+                  "\"verified\":%s,\"latency\":",
+                  name, r.get_p50_ms, r.get_p99_ms, wall,
+                  static_cast<double>(opt.ops) / wall,
+                  r.verified ? "true" : "false");
+    json += buf;
+    json += r.latency_json.empty() ? "{}" : r.latency_json;
+    json += "}";
+  };
+  run_json("cache_off", roff, wall_off);
+  json += ",";
+  run_json("cache_on", ron, wall_on);
+  std::snprintf(buf, sizeof(buf),
+                ",\"cache_counters\":{\"hits\":%llu,\"misses\":%llu,"
+                "\"hit_rate\":%.4f,\"validation_rounds\":%llu,"
+                "\"invalidations\":%llu,\"wire_value_bytes_saved\":%llu}",
+                static_cast<unsigned long long>(ron.cache_hits),
+                static_cast<unsigned long long>(ron.cache_misses), hit_rate,
+                static_cast<unsigned long long>(ron.cache_validations),
+                static_cast<unsigned long long>(ron.cache_invalidations),
+                static_cast<unsigned long long>(ron.bytes_saved));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"deltas\":{\"get_p50_improvement\":%.4f,"
+                "\"get_p99_improvement\":%.4f}"
+                ",\"gate\":{\"applicable\":%s,\"hit_rate_min\":0.8,"
+                "\"p99_improvement_min\":0.3,\"pass\":%s}}\n",
+                p50_improv, p99_improv, gate_applicable ? "true" : "false",
+                pass ? "true" : "false");
+  json += buf;
+  if (!ron.client_metrics_json.empty()) {
+    // Splice the full client registry in before the closing brace.
+    json.erase(json.size() - 2);  // strip "}\n"
+    json += ",\"client_metrics\":" + ron.client_metrics_json + "}\n";
+  }
+
+  std::FILE* f = std::fopen(opt.compare_cache_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n",
+                 opt.compare_cache_path.c_str());
+    return 2;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("json written to %s\n", opt.compare_cache_path.c_str());
+  return pass ? 0 : 1;
 }
 
 /// Strict TCP port parse: digits only, in [min_port, 65535] — no silent
@@ -541,9 +824,25 @@ void usage(const char* argv0) {
       "  --value-sizes LIST    comma-separated value sizes in bytes (256)\n"
       "  --threads N           service replicas on OS threads (1)\n"
       "  --ops N               client ops per replica per config (4000)\n"
-      "  --keys N              distinct keys (32)\n"
+      "  --keys N              distinct keys per tenant (32)\n"
       "  --clients N           closed-loop clients per shard (4)\n"
       "  --read-fraction X     fraction of ops that are gets (0.5)\n"
+      "  --read-pct N          same as --read-fraction N/100\n"
+      "  --zipf-theta X        key skew in [0,1): 0 uniform, 0.99 YCSB (0)\n"
+      "  --value-dist SPEC     fixed:N | uniform:LO:HI |\n"
+      "                        bimodal:SMALL:LARGE:PCT (fixed per\n"
+      "                        --value-sizes entry)\n"
+      "  --tenants N           disjoint tenant key namespaces; clients/\n"
+      "                        threads round-robin over them (1)\n"
+      "  --tenant-inflight N   remote open loop: per-client admission cap,\n"
+      "                        outstanding ops (0 = unlimited)\n"
+      "  --cache               enable the client read cache (version-\n"
+      "                        validated tag-only rounds)\n"
+      "  --cache-ttl X         cache: serve without validating for X s (0)\n"
+      "  --cache-capacity N    cache: LRU entry bound (4096)\n"
+      "  --compare-cache PATH  remote: same-seed cache off-vs-on A/B; write\n"
+      "                        the combined JSON (BENCH_workloads.json) and\n"
+      "                        exit with the perf-gate verdict\n"
       "  --batch-window X      put-coalescing window in sim units (0.5)\n"
       "  --exponential         exponential instead of fixed link delays\n"
       "  --json PATH           write machine-readable results\n"
@@ -618,6 +917,38 @@ int main(int argc, char** argv) {
       const char* v = next();
       ok = v != nullptr;
       if (ok) opt.read_fraction = std::strtod(v, nullptr);
+    } else if (arg == "--read-pct") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.read_fraction = std::strtod(v, nullptr) / 100.0;
+    } else if (arg == "--zipf-theta") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.zipf_theta = std::strtod(v, nullptr);
+    } else if (arg == "--value-dist") {
+      const char* v = next();
+      ok = v != nullptr && *v != '\0';
+      if (ok) opt.value_dist = v;
+    } else if (arg == "--tenants") {
+      const char* v = next();
+      ok = v && (opt.tenants = std::strtoull(v, nullptr, 10)) >= 1;
+    } else if (arg == "--tenant-inflight") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.tenant_inflight = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache") {
+      opt.cache = true;
+    } else if (arg == "--cache-ttl") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) opt.cache_ttl = std::strtod(v, nullptr);
+    } else if (arg == "--cache-capacity") {
+      const char* v = next();
+      ok = v && (opt.cache_capacity = std::strtoull(v, nullptr, 10)) >= 1;
+    } else if (arg == "--compare-cache") {
+      const char* v = next();
+      ok = v != nullptr && *v != '\0';
+      if (ok) opt.compare_cache_path = v;
     } else if (arg == "--batch-window") {
       const char* v = next();
       ok = v != nullptr;
@@ -643,6 +974,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!(opt.zipf_theta >= 0.0 && opt.zipf_theta < 1.0)) {
+    std::fprintf(stderr, "--zipf-theta must be in [0, 1)\n");
+    return 2;
+  }
+  if (!(opt.read_fraction >= 0.0 && opt.read_fraction <= 1.0)) {
+    std::fprintf(stderr, "--read-fraction must be in [0, 1]\n");
+    return 2;
+  }
+  if (!opt.value_dist.empty() &&
+      !harness::ValueSizeDist::parse(opt.value_dist).has_value()) {
+    std::fprintf(stderr, "--value-dist must be fixed:N, uniform:LO:HI or "
+                         "bimodal:SMALL:LARGE:PCT\n");
+    return 2;
+  }
+  if (!opt.compare_cache_path.empty()) {
+    if (opt.remote_host.empty()) {
+      std::fprintf(stderr, "--compare-cache requires --remote HOST:PORT\n");
+      return 2;
+    }
+    return run_compare_cache(opt);
+  }
+
   const bool remote = !opt.remote_host.empty();
   const bool parallel = opt.engine == lds::net::EngineMode::Parallel;
   const char* engine_name =
@@ -653,10 +1006,19 @@ int main(int argc, char** argv) {
               engine_name, opt.threads, parallel || remote ? "" : "/replica",
               opt.ops, opt.keys, opt.clients_per_shard, opt.read_fraction,
               opt.batch_window, static_cast<unsigned long long>(opt.seed));
+  if (opt.zipf_theta > 0 || opt.tenants > 1 || !opt.value_dist.empty() ||
+      opt.cache) {
+    std::printf("workload: zipf-theta=%g tenants=%zu value-dist=%s "
+                "cache=%s ttl=%g capacity=%zu\n",
+                opt.zipf_theta, opt.tenants,
+                opt.value_dist.empty() ? "(fixed)" : opt.value_dist.c_str(),
+                opt.cache ? "on" : "off", opt.cache_ttl, opt.cache_capacity);
+  }
   if (remote) {
     std::printf("remote target: %s:%u (server chooses shards/backend; "
-                "verification is client-observed)\n",
-                opt.remote_host.c_str(), opt.remote_port);
+                "verification is client-observed%s)\n",
+                opt.remote_host.c_str(), opt.remote_port,
+                opt.tenants > 1 ? ", per tenant" : "");
     if (opt.rate > 0) {
       std::printf("open loop: %.0f ops/s offered%s, async completion-queue "
                   "API, latency from intended arrival\n",
@@ -755,6 +1117,32 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(coalesced), wall,
                     wall_ops_s, verified ? "true" : "false");
       json += buf;
+      std::snprintf(buf, sizeof(buf),
+                    ",\"zipf_theta\":%.3f,\"tenants\":%zu,\"cache\":%s",
+                    opt.zipf_theta, opt.tenants,
+                    opt.cache ? "true" : "false");
+      json += buf;
+      if (opt.cache) {
+        std::uint64_t hits = 0, misses = 0, validations = 0, saved = 0;
+        for (const auto& r : results) {
+          hits += r.cache_hits;
+          misses += r.cache_misses;
+          validations += r.cache_validations;
+          saved += r.bytes_saved;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      ",\"cache_hits\":%llu,\"cache_misses\":%llu,"
+                      "\"cache_validation_rounds\":%llu,"
+                      "\"wire_value_bytes_saved\":%llu",
+                      static_cast<unsigned long long>(hits),
+                      static_cast<unsigned long long>(misses),
+                      static_cast<unsigned long long>(validations),
+                      static_cast<unsigned long long>(saved));
+        json += buf;
+        if (!results[0].client_metrics_json.empty()) {
+          json += ",\"client_metrics\":" + results[0].client_metrics_json;
+        }
+      }
       if (remote && !results.empty() && !results[0].latency_json.empty()) {
         json += ",\"latency\":" + results[0].latency_json;
       }

@@ -34,6 +34,16 @@ void usage(const char* argv0) {
       "  --objects N             objects per shard (4)\n"
       "  --value-size N          bytes per written value (64)\n"
       "  --read-fraction X       fraction of ops that are reads (0.5)\n"
+      "  --zipf-theta X          key popularity skew in [0,1): 0 = uniform,\n"
+      "                          0.99 = YCSB default Zipfian (0)\n"
+      "  --value-dist SPEC       fixed:N | uniform:LO:HI |\n"
+      "                          bimodal:SMALL:LARGE:PCT (fixed:--value-size)\n"
+      "  --tenants N             store: round-robin clients over N tenant\n"
+      "                          key namespaces (1)\n"
+      "  --client-cache          store: version-validated client read cache\n"
+      "  --cache-ttl X           cache: skip validation for X time units "
+      "(0)\n"
+      "  --cache-capacity N      cache: LRU entry bound (4096)\n"
       "  --crash-rate X          per-op crash-injection probability (0)\n"
       "  --repair-rate X         lds: P(replace+regenerate | L2 crash) (0)\n"
       "  --fixed-latency         fixed instead of exponential link delays\n"
@@ -153,6 +163,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--read-fraction") {
       const char* v = next();
       ok = v && parse_double(v, &opt.read_fraction);
+    } else if (arg == "--zipf-theta") {
+      const char* v = next();
+      ok = v && parse_double(v, &opt.zipf_theta);
+    } else if (arg == "--value-dist") {
+      const char* v = next();
+      ok = v != nullptr && *v != '\0';
+      if (ok) opt.value_dist = v;
+    } else if (arg == "--tenants") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.tenants);
+    } else if (arg == "--client-cache") {
+      opt.client_cache = true;
+    } else if (arg == "--cache-ttl") {
+      const char* v = next();
+      ok = v && parse_double(v, &opt.cache_ttl);
+    } else if (arg == "--cache-capacity") {
+      const char* v = next();
+      ok = v && parse_size(v, &opt.cache_capacity);
     } else if (arg == "--crash-rate") {
       const char* v = next();
       ok = v && parse_double(v, &opt.crash_rate);
